@@ -1,0 +1,98 @@
+#pragma once
+/// \file table.hpp
+/// \brief Shared helpers for the experiment harnesses in bench/:
+///        aligned-column table printing and acceptance checking.
+///
+/// Every bench binary prints the table(s) it reproduces and then a PASS/FAIL
+/// summary of its acceptance checks (the "shape" claims from the paper);
+/// the process exits non-zero if any check fails, so the bench suite doubles
+/// as an integration gate.
+///
+/// Header-only on purpose: build/bench must contain only executables
+/// (the standard run loop executes every file in that directory).
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace benchtab {
+
+/// Formats a double with fixed precision, trimming to a compact width.
+inline std::string fmt(double value, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+inline std::string fmt_int(std::uint64_t value) { return std::to_string(value); }
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    const auto line = [&] {
+      os << '+';
+      for (const auto w : width) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    const auto emit = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+        os << ' ' << cell << std::string(width[c] - cell.size() + 1, ' ') << '|';
+      }
+      os << '\n';
+    };
+    line();
+    emit(headers_);
+    line();
+    for (const auto& row : rows_) emit(row);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Collects named pass/fail acceptance checks.
+class Checker {
+ public:
+  void require(bool condition, const std::string& description) {
+    results_.emplace_back(condition, description);
+    if (!condition) ++failures_;
+  }
+
+  /// Prints the summary; returns the process exit code (0 iff all passed).
+  int summarize(std::ostream& os = std::cout) const {
+    os << '\n';
+    for (const auto& [passed, description] : results_) {
+      os << (passed ? "  [PASS] " : "  [FAIL] ") << description << '\n';
+    }
+    os << (failures_ == 0 ? "ALL CHECKS PASSED" : "CHECKS FAILED") << " ("
+       << results_.size() - failures_ << '/' << results_.size() << ")\n";
+    return failures_ == 0 ? 0 : 1;
+  }
+
+ private:
+  std::vector<std::pair<bool, std::string>> results_;
+  int failures_ = 0;
+};
+
+}  // namespace benchtab

@@ -1,0 +1,114 @@
+// Experiment X18 — engine microbenchmarks (google-benchmark): raw costs of
+// the event queue, the RNG, the PS virtual-time server, and end-to-end
+// simulator throughput in packets per second.
+
+#include <benchmark/benchmark.h>
+
+#include "core/equivalence.hpp"
+#include "des/event_queue.hpp"
+#include "queueing/levelled_network.hpp"
+#include "queueing/ps_server.hpp"
+#include "routing/greedy_hypercube.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace routesim;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(sample_exponential(rng, 1.0));
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_PoissonSmallMean(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(sample_poisson(rng, 2.5));
+}
+BENCHMARK(BM_PoissonSmallMean);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue<int> queue;
+  Rng rng(4);
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < depth; ++i) queue.push(rng.uniform() * 100.0, 0);
+  double now = 0.0;
+  for (auto _ : state) {
+    const auto event = queue.pop();
+    now = event.time;
+    queue.push(now + rng.uniform() * 2.0, 0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_PsServerBatch(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> arrivals;
+  double t = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    t += rng.uniform();
+    arrivals.push_back(t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ps_departure_times(arrivals, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PsServerBatch);
+
+void BM_GreedyHypercubeSim(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    GreedyHypercubeConfig config;
+    config.d = d;
+    config.lambda = 1.2;  // rho = 0.6
+    config.destinations = DestinationDistribution::uniform(d);
+    config.seed = 6;
+    GreedyHypercubeSim sim(config);
+    sim.run(0.0, 500.0);
+    delivered += sim.deliveries_in_window();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.SetLabel("packets");
+}
+BENCHMARK(BM_GreedyHypercubeSim)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_LevelledNetworkQ(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  std::uint64_t departed = 0;
+  for (auto _ : state) {
+    LevelledNetwork net(
+        make_hypercube_network_q(d, 1.2, 0.5, Discipline::kFifo, 7));
+    net.run(0.0, 500.0);
+    departed += net.departures_in_window();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(departed));
+  state.SetLabel("customers");
+}
+BENCHMARK(BM_LevelledNetworkQ)->Arg(6)->Arg(8);
+
+void BM_LevelledNetworkQps(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  std::uint64_t departed = 0;
+  for (auto _ : state) {
+    LevelledNetwork net(make_hypercube_network_q(d, 1.2, 0.5, Discipline::kPs, 8));
+    net.run(0.0, 500.0);
+    departed += net.departures_in_window();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(departed));
+  state.SetLabel("customers");
+}
+BENCHMARK(BM_LevelledNetworkQps)->Arg(6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

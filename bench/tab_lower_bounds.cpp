@@ -1,0 +1,52 @@
+// Experiment X13 — the lower-bound hierarchy (Props. 2 and 3): the
+// universal bound (any scheme), the oblivious bound (any oblivious scheme)
+// and the greedy-specific bound (Prop. 13) versus the simulated delay.
+// The greedy scheme is oblivious, so all three must sit below it, in order.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/simulation.hpp"
+
+using namespace routesim;
+
+int main() {
+  std::cout << "X13: lower-bound hierarchy vs simulated greedy delay (p = 1/2)\n\n";
+  benchtab::Checker checker;
+
+  benchtab::Table table({"d", "rho", "P2 universal", "P3 oblivious", "P13 greedy",
+                         "T sim", "T/P3"});
+  for (const int d : {4, 6, 8}) {
+    for (const double rho : {0.5, 0.9}) {
+      const bounds::HypercubeParams params{d, 2.0 * rho, 0.5};
+      const double universal = bounds::universal_delay_lower_bound(params);
+      const double oblivious = bounds::oblivious_delay_lower_bound(params);
+      const double greedy_lb = bounds::greedy_delay_lower_bound(params);
+
+      const auto window = Window::for_load(d, rho, rho < 0.9 ? 4000.0 : 10000.0);
+      const auto estimate = estimate_hypercube_delay(params, window, {5, 606, 0});
+
+      table.add_row({std::to_string(d), benchtab::fmt(rho, 1),
+                     benchtab::fmt(universal), benchtab::fmt(oblivious),
+                     benchtab::fmt(greedy_lb), benchtab::fmt(estimate.delay.mean),
+                     benchtab::fmt(estimate.delay.mean / oblivious, 2)});
+
+      const std::string tag =
+          "d=" + std::to_string(d) + " rho=" + benchtab::fmt(rho, 1);
+      checker.require(universal <= oblivious + 1e-9,
+                      tag + ": P2 <= P3 (restricting to oblivious tightens)");
+      checker.require(oblivious <= greedy_lb + 1e-9, tag + ": P3 <= P13");
+      checker.require(estimate.delay.mean >= greedy_lb * 0.97,
+                      tag + ": simulated T above the greedy LB");
+      checker.require(estimate.delay.mean >= oblivious * 0.97,
+                      tag + ": simulated T above the oblivious LB "
+                            "(greedy is oblivious)");
+    }
+  }
+  table.print();
+
+  std::cout << "\nShape check: P2's queueing term carries the 1/2^d factor, so\n"
+               "it is loose in d (as the paper remarks); P3 removes it for\n"
+               "oblivious schemes and P13 sharpens it by a factor <= 2.\n";
+  return checker.summarize();
+}

@@ -1,0 +1,86 @@
+// Experiment X16 — the §5 concluding remark, implemented: two-phase
+// Valiant "mixing" (greedy to a random intermediate node, then greedy to
+// the destination) versus direct greedy routing, on the SAME packet trace.
+// For translation-invariant traffic the paper predicts mixing only costs:
+// longer routes and a smaller maximum sustainable load.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "routing/greedy_hypercube.hpp"
+#include "routing/valiant_mixing.hpp"
+#include "workload/trace.hpp"
+
+using namespace routesim;
+
+int main() {
+  std::cout << "X16: direct greedy vs two-phase Valiant mixing (d = 6, p = 1/2)\n";
+  std::cout << "same trace replayed through both schemes\n\n";
+
+  const int d = 6;
+  const auto dist = DestinationDistribution::uniform(d);
+  benchtab::Checker checker;
+  benchtab::Table table({"lambda", "rho(greedy)", "T greedy", "T mixing",
+                         "hops greedy", "hops mixing", "backlog greedy",
+                         "backlog mixing"});
+
+  for (const double lambda : {0.2, 0.6, 1.0, 1.4}) {
+    const auto trace = generate_hypercube_trace(d, lambda, dist, 12000.0, 515);
+
+    GreedyHypercubeConfig greedy_cfg;
+    greedy_cfg.d = d;
+    greedy_cfg.destinations = dist;
+    greedy_cfg.trace = &trace;
+    GreedyHypercubeSim greedy(greedy_cfg);
+    greedy.run(1000.0, 12000.0);
+
+    ValiantMixingConfig mixing_cfg;
+    mixing_cfg.d = d;
+    mixing_cfg.destinations = dist;
+    mixing_cfg.trace = &trace;
+    mixing_cfg.seed = 515;
+    ValiantMixingSim mixing(mixing_cfg);
+    mixing.run(1000.0, 12000.0);
+
+    table.add_row({benchtab::fmt(lambda, 1), benchtab::fmt(lambda / 2, 2),
+                   benchtab::fmt(greedy.delay().mean(), 2),
+                   benchtab::fmt(mixing.delay().mean(), 2),
+                   benchtab::fmt(greedy.hops().mean(), 2),
+                   benchtab::fmt(mixing.hops().mean(), 2),
+                   benchtab::fmt(greedy.final_population(), 0),
+                   benchtab::fmt(mixing.final_population(), 0)});
+
+    checker.require(mixing.delay().mean() > greedy.delay().mean(),
+                    "lambda=" + benchtab::fmt(lambda, 1) +
+                        ": mixing slower than direct greedy (uniform traffic)");
+    if (lambda <= 0.6) {
+      checker.require(mixing.hops().mean() > greedy.hops().mean() + d * 0.3,
+                      "lambda=" + benchtab::fmt(lambda, 1) +
+                          ": mixing pays ~d/2 extra hops");
+    }
+  }
+  table.print();
+
+  // Capacity: mixing saturates near rho ~ 1/2 * (d/(d/2+dp)) of greedy's —
+  // at lambda = 1.4 (greedy rho = 0.7, fine) mixing has effective per-arc
+  // load ~ lambda*(d/2 + d/2)/d = lambda > 1... check backlog divergence.
+  {
+    const auto trace = generate_hypercube_trace(d, 1.4, dist, 12000.0, 616);
+    ValiantMixingConfig mixing_cfg;
+    mixing_cfg.d = d;
+    mixing_cfg.destinations = dist;
+    mixing_cfg.trace = &trace;
+    mixing_cfg.seed = 616;
+    ValiantMixingSim mixing(mixing_cfg);
+    mixing.run(0.0, 12000.0);
+    checker.require(mixing.final_population() > 2000.0,
+                    "lambda=1.4: mixing unstable while greedy (rho=0.7) is stable "
+                    "— reduced maximum sustainable traffic (§5)");
+  }
+
+  std::cout << "\nShape check: for translation-invariant traffic, mixing only\n"
+               "adds ~d/2 hops and halves capacity — matching the paper's\n"
+               "caveat that mixing trades maximum throughput for robustness\n"
+               "against adversarial (non-translation-invariant) patterns.\n";
+  return checker.summarize();
+}

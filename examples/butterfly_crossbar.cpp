@@ -1,0 +1,49 @@
+// Scenario: the butterfly as a crossbar switching fabric (§4.1) — 64 input
+// ports at level 1, 64 output ports at level 7 of a 6-dimensional
+// butterfly.  The traffic skew p controls how often a cell needs to change
+// rows; the fabric's bottleneck is whichever arc kind carries
+// lambda*max{p, 1-p}.  This example maps the (lambda, p) operating region
+// and validates it against the paper's bounds.
+//
+//   build/examples/example_butterfly_crossbar
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/simulation.hpp"
+
+int main() {
+  using namespace routesim;
+
+  const int d = 6;
+  std::cout << "Butterfly crossbar fabric, d = " << d << " (" << (1 << d)
+            << " ports per side, " << (d + 1) * (1 << d) << " switch nodes)\n\n";
+
+  std::cout << "operating region: lambda * max{p, 1-p} < 1 (eq. 17)\n\n";
+  std::cout << std::setw(6) << "p" << std::setw(10) << "lambda*" << std::setw(24)
+            << "T at 0.9*lambda* (sim)" << std::setw(14) << "UB (P17)" << '\n';
+
+  for (const double p : {0.5, 0.6, 0.75, 0.9}) {
+    // Capacity: the largest sustainable injection rate.
+    const double lambda_star = 1.0 / std::max(p, 1.0 - p);
+    const double lambda = 0.9 * lambda_star;
+    const bounds::ButterflyParams params{d, lambda, p};
+    const double rho = bounds::bfly_load_factor(params);
+    const auto window = Window::for_load(d, rho, 6000.0);
+    const auto estimate = estimate_butterfly_delay(params, window, {6, 11});
+    std::cout << std::setw(6) << p << std::setw(10) << std::setprecision(3)
+              << lambda_star << std::setw(21) << std::fixed << std::setprecision(2)
+              << estimate.delay.mean << "   " << std::setw(11)
+              << estimate.upper_bound << '\n';
+    std::cout.unsetf(std::ios_base::fixed);
+  }
+
+  std::cout << "\nDesign take-aways (straight from Props. 14-17):\n"
+               "  - balanced traffic (p = 1/2) doubles the sustainable rate\n"
+               "    compared to p = 1 traffic;\n"
+               "  - at 90% of the respective capacity, latency stays within the\n"
+               "    d p/(1-lambda p) + d(1-p)/(1-lambda(1-p)) bound;\n"
+               "  - every cell takes >= d hops: the fabric adds pipeline depth,\n"
+               "    not head-of-line blocking, until rho -> 1.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Scenario: collective communication.  Iterative parallel algorithms
+// (the §5 outlook: "packets destined for a different subset of nodes")
+// frequently send the same datum to a worker group.  This example sizes
+// the benefit of dimension-ordered multicast trees over repeated unicasts
+// for group sizes from 2 to half the machine, on a 7-cube.
+//
+//   build/examples/example_multicast_collectives
+
+#include <iomanip>
+#include <iostream>
+
+#include "routing/multicast.hpp"
+
+int main() {
+  using namespace routesim;
+
+  const int d = 7;  // 128 nodes
+  std::cout << "Group-multicast on the " << d << "-cube (" << (1 << d)
+            << " nodes), lambda = 0.01 packets/node\n\n";
+  std::cout << std::setw(8) << "group" << std::setw(14) << "tree tx/pkt"
+            << std::setw(16) << "unicast tx/pkt" << std::setw(10) << "saving"
+            << std::setw(14) << "T last-member" << '\n';
+
+  for (const int group : {2, 8, 32, 64}) {
+    MulticastConfig tree_cfg;
+    tree_cfg.d = d;
+    tree_cfg.lambda = 0.01;
+    tree_cfg.fanout = group;
+    tree_cfg.seed = 404;
+    GreedyMulticastSim tree(tree_cfg);
+    tree.run(300.0, 10300.0);
+
+    auto unicast_cfg = tree_cfg;
+    unicast_cfg.unicast_baseline = true;
+    GreedyMulticastSim unicast(unicast_cfg);
+    unicast.run(300.0, 10300.0);
+
+    const double tree_tx = tree.transmissions_per_packet().mean();
+    const double unicast_tx = unicast.transmissions_per_packet().mean();
+    std::cout << std::setw(8) << group << std::setw(14) << std::fixed
+              << std::setprecision(1) << tree_tx << std::setw(16) << unicast_tx
+              << std::setw(9) << std::setprecision(0)
+              << 100.0 * (1.0 - tree_tx / unicast_tx) << "%" << std::setw(14)
+              << std::setprecision(2) << tree.completion_delay().mean() << '\n';
+    std::cout.unsetf(std::ios_base::fixed);
+  }
+
+  std::cout << "\nTake-away: the tree's traffic grows like the covered subcube\n"
+               "(~2^d at full broadcast) instead of k*d/2, so large collectives\n"
+               "cost a fraction of repeated unicasts while the completion time\n"
+               "grows only logarithmically in the group size — the regime the\n"
+               "paper's companion work [StT90] analyses for full broadcasts.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Scenario: buffer provisioning.  The paper assumes infinite buffers; a
+// hardware designer wants to know how much per-node buffering a finite
+// implementation actually needs.  This example measures the per-node
+// occupancy distribution of a 6-cube at several loads, reports tail
+// quantiles, and compares the analytic ceiling d*rho/(1-rho) plus the
+// Chernoff estimate for the total-population tail (§3.3 end).
+//
+//   build/examples/example_occupancy_explorer
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "queueing/product_form.hpp"
+#include "routing/greedy_hypercube.hpp"
+#include "stats/histogram.hpp"
+
+int main() {
+  using namespace routesim;
+
+  const int d = 6;
+  std::cout << "Per-node buffer occupancy on the " << d << "-cube (p = 1/2)\n\n";
+  std::cout << std::setw(6) << "rho" << std::setw(14) << "mean/node" << std::setw(14)
+            << "bound d*r/(1-r)" << std::setw(12) << "peak/node" << std::setw(22)
+            << "P[total > 1.5x mean]" << '\n';
+
+  for (const double rho : {0.3, 0.6, 0.9}) {
+    GreedyHypercubeConfig config;
+    config.d = d;
+    config.lambda = 2.0 * rho;
+    config.destinations = DestinationDistribution::uniform(d);
+    config.seed = 31337;
+    config.track_node_occupancy = true;
+    GreedyHypercubeSim sim(config);
+    sim.run(1000.0, 31000.0);
+
+    double mean = 0.0;
+    for (const double occupancy : sim.node_mean_occupancy()) mean += occupancy;
+    mean /= 64.0;
+    const double bound = bounds::mean_packets_per_node_bound({d, 2.0 * rho, 0.5});
+    const double chernoff = geometric_sum_chernoff_tail(d * 64.0, rho, 0.5);
+
+    std::cout << std::setw(6) << rho << std::setw(14) << std::fixed
+              << std::setprecision(2) << mean << std::setw(14) << bound
+              << std::setw(12) << std::setprecision(0) << sim.max_node_occupancy()
+              << std::setw(22) << std::scientific << std::setprecision(2)
+              << chernoff << '\n';
+    std::cout.unsetf(std::ios_base::fixed);
+    std::cout.unsetf(std::ios_base::scientific);
+  }
+
+  std::cout << "\nDelay-tail view at rho = 0.9 (histogram quantiles):\n";
+  GreedyHypercubeConfig config;
+  config.d = d;
+  config.lambda = 1.8;
+  config.destinations = DestinationDistribution::uniform(d);
+  config.seed = 99;
+  config.track_delay_histogram = true;
+  GreedyHypercubeSim sim(config);
+  sim.run(2000.0, 42000.0);
+  const auto& histogram = *sim.delay_histogram();
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    std::cout << "  q" << std::setw(5) << std::left << q << std::right << " = "
+              << std::setprecision(1) << std::fixed << histogram.quantile(q)
+              << " time units\n";
+    std::cout.unsetf(std::ios_base::fixed);
+  }
+
+  std::cout << "\nConclusion: mean per-node buffering stays below d*rho/(1-rho)\n"
+               "(the Prop. 12 corollary) and the total-population tail decays\n"
+               "geometrically — finite buffers sized a small multiple of the\n"
+               "mean suffice in practice.\n";
+  return 0;
+}

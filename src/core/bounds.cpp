@@ -1,0 +1,175 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "queueing/analytic.hpp"
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace routesim::bounds {
+
+namespace {
+
+void check_hp(const HypercubeParams& hp) {
+  RS_EXPECTS(hp.d >= 1 && hp.d <= 26);
+  RS_EXPECTS(hp.lambda >= 0.0);
+  RS_EXPECTS(hp.p >= 0.0 && hp.p <= 1.0);
+}
+
+void check_bp(const ButterflyParams& bp) {
+  RS_EXPECTS(bp.d >= 1 && bp.d <= 25);
+  RS_EXPECTS(bp.lambda >= 0.0);
+  RS_EXPECTS(bp.p >= 0.0 && bp.p <= 1.0);
+}
+
+void check_stable(double rho) {
+  RS_EXPECTS_MSG(rho < 1.0, "bound requires load factor < 1");
+}
+
+}  // namespace
+
+double load_factor(const HypercubeParams& hp) {
+  check_hp(hp);
+  return hp.lambda * hp.p;
+}
+
+bool stability_possible(const HypercubeParams& hp) { return load_factor(hp) <= 1.0; }
+
+double mean_hops(const HypercubeParams& hp) {
+  check_hp(hp);
+  return static_cast<double>(hp.d) * hp.p;
+}
+
+double universal_delay_lower_bound(const HypercubeParams& hp) {
+  const double rho = load_factor(hp);
+  check_stable(rho);
+  const double servers = std::ldexp(1.0, hp.d);  // 2^d parallel arcs of dim 1
+  const double queue_term = rho * mds_sojourn_lower_bound(servers, rho);
+  return std::max(mean_hops(hp), queue_term);
+}
+
+double universal_delay_lower_bound_avg(const HypercubeParams& hp) {
+  const double rho = load_factor(hp);
+  check_stable(rho);
+  const double servers = std::ldexp(1.0, hp.d);
+  return 0.5 * (mean_hops(hp) + rho * mds_sojourn_lower_bound(servers, rho));
+}
+
+double oblivious_delay_lower_bound(const HypercubeParams& hp) {
+  const double rho = load_factor(hp);
+  check_stable(rho);
+  return std::max(mean_hops(hp), hp.p * md1_sojourn_time(rho));
+}
+
+double greedy_delay_upper_bound(const HypercubeParams& hp) {
+  const double rho = load_factor(hp);
+  check_stable(rho);
+  return static_cast<double>(hp.d) * hp.p / (1.0 - rho);
+}
+
+double greedy_delay_lower_bound(const HypercubeParams& hp) {
+  const double rho = load_factor(hp);
+  check_stable(rho);
+  return mean_hops(hp) + hp.p * rho / (2.0 * (1.0 - rho));
+}
+
+double greedy_delay_exact_p1(int d, double lambda) {
+  RS_EXPECTS(d >= 1);
+  RS_EXPECTS(lambda >= 0.0);
+  check_stable(lambda);
+  return static_cast<double>(d) + lambda / (2.0 * (1.0 - lambda));
+}
+
+double slotted_delay_upper_bound(const HypercubeParams& hp, double tau) {
+  RS_EXPECTS(tau > 0.0 && tau <= 1.0);
+  return greedy_delay_upper_bound(hp) + tau;
+}
+
+double mean_packets_per_node_bound(const HypercubeParams& hp) {
+  const double rho = load_factor(hp);
+  check_stable(rho);
+  return static_cast<double>(hp.d) * rho / (1.0 - rho);
+}
+
+double heavy_traffic_lower(const HypercubeParams& hp) {
+  check_hp(hp);
+  return hp.p / 2.0;
+}
+
+double heavy_traffic_upper(const HypercubeParams& hp) {
+  check_hp(hp);
+  return static_cast<double>(hp.d) * hp.p;
+}
+
+double dimension_load_factor(std::span<const double> mask_pmf, int dim,
+                             double lambda) {
+  RS_EXPECTS(dim >= 1);
+  RS_EXPECTS(lambda >= 0.0);
+  double flip = 0.0;
+  for (std::size_t mask = 0; mask < mask_pmf.size(); ++mask) {
+    if (has_dimension(static_cast<NodeId>(mask), dim)) flip += mask_pmf[mask];
+  }
+  return lambda * flip;
+}
+
+double load_factor_general(std::span<const double> mask_pmf, int d, double lambda) {
+  RS_EXPECTS(d >= 1);
+  RS_EXPECTS(mask_pmf.size() == (std::size_t{1} << d));
+  double rho = 0.0;
+  for (int dim = 1; dim <= d; ++dim) {
+    rho = std::max(rho, dimension_load_factor(mask_pmf, dim, lambda));
+  }
+  return rho;
+}
+
+double bfly_load_factor(const ButterflyParams& bp) {
+  check_bp(bp);
+  return bp.lambda * std::max(bp.p, 1.0 - bp.p);
+}
+
+bool bfly_stability_possible(const ButterflyParams& bp) {
+  return bfly_load_factor(bp) <= 1.0;
+}
+
+double bfly_universal_delay_lower_bound(const ButterflyParams& bp) {
+  check_bp(bp);
+  const double rho_v = bp.lambda * bp.p;
+  const double rho_s = bp.lambda * (1.0 - bp.p);
+  check_stable(rho_v);
+  check_stable(rho_s);
+  // T >= d - 1 + p W_v + (1-p) W_s with W the M/D/1 sojourn times (Prop. 14).
+  return static_cast<double>(bp.d) - 1.0 + bp.p * md1_sojourn_time(rho_v) +
+         (1.0 - bp.p) * md1_sojourn_time(rho_s);
+}
+
+double bfly_greedy_delay_upper_bound(const ButterflyParams& bp) {
+  check_bp(bp);
+  const double rho_v = bp.lambda * bp.p;
+  const double rho_s = bp.lambda * (1.0 - bp.p);
+  check_stable(rho_v);
+  check_stable(rho_s);
+  return static_cast<double>(bp.d) * bp.p / (1.0 - rho_v) +
+         static_cast<double>(bp.d) * (1.0 - bp.p) / (1.0 - rho_s);
+}
+
+double bfly_mean_packets_per_node(const ButterflyParams& bp) {
+  check_bp(bp);
+  const double rho_v = bp.lambda * bp.p;
+  const double rho_s = bp.lambda * (1.0 - bp.p);
+  check_stable(rho_v);
+  check_stable(rho_s);
+  return mm1_mean_number(rho_v) + mm1_mean_number(rho_s);
+}
+
+double bfly_heavy_traffic_lower(const ButterflyParams& bp) {
+  check_bp(bp);
+  return std::max(bp.p, 1.0 - bp.p) / 2.0;
+}
+
+double bfly_heavy_traffic_upper(const ButterflyParams& bp) {
+  check_bp(bp);
+  return static_cast<double>(bp.d) * std::max(bp.p, 1.0 - bp.p);
+}
+
+}  // namespace routesim::bounds

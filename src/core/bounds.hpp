@@ -1,0 +1,110 @@
+#pragma once
+/// \file bounds.hpp
+/// \brief Every closed-form bound and stability condition from the paper,
+///        as directly callable functions.
+///
+/// Hypercube model parameters: dimension d, per-node Poisson rate lambda,
+/// bit-flip probability p; load factor rho = lambda * p (§2.1).
+/// Butterfly model parameters: dimension d, per-(level-1-)node rate lambda,
+/// bit-flip probability p; load factor rho = lambda * max{p, 1-p} (§4.2).
+///
+/// Each function cites the proposition it implements.  Functions whose
+/// formula requires rho < 1 check it as a precondition.
+
+#include <span>
+
+namespace routesim::bounds {
+
+struct HypercubeParams {
+  int d = 4;
+  double lambda = 0.1;
+  double p = 0.5;
+};
+
+struct ButterflyParams {
+  int d = 4;
+  double lambda = 0.1;
+  double p = 0.5;
+};
+
+// ------------------------------------------------------------------ hypercube
+
+/// rho = lambda * p (§2.1).
+[[nodiscard]] double load_factor(const HypercubeParams& hp);
+
+/// Necessary condition for stability of *any* scheme: rho <= 1 (eq. (2)).
+[[nodiscard]] bool stability_possible(const HypercubeParams& hp);
+
+/// Mean shortest-path length d*p: the zero-contention mean delay (§1.1).
+[[nodiscard]] double mean_hops(const HypercubeParams& hp);
+
+/// Proposition 2 (universal lower bound, exact max form):
+/// T >= max{ dp, rho * D(2^d; rho) } with D lower-bounded by Brumelle's
+/// M/D/s bound D >= 1 + rho / (2^(d+1) (1-rho)).
+[[nodiscard]] double universal_delay_lower_bound(const HypercubeParams& hp);
+
+/// Proposition 2, averaged form:
+/// T >= (dp + rho(1 + rho/(2^(d+1)(1-rho)))) / 2.
+[[nodiscard]] double universal_delay_lower_bound_avg(const HypercubeParams& hp);
+
+/// Proposition 3 (oblivious schemes):
+/// T >= max{ dp, p (1 + rho/(2(1-rho))) }.
+[[nodiscard]] double oblivious_delay_lower_bound(const HypercubeParams& hp);
+
+/// Proposition 12: T <= dp / (1 - rho) for the greedy scheme.
+[[nodiscard]] double greedy_delay_upper_bound(const HypercubeParams& hp);
+
+/// Proposition 13: T >= dp + p*rho / (2(1-rho)) for the greedy scheme.
+[[nodiscard]] double greedy_delay_lower_bound(const HypercubeParams& hp);
+
+/// Exact delay at p = 1 (end of §3.3): packets from different nodes follow
+/// disjoint paths, so T = d + rho/(2(1-rho)) with rho = lambda.
+[[nodiscard]] double greedy_delay_exact_p1(int d, double lambda);
+
+/// §3.4: slotted-time upper bound T <= dp/(1-rho) + tau.
+[[nodiscard]] double slotted_delay_upper_bound(const HypercubeParams& hp, double tau);
+
+/// Mean packets per node bound N/2^d <= d*rho/(1-rho) (after Prop. 12).
+[[nodiscard]] double mean_packets_per_node_bound(const HypercubeParams& hp);
+
+/// Heavy-traffic limits of (1-rho) T as rho -> 1 (discussion after
+/// Prop. 13): lower p/2, upper d*p.
+[[nodiscard]] double heavy_traffic_lower(const HypercubeParams& hp);
+[[nodiscard]] double heavy_traffic_upper(const HypercubeParams& hp);
+
+// ---------------------------------------------------- general destination law
+
+/// Load factor of dimension j for a translation-invariant destination law
+/// f over XOR masks: rho_j = lambda * sum_{y: y_j = 1} f(y)  (§2.2 end).
+[[nodiscard]] double dimension_load_factor(std::span<const double> mask_pmf, int dim,
+                                           double lambda);
+
+/// rho = max_j rho_j for a general translation-invariant law.
+[[nodiscard]] double load_factor_general(std::span<const double> mask_pmf, int d,
+                                         double lambda);
+
+// ------------------------------------------------------------------ butterfly
+
+/// rho = lambda * max{p, 1-p} (eq. (17)).
+[[nodiscard]] double bfly_load_factor(const ButterflyParams& bp);
+
+/// Necessary condition (17): lambda*p <= 1 and lambda*(1-p) <= 1.
+[[nodiscard]] bool bfly_stability_possible(const ButterflyParams& bp);
+
+/// Proposition 14 (universal lower bound):
+/// T >= d + lambda p^2/(2(1-lambda p)) + lambda (1-p)^2/(2(1-lambda(1-p))).
+[[nodiscard]] double bfly_universal_delay_lower_bound(const ButterflyParams& bp);
+
+/// Proposition 17: T <= d p/(1-lambda p) + d (1-p)/(1-lambda(1-p)).
+[[nodiscard]] double bfly_greedy_delay_upper_bound(const ButterflyParams& bp);
+
+/// Overall mean packets per node eta = lambda p/(1-lambda p)
+/// + lambda(1-p)/(1-lambda(1-p)) (§4.3).
+[[nodiscard]] double bfly_mean_packets_per_node(const ButterflyParams& bp);
+
+/// Butterfly heavy-traffic limits of (1-rho) T as rho -> 1 (§4.3 end):
+/// lower max{p,1-p}/2, upper d*max{p,1-p}.
+[[nodiscard]] double bfly_heavy_traffic_lower(const ButterflyParams& bp);
+[[nodiscard]] double bfly_heavy_traffic_upper(const ButterflyParams& bp);
+
+}  // namespace routesim::bounds

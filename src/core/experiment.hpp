@@ -1,0 +1,48 @@
+#pragma once
+/// \file experiment.hpp
+/// \brief Thread-parallel replication runner with deterministic results.
+///
+/// Steady-state estimates in this library come from independent
+/// replications: the same model is simulated `replications` times with
+/// per-replication seeds derive_stream(base_seed, rep), and each metric's
+/// across-replication mean gets a Student-t confidence interval.
+/// Replications execute on a pool of std::jthread workers (HPC guideline:
+/// explicit, portable parallelism with no shared mutable state — each
+/// replication owns its simulator; results land in a pre-sized vector slot
+/// owned by that replication), so the aggregate is bit-identical for any
+/// thread count.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/ci.hpp"
+#include "stats/summary.hpp"
+
+namespace routesim {
+
+struct ReplicationPlan {
+  int replications = 8;
+  std::uint64_t base_seed = 1;
+  /// 0 = use std::thread::hardware_concurrency().
+  int threads = 0;
+};
+
+/// Runs body(seed, rep_index) once per replication (in parallel) and
+/// returns each replication's metric vector, indexed by replication.
+/// Every replication must return the same number of metrics.
+[[nodiscard]] std::vector<std::vector<double>> run_replications(
+    const ReplicationPlan& plan,
+    const std::function<std::vector<double>(std::uint64_t seed, int rep)>& body);
+
+/// Convenience: per-metric across-replication summaries (merged in
+/// replication order, hence deterministic).
+[[nodiscard]] std::vector<Summary> summarize_replications(
+    const std::vector<std::vector<double>>& per_replication);
+
+/// Convenience: per-metric t confidence intervals.
+[[nodiscard]] std::vector<ConfidenceInterval> replication_intervals(
+    const std::vector<std::vector<double>>& per_replication,
+    double confidence = 0.95);
+
+}  // namespace routesim

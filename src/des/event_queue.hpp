@@ -1,0 +1,102 @@
+#pragma once
+/// \file event_queue.hpp
+/// \brief Pending-event set for discrete-event simulation.
+///
+/// EventQueue<Payload> is a binary min-heap ordered by (time, insertion
+/// sequence).  The sequence tie-break makes extraction order *stable*:
+/// events scheduled earlier fire first among equal timestamps.  Stability
+/// matters here because the greedy router resolves simultaneous contention
+/// in FIFO order (§3), and because reproducibility requires a total order
+/// independent of heap internals.
+///
+/// Payload must be cheaply movable; simulators use small POD payloads so no
+/// allocation happens per event beyond the vector storage.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;  ///< insertion sequence number (tie-break)
+    Payload payload{};
+  };
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Total number of events ever pushed (used by tests / microbenchmarks).
+  [[nodiscard]] std::uint64_t pushed() const noexcept { return next_seq_; }
+
+  void clear() noexcept {
+    heap_.clear();
+    next_seq_ = 0;
+  }
+
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  /// Schedules payload at the given time.  Time may equal (but must not
+  /// precede) the time of the most recently popped event; the simulator
+  /// loop enforces global monotonicity.
+  void push(double time, Payload payload) {
+    heap_.push_back(Event{time, next_seq_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// The earliest event (undefined when empty; checked in debug builds).
+  [[nodiscard]] const Event& top() const {
+    RS_DASSERT(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// Removes and returns the earliest event.
+  Event pop() {
+    RS_DASSERT(!heap_.empty());
+    Event result = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return result;
+  }
+
+ private:
+  [[nodiscard]] static bool before(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) noexcept {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = left + 1;
+      std::size_t smallest = i;
+      if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
+      if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace routesim

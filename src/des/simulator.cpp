@@ -1,0 +1,55 @@
+#include "des/simulator.hpp"
+
+#include "util/assert.hpp"
+
+namespace routesim {
+
+CallbackSimulator::EventId CallbackSimulator::schedule_at(double when, Handler handler) {
+  RS_EXPECTS_MSG(when >= now_, "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(when, Entry{id, std::move(handler)});
+  return id;
+}
+
+bool CallbackSimulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+}
+
+bool CallbackSimulator::step() {
+  while (!queue_.empty()) {
+    auto event = queue_.pop();
+    if (auto it = cancelled_.find(event.payload.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    RS_DASSERT(event.time >= now_);
+    now_ = event.time;
+    ++executed_;
+    event.payload.handler();
+    return true;
+  }
+  return false;
+}
+
+void CallbackSimulator::run_until(double horizon) {
+  for (;;) {
+    // Skip over cancelled entries without advancing the clock.
+    while (!queue_.empty()) {
+      if (auto it = cancelled_.find(queue_.top().payload.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        queue_.pop();
+      } else {
+        break;
+      }
+    }
+    if (queue_.empty()) return;
+    if (queue_.top().time > horizon) {
+      now_ = horizon;
+      return;
+    }
+    step();
+  }
+}
+
+}  // namespace routesim

@@ -1,0 +1,67 @@
+#pragma once
+/// \file simulator.hpp
+/// \brief General-purpose callback discrete-event simulator.
+///
+/// The performance-critical simulators in src/routing and src/queueing manage
+/// their own typed EventQueue directly; CallbackSimulator is the convenience
+/// engine for tests, examples and ad-hoc models.  It supports scheduling,
+/// lazy cancellation, and running until a horizon or event-count limit.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_set>
+
+#include "des/event_queue.hpp"
+
+namespace routesim {
+
+class CallbackSimulator {
+ public:
+  using Handler = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  /// Current simulation time.  Starts at 0.
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Number of events currently pending (including cancelled-but-unpopped).
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Schedules handler at absolute time `when` (>= now) and returns an id
+  /// usable with cancel().
+  EventId schedule_at(double when, Handler handler);
+
+  /// Schedules handler `delay` (>= 0) after the current time.
+  EventId schedule_in(double delay, Handler handler) {
+    return schedule_at(now_ + delay, std::move(handler));
+  }
+
+  /// Lazily cancels a pending event.  Cancelling an already-executed or
+  /// unknown id is a no-op and returns false.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains or the next event would exceed `horizon`.
+  /// The clock is left at min(horizon, time of last executed event... ) —
+  /// specifically, at `horizon` if stopped by it, else at the last event time.
+  void run_until(double horizon = std::numeric_limits<double>::infinity());
+
+  /// Executes exactly one event if any is pending; returns false otherwise.
+  bool step();
+
+ private:
+  struct Entry {
+    EventId id;
+    Handler handler;
+  };
+
+  EventQueue<Entry> queue_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  double now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace routesim

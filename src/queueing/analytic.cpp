@@ -1,0 +1,41 @@
+#include "queueing/analytic.hpp"
+
+#include "util/assert.hpp"
+
+namespace routesim {
+
+namespace {
+void check_utilisation(double rho) {
+  RS_EXPECTS_MSG(rho >= 0.0 && rho < 1.0, "utilisation must be in [0, 1)");
+}
+}  // namespace
+
+double md1_waiting_time(double rho) {
+  check_utilisation(rho);
+  return rho / (2.0 * (1.0 - rho));
+}
+
+double md1_sojourn_time(double rho) { return 1.0 + md1_waiting_time(rho); }
+
+double md1_mean_number(double rho) {
+  check_utilisation(rho);
+  return rho + rho * rho / (2.0 * (1.0 - rho));
+}
+
+double mm1_sojourn_time(double rho) {
+  check_utilisation(rho);
+  return 1.0 / (1.0 - rho);
+}
+
+double mm1_mean_number(double rho) {
+  check_utilisation(rho);
+  return rho / (1.0 - rho);
+}
+
+double mds_sojourn_lower_bound(double num_servers, double rho) {
+  RS_EXPECTS(num_servers >= 1.0);
+  check_utilisation(rho);
+  return 1.0 + rho / (2.0 * num_servers * (1.0 - rho));
+}
+
+}  // namespace routesim

@@ -1,0 +1,37 @@
+#pragma once
+/// \file analytic.hpp
+/// \brief Closed-form queueing formulas used by the paper's bounds.
+///
+/// All formulas assume unit mean service time (the paper's unit packet
+/// transmission time) and utilisation rho < 1 unless stated otherwise.
+/// References: [Kle75] for M/D/1 and M/M/1; [Bru71] for the M/D/s lower
+/// bound used in Proposition 2.
+
+#include <cstdint>
+
+namespace routesim {
+
+/// Mean waiting time (queueing delay excluding service) in M/D/1 with unit
+/// service: rho / (2(1-rho)).  Precondition: 0 <= rho < 1.
+[[nodiscard]] double md1_waiting_time(double rho);
+
+/// Mean sojourn time in M/D/1 with unit service: 1 + rho/(2(1-rho)).
+[[nodiscard]] double md1_sojourn_time(double rho);
+
+/// Mean number in system for M/D/1 with unit service:
+/// rho + rho^2 / (2(1-rho))  (used in Proposition 13).
+[[nodiscard]] double md1_mean_number(double rho);
+
+/// Mean sojourn time in M/M/1 with unit-mean service: 1/(1-rho).
+[[nodiscard]] double mm1_sojourn_time(double rho);
+
+/// Mean number in system for M/M/1 (also the per-server occupancy of the
+/// product-form PS network of Prop. 12): rho/(1-rho).
+[[nodiscard]] double mm1_mean_number(double rho);
+
+/// Brumelle's lower bound on the mean sojourn time of M/D/s with unit
+/// service and per-server utilisation rho: 1 + rho / (2 s (1-rho)).
+/// Used with s = 2^d in Proposition 2.
+[[nodiscard]] double mds_sojourn_lower_bound(double num_servers, double rho);
+
+}  // namespace routesim

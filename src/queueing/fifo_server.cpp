@@ -1,0 +1,24 @@
+#include "queueing/fifo_server.hpp"
+
+#include "util/assert.hpp"
+
+namespace routesim {
+
+std::vector<double> fifo_departure_times(std::span<const double> arrivals,
+                                         double service) {
+  RS_EXPECTS(service > 0.0);
+  std::vector<double> departures;
+  departures.reserve(arrivals.size());
+  double previous = -1e300;
+  double last_arrival = -1e300;
+  for (const double t : arrivals) {
+    RS_EXPECTS_MSG(t >= last_arrival, "arrival times must be non-decreasing");
+    last_arrival = t;
+    const double start = t > previous ? t : previous;
+    previous = start + service;
+    departures.push_back(previous);
+  }
+  return departures;
+}
+
+}  // namespace routesim

@@ -1,0 +1,42 @@
+#pragma once
+/// \file fifo_server.hpp
+/// \brief Deterministic single FIFO server — sample-path utilities.
+///
+/// These are the objects of Lemmas 7 and 8: a deterministic server with
+/// fixed service duration, fed by an arbitrary arrival-time sequence.
+/// The recursion D_1 = t_1 + s, D_i = max(D_{i-1}, t_i) + s is exposed both
+/// as an offline batch transform (for the property tests of the lemmas) and
+/// as an incremental online object (used by simulators).
+
+#include <span>
+#include <vector>
+
+namespace routesim {
+
+/// Departure times of a deterministic FIFO server with service time
+/// `service` fed by non-decreasing arrival times `arrivals`.
+/// Precondition: service > 0 and arrivals sorted non-decreasingly.
+[[nodiscard]] std::vector<double> fifo_departure_times(std::span<const double> arrivals,
+                                                       double service);
+
+/// Incremental FIFO departure-time computer (same recursion, online).
+class FifoClock {
+ public:
+  explicit FifoClock(double service) : service_(service) {}
+
+  /// Feeds the next arrival (>= all previous arrivals) and returns its
+  /// departure time.
+  double on_arrival(double t) {
+    const double start = t > last_departure_ ? t : last_departure_;
+    last_departure_ = start + service_;
+    return last_departure_;
+  }
+
+  [[nodiscard]] double last_departure() const noexcept { return last_departure_; }
+
+ private:
+  double service_;
+  double last_departure_ = -1e300;
+};
+
+}  // namespace routesim

@@ -1,0 +1,226 @@
+#include "queueing/levelled_network.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+
+namespace routesim {
+
+LevelledNetwork::LevelledNetwork(LevelledNetworkConfig config)
+    : config_(std::move(config)) {
+  const auto n = config_.servers.size();
+  RS_EXPECTS_MSG(n > 0, "network must have at least one server");
+  servers_.resize(n);
+  server_stats_.resize(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const auto& spec = config_.servers[s];
+    RS_EXPECTS_MSG(spec.service_rate > 0.0, "service rate must be positive");
+    RS_EXPECTS_MSG(spec.external_rate >= 0.0, "external rate must be non-negative");
+    double total_prob = 0.0;
+    for (const auto& choice : spec.routing) {
+      RS_EXPECTS_MSG(choice.target > s && choice.target < n,
+                     "routing must go to a strictly higher-indexed server "
+                     "(levelled-network property B)");
+      RS_EXPECTS(choice.probability >= 0.0);
+      total_prob += choice.probability;
+    }
+    RS_EXPECTS_MSG(total_prob <= 1.0 + 1e-9, "routing probabilities exceed 1");
+    servers_[s].arrival_rng.reseed(derive_stream(config_.seed, s));
+  }
+}
+
+void LevelledNetwork::set_checkpoints(std::vector<double> times) {
+  for (std::size_t i = 1; i < times.size(); ++i) RS_EXPECTS(times[i] >= times[i - 1]);
+  checkpoints_ = std::move(times);
+  checkpoint_counts_.assign(checkpoints_.size(), 0);
+  next_checkpoint_ = 0;
+}
+
+std::uint32_t LevelledNetwork::allocate_customer(double now) {
+  std::uint32_t id;
+  if (!free_customers_.empty()) {
+    id = free_customers_.back();
+    free_customers_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(customers_.size());
+    customers_.emplace_back();
+  }
+  customers_[id].arrival_time = now;
+  return id;
+}
+
+void LevelledNetwork::release_customer(std::uint32_t id) {
+  free_customers_.push_back(id);
+}
+
+void LevelledNetwork::record_occupancy(double now, std::uint32_t server, double delta) {
+  if (config_.track_per_server) servers_[server].occupancy.add(now, delta);
+}
+
+void LevelledNetwork::schedule_next_external(double now, std::uint32_t server) {
+  const double rate = config_.servers[server].external_rate;
+  RS_DASSERT(rate > 0.0);
+  const double gap = sample_exponential(servers_[server].arrival_rng, rate);
+  events_.push(now + gap, Ev{EventKind::kExternalArrival, server, 0});
+}
+
+void LevelledNetwork::enter_server(double now, std::uint32_t server,
+                                   std::uint32_t customer) {
+  auto& state = servers_[server];
+  if (now >= warmup_) ++server_stats_[server].total_arrivals;
+  record_occupancy(now, server, +1.0);
+  if (config_.discipline == Discipline::kFifo) {
+    state.fifo.push_back(customer);
+    if (state.fifo.size() == 1) {
+      events_.push(now + 1.0 / config_.servers[server].service_rate,
+                   Ev{EventKind::kFifoDone, server, 0});
+    }
+  } else {
+    ps_update_virtual(now, server);
+    state.ps_active.emplace(state.virtual_time + 1.0, customer);
+    ps_reschedule(now, server);
+  }
+}
+
+void LevelledNetwork::ps_update_virtual(double now, std::uint32_t server) {
+  auto& state = servers_[server];
+  if (!state.ps_active.empty()) {
+    state.virtual_time += (now - state.last_update) *
+                          config_.servers[server].service_rate /
+                          static_cast<double>(state.ps_active.size());
+  }
+  state.last_update = now;
+}
+
+void LevelledNetwork::ps_reschedule(double now, std::uint32_t server) {
+  auto& state = servers_[server];
+  ++state.ps_stamp;
+  if (state.ps_active.empty()) return;
+  const double gap = (state.ps_active.begin()->first - state.virtual_time) *
+                     static_cast<double>(state.ps_active.size()) /
+                     config_.servers[server].service_rate;
+  events_.push(now + (gap > 0.0 ? gap : 0.0),
+               Ev{EventKind::kPsDone, server, state.ps_stamp});
+}
+
+void LevelledNetwork::on_network_departure(double now, std::uint32_t customer) {
+  ++departures_total_;
+  if (now >= warmup_) {
+    ++departures_window_;
+    if (customers_[customer].arrival_time >= warmup_) {
+      delay_.add(now - customers_[customer].arrival_time);
+    }
+  }
+  population_.add(now, -1.0);
+  release_customer(customer);
+}
+
+void LevelledNetwork::complete_service(double now, std::uint32_t server,
+                                       std::uint32_t customer) {
+  auto& state = servers_[server];
+  if (now >= warmup_) ++server_stats_[server].departures;
+  record_occupancy(now, server, -1.0);
+
+  // Routing decision k at server s is the *stateless* coupled uniform, so
+  // FIFO and PS runs with the same seed make identical decisions (Lemma 10).
+  const double u = coupled_uniform(config_.seed, server, state.completions++);
+  double cumulative = 0.0;
+  for (const auto& choice : config_.servers[server].routing) {
+    cumulative += choice.probability;
+    if (u < cumulative) {
+      enter_server(now, choice.target, customer);
+      return;
+    }
+  }
+  on_network_departure(now, customer);
+}
+
+void LevelledNetwork::run(double warmup, double horizon) {
+  RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
+  warmup_ = warmup;
+  now_ = 0.0;
+
+  for (std::uint32_t s = 0; s < servers_.size(); ++s) {
+    if (config_.servers[s].external_rate > 0.0) schedule_next_external(0.0, s);
+  }
+
+  bool stats_reset = warmup == 0.0;
+  while (!events_.empty() && events_.top().time <= horizon) {
+    const auto event = events_.pop();
+    const double t = event.time;
+
+    // Checkpoints record B(t-) at times strictly before the next event.
+    while (next_checkpoint_ < checkpoints_.size() &&
+           checkpoints_[next_checkpoint_] < t) {
+      checkpoint_counts_[next_checkpoint_++] = departures_total_;
+    }
+    if (!stats_reset && t >= warmup) {
+      population_.reset(warmup);
+      if (config_.track_per_server) {
+        for (auto& srv : servers_) srv.occupancy.reset(warmup);
+      }
+      stats_reset = true;
+    }
+    now_ = t;
+
+    const auto& payload = event.payload;
+    switch (payload.kind) {
+      case EventKind::kExternalArrival: {
+        schedule_next_external(t, payload.server);
+        const std::uint32_t customer = allocate_customer(t);
+        if (t >= warmup) {
+          ++arrivals_window_;
+          ++server_stats_[payload.server].external_arrivals;
+        }
+        population_.add(t, +1.0);
+        enter_server(t, payload.server, customer);
+        break;
+      }
+      case EventKind::kFifoDone: {
+        auto& state = servers_[payload.server];
+        RS_DASSERT(!state.fifo.empty());
+        const std::uint32_t customer = state.fifo.front();
+        state.fifo.pop_front();
+        if (!state.fifo.empty()) {
+          events_.push(t + 1.0 / config_.servers[payload.server].service_rate,
+                       Ev{EventKind::kFifoDone, payload.server, 0});
+        }
+        complete_service(t, payload.server, customer);
+        break;
+      }
+      case EventKind::kPsDone: {
+        auto& state = servers_[payload.server];
+        if (payload.stamp != state.ps_stamp) break;  // superseded schedule
+        RS_DASSERT(!state.ps_active.empty());
+        ps_update_virtual(t, payload.server);
+        const auto it = state.ps_active.begin();
+        const std::uint32_t customer = it->second;
+        state.virtual_time = it->first;  // absorb rounding drift
+        state.ps_active.erase(it);
+        ps_reschedule(t, payload.server);
+        complete_service(t, payload.server, customer);
+        break;
+      }
+    }
+  }
+
+  while (next_checkpoint_ < checkpoints_.size() &&
+         checkpoints_[next_checkpoint_] <= horizon) {
+    checkpoint_counts_[next_checkpoint_++] = departures_total_;
+  }
+  if (!stats_reset) population_.reset(warmup);
+
+  time_avg_population_ = population_.mean(horizon);
+  peak_population_ = population_.peak();
+  final_population_ = population_.value();
+  const double window = horizon - warmup;
+  throughput_ = window > 0.0 ? static_cast<double>(departures_window_) / window : 0.0;
+  if (config_.track_per_server) {
+    for (std::uint32_t s = 0; s < servers_.size(); ++s) {
+      server_stats_[s].mean_occupancy = servers_[s].occupancy.mean(horizon);
+    }
+  }
+}
+
+}  // namespace routesim

@@ -1,0 +1,194 @@
+#pragma once
+/// \file levelled_network.hpp
+/// \brief Event-driven simulator of a *levelled* queueing network with
+///        Markovian routing — the paper's networks Q (§3.1), R (§4.3) and
+///        the three-server network G of Lemma 9.
+///
+/// A levelled network is a DAG of "servers" (one per hypercube/butterfly
+/// arc) in which every customer moves to strictly higher-indexed servers,
+/// each server is fed externally by a Poisson stream, and routing after a
+/// service completion is by independent coin flips (Property C).  Servers
+/// run either a deterministic FIFO discipline or deterministic Processor
+/// Sharing; the networks Q and Q~ of Proposition 11 are the same config
+/// run under the two disciplines.
+///
+/// **Sample-path coupling.**  The dominance results (Lemmas 9-10, Prop. 11)
+/// compare FIFO and PS *on the same sample path ω*: identical external
+/// arrival times per server and identical routing decisions identified by
+/// the order they are taken at each server.  The simulator realises exactly
+/// this coupling: server s's external arrivals come from the dedicated
+/// stream derive_stream(seed, s), and the k-th service completion at server
+/// s consumes the *stateless* uniform U(seed, s, k) — so two runs with the
+/// same seed but different disciplines see the same ω.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeavg.hpp"
+#include "util/rng.hpp"
+
+namespace routesim {
+
+/// Service discipline of every server in the network.
+enum class Discipline : std::uint8_t { kFifo, kPs };
+
+/// One routing alternative: with probability `probability`, go to server
+/// `target` after completing service.  Unassigned probability mass exits
+/// the network.
+struct RoutingChoice {
+  double probability = 0.0;
+  std::uint32_t target = 0;
+};
+
+/// Static description of one server.
+struct LevelledServerSpec {
+  double service_rate = 1.0;   ///< FIFO service time and PS rate are 1/this and this
+  double external_rate = 0.0;  ///< Poisson external arrival rate
+  std::vector<RoutingChoice> routing;  ///< targets must have larger indices
+};
+
+struct LevelledNetworkConfig {
+  std::vector<LevelledServerSpec> servers;
+  Discipline discipline = Discipline::kFifo;
+  std::uint64_t seed = 1;
+  /// When true, keeps a time-weighted occupancy tracker per server
+  /// (needed by the queue-occupancy experiments; costs memory).
+  bool track_per_server = false;
+};
+
+/// Per-server counters over the measurement window.
+struct ServerStats {
+  std::uint64_t external_arrivals = 0;
+  std::uint64_t total_arrivals = 0;  ///< external + internal
+  std::uint64_t departures = 0;      ///< service completions
+  double mean_occupancy = 0.0;       ///< time-avg number present (if tracked)
+};
+
+class LevelledNetwork {
+ public:
+  explicit LevelledNetwork(LevelledNetworkConfig config);
+
+  /// Record the cumulative number of network departures at each of the given
+  /// (sorted, ascending) times.  Must be called before run().  Departure
+  /// counts start at time 0 regardless of warm-up, because the dominance
+  /// statement B(t) >= B~(t) of Lemma 10 is about counts from the origin.
+  void set_checkpoints(std::vector<double> times);
+
+  /// Runs the simulation on [0, horizon]; statistics other than the
+  /// checkpoint counts cover the window [warmup, horizon].
+  /// Precondition: 0 <= warmup <= horizon.
+  void run(double warmup, double horizon);
+
+  // --- results (valid after run()) ---
+
+  /// Delay (network sojourn time) of customers that arrived inside the
+  /// measurement window and departed before the horizon.
+  [[nodiscard]] const Summary& delay() const noexcept { return delay_; }
+
+  /// Time-average number of customers in the network over the window.
+  [[nodiscard]] double time_avg_population() const noexcept { return time_avg_population_; }
+
+  /// Peak population since warm-up.
+  [[nodiscard]] double peak_population() const noexcept { return peak_population_; }
+
+  /// Population remaining at the horizon (backlog; grows linearly iff unstable).
+  [[nodiscard]] double final_population() const noexcept { return final_population_; }
+
+  /// Customers that left the network inside the measurement window.
+  [[nodiscard]] std::uint64_t departures_in_window() const noexcept {
+    return departures_window_;
+  }
+
+  /// External arrivals inside the measurement window.
+  [[nodiscard]] std::uint64_t arrivals_in_window() const noexcept {
+    return arrivals_window_;
+  }
+
+  /// Observed departure throughput over the window.
+  [[nodiscard]] double throughput() const noexcept { return throughput_; }
+
+  /// Cumulative departure counts at the requested checkpoints.
+  [[nodiscard]] const std::vector<std::uint64_t>& checkpoint_departures() const noexcept {
+    return checkpoint_counts_;
+  }
+
+  [[nodiscard]] const std::vector<ServerStats>& server_stats() const noexcept {
+    return server_stats_;
+  }
+
+  [[nodiscard]] std::size_t num_servers() const noexcept { return servers_.size(); }
+
+  /// The stateless routing uniform consumed by the k-th completion at server
+  /// s under master seed `seed`.  Exposed for tests of the coupling.
+  [[nodiscard]] static double coupled_uniform(std::uint64_t seed, std::uint32_t server,
+                                              std::uint64_t k) noexcept {
+    std::uint64_t state = derive_stream(seed ^ 0x5bf03635ul, (static_cast<std::uint64_t>(server) << 32) ^ k);
+    return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  enum class EventKind : std::uint8_t { kExternalArrival, kFifoDone, kPsDone };
+
+  struct Ev {
+    EventKind kind{};
+    std::uint32_t server = 0;
+    std::uint64_t stamp = 0;  ///< PS reschedule generation (stale-event filter)
+  };
+
+  struct Customer {
+    double arrival_time = 0.0;
+  };
+
+  struct ServerState {
+    // FIFO: customers in arrival order; front is in service.
+    std::deque<std::uint32_t> fifo;
+    // PS: active customers keyed by the virtual time at which they finish.
+    std::multimap<double, std::uint32_t> ps_active;
+    double virtual_time = 0.0;
+    double last_update = 0.0;
+    std::uint64_t ps_stamp = 0;
+    std::uint64_t completions = 0;  ///< routing-decision counter (the "k")
+    Rng arrival_rng{0};
+    TimeWeighted occupancy;
+  };
+
+  std::uint32_t allocate_customer(double now);
+  void release_customer(std::uint32_t id);
+  void enter_server(double now, std::uint32_t server, std::uint32_t customer);
+  void complete_service(double now, std::uint32_t server, std::uint32_t customer);
+  void ps_update_virtual(double now, std::uint32_t server);
+  void ps_reschedule(double now, std::uint32_t server);
+  void schedule_next_external(double now, std::uint32_t server);
+  void record_occupancy(double now, std::uint32_t server, double delta);
+  void on_network_departure(double now, std::uint32_t customer);
+
+  LevelledNetworkConfig config_;
+  std::vector<ServerState> servers_;
+  std::vector<Customer> customers_;
+  std::vector<std::uint32_t> free_customers_;
+  EventQueue<Ev> events_;
+
+  double warmup_ = 0.0;
+  double now_ = 0.0;
+  TimeWeighted population_;
+  Summary delay_;
+  std::uint64_t departures_total_ = 0;   // from time 0 (checkpoints)
+  std::uint64_t departures_window_ = 0;  // post-warm-up
+  std::uint64_t arrivals_window_ = 0;
+  double time_avg_population_ = 0.0;
+  double peak_population_ = 0.0;
+  double final_population_ = 0.0;
+  double throughput_ = 0.0;
+
+  std::vector<double> checkpoints_;
+  std::vector<std::uint64_t> checkpoint_counts_;
+  std::size_t next_checkpoint_ = 0;
+
+  std::vector<ServerStats> server_stats_;
+};
+
+}  // namespace routesim

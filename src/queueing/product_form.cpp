@@ -1,0 +1,60 @@
+#include "queueing/product_form.hpp"
+
+#include <cmath>
+
+#include "queueing/analytic.hpp"
+#include "util/assert.hpp"
+
+namespace routesim {
+
+double ps_network_mean_population(std::span<const double> rho) {
+  double total = 0.0;
+  for (const double r : rho) total += mm1_mean_number(r);
+  return total;
+}
+
+double hypercube_ps_mean_population(int d, double rho) {
+  RS_EXPECTS(d >= 1);
+  const double servers = static_cast<double>(d) * std::ldexp(1.0, d);
+  return servers * mm1_mean_number(rho);
+}
+
+double butterfly_ps_mean_population(int d, double lambda, double p) {
+  RS_EXPECTS(d >= 1);
+  RS_EXPECTS(p >= 0.0 && p <= 1.0);
+  const double servers_per_kind = static_cast<double>(d) * std::ldexp(1.0, d);
+  return servers_per_kind *
+         (mm1_mean_number(lambda * p) + mm1_mean_number(lambda * (1.0 - p)));
+}
+
+double geometric_sum_chernoff_tail(double m, double rho, double eps) {
+  RS_EXPECTS(m >= 1.0);
+  RS_EXPECTS(rho > 0.0 && rho < 1.0);
+  RS_EXPECTS(eps > 0.0);
+  // Minimise exp{ m [ log mgf(theta) - theta a ] } over theta in
+  // (0, -log rho), where mgf(theta) = (1-rho)/(1-rho e^theta) is the MGF of
+  // geometric(rho) and a = (1+eps) rho/(1-rho) is the per-variable target.
+  const double a = (1.0 + eps) * rho / (1.0 - rho);
+  const double theta_max = -std::log(rho);
+  const auto exponent = [&](double theta) {
+    const double mgf = (1.0 - rho) / (1.0 - rho * std::exp(theta));
+    return std::log(mgf) - theta * a;
+  };
+  // Golden-section minimisation: the exponent is convex in theta.
+  constexpr double kGolden = 0.618033988749895;
+  double lo = 1e-12, hi = theta_max * (1.0 - 1e-12);
+  for (int i = 0; i < 200; ++i) {
+    const double x1 = hi - kGolden * (hi - lo);
+    const double x2 = lo + kGolden * (hi - lo);
+    if (exponent(x1) < exponent(x2)) {
+      hi = x2;
+    } else {
+      lo = x1;
+    }
+  }
+  const double best = exponent(0.5 * (lo + hi));
+  const double bound = std::exp(m * best);
+  return bound < 1.0 ? bound : 1.0;
+}
+
+}  // namespace routesim

@@ -1,0 +1,34 @@
+#pragma once
+/// \file product_form.hpp
+/// \brief Closed-form steady-state quantities of the product-form PS
+///        networks Q~ and R~ (Propositions 12 and 17).
+///
+/// When the service discipline of the levelled networks Q / R is changed to
+/// Processor Sharing, the networks become product-form ([Wal88] pp. 93-94):
+/// server i with total arrival rate rho_i hosts n customers with probability
+/// (1-rho_i) rho_i^n, independently across servers.
+
+#include <cstdint>
+#include <span>
+
+namespace routesim {
+
+/// Mean total population of a product-form network: sum_i rho_i/(1-rho_i).
+/// Precondition: every rho_i in [0, 1).
+[[nodiscard]] double ps_network_mean_population(std::span<const double> rho);
+
+/// Mean population of the hypercube PS network Q~: d 2^d rho/(1-rho)
+/// (every one of the d*2^d servers has total arrival rate rho, Prop. 5).
+[[nodiscard]] double hypercube_ps_mean_population(int d, double rho);
+
+/// Mean population of the butterfly PS network R~:
+/// d 2^d [ lambda p/(1-lambda p) + lambda(1-p)/(1-lambda(1-p)) ]  (eq. 21).
+[[nodiscard]] double butterfly_ps_mean_population(int d, double lambda, double p);
+
+/// Chernoff upper bound on P[ S > m * mu * (1+eps) ] where S is the sum of
+/// m i.i.d. geometric(rho) variables with mean mu = rho/(1-rho) each — the
+/// tail estimate behind the "O(d 2^d) packets with high probability"
+/// statement at the end of §3.3.  Returns a value in (0, 1].
+[[nodiscard]] double geometric_sum_chernoff_tail(double m, double rho, double eps);
+
+}  // namespace routesim

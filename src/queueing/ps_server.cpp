@@ -1,0 +1,65 @@
+#include "queueing/ps_server.hpp"
+
+#include <limits>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+
+std::vector<double> ps_departure_times(std::span<const PsArrival> arrivals,
+                                       double rate) {
+  RS_EXPECTS(rate > 0.0);
+  std::vector<double> departures(arrivals.size(), 0.0);
+
+  // Active customers keyed by the virtual time at which they complete.
+  // std::multimap keeps them sorted; ties depart simultaneously in
+  // insertion order (multimap preserves it), which matches FIFO-among-equals.
+  std::multimap<double, std::size_t> active;
+  double now = 0.0;
+  double virtual_time = 0.0;
+
+  // Advances real and virtual clocks up to `target` real time, emitting any
+  // departures that occur strictly before it.
+  const auto advance_to = [&](double target) {
+    while (!active.empty()) {
+      const auto next = active.begin();
+      const double needed =
+          (next->first - virtual_time) * static_cast<double>(active.size()) / rate;
+      const double depart_at = now + needed;
+      if (depart_at > target) break;
+      now = depart_at;
+      virtual_time = next->first;
+      departures[next->second] = now;
+      active.erase(next);
+    }
+    if (now < target) {
+      if (!active.empty()) {
+        virtual_time += (target - now) * rate / static_cast<double>(active.size());
+      }
+      now = target;
+    }
+  };
+
+  double last_arrival = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const auto& [time, work] = arrivals[i];
+    RS_EXPECTS_MSG(time >= last_arrival, "arrival times must be non-decreasing");
+    RS_EXPECTS(work > 0.0);
+    last_arrival = time;
+    advance_to(time);
+    active.emplace(virtual_time + work, i);
+  }
+  advance_to(std::numeric_limits<double>::infinity());
+  RS_ENSURES(active.empty());
+  return departures;
+}
+
+std::vector<double> ps_departure_times(std::span<const double> arrivals, double rate) {
+  std::vector<PsArrival> unit;
+  unit.reserve(arrivals.size());
+  for (const double t : arrivals) unit.push_back(PsArrival{t, 1.0});
+  return ps_departure_times(unit, rate);
+}
+
+}  // namespace routesim

@@ -1,0 +1,34 @@
+#pragma once
+/// \file ps_server.hpp
+/// \brief Deterministic Processor-Sharing server — sample-path utilities.
+///
+/// Under PS every customer present receives an equal share of the service
+/// rate (§3.3).  The implementation uses fair-share *virtual time*: a clock
+/// V(t) advancing at rate r / n(t); a customer arriving at time a with work
+/// w departs when V reaches V(a) + w.  For equal works customers depart in
+/// arrival order, exactly as the paper observes.
+///
+/// The paper's worked example (§3.3): unit-rate PS server, unit works,
+/// arrivals at 0 and 1/2 => departures at 3/2 and 2.  This is a unit test.
+
+#include <span>
+#include <vector>
+
+namespace routesim {
+
+struct PsArrival {
+  double time = 0.0;  ///< arrival instant (non-decreasing across the input)
+  double work = 1.0;  ///< service requirement
+};
+
+/// Departure times (indexed like the input) of a deterministic PS server
+/// with service rate `rate` fed by the given arrivals.
+/// Preconditions: rate > 0; arrival times non-decreasing; works > 0.
+[[nodiscard]] std::vector<double> ps_departure_times(std::span<const PsArrival> arrivals,
+                                                     double rate);
+
+/// Convenience overload for unit works.
+[[nodiscard]] std::vector<double> ps_departure_times(std::span<const double> arrivals,
+                                                     double rate);
+
+}  // namespace routesim

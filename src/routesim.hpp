@@ -1,0 +1,48 @@
+#pragma once
+/// \file routesim.hpp
+/// \brief Umbrella header: the full public API of the greedy-routing
+///        reproduction library.
+///
+/// Most applications only need core/simulation.hpp (the configure ->
+/// replicate -> confidence-interval façade) plus core/bounds.hpp (the
+/// paper's closed forms).  This header pulls in everything for
+/// explorative use.
+
+#include "core/bounds.hpp"           // every proposition as a function
+#include "core/equivalence.hpp"      // networks Q, R, G builders
+#include "core/experiment.hpp"       // parallel replication runner
+#include "core/simulation.hpp"       // top-level façade
+
+#include "des/event_queue.hpp"
+#include "des/simulator.hpp"
+
+#include "queueing/analytic.hpp"
+#include "queueing/fifo_server.hpp"
+#include "queueing/levelled_network.hpp"
+#include "queueing/product_form.hpp"
+#include "queueing/ps_server.hpp"
+
+#include "routing/batch_router.hpp"
+#include "routing/deflection.hpp"
+#include "routing/greedy_butterfly.hpp"
+#include "routing/greedy_hypercube.hpp"
+#include "routing/multicast.hpp"
+#include "routing/pipelined_baseline.hpp"
+#include "routing/valiant_mixing.hpp"
+
+#include "stats/ci.hpp"
+#include "stats/histogram.hpp"
+#include "stats/little.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeavg.hpp"
+
+#include "topology/butterfly.hpp"
+#include "topology/hypercube.hpp"
+
+#include "util/bits.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+#include "workload/destination.hpp"
+#include "workload/trace.hpp"
+#include "workload/traffic.hpp"

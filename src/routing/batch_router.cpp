@@ -1,0 +1,68 @@
+#include "routing/batch_router.hpp"
+
+#include "des/event_queue.hpp"
+#include "util/assert.hpp"
+
+namespace routesim {
+
+namespace {
+
+struct BatchEv {
+  ArcId arc = 0;
+};
+
+}  // namespace
+
+BatchRoutingResult route_batch_greedy(const Hypercube& cube,
+                                      std::span<const BatchPacket> batch,
+                                      double start_time) {
+  BatchRoutingResult result;
+  result.completion_times.assign(batch.size(), start_time);
+  result.makespan = start_time;
+
+  struct Flight {
+    NodeId cur;
+    NodeId dest;
+  };
+  std::vector<Flight> flights(batch.size());
+  std::vector<std::vector<std::uint32_t>> arc_queue(cube.num_arcs());
+  std::vector<std::size_t> arc_head(cube.num_arcs(), 0);
+  EventQueue<BatchEv> events;
+
+  const auto enqueue = [&](double now, std::uint32_t idx) {
+    const auto& flight = flights[idx];
+    const int dim = lowest_dimension(flight.cur ^ flight.dest);
+    const ArcId arc = cube.arc_index(flight.cur, dim);
+    arc_queue[arc].push_back(idx);
+    if (arc_queue[arc].size() - arc_head[arc] == 1) {
+      events.push(now + 1.0, BatchEv{arc});
+    }
+  };
+
+  for (std::uint32_t i = 0; i < batch.size(); ++i) {
+    RS_EXPECTS(cube.valid_node(batch[i].origin) && cube.valid_node(batch[i].destination));
+    flights[i] = Flight{batch[i].origin, batch[i].destination};
+    if (batch[i].origin != batch[i].destination) enqueue(start_time, i);
+  }
+
+  while (!events.empty()) {
+    const auto event = events.pop();
+    const double t = event.time;
+    const ArcId arc = event.payload.arc;
+    const std::uint32_t idx = arc_queue[arc][arc_head[arc]++];
+    if (arc_queue[arc].size() > arc_head[arc]) {
+      events.push(t + 1.0, BatchEv{arc});
+    }
+    Flight& flight = flights[idx];
+    flight.cur = flip_dimension(flight.cur, cube.arc_dimension(arc));
+    if (flight.cur == flight.dest) {
+      result.completion_times[idx] = t;
+      if (t > result.makespan) result.makespan = t;
+    } else {
+      enqueue(t, idx);
+    }
+  }
+  return result;
+}
+
+}  // namespace routesim

@@ -1,0 +1,41 @@
+#pragma once
+/// \file batch_router.hpp
+/// \brief Static greedy routing of a batch of packets on the d-cube.
+///
+/// Routes a set of packets that are all present at their origins at the
+/// same start time, using the greedy increasing-index-order scheme with
+/// FIFO arc queues, and returns each packet's completion time.  This is the
+/// "one round" primitive of the §2.3 pipelined baseline (the first phase of
+/// the Valiant-Brebner permutation algorithm applied to the packets'
+/// actual destinations) and is also used by the static-routing tests.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topology/hypercube.hpp"
+
+namespace routesim {
+
+struct BatchPacket {
+  NodeId origin = 0;
+  NodeId destination = 0;
+};
+
+struct BatchRoutingResult {
+  /// Completion time of each packet (same order as the input); packets with
+  /// origin == destination complete at start_time.
+  std::vector<double> completion_times;
+  /// Time at which the last packet is delivered (== start_time for an
+  /// empty batch).
+  double makespan = 0.0;
+};
+
+/// Runs one synchronous greedy round starting at start_time on an otherwise
+/// empty network.  Ties at an arc at the same instant are served in input
+/// order (the batch analogue of FIFO priority).
+[[nodiscard]] BatchRoutingResult route_batch_greedy(const Hypercube& cube,
+                                                    std::span<const BatchPacket> batch,
+                                                    double start_time);
+
+}  // namespace routesim

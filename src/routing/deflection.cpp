@@ -1,0 +1,114 @@
+#include "routing/deflection.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+
+namespace routesim {
+
+DeflectionSim::DeflectionSim(DeflectionConfig config)
+    : config_(std::move(config)),
+      cube_(config_.d),
+      rng_(derive_stream(config_.seed, 0xDEF1)) {
+  RS_EXPECTS(config_.lambda > 0.0);
+  RS_EXPECTS(config_.destinations.dimension() == config_.d);
+  resident_.resize(cube_.num_nodes());
+  injection_.resize(cube_.num_nodes());
+}
+
+void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
+  RS_EXPECTS(warmup_slots <= num_slots);
+  const auto d = static_cast<std::size_t>(config_.d);
+  const double warmup_time = static_cast<double>(warmup_slots);
+
+  // Next-slot buffers, reused across slots.
+  std::vector<std::vector<Pkt>> incoming(cube_.num_nodes());
+  std::vector<int> port_used(d);
+
+  for (std::uint64_t slot = 0; slot < num_slots; ++slot) {
+    const double now = static_cast<double>(slot);
+
+    // 1. New packets join their origin's injection queue.
+    for (NodeId node = 0; node < cube_.num_nodes(); ++node) {
+      const std::uint64_t births = sample_poisson(rng_, config_.lambda);
+      for (std::uint64_t b = 0; b < births; ++b) {
+        const NodeId dest = config_.destinations.sample(rng_, node);
+        if (dest == node) {
+          // Delivered in place, delay 0 (consistent with the greedy model).
+          if (now >= warmup_time) {
+            delay_.add(0.0);
+            hops_.add(0.0);
+            ++deliveries_window_;
+          }
+          continue;
+        }
+        injection_.at(node).push_back(Pkt{dest, now, 0});
+      }
+    }
+
+    // 2. Admission: a node may hold at most d packets.
+    for (NodeId node = 0; node < cube_.num_nodes(); ++node) {
+      auto& residents = resident_[node];
+      auto& waiting = injection_[node];
+      while (residents.size() < d && !waiting.empty()) {
+        residents.push_back(waiting.front());
+        waiting.pop_front();
+      }
+    }
+
+    // 3. Port assignment and synchronous transmission.
+    for (NodeId node = 0; node < cube_.num_nodes(); ++node) {
+      auto& residents = resident_[node];
+      if (residents.empty()) continue;
+      // Oldest packets pick first.
+      std::stable_sort(residents.begin(), residents.end(),
+                       [](const Pkt& a, const Pkt& b) { return a.gen_time < b.gen_time; });
+      std::fill(port_used.begin(), port_used.end(), 0);
+      for (auto& packet : residents) {
+        const NodeId needed = node ^ packet.dest;
+        int chosen = 0;
+        for (int dim = 1; dim <= config_.d; ++dim) {
+          if (has_dimension(needed, dim) && port_used[dim - 1] == 0) {
+            chosen = dim;
+            break;
+          }
+        }
+        bool productive = chosen != 0;
+        if (!productive) {
+          for (int dim = 1; dim <= config_.d; ++dim) {
+            if (port_used[dim - 1] == 0) {
+              chosen = dim;
+              break;
+            }
+          }
+        }
+        RS_DASSERT(chosen != 0);  // residents.size() <= d guarantees a port
+        port_used[chosen - 1] = 1;
+        productive ? ++productive_ : ++deflected_;
+        ++packet.hops;
+        const NodeId next = flip_dimension(node, chosen);
+        if (productive && next == packet.dest) {
+          if (packet.gen_time >= warmup_time) {
+            delay_.add(now + 1.0 - packet.gen_time);
+            hops_.add(static_cast<double>(packet.hops));
+            ++deliveries_window_;
+          }
+        } else {
+          incoming[next].push_back(packet);
+        }
+      }
+      residents.clear();
+    }
+    for (NodeId node = 0; node < cube_.num_nodes(); ++node) {
+      resident_[node].swap(incoming[node]);
+      incoming[node].clear();
+    }
+  }
+
+  backlog_ = 0;
+  for (const auto& queue : injection_) backlog_ += queue.size();
+  for (const auto& residents : resident_) backlog_ += residents.size();
+}
+
+}  // namespace routesim

@@ -1,0 +1,83 @@
+#pragma once
+/// \file deflection.hpp
+/// \brief Deflection ("hot-potato") routing on the hypercube — the
+///        bufferless alternative analysed approximately by Greenberg &
+///        Hajek [GrH89], included here as the related-work comparator.
+///
+/// Time is slotted (slot = one packet transmission).  Each node holds at
+/// most d packets (one per input port).  In every slot each node assigns
+/// each resident packet an output dimension: packets are considered oldest
+/// first; a packet prefers its lowest *productive* dimension (one that
+/// reduces its Hamming distance to the destination) that is still free,
+/// and otherwise is *deflected* onto the lowest free non-productive
+/// dimension.  Freshly generated packets wait in a per-node injection
+/// queue and are admitted whenever the node holds fewer than d packets.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "topology/hypercube.hpp"
+#include "util/rng.hpp"
+#include "workload/destination.hpp"
+
+namespace routesim {
+
+struct DeflectionConfig {
+  int d = 4;
+  double lambda = 0.05;  ///< per-node generation rate (packets per slot)
+  DestinationDistribution destinations = DestinationDistribution::uniform(4);
+  std::uint64_t seed = 1;
+};
+
+class DeflectionSim {
+ public:
+  explicit DeflectionSim(DeflectionConfig config);
+
+  /// Simulates `num_slots` unit slots; statistics cover slots >= warmup_slots.
+  void run(std::uint64_t warmup_slots, std::uint64_t num_slots);
+
+  /// Delay: generation slot to delivery slot (includes injection waiting).
+  [[nodiscard]] const Summary& delay() const noexcept { return delay_; }
+
+  /// Hops actually taken per delivered packet (>= Hamming distance;
+  /// the excess counts deflections).
+  [[nodiscard]] const Summary& hops() const noexcept { return hops_; }
+
+  /// Fraction of transmissions that were deflections (non-productive).
+  [[nodiscard]] double deflection_fraction() const noexcept {
+    const double total = static_cast<double>(productive_ + deflected_);
+    return total == 0.0 ? 0.0 : static_cast<double>(deflected_) / total;
+  }
+
+  /// Packets waiting in injection queues at the end of the run.
+  [[nodiscard]] std::uint64_t injection_backlog() const noexcept { return backlog_; }
+
+  [[nodiscard]] std::uint64_t deliveries_in_window() const noexcept {
+    return deliveries_window_;
+  }
+
+ private:
+  struct Pkt {
+    NodeId dest;
+    double gen_time;
+    std::uint16_t hops;
+  };
+
+  DeflectionConfig config_;
+  Hypercube cube_;
+  Rng rng_;
+
+  std::vector<std::vector<Pkt>> resident_;           // packets at each node
+  std::vector<std::deque<Pkt>> injection_;           // waiting to be admitted
+
+  Summary delay_;
+  Summary hops_;
+  std::uint64_t productive_ = 0;
+  std::uint64_t deflected_ = 0;
+  std::uint64_t backlog_ = 0;
+  std::uint64_t deliveries_window_ = 0;
+};
+
+}  // namespace routesim

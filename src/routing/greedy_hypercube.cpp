@@ -1,0 +1,257 @@
+#include "routing/greedy_hypercube.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+
+namespace routesim {
+
+GreedyHypercubeSim::GreedyHypercubeSim(GreedyHypercubeConfig config)
+    : config_(std::move(config)),
+      cube_(config_.d),
+      rng_(derive_stream(config_.seed, 0xC0BE)) {
+  RS_EXPECTS_MSG(config_.destinations.dimension() == config_.d,
+                 "destination distribution dimension must match d");
+  if (config_.trace == nullptr) {
+    RS_EXPECTS(config_.lambda > 0.0);
+  } else {
+    RS_EXPECTS(config_.trace->dimension == config_.d);
+  }
+  if (config_.slot > 0.0) {
+    const double inv = 1.0 / config_.slot;
+    RS_EXPECTS_MSG(config_.slot <= 1.0 && std::abs(inv - std::round(inv)) < 1e-9,
+                   "slot length must satisfy: 1/slot integer, slot <= 1 (§3.4)");
+  }
+  arc_queue_.resize(cube_.num_arcs());
+  arc_counters_.resize(cube_.num_arcs());
+  if (config_.track_node_occupancy) {
+    node_occupancy_.resize(cube_.num_nodes());
+    node_mean_occupancy_.resize(cube_.num_nodes(), 0.0);
+  }
+  if (config_.track_delay_histogram) {
+    delay_histogram_.emplace(0.0, 1.0, static_cast<std::size_t>(64) * config_.d);
+  }
+}
+
+std::uint32_t GreedyHypercubeSim::allocate_packet(double gen_time, NodeId origin,
+                                                  NodeId dest) {
+  std::uint32_t id;
+  if (!free_packets_.empty()) {
+    id = free_packets_.back();
+    free_packets_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(packets_.size());
+    packets_.emplace_back();
+  }
+  packets_[id] = Pkt{origin, dest, gen_time, 0};
+  return id;
+}
+
+void GreedyHypercubeSim::node_occupancy_add(double now, NodeId node, double delta) {
+  if (!config_.track_node_occupancy) return;
+  auto& occ = node_occupancy_[node];
+  occ.add(now, delta);
+}
+
+void GreedyHypercubeSim::deliver(double now, std::uint32_t pkt) {
+  const Pkt& packet = packets_[pkt];
+  if (packet.gen_time >= warmup_) {
+    ++deliveries_window_;
+    const double delay = now - packet.gen_time;
+    delay_.add(delay);
+    hops_.add(static_cast<double>(packet.hop_count));
+    if (delay_histogram_) delay_histogram_->add(delay);
+  }
+  population_.add(now, -1.0);
+  free_packets_.push_back(pkt);
+}
+
+void GreedyHypercubeSim::drop(double now, std::uint32_t pkt) {
+  if (now >= warmup_) ++drops_window_;
+  population_.add(now, -1.0);
+  free_packets_.push_back(pkt);
+}
+
+void GreedyHypercubeSim::enqueue(double now, ArcId arc, std::uint32_t pkt,
+                                 bool external) {
+  auto& queue = arc_queue_[arc];
+  if (config_.buffer_capacity > 0 && queue.size() >= config_.buffer_capacity) {
+    drop(now, pkt);
+    return;
+  }
+  if (now >= warmup_) {
+    auto& counters = arc_counters_[arc];
+    ++counters.total_arrivals;
+    if (external) ++counters.external_arrivals;
+  }
+  node_occupancy_add(now, cube_.arc_source(arc), +1.0);
+  queue.push_back(pkt);
+  if (queue.size() == 1) {
+    events_.push(now + 1.0, Ev{EventKind::kArcDone, arc});
+  }
+}
+
+void GreedyHypercubeSim::inject(double now, NodeId origin, NodeId dest) {
+  if (now >= warmup_) ++arrivals_window_;
+  population_.add(now, +1.0);
+  const std::uint32_t pkt = allocate_packet(now, origin, dest);
+  if (origin == dest) {
+    // A packet that selects its own origin (probability (1-p)^d) needs no
+    // transmission at all; it is delivered instantly with delay 0.
+    deliver(now, pkt);
+    return;
+  }
+  const int dim = next_dimension(packets_[pkt]);
+  enqueue(now, cube_.arc_index(origin, dim), pkt, /*external=*/true);
+}
+
+int GreedyHypercubeSim::next_dimension(const Pkt& packet) {
+  const NodeId remaining = packet.cur ^ packet.dest;
+  RS_DASSERT(remaining != 0);
+  switch (config_.dimension_order) {
+    case DimensionOrder::kIncreasing:
+      return lowest_dimension(remaining);
+    case DimensionOrder::kDecreasing:
+      return highest_dimension(remaining);
+    case DimensionOrder::kRandomPerHop: {
+      const int count = std::popcount(remaining);
+      return nth_dimension(remaining,
+                           static_cast<int>(rng_.uniform_below(
+                               static_cast<std::uint64_t>(count))));
+    }
+  }
+  return lowest_dimension(remaining);  // unreachable
+}
+
+void GreedyHypercubeSim::on_arc_done(double now, ArcId arc) {
+  auto& queue = arc_queue_[arc];
+  RS_DASSERT(!queue.empty());
+  const std::uint32_t pkt = queue.front();
+  queue.pop_front();
+  if (!queue.empty()) {
+    // Select the next packet to serve and rotate it to the head.  The head
+    // is always the packet in service; the rest of the deque stays in
+    // arrival order, so LIFO really serves the most recent arrival and
+    // random picks uniformly among the waiting packets.
+    if (config_.arc_service_order == ArcServiceOrder::kLifo) {
+      const std::uint32_t chosen = queue.back();
+      queue.pop_back();
+      queue.push_front(chosen);
+    } else if (config_.arc_service_order == ArcServiceOrder::kRandom) {
+      const auto pick = static_cast<std::size_t>(rng_.uniform_below(queue.size()));
+      const std::uint32_t chosen = queue[pick];
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+      queue.push_front(chosen);
+    }
+    events_.push(now + 1.0, Ev{EventKind::kArcDone, arc});
+  }
+  node_occupancy_add(now, cube_.arc_source(arc), -1.0);
+
+  Pkt& packet = packets_[pkt];
+  const int dim = cube_.arc_dimension(arc);
+  packet.cur = flip_dimension(packet.cur, dim);
+  ++packet.hop_count;
+  if (packet.cur == packet.dest) {
+    deliver(now, pkt);
+    return;
+  }
+  // Under the paper's increasing-index order the next required dimension is
+  // necessarily above `dim` (the levelled property B); the ablation orders
+  // may revisit lower dimensions.
+  const int next_dim = next_dimension(packet);
+  RS_DASSERT(config_.dimension_order != DimensionOrder::kIncreasing ||
+             next_dim > dim);
+  enqueue(now, cube_.arc_index(packet.cur, next_dim), pkt, /*external=*/false);
+}
+
+void GreedyHypercubeSim::run(double warmup, double horizon) {
+  RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
+  warmup_ = warmup;
+  window_ = horizon - warmup;
+
+  // Seed the traffic process.
+  if (config_.trace != nullptr) {
+    trace_pos_ = 0;
+    if (!config_.trace->packets.empty()) {
+      events_.push(config_.trace->packets.front().time, Ev{EventKind::kBirth, 0});
+    }
+  } else if (config_.slot > 0.0) {
+    events_.push(0.0, Ev{EventKind::kSlot, 0});
+  } else {
+    next_birth_time_ = sample_exponential(rng_, config_.lambda *
+                                                    static_cast<double>(cube_.num_nodes()));
+    events_.push(next_birth_time_, Ev{EventKind::kBirth, 0});
+  }
+
+  bool stats_reset = warmup == 0.0;
+  while (!events_.empty() && events_.top().time <= horizon) {
+    const auto event = events_.pop();
+    const double t = event.time;
+    if (!stats_reset && t >= warmup) {
+      population_.reset(warmup);
+      for (auto& occ : node_occupancy_) occ.reset(warmup);
+      stats_reset = true;
+    }
+
+    switch (event.payload.kind) {
+      case EventKind::kBirth: {
+        if (config_.trace != nullptr) {
+          const auto& traced = config_.trace->packets[trace_pos_++];
+          inject(t, traced.origin, traced.destination);
+          if (trace_pos_ < config_.trace->packets.size()) {
+            events_.push(config_.trace->packets[trace_pos_].time,
+                         Ev{EventKind::kBirth, 0});
+          }
+        } else {
+          const auto origin = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
+          const NodeId dest = config_.destinations.sample(rng_, origin);
+          inject(t, origin, dest);
+          next_birth_time_ =
+              t + sample_exponential(rng_, config_.lambda *
+                                               static_cast<double>(cube_.num_nodes()));
+          events_.push(next_birth_time_, Ev{EventKind::kBirth, 0});
+        }
+        break;
+      }
+      case EventKind::kSlot: {
+        const auto batch_mean = config_.lambda *
+                                static_cast<double>(cube_.num_nodes()) * config_.slot;
+        const std::uint64_t batch = sample_poisson(rng_, batch_mean);
+        for (std::uint64_t i = 0; i < batch; ++i) {
+          const auto origin = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
+          inject(t, origin, config_.destinations.sample(rng_, origin));
+        }
+        events_.push(t + config_.slot, Ev{EventKind::kSlot, 0});
+        break;
+      }
+      case EventKind::kArcDone:
+        on_arc_done(t, event.payload.arc);
+        break;
+    }
+  }
+
+  if (!stats_reset) population_.reset(warmup);
+  time_avg_population_ = population_.mean(horizon);
+  peak_population_ = population_.peak();
+  final_population_ = population_.value();
+  throughput_ = window_ > 0.0 ? static_cast<double>(deliveries_window_) / window_ : 0.0;
+  if (config_.track_node_occupancy) {
+    for (std::uint32_t node = 0; node < cube_.num_nodes(); ++node) {
+      node_mean_occupancy_[node] = node_occupancy_[node].mean(horizon);
+      max_node_occupancy_ = std::max(max_node_occupancy_, node_occupancy_[node].peak());
+    }
+  }
+}
+
+LittleCheck GreedyHypercubeSim::little_check() const noexcept {
+  LittleCheck check;
+  check.time_avg_population = time_avg_population_;
+  check.arrival_rate = window_ > 0.0
+                           ? static_cast<double>(arrivals_window_) / window_
+                           : 0.0;
+  check.mean_sojourn = delay_.mean();
+  return check;
+}
+
+}  // namespace routesim

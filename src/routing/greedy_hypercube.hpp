@@ -1,0 +1,190 @@
+#pragma once
+/// \file greedy_hypercube.hpp
+/// \brief Packet-level simulator of the paper's greedy routing scheme on the
+///        d-cube (§3).
+///
+/// Every packet crosses the hypercube dimensions it needs in increasing
+/// index order, advancing as fast as possible (no idling) with FIFO
+/// priority at every arc; arcs transmit one unit-length packet at a time.
+/// This class is the *direct* simulation of the model in §1.1; the
+/// Markovian equivalent network Q of §3.1 is implemented independently in
+/// queueing/levelled_network.hpp + core/equivalence.hpp, and the test suite
+/// checks that the two agree.
+///
+/// Three arrival modes:
+///   - continuous (default): per-node Poisson(lambda), simulated exactly via
+///     the superposition property;
+///   - slotted (§3.4): batches of Poisson(lambda*tau) packets per node at
+///     slot boundaries k*tau (1/tau integer);
+///   - trace replay: a fixed PacketTrace, for coupled scheme comparisons.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "stats/histogram.hpp"
+#include "stats/little.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeavg.hpp"
+#include "topology/hypercube.hpp"
+#include "util/rng.hpp"
+#include "workload/destination.hpp"
+#include "workload/trace.hpp"
+
+namespace routesim {
+
+/// Which waiting packet an arc serves next.  The paper's scheme is FIFO
+/// ("priority is given to the one that arrived first", §3); LIFO and random
+/// are ablations.  All three are work-conserving and blind to service
+/// times, so the *mean* delay is unchanged — only the delay distribution's
+/// shape (variance, tails) differs.  The ablation bench verifies exactly
+/// this insensitivity.
+enum class ArcServiceOrder : std::uint8_t { kFifo, kLifo, kRandom };
+
+/// The order in which a packet crosses its required dimensions.  The paper
+/// fixes increasing index order (the canonical path), which makes the
+/// equivalent network levelled and the analysis tractable; decreasing and
+/// random-per-hop orders are ablations showing the *choice of order* is an
+/// analytical convenience, not a performance trick — by symmetry every
+/// order gives the same per-arc load rho.
+enum class DimensionOrder : std::uint8_t { kIncreasing, kDecreasing, kRandomPerHop };
+
+struct GreedyHypercubeConfig {
+  int d = 4;
+  double lambda = 0.1;  ///< packet generation rate per node
+  DestinationDistribution destinations = DestinationDistribution::uniform(4);
+  std::uint64_t seed = 1;
+  /// 0 => continuous time; > 0 => slotted arrivals with this slot length
+  /// (must satisfy: 1/slot is an integer, slot <= 1; see §3.4).
+  double slot = 0.0;
+  /// Replay this trace instead of generating traffic (lambda/slot ignored).
+  const PacketTrace* trace = nullptr;
+  /// Track a time-weighted occupancy per node (2^d trackers).
+  bool track_node_occupancy = false;
+  /// Collect a delay histogram (bin width 1, range [0, 64*d]).
+  bool track_delay_histogram = false;
+  /// Arc scheduling ablation (paper: FIFO).
+  ArcServiceOrder arc_service_order = ArcServiceOrder::kFifo;
+  /// Dimension-order ablation (paper: increasing).
+  DimensionOrder dimension_order = DimensionOrder::kIncreasing;
+  /// Finite-buffer ablation: maximum packets per arc queue including the
+  /// one in service; arriving packets finding a full queue are dropped.
+  /// 0 means infinite buffers (the paper's model).
+  std::uint32_t buffer_capacity = 0;
+};
+
+/// Per-arc counters over the measurement window.
+struct ArcCounters {
+  std::uint64_t external_arrivals = 0;  ///< packets starting their route here
+  std::uint64_t total_arrivals = 0;     ///< all packets entering the queue
+};
+
+class GreedyHypercubeSim {
+ public:
+  explicit GreedyHypercubeSim(GreedyHypercubeConfig config);
+
+  /// Simulates [0, horizon]; statistics cover [warmup, horizon].
+  void run(double warmup, double horizon);
+
+  // --- results (valid after run()) ---
+
+  /// Per-packet delay (generation to delivery) for packets generated in the
+  /// window and delivered by the horizon.  Packets whose destination equals
+  /// their origin are delivered instantly with delay 0, as in the paper.
+  [[nodiscard]] const Summary& delay() const noexcept { return delay_; }
+
+  /// Number of arcs traversed per delivered packet (Hamming distance).
+  [[nodiscard]] const Summary& hops() const noexcept { return hops_; }
+
+  [[nodiscard]] double time_avg_population() const noexcept { return time_avg_population_; }
+  [[nodiscard]] double peak_population() const noexcept { return peak_population_; }
+  [[nodiscard]] double final_population() const noexcept { return final_population_; }
+  [[nodiscard]] std::uint64_t deliveries_in_window() const noexcept { return deliveries_window_; }
+  [[nodiscard]] std::uint64_t arrivals_in_window() const noexcept { return arrivals_window_; }
+  [[nodiscard]] double throughput() const noexcept { return throughput_; }
+
+  /// Little's-law self check over the window.
+  [[nodiscard]] LittleCheck little_check() const noexcept;
+
+  [[nodiscard]] const std::vector<ArcCounters>& arc_counters() const noexcept {
+    return arc_counters_;
+  }
+
+  /// Mean occupancy (packets queued on out-arcs) of each node, if tracked.
+  [[nodiscard]] const std::vector<double>& node_mean_occupancy() const noexcept {
+    return node_mean_occupancy_;
+  }
+
+  /// Largest instantaneous per-node occupancy seen in the window, if tracked.
+  [[nodiscard]] double max_node_occupancy() const noexcept { return max_node_occupancy_; }
+
+  [[nodiscard]] const std::optional<Histogram>& delay_histogram() const noexcept {
+    return delay_histogram_;
+  }
+
+  /// Packets dropped at full buffers within the window (finite-buffer mode).
+  [[nodiscard]] std::uint64_t drops_in_window() const noexcept { return drops_window_; }
+
+  [[nodiscard]] const Hypercube& topology() const noexcept { return cube_; }
+  [[nodiscard]] double measurement_window() const noexcept { return window_; }
+
+ private:
+  enum class EventKind : std::uint8_t { kBirth, kSlot, kArcDone };
+
+  struct Ev {
+    EventKind kind{};
+    ArcId arc = 0;
+  };
+
+  struct Pkt {
+    NodeId cur = 0;
+    NodeId dest = 0;
+    double gen_time = 0.0;
+    std::uint16_t hop_count = 0;
+  };
+
+  std::uint32_t allocate_packet(double gen_time, NodeId origin, NodeId dest);
+  void inject(double now, NodeId origin, NodeId dest);
+  void enqueue(double now, ArcId arc, std::uint32_t pkt, bool external);
+  void deliver(double now, std::uint32_t pkt);
+  void drop(double now, std::uint32_t pkt);
+  void on_arc_done(double now, ArcId arc);
+  void node_occupancy_add(double now, NodeId node, double delta);
+  [[nodiscard]] int next_dimension(const Pkt& packet);
+
+  GreedyHypercubeConfig config_;
+  Hypercube cube_;
+  Rng rng_;
+
+  std::vector<std::deque<std::uint32_t>> arc_queue_;
+  std::vector<Pkt> packets_;
+  std::vector<std::uint32_t> free_packets_;
+  EventQueue<Ev> events_;
+
+  // traffic state
+  double next_birth_time_ = 0.0;
+  std::size_t trace_pos_ = 0;
+
+  // statistics
+  double warmup_ = 0.0;
+  double window_ = 0.0;
+  Summary delay_;
+  Summary hops_;
+  TimeWeighted population_;
+  std::vector<ArcCounters> arc_counters_;
+  std::vector<TimeWeighted> node_occupancy_;
+  std::vector<double> node_mean_occupancy_;
+  double max_node_occupancy_ = 0.0;
+  std::optional<Histogram> delay_histogram_;
+  std::uint64_t deliveries_window_ = 0;
+  std::uint64_t arrivals_window_ = 0;
+  std::uint64_t drops_window_ = 0;
+  double time_avg_population_ = 0.0;
+  double peak_population_ = 0.0;
+  double final_population_ = 0.0;
+  double throughput_ = 0.0;
+};
+
+}  // namespace routesim

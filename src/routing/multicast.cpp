@@ -1,0 +1,178 @@
+#include "routing/multicast.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+
+namespace routesim {
+
+GreedyMulticastSim::GreedyMulticastSim(MulticastConfig config)
+    : config_(std::move(config)),
+      cube_(config_.d),
+      rng_(derive_stream(config_.seed, 0x3CA5)) {
+  RS_EXPECTS(config_.lambda > 0.0);
+  RS_EXPECTS_MSG(config_.fanout >= 1 &&
+                     static_cast<std::uint64_t>(config_.fanout) <= cube_.num_nodes(),
+                 "fanout must be between 1 and 2^d");
+  arc_queue_.resize(cube_.num_arcs());
+}
+
+void GreedyMulticastSim::inject(double now) {
+  const auto origin = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
+
+  // Sample `fanout` distinct uniform destinations by rejection (fanout is
+  // small relative to 2^d in all experiments).
+  std::vector<NodeId> dests;
+  dests.reserve(static_cast<std::size_t>(config_.fanout));
+  while (dests.size() < static_cast<std::size_t>(config_.fanout)) {
+    const auto candidate = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
+    if (std::find(dests.begin(), dests.end(), candidate) == dests.end()) {
+      dests.push_back(candidate);
+    }
+  }
+
+  std::uint32_t packet;
+  if (!free_packets_.empty()) {
+    packet = free_packets_.back();
+    free_packets_.pop_back();
+  } else {
+    packet = static_cast<std::uint32_t>(packets_.size());
+    packets_.emplace_back();
+  }
+  packets_[packet] =
+      PacketState{now, config_.fanout, 0, now, now >= warmup_};
+  if (now >= warmup_) ++packets_window_;
+
+  const auto make_copy = [&](std::vector<NodeId> subset) {
+    std::uint32_t copy;
+    if (!free_copies_.empty()) {
+      copy = free_copies_.back();
+      free_copies_.pop_back();
+    } else {
+      copy = static_cast<std::uint32_t>(copies_.size());
+      copies_.emplace_back();
+    }
+    copies_[copy] = Copy{origin, std::move(subset), packet};
+    population_.add(now, +1.0);
+    process_at_node(now, copy);
+  };
+
+  if (config_.unicast_baseline) {
+    for (const NodeId dest : dests) make_copy({dest});
+  } else {
+    make_copy(std::move(dests));
+  }
+}
+
+void GreedyMulticastSim::finish_packet_if_done(double now, std::uint32_t packet) {
+  PacketState& state = packets_[packet];
+  if (state.undelivered > 0) return;
+  if (state.counted) {
+    completion_.add(state.last_delivery - state.gen_time);
+    transmissions_.add(static_cast<double>(state.transmissions));
+  }
+  free_packets_.push_back(packet);
+}
+
+void GreedyMulticastSim::process_at_node(double now, std::uint32_t copy_index) {
+  // Move the copy's state out first: forwarding below may allocate new
+  // copies (invalidating references into copies_).
+  const NodeId cur = copies_[copy_index].cur;
+  const std::uint32_t packet = copies_[copy_index].packet;
+  std::vector<NodeId> dests = std::move(copies_[copy_index].dests);
+  PacketState& state = packets_[packet];
+
+  // Deliver locally if this node is one of the copy's destinations.
+  const auto here = std::find(dests.begin(), dests.end(), cur);
+  if (here != dests.end()) {
+    if (state.counted) delay_.add(now - state.gen_time);
+    state.last_delivery = now;
+    --state.undelivered;
+    dests.erase(here);
+  }
+
+  if (dests.empty()) {
+    population_.add(now, -1.0);
+    free_copies_.push_back(copy_index);
+    finish_packet_if_done(now, packet);
+    return;
+  }
+
+  // Partition the remaining destinations by their next (lowest differing)
+  // dimension — the dimension-order multicast tree branches.
+  std::vector<std::pair<int, std::vector<NodeId>>> branches;
+  for (const NodeId dest : dests) {
+    const int dim = lowest_dimension(cur ^ dest);
+    auto it = std::find_if(branches.begin(), branches.end(),
+                           [dim](const auto& branch) { return branch.first == dim; });
+    if (it == branches.end()) {
+      branches.emplace_back(dim, std::vector<NodeId>{dest});
+    } else {
+      it->second.push_back(dest);
+    }
+  }
+
+  // Forward one copy per branch; the first branch reuses this copy object.
+  for (std::size_t b = 0; b < branches.size(); ++b) {
+    std::uint32_t forwarded;
+    if (b == 0) {
+      forwarded = copy_index;
+    } else if (!free_copies_.empty()) {
+      forwarded = free_copies_.back();
+      free_copies_.pop_back();
+    } else {
+      forwarded = static_cast<std::uint32_t>(copies_.size());
+      copies_.emplace_back();
+    }
+    copies_[forwarded] = Copy{cur, std::move(branches[b].second), packet};
+    if (b > 0) population_.add(now, +1.0);
+
+    const ArcId arc = cube_.arc_index(cur, branches[b].first);
+    auto& queue = arc_queue_[arc];
+    queue.push_back(forwarded);
+    if (queue.size() == 1) {
+      events_.push(now + 1.0, Ev{false, arc});
+    }
+  }
+}
+
+void GreedyMulticastSim::run(double warmup, double horizon) {
+  RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
+  warmup_ = warmup;
+
+  const double total_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
+  events_.push(sample_exponential(rng_, total_rate), Ev{true, 0});
+
+  bool stats_reset = warmup == 0.0;
+  while (!events_.empty() && events_.top().time <= horizon) {
+    const auto event = events_.pop();
+    const double t = event.time;
+    if (!stats_reset && t >= warmup) {
+      population_.reset(warmup);
+      stats_reset = true;
+    }
+    if (event.payload.is_birth) {
+      inject(t);
+      events_.push(t + sample_exponential(rng_, total_rate), Ev{true, 0});
+    } else {
+      const ArcId arc = event.payload.arc;
+      auto& queue = arc_queue_[arc];
+      RS_DASSERT(!queue.empty());
+      const std::uint32_t copy_index = queue.front();
+      queue.pop_front();
+      if (!queue.empty()) events_.push(t + 1.0, Ev{false, arc});
+
+      Copy& copy = copies_[copy_index];
+      copy.cur = flip_dimension(copy.cur, cube_.arc_dimension(arc));
+      PacketState& state = packets_[copy.packet];
+      if (state.counted) ++state.transmissions;
+      process_at_node(t, copy_index);
+    }
+  }
+
+  if (!stats_reset) population_.reset(warmup);
+  time_avg_population_ = population_.mean(horizon);
+}
+
+}  // namespace routesim

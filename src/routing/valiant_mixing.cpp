@@ -1,0 +1,151 @@
+#include "routing/valiant_mixing.hpp"
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+
+namespace routesim {
+
+ValiantMixingSim::ValiantMixingSim(ValiantMixingConfig config)
+    : config_(std::move(config)),
+      cube_(config_.d),
+      rng_(derive_stream(config_.seed, 0x3A1A)) {
+  RS_EXPECTS(config_.destinations.dimension() == config_.d);
+  if (config_.trace == nullptr) RS_EXPECTS(config_.lambda > 0.0);
+  arc_queue_.resize(cube_.num_arcs());
+}
+
+void ValiantMixingSim::inject(double now, NodeId origin, NodeId dest) {
+  if (now >= warmup_) ++arrivals_window_;
+  population_.add(now, +1.0);
+
+  std::uint32_t id;
+  if (!free_packets_.empty()) {
+    id = free_packets_.back();
+    free_packets_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(packets_.size());
+    packets_.emplace_back();
+  }
+  const auto intermediate = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
+  packets_[id] = Pkt{origin, intermediate, dest, now, 0, 0};
+
+  if (origin == intermediate) {
+    packets_[id].phase = 1;
+    packets_[id].target = dest;
+    if (origin == dest) {
+      deliver(now, id);
+      return;
+    }
+  }
+  enqueue(now, id);
+}
+
+void ValiantMixingSim::enqueue(double now, std::uint32_t pkt) {
+  const Pkt& packet = packets_[pkt];
+  const int dim = lowest_dimension(packet.cur ^ packet.target);
+  RS_DASSERT(dim >= 1);
+  const ArcId arc = cube_.arc_index(packet.cur, dim);
+  auto& queue = arc_queue_[arc];
+  queue.push_back(pkt);
+  if (queue.size() == 1) {
+    events_.push(now + 1.0, Ev{EventKind::kArcDone, arc});
+  }
+}
+
+void ValiantMixingSim::deliver(double now, std::uint32_t pkt) {
+  const Pkt& packet = packets_[pkt];
+  if (packet.gen_time >= warmup_) {
+    ++deliveries_window_;
+    delay_.add(now - packet.gen_time);
+    hops_.add(static_cast<double>(packet.hop_count));
+  }
+  population_.add(now, -1.0);
+  free_packets_.push_back(pkt);
+}
+
+void ValiantMixingSim::on_arc_done(double now, ArcId arc) {
+  auto& queue = arc_queue_[arc];
+  RS_DASSERT(!queue.empty());
+  const std::uint32_t pkt = queue.front();
+  queue.pop_front();
+  if (!queue.empty()) {
+    events_.push(now + 1.0, Ev{EventKind::kArcDone, arc});
+  }
+
+  Pkt& packet = packets_[pkt];
+  packet.cur = flip_dimension(packet.cur, cube_.arc_dimension(arc));
+  ++packet.hop_count;
+  if (packet.cur == packet.target) {
+    if (packet.phase == 1) {
+      deliver(now, pkt);
+      return;
+    }
+    // Reached the random intermediate node: start phase 2 from dimension 1.
+    packet.phase = 1;
+    packet.target = packet.final_dest;
+    if (packet.cur == packet.target) {
+      deliver(now, pkt);
+      return;
+    }
+  }
+  enqueue(now, pkt);
+}
+
+void ValiantMixingSim::run(double warmup, double horizon) {
+  RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
+  warmup_ = warmup;
+  window_ = horizon - warmup;
+
+  if (config_.trace != nullptr) {
+    trace_pos_ = 0;
+    if (!config_.trace->packets.empty()) {
+      events_.push(config_.trace->packets.front().time, Ev{EventKind::kBirth, 0});
+    }
+  } else {
+    const double total_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
+    events_.push(sample_exponential(rng_, total_rate), Ev{EventKind::kBirth, 0});
+  }
+
+  bool stats_reset = warmup == 0.0;
+  while (!events_.empty() && events_.top().time <= horizon) {
+    const auto event = events_.pop();
+    const double t = event.time;
+    if (!stats_reset && t >= warmup) {
+      population_.reset(warmup);
+      stats_reset = true;
+    }
+    if (event.payload.kind == EventKind::kBirth) {
+      if (config_.trace != nullptr) {
+        const auto& traced = config_.trace->packets[trace_pos_++];
+        inject(t, traced.origin, traced.destination);
+        if (trace_pos_ < config_.trace->packets.size()) {
+          events_.push(config_.trace->packets[trace_pos_].time,
+                       Ev{EventKind::kBirth, 0});
+        }
+      } else {
+        const auto origin = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
+        inject(t, origin, config_.destinations.sample(rng_, origin));
+        const double total_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
+        events_.push(t + sample_exponential(rng_, total_rate), Ev{EventKind::kBirth, 0});
+      }
+    } else {
+      on_arc_done(t, event.payload.arc);
+    }
+  }
+
+  if (!stats_reset) population_.reset(warmup);
+  time_avg_population_ = population_.mean(horizon);
+  final_population_ = population_.value();
+  throughput_ = window_ > 0.0 ? static_cast<double>(deliveries_window_) / window_ : 0.0;
+}
+
+LittleCheck ValiantMixingSim::little_check() const noexcept {
+  LittleCheck check;
+  check.time_avg_population = time_avg_population_;
+  check.arrival_rate =
+      window_ > 0.0 ? static_cast<double>(arrivals_window_) / window_ : 0.0;
+  check.mean_sojourn = delay_.mean();
+  return check;
+}
+
+}  // namespace routesim

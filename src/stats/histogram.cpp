@@ -1,0 +1,56 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+
+Histogram::Histogram(double lo, double bin_width, std::size_t num_bins)
+    : lo_(lo), width_(bin_width), bins_(num_bins, 0) {
+  RS_EXPECTS(bin_width > 0.0);
+  RS_EXPECTS(num_bins >= 1);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= bins_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++bins_[idx];
+}
+
+double Histogram::tail_probability(double x) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t above = overflow_;
+  for (std::size_t i = bins_.size(); i-- > 0;) {
+    if (bin_lower(i) + width_ <= x) break;
+    above += bins_[i];
+  }
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  RS_EXPECTS(q >= 0.0 && q <= 1.0);
+  RS_EXPECTS(total_ > 0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) return lo_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(bins_[i]);
+    if (next >= target && bins_[i] > 0) {
+      const double frac = (target - cumulative) / static_cast<double>(bins_[i]);
+      return bin_lower(i) + frac * width_;
+    }
+    cumulative = next;
+  }
+  return bin_lower(bins_.size());  // target falls in the overflow bin
+}
+
+}  // namespace routesim

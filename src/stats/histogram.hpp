@@ -1,0 +1,48 @@
+#pragma once
+/// \file histogram.hpp
+/// \brief Fixed-width histogram with overflow bin and quantile estimation.
+///
+/// Used for packet-delay distributions and queue-occupancy tails (the
+/// "with high probability" statements at the end of §3.3 and §4.3).
+
+#include <cstdint>
+#include <vector>
+
+namespace routesim {
+
+class Histogram {
+ public:
+  /// Bins [lo, lo+w), [lo+w, lo+2w), ..., plus an underflow and an overflow
+  /// bin.  Precondition: bin_width > 0, num_bins >= 1.
+  Histogram(double lo, double bin_width, std::size_t num_bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t num_bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return bins_.at(i); }
+
+  /// Left edge of bin i.
+  [[nodiscard]] double bin_lower(std::size_t i) const noexcept {
+    return lo_ + static_cast<double>(i) * width_;
+  }
+
+  /// Empirical P[X > x] using bin upper edges (conservative for tails).
+  [[nodiscard]] double tail_probability(double x) const noexcept;
+
+  /// Approximate quantile by linear interpolation inside the bin.
+  /// Precondition: 0 <= q <= 1 and count() > 0.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace routesim

@@ -1,0 +1,32 @@
+#pragma once
+/// \file little.hpp
+/// \brief Little's-law consistency check: L = lambda * W.
+///
+/// Every steady-state simulation in this library reports (time-average
+/// population, observed throughput, mean sojourn time); this helper decides
+/// whether the triple is self-consistent, which is the cheapest and most
+/// sensitive end-to-end sanity check a queueing simulation can run on itself.
+
+#include <cmath>
+
+namespace routesim {
+
+struct LittleCheck {
+  double time_avg_population = 0.0;  ///< L: time-averaged number in system
+  double arrival_rate = 0.0;         ///< lambda: observed departures / time
+  double mean_sojourn = 0.0;         ///< W: mean delay of departed customers
+
+  /// Relative discrepancy |L - lambda*W| / max(L, lambda*W); 0 when both 0.
+  [[nodiscard]] double relative_error() const noexcept {
+    const double lhs = time_avg_population;
+    const double rhs = arrival_rate * mean_sojourn;
+    const double scale = std::fmax(std::fabs(lhs), std::fabs(rhs));
+    return scale == 0.0 ? 0.0 : std::fabs(lhs - rhs) / scale;
+  }
+
+  [[nodiscard]] bool consistent(double tolerance = 0.05) const noexcept {
+    return relative_error() <= tolerance;
+  }
+};
+
+}  // namespace routesim

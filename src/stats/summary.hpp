@@ -1,0 +1,83 @@
+#pragma once
+/// \file summary.hpp
+/// \brief Streaming moment accumulator (Welford) for point observations.
+///
+/// Used for per-packet delays, per-round completion times, etc.  Supports
+/// O(1) merge so replication results can be combined deterministically.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merges another accumulator (Chan et al. parallel update).
+  void merge(const Summary& other) noexcept {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    mean_ += delta * n2 / n;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Sample mean; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Standard error of the mean; 0 when fewer than two observations.
+  [[nodiscard]] double std_error() const noexcept {
+    return count_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+  [[nodiscard]] double min() const noexcept {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
+
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(count_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace routesim

@@ -1,0 +1,68 @@
+#pragma once
+/// \file timeavg.hpp
+/// \brief Time-weighted average of a piecewise-constant process.
+///
+/// Tracks integral(value dt) for processes such as "number of packets in the
+/// network at time t".  Supports a reset-at-warmup workflow: call reset(t)
+/// when the measurement window opens, then mean(t_end) gives the time
+/// average over [t_warm, t_end].  This is the estimator behind every
+/// Little's-law check (L = lambda * W) in the test suite.
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+
+class TimeWeighted {
+ public:
+  /// Registers that the tracked value changes to `value` at time `t`.
+  /// Times must be non-decreasing.
+  void update(double t, double value) {
+    RS_EXPECTS_MSG(t >= last_time_, "time must be non-decreasing");
+    integral_ += value_ * (t - last_time_);
+    peak_ = value > peak_ ? value : peak_;
+    last_time_ = t;
+    value_ = value;
+  }
+
+  /// Adds `delta` to the tracked value at time `t` (convenience for counters).
+  void add(double t, double delta) { update(t, value_ + delta); }
+
+  /// Restarts the integral at time `t`, keeping the current value.
+  /// Call at the end of the warm-up period.
+  void reset(double t) {
+    RS_EXPECTS(t >= last_time_);
+    last_time_ = t;
+    start_time_ = t;
+    integral_ = 0.0;
+    peak_ = value_;
+  }
+
+  /// Current (instantaneous) value of the process.
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  /// Largest value seen since the last reset.
+  [[nodiscard]] double peak() const noexcept { return peak_; }
+
+  /// Integral of the process over [reset time, t_end].
+  [[nodiscard]] double integral(double t_end) const {
+    RS_EXPECTS(t_end >= last_time_);
+    return integral_ + value_ * (t_end - last_time_);
+  }
+
+  /// Time average over [reset time, t_end]; 0 for an empty window.
+  [[nodiscard]] double mean(double t_end) const {
+    const double span = t_end - start_time_;
+    return span <= 0.0 ? 0.0 : integral(t_end) / span;
+  }
+
+ private:
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  double last_time_ = 0.0;
+  double start_time_ = 0.0;
+  double peak_ = 0.0;
+};
+
+}  // namespace routesim

@@ -1,0 +1,29 @@
+#include "topology/butterfly.hpp"
+
+namespace routesim {
+
+Butterfly::Butterfly(int d) : d_(d) {
+  RS_EXPECTS_MSG(d >= 1 && d <= 25, "butterfly dimension must be in [1, 25]");
+  rows_ = std::uint32_t{1} << d;
+  straight_count_ = static_cast<std::uint32_t>(d) << d;
+  num_arcs_ = 2u * straight_count_;
+}
+
+std::vector<BflyArcId> Butterfly::path(NodeId origin_row, NodeId dest_row) const {
+  RS_EXPECTS(origin_row < rows_ && dest_row < rows_);
+  std::vector<BflyArcId> arcs;
+  arcs.reserve(static_cast<std::size_t>(d_));
+  NodeId row = origin_row;
+  for (int level = 1; level <= d_; ++level) {
+    if (has_dimension(row ^ dest_row, level)) {
+      arcs.push_back(arc_index(row, level, ArcKind::kVertical));
+      row = flip_dimension(row, level);
+    } else {
+      arcs.push_back(arc_index(row, level, ArcKind::kStraight));
+    }
+  }
+  RS_ENSURES(row == dest_row);
+  return arcs;
+}
+
+}  // namespace routesim

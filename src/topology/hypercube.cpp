@@ -1,0 +1,46 @@
+#include "topology/hypercube.hpp"
+
+namespace routesim {
+
+Hypercube::Hypercube(int d) : d_(d) {
+  RS_EXPECTS_MSG(d >= 1 && d <= 26, "hypercube dimension must be in [1, 26]");
+  num_nodes_ = std::uint32_t{1} << d;
+  num_arcs_ = static_cast<std::uint32_t>(d) << d;
+}
+
+std::vector<ArcId> Hypercube::canonical_path(NodeId x, NodeId z) const {
+  RS_EXPECTS(valid_node(x) && valid_node(z));
+  std::vector<ArcId> path;
+  path.reserve(static_cast<std::size_t>(hamming_distance(x, z)));
+  NodeId cur = x;
+  NodeId remaining = x ^ z;
+  while (remaining != 0) {
+    const int dim = lowest_dimension(remaining);
+    path.push_back(arc_index(cur, dim));
+    cur = flip_dimension(cur, dim);
+    remaining &= remaining - 1;  // clear the lowest set bit
+  }
+  RS_ENSURES(cur == z);
+  return path;
+}
+
+std::vector<int> Hypercube::required_dimensions(NodeId x, NodeId z) const {
+  RS_EXPECTS(valid_node(x) && valid_node(z));
+  std::vector<int> dims;
+  NodeId remaining = x ^ z;
+  while (remaining != 0) {
+    dims.push_back(lowest_dimension(remaining));
+    remaining &= remaining - 1;
+  }
+  return dims;
+}
+
+std::vector<NodeId> Hypercube::neighbours(NodeId x) const {
+  RS_EXPECTS(valid_node(x));
+  std::vector<NodeId> result;
+  result.reserve(static_cast<std::size_t>(d_));
+  for (int m = 1; m <= d_; ++m) result.push_back(flip_dimension(x, m));
+  return result;
+}
+
+}  // namespace routesim

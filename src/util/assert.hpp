@@ -1,0 +1,72 @@
+#pragma once
+/// \file assert.hpp
+/// \brief Contract-checking macros used throughout the library.
+///
+/// Following the C++ Core Guidelines (I.6/I.8), public-API preconditions are
+/// checked with RS_EXPECTS and postconditions with RS_ENSURES.  Violations
+/// throw routesim::ContractViolation so tests can verify the contracts
+/// directly.  RS_DASSERT is a debug-only internal invariant check that
+/// compiles away under NDEBUG and is meant for simulation hot loops.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace routesim {
+
+/// Thrown when a precondition / postcondition / invariant stated by the
+/// public API is violated.  Deriving from std::logic_error signals that the
+/// *caller* (not the environment) is at fault.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace routesim
+
+/// Precondition check; always active.
+#define RS_EXPECTS(cond)                                                        \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::routesim::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                        __LINE__, "");                          \
+  } while (false)
+
+/// Precondition check with an explanatory message; always active.
+#define RS_EXPECTS_MSG(cond, msg)                                               \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::routesim::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                        __LINE__, (msg));                       \
+  } while (false)
+
+/// Postcondition check; always active.
+#define RS_ENSURES(cond)                                                        \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::routesim::detail::contract_fail("postcondition", #cond, __FILE__,       \
+                                        __LINE__, "");                          \
+  } while (false)
+
+/// Internal invariant check for hot paths; removed when NDEBUG is defined.
+#ifdef NDEBUG
+#define RS_DASSERT(cond) ((void)0)
+#else
+#define RS_DASSERT(cond)                                                        \
+  do {                                                                          \
+    if (!(cond))                                                                \
+      ::routesim::detail::contract_fail("invariant", #cond, __FILE__,           \
+                                        __LINE__, "");                          \
+  } while (false)
+#endif

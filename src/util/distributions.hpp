@@ -1,0 +1,35 @@
+#pragma once
+/// \file distributions.hpp
+/// \brief Random-variate generators used by the traffic and queueing models.
+///
+/// Everything is implemented from first principles (no <random> distributions)
+/// so results are identical across standard libraries and platforms.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace routesim {
+
+/// Exponential variate with the given rate (mean 1/rate).
+/// Precondition: rate > 0.
+[[nodiscard]] double sample_exponential(Rng& rng, double rate);
+
+/// Poisson variate with the given mean.
+///
+/// Uses Knuth's product method for mean <= 30 and the PTRS transformed-
+/// rejection method of Hörmann (1993) for larger means; both are exact.
+/// Precondition: mean >= 0.
+[[nodiscard]] std::uint64_t sample_poisson(Rng& rng, double mean);
+
+/// Geometric variate counting failures before the first success:
+/// P[X = n] = (1-q) q^n, n = 0, 1, ...  This is the stationary per-server
+/// occupancy law of the product-form network of Proposition 12.
+/// Precondition: 0 <= q < 1.
+[[nodiscard]] std::uint64_t sample_geometric(Rng& rng, double q);
+
+/// Binomial variate: number of successes in n Bernoulli(prob) trials,
+/// by direct simulation (n is small — at most the cube dimension d).
+[[nodiscard]] int sample_binomial_small(Rng& rng, int n, double prob);
+
+}  // namespace routesim

@@ -1,0 +1,22 @@
+#include "util/rng.hpp"
+
+namespace routesim {
+
+std::uint64_t Rng::uniform_below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's multiply-shift method with rejection to remove modulo bias.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace routesim

@@ -1,0 +1,91 @@
+#include "workload/destination.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+
+DestinationDistribution DestinationDistribution::bit_flip(int d, double p) {
+  RS_EXPECTS(d >= 1 && d <= 26);
+  RS_EXPECTS_MSG(p >= 0.0 && p <= 1.0, "flip probability must be in [0, 1]");
+  return DestinationDistribution(d, p);
+}
+
+DestinationDistribution DestinationDistribution::uniform(int d) {
+  return bit_flip(d, 0.5);
+}
+
+DestinationDistribution DestinationDistribution::general(int d,
+                                                         std::vector<double> mask_pmf) {
+  RS_EXPECTS(d >= 1 && d <= 26);
+  RS_EXPECTS_MSG(mask_pmf.size() == (std::size_t{1} << d),
+                 "pmf must have exactly 2^d entries");
+  double total = 0.0;
+  for (const double w : mask_pmf) {
+    RS_EXPECTS_MSG(w >= 0.0, "pmf entries must be non-negative");
+    total += w;
+  }
+  RS_EXPECTS_MSG(total > 0.0, "pmf must have positive mass");
+
+  DestinationDistribution dist(d, 0.0);
+  dist.general_pmf_.resize(mask_pmf.size());
+  dist.general_cdf_.resize(mask_pmf.size());
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < mask_pmf.size(); ++i) {
+    dist.general_pmf_[i] = mask_pmf[i] / total;
+    cumulative += dist.general_pmf_[i];
+    dist.general_cdf_[i] = cumulative;
+  }
+  dist.general_cdf_.back() = 1.0;  // guard against rounding
+  return dist;
+}
+
+NodeId DestinationDistribution::sample_mask(Rng& rng) const {
+  if (!is_bit_flip()) {
+    const double u = rng.uniform();
+    const auto it = std::upper_bound(general_cdf_.begin(), general_cdf_.end(), u);
+    return static_cast<NodeId>(it - general_cdf_.begin());
+  }
+  if (p_ == 0.5) {
+    // Uniform destinations: d independent fair bits at once.
+    return static_cast<NodeId>(rng.next()) & ((NodeId{1} << d_) - 1u);
+  }
+  NodeId mask = 0;
+  for (int bit = 0; bit < d_; ++bit) {
+    if (rng.bernoulli(p_)) mask |= NodeId{1} << bit;
+  }
+  return mask;
+}
+
+double DestinationDistribution::mask_probability(NodeId mask) const {
+  RS_EXPECTS(mask < (NodeId{1} << d_));
+  if (!is_bit_flip()) return general_pmf_[mask];
+  const int k = std::popcount(mask);
+  return std::pow(p_, k) * std::pow(1.0 - p_, d_ - k);
+}
+
+double DestinationDistribution::flip_probability(int dim) const {
+  RS_EXPECTS(dim >= 1 && dim <= d_);
+  if (is_bit_flip()) return p_;
+  double total = 0.0;
+  for (NodeId mask = 0; mask < general_pmf_.size(); ++mask) {
+    if (has_dimension(mask, dim)) total += general_pmf_[mask];
+  }
+  return total;
+}
+
+double DestinationDistribution::max_flip_probability() const {
+  double best = 0.0;
+  for (int dim = 1; dim <= d_; ++dim) best = std::max(best, flip_probability(dim));
+  return best;
+}
+
+double DestinationDistribution::mean_hops() const {
+  double total = 0.0;
+  for (int dim = 1; dim <= d_; ++dim) total += flip_probability(dim);
+  return total;
+}
+
+}  // namespace routesim

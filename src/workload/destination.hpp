@@ -1,0 +1,73 @@
+#pragma once
+/// \file destination.hpp
+/// \brief Random destination selection (equation (1) of the paper).
+///
+/// A packet generated at node x selects destination z with probability
+/// p^H(x,z) (1-p)^(d-H(x,z)) — equivalently (Lemma 1), each identity bit of
+/// x is flipped independently with probability p.  The class also supports
+/// an arbitrary *translation-invariant* distribution f(x XOR z) (§2.2,
+/// closing remark), which is what Propositions 2 and 3 require.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace routesim {
+
+class DestinationDistribution {
+ public:
+  /// The paper's bit-flip law with parameter p in [0, 1].
+  static DestinationDistribution bit_flip(int d, double p);
+
+  /// Uniform over all 2^d nodes (bit-flip with p = 1/2).
+  static DestinationDistribution uniform(int d);
+
+  /// General translation-invariant law: `mask_pmf[y]` is the probability
+  /// that the destination is origin XOR y.  Must have 2^d non-negative
+  /// entries summing to 1 (normalised internally; sum must be positive).
+  static DestinationDistribution general(int d, std::vector<double> mask_pmf);
+
+  [[nodiscard]] int dimension() const noexcept { return d_; }
+
+  /// Draws the XOR mask x XOR z.
+  [[nodiscard]] NodeId sample_mask(Rng& rng) const;
+
+  /// Draws a destination for the given origin.
+  [[nodiscard]] NodeId sample(Rng& rng, NodeId origin) const {
+    return origin ^ sample_mask(rng);
+  }
+
+  /// P[mask = y] (i.e. P[dest = origin XOR y]).
+  [[nodiscard]] double mask_probability(NodeId mask) const;
+
+  /// P[B_j]: the probability that a packet must cross dimension j
+  /// (1-based).  Equals p for the bit-flip law (Lemma 1); in general it is
+  /// sum over masks with bit j set.  rho_j = lambda * flip_probability(j).
+  [[nodiscard]] double flip_probability(int dim) const;
+
+  /// max_j P[B_j] — multiplied by lambda this is the general load factor.
+  [[nodiscard]] double max_flip_probability() const;
+
+  /// Expected number of dimensions crossed per packet (mean of H(x, z)).
+  [[nodiscard]] double mean_hops() const;
+
+  /// True when this is the bit-flip law (sampling is O(d) without tables).
+  [[nodiscard]] bool is_bit_flip() const noexcept { return general_cdf_.empty(); }
+
+  /// The bit-flip parameter p (only meaningful when is_bit_flip()).
+  [[nodiscard]] double flip_parameter() const noexcept { return p_; }
+
+ private:
+  DestinationDistribution(int d, double p) : d_(d), p_(p) {}
+
+  int d_;
+  double p_ = 0.5;
+  // For the general law: cumulative distribution over masks 0..2^d-1
+  // (empty for the bit-flip law) and the raw pmf.
+  std::vector<double> general_cdf_;
+  std::vector<double> general_pmf_;
+};
+
+}  // namespace routesim

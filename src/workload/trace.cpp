@@ -1,0 +1,48 @@
+#include "workload/trace.hpp"
+
+#include "util/assert.hpp"
+#include "workload/traffic.hpp"
+
+namespace routesim {
+
+namespace {
+
+PacketTrace generate_trace(int d, double lambda, const DestinationDistribution& dist,
+                           double horizon, std::uint64_t seed) {
+  RS_EXPECTS(d >= 1 && d <= 26);
+  RS_EXPECTS(lambda > 0.0);
+  RS_EXPECTS(horizon > 0.0);
+  RS_EXPECTS(dist.dimension() == d);
+
+  PacketTrace trace;
+  trace.dimension = d;
+  trace.rate_per_node = lambda;
+
+  const auto nodes = static_cast<std::uint32_t>(std::uint64_t{1} << d);
+  MergedPoissonSource source(nodes, lambda, Rng(derive_stream(seed, 0x7A11)));
+  Rng dest_rng(derive_stream(seed, 0xDE57));
+
+  for (;;) {
+    const PacketBirth birth = source.next();
+    if (birth.time > horizon) break;
+    trace.packets.push_back(TracedPacket{
+        birth.time, birth.origin, dist.sample(dest_rng, birth.origin)});
+  }
+  return trace;
+}
+
+}  // namespace
+
+PacketTrace generate_hypercube_trace(int d, double lambda,
+                                     const DestinationDistribution& dist,
+                                     double horizon, std::uint64_t seed) {
+  return generate_trace(d, lambda, dist, horizon, seed);
+}
+
+PacketTrace generate_butterfly_trace(int d, double lambda,
+                                     const DestinationDistribution& dist,
+                                     double horizon, std::uint64_t seed) {
+  return generate_trace(d, lambda, dist, horizon, seed);
+}
+
+}  // namespace routesim

@@ -1,0 +1,47 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Recorded packet traces for replay and coupled experiments.
+///
+/// A trace fixes the exogenous randomness of a routing experiment — packet
+/// generation times, origins and destinations — so that different schemes
+/// (greedy vs. baseline vs. mixing) can be compared on the *same* workload,
+/// mirroring the sample-path arguments of §3.3.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "workload/destination.hpp"
+
+namespace routesim {
+
+struct TracedPacket {
+  double time = 0.0;
+  NodeId origin = 0;
+  NodeId destination = 0;
+};
+
+struct PacketTrace {
+  int dimension = 0;         ///< cube dimension d (or butterfly d)
+  double rate_per_node = 0;  ///< lambda used to generate the trace
+  std::vector<TracedPacket> packets;  ///< sorted by time
+
+  [[nodiscard]] std::size_t size() const noexcept { return packets.size(); }
+  [[nodiscard]] double horizon() const noexcept {
+    return packets.empty() ? 0.0 : packets.back().time;
+  }
+};
+
+/// Generates a Poisson trace on the d-cube (origins uniform over nodes,
+/// destinations from `dist`) up to the given horizon.
+[[nodiscard]] PacketTrace generate_hypercube_trace(int d, double lambda,
+                                                   const DestinationDistribution& dist,
+                                                   double horizon, std::uint64_t seed);
+
+/// Generates a trace for the butterfly: origins are level-1 rows, and
+/// `destination` holds the destination *row* at level d+1.
+[[nodiscard]] PacketTrace generate_butterfly_trace(int d, double lambda,
+                                                   const DestinationDistribution& dist,
+                                                   double horizon, std::uint64_t seed);
+
+}  // namespace routesim

@@ -1,0 +1,91 @@
+// Tests for the closed-form queueing formulas ([Kle75], [Bru71]).
+
+#include "queueing/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(Md1, WaitingTimeKnownValues) {
+  EXPECT_DOUBLE_EQ(md1_waiting_time(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(md1_waiting_time(0.5), 0.5);         // 0.5/(2*0.5)
+  EXPECT_DOUBLE_EQ(md1_waiting_time(0.8), 0.8 / 0.4);   // = 2
+}
+
+TEST(Md1, SojournIsServicePlusWait) {
+  for (const double rho : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(md1_sojourn_time(rho), 1.0 + md1_waiting_time(rho));
+  }
+}
+
+TEST(Md1, MeanNumberViaLittle) {
+  // L = rho * sojourn must equal rho + rho^2/(2(1-rho)).
+  for (const double rho : {0.2, 0.5, 0.7, 0.95}) {
+    EXPECT_NEAR(md1_mean_number(rho), rho * md1_sojourn_time(rho), 1e-12);
+  }
+}
+
+TEST(Md1, HalfTheMm1Wait) {
+  // Deterministic service halves the M/M/1 queueing delay.
+  for (const double rho : {0.3, 0.6, 0.9}) {
+    EXPECT_NEAR(md1_waiting_time(rho), 0.5 * (mm1_sojourn_time(rho) - 1.0), 1e-12);
+  }
+}
+
+TEST(Mm1, KnownValues) {
+  EXPECT_DOUBLE_EQ(mm1_sojourn_time(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(mm1_mean_number(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(mm1_mean_number(0.9), 9.0);
+}
+
+TEST(Mm1, LittleConsistency) {
+  for (const double rho : {0.1, 0.4, 0.8}) {
+    EXPECT_NEAR(mm1_mean_number(rho), rho * mm1_sojourn_time(rho), 1e-12);
+  }
+}
+
+TEST(Mds, LowerBoundReducesTowardOneAsServersGrow) {
+  const double rho = 0.9;
+  double previous = mds_sojourn_lower_bound(1.0, rho);
+  for (const double s : {2.0, 8.0, 64.0, 1024.0}) {
+    const double current = mds_sojourn_lower_bound(s, rho);
+    EXPECT_LT(current, previous);
+    EXPECT_GT(current, 1.0);
+    previous = current;
+  }
+}
+
+TEST(Mds, SingleServerCaseIsMd1Wait) {
+  // s = 1: 1 + rho/(2(1-rho)) = M/D/1 sojourn.
+  for (const double rho : {0.2, 0.6, 0.9}) {
+    EXPECT_NEAR(mds_sojourn_lower_bound(1.0, rho), md1_sojourn_time(rho), 1e-12);
+  }
+}
+
+TEST(Analytic, DivergesAsRhoApproachesOne) {
+  EXPECT_GT(md1_waiting_time(0.999), 400.0);
+  EXPECT_GT(mm1_mean_number(0.999), 900.0);
+}
+
+TEST(Analytic, RejectsUnstableUtilisation) {
+  EXPECT_THROW((void)md1_waiting_time(1.0), ContractViolation);
+  EXPECT_THROW((void)md1_mean_number(1.5), ContractViolation);
+  EXPECT_THROW((void)mm1_sojourn_time(-0.1), ContractViolation);
+  EXPECT_THROW((void)mds_sojourn_lower_bound(0.5, 0.5), ContractViolation);
+}
+
+TEST(Analytic, MonotoneInLoad) {
+  double last_md1 = 0.0, last_mm1 = 0.0;
+  for (double rho = 0.05; rho < 0.99; rho += 0.05) {
+    EXPECT_GT(md1_mean_number(rho), last_md1);
+    EXPECT_GT(mm1_mean_number(rho), last_mm1);
+    last_md1 = md1_mean_number(rho);
+    last_mm1 = mm1_mean_number(rho);
+  }
+}
+
+}  // namespace
+}  // namespace routesim

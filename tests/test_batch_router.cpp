@@ -1,0 +1,121 @@
+// Tests for the static batch router (one round of the §2.3 baseline /
+// Valiant-Brebner phase 1).
+
+#include "routing/batch_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(BatchRouter, EmptyBatch) {
+  const Hypercube cube(4);
+  const auto result = route_batch_greedy(cube, std::vector<BatchPacket>{}, 5.0);
+  EXPECT_TRUE(result.completion_times.empty());
+  EXPECT_DOUBLE_EQ(result.makespan, 5.0);
+}
+
+TEST(BatchRouter, SinglePacketDeliversAtHammingDistance) {
+  const Hypercube cube(4);
+  const std::vector<BatchPacket> batch{{0b0000, 0b1011}};
+  const auto result = route_batch_greedy(cube, batch, 10.0);
+  EXPECT_DOUBLE_EQ(result.completion_times[0], 13.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 13.0);
+}
+
+TEST(BatchRouter, SelfAddressedCompletesImmediately) {
+  const Hypercube cube(3);
+  const std::vector<BatchPacket> batch{{4, 4}};
+  const auto result = route_batch_greedy(cube, batch, 2.0);
+  EXPECT_DOUBLE_EQ(result.completion_times[0], 2.0);
+}
+
+TEST(BatchRouter, SharedFirstArcSerialises) {
+  const Hypercube cube(3);
+  // Both need arc (000 -> 001) first.
+  const std::vector<BatchPacket> batch{{0b000, 0b001}, {0b000, 0b011}};
+  const auto result = route_batch_greedy(cube, batch, 0.0);
+  EXPECT_DOUBLE_EQ(result.completion_times[0], 1.0);
+  // Second starts its first hop at t=1, then one more hop: 3.
+  EXPECT_DOUBLE_EQ(result.completion_times[1], 3.0);
+}
+
+TEST(BatchRouter, AntipodalPermutationIsContentionFree) {
+  // p=1 pattern: every node sends to its complement; canonical paths are
+  // arc-disjoint, so every packet finishes in exactly d steps.
+  const int d = 6;
+  const Hypercube cube(d);
+  std::vector<BatchPacket> batch;
+  for (NodeId x = 0; x < cube.num_nodes(); ++x) {
+    batch.push_back(BatchPacket{x, antipode(x, d)});
+  }
+  const auto result = route_batch_greedy(cube, batch, 0.0);
+  for (const double t : result.completion_times) EXPECT_DOUBLE_EQ(t, d);
+  EXPECT_DOUBLE_EQ(result.makespan, d);
+}
+
+TEST(BatchRouter, IdentityPermutationInstant) {
+  const Hypercube cube(5);
+  std::vector<BatchPacket> batch;
+  for (NodeId x = 0; x < cube.num_nodes(); ++x) batch.push_back(BatchPacket{x, x});
+  const auto result = route_batch_greedy(cube, batch, 7.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 7.0);
+}
+
+TEST(BatchRouter, CompletionNeverBeforeHamming) {
+  const int d = 7;
+  const Hypercube cube(d);
+  Rng rng(3);
+  std::vector<BatchPacket> batch;
+  for (NodeId x = 0; x < cube.num_nodes(); ++x) {
+    batch.push_back(
+        BatchPacket{x, static_cast<NodeId>(rng.uniform_below(cube.num_nodes()))});
+  }
+  const auto result = route_batch_greedy(cube, batch, 0.0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_GE(result.completion_times[i],
+              cube.distance(batch[i].origin, batch[i].destination));
+  }
+}
+
+TEST(BatchRouter, RandomDestinationRoundIsOrderD) {
+  // [VaB81]: a random-destination round completes in O(d) time w.h.p.;
+  // empirically the makespan/d ratio is a small constant.
+  const int d = 8;
+  const Hypercube cube(d);
+  Rng rng(5);
+  double worst_ratio = 0.0;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<BatchPacket> batch;
+    for (NodeId x = 0; x < cube.num_nodes(); ++x) {
+      batch.push_back(
+          BatchPacket{x, static_cast<NodeId>(rng.uniform_below(cube.num_nodes()))});
+    }
+    const auto result = route_batch_greedy(cube, batch, 0.0);
+    worst_ratio = std::max(worst_ratio, result.makespan / d);
+  }
+  EXPECT_GE(worst_ratio, 1.0);
+  EXPECT_LE(worst_ratio, 4.0);  // R is a small constant (paper: "R > 1")
+}
+
+TEST(BatchRouter, MakespanIsMaxCompletion) {
+  const Hypercube cube(4);
+  Rng rng(7);
+  std::vector<BatchPacket> batch;
+  for (int i = 0; i < 40; ++i) {
+    batch.push_back(BatchPacket{
+        static_cast<NodeId>(rng.uniform_below(16)),
+        static_cast<NodeId>(rng.uniform_below(16))});
+  }
+  const auto result = route_batch_greedy(cube, batch, 3.0);
+  const double max_completion =
+      *std::max_element(result.completion_times.begin(), result.completion_times.end());
+  EXPECT_DOUBLE_EQ(result.makespan, max_completion);
+}
+
+}  // namespace
+}  // namespace routesim

@@ -1,0 +1,214 @@
+// Tests for every closed-form bound in core/bounds.hpp against hand
+// calculations, ordering relations and limiting behaviour.
+
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace routesim::bounds {
+namespace {
+
+TEST(Bounds, LoadFactorDefinition) {
+  EXPECT_DOUBLE_EQ(load_factor({8, 1.2, 0.5}), 0.6);
+  EXPECT_DOUBLE_EQ(load_factor({3, 0.0, 0.9}), 0.0);
+}
+
+TEST(Bounds, StabilityCondition) {
+  EXPECT_TRUE(stability_possible({4, 1.9, 0.5}));
+  EXPECT_TRUE(stability_possible({4, 2.0, 0.5}));   // rho = 1 boundary
+  EXPECT_FALSE(stability_possible({4, 2.1, 0.5}));  // rho > 1
+}
+
+TEST(Bounds, MeanHopsIsDp) { EXPECT_DOUBLE_EQ(mean_hops({10, 1.0, 0.3}), 3.0); }
+
+TEST(Bounds, Prop12HandValues) {
+  // T <= dp/(1-rho): d=8, p=1/2, rho=0.5 -> 8.
+  EXPECT_DOUBLE_EQ(greedy_delay_upper_bound({8, 1.0, 0.5}), 8.0);
+  // rho=0.9 -> 4/(0.1) = 40 with d=8, p=1/2.
+  EXPECT_NEAR(greedy_delay_upper_bound({8, 1.8, 0.5}), 40.0, 1e-9);
+}
+
+TEST(Bounds, Prop13HandValues) {
+  // T >= dp + p*rho/(2(1-rho)): d=8, p=0.5, rho=0.5 -> 4 + 0.25 = 4.25.
+  EXPECT_DOUBLE_EQ(greedy_delay_lower_bound({8, 1.0, 0.5}), 4.25);
+}
+
+TEST(Bounds, LowerNeverExceedsUpper) {
+  for (const double rho : {0.05, 0.3, 0.6, 0.9, 0.99}) {
+    for (const int d : {2, 6, 12}) {
+      for (const double p : {0.1, 0.5, 1.0}) {
+        const HypercubeParams hp{d, rho / p, p};
+        EXPECT_LE(greedy_delay_lower_bound(hp), greedy_delay_upper_bound(hp))
+            << "d=" << d << " p=" << p << " rho=" << rho;
+      }
+    }
+  }
+}
+
+TEST(Bounds, UniversalLbBelowObliviousLbBelowGreedyLb) {
+  // Prop. 2 (all schemes) <= Prop. 3 (oblivious) <= Prop. 13 (this greedy
+  // scheme): each restriction tightens the bound.
+  for (const double rho : {0.2, 0.5, 0.8, 0.95}) {
+    const HypercubeParams hp{8, 2.0 * rho, 0.5};
+    EXPECT_LE(universal_delay_lower_bound(hp), oblivious_delay_lower_bound(hp) + 1e-12);
+    EXPECT_LE(oblivious_delay_lower_bound(hp), greedy_delay_lower_bound(hp) + 1e-12);
+  }
+}
+
+TEST(Bounds, UniversalLbAvgFormIsWeaker) {
+  for (const double rho : {0.3, 0.7, 0.9}) {
+    const HypercubeParams hp{6, 2.0 * rho, 0.5};
+    EXPECT_LE(universal_delay_lower_bound_avg(hp),
+              universal_delay_lower_bound(hp) + 1e-12);
+  }
+}
+
+TEST(Bounds, ExactP1DelayBetweenBrackets) {
+  for (const double lambda : {0.2, 0.6, 0.9}) {
+    const HypercubeParams hp{7, lambda, 1.0};
+    const double exact = greedy_delay_exact_p1(7, lambda);
+    EXPECT_GE(exact, greedy_delay_lower_bound(hp) - 1e-12);
+    EXPECT_LE(exact, greedy_delay_upper_bound(hp) + 1e-12);
+  }
+}
+
+TEST(Bounds, HeavyTrafficLimitsOrdered) {
+  const HypercubeParams hp{9, 1.0, 0.4};
+  EXPECT_DOUBLE_EQ(heavy_traffic_lower(hp), 0.2);
+  EXPECT_DOUBLE_EQ(heavy_traffic_upper(hp), 3.6);
+  EXPECT_LE(heavy_traffic_lower(hp), heavy_traffic_upper(hp));
+}
+
+TEST(Bounds, HeavyTrafficLimitsMatchBoundAsymptotics) {
+  // (1-rho) * bound converges to the stated limits as rho -> 1.
+  const int d = 6;
+  const double p = 0.5;
+  for (const double rho : {0.999, 0.9999}) {
+    const HypercubeParams hp{d, rho / p, p};
+    EXPECT_NEAR((1 - rho) * greedy_delay_upper_bound(hp), heavy_traffic_upper(hp),
+                1e-6);
+    EXPECT_NEAR((1 - rho) * greedy_delay_lower_bound(hp), heavy_traffic_lower(hp),
+                0.01);
+  }
+}
+
+TEST(Bounds, SlottedAddsTau) {
+  const HypercubeParams hp{5, 1.0, 0.5};
+  EXPECT_DOUBLE_EQ(slotted_delay_upper_bound(hp, 0.25),
+                   greedy_delay_upper_bound(hp) + 0.25);
+  EXPECT_THROW((void)slotted_delay_upper_bound(hp, 0.0), routesim::ContractViolation);
+  EXPECT_THROW((void)slotted_delay_upper_bound(hp, 1.5), routesim::ContractViolation);
+}
+
+TEST(Bounds, MeanPacketsPerNode) {
+  // d*rho/(1-rho): d=6, rho=0.5 -> 6.
+  EXPECT_DOUBLE_EQ(mean_packets_per_node_bound({6, 1.0, 0.5}), 6.0);
+}
+
+TEST(Bounds, UnstableParametersRejected) {
+  EXPECT_THROW((void)greedy_delay_upper_bound({4, 2.5, 0.5}),
+               routesim::ContractViolation);
+  EXPECT_THROW((void)greedy_delay_lower_bound({4, 2.0, 0.5}),
+               routesim::ContractViolation);
+  EXPECT_THROW((void)universal_delay_lower_bound({4, 2.0, 0.5}),
+               routesim::ContractViolation);
+}
+
+TEST(Bounds, GeneralDistributionLoadFactors) {
+  // f concentrated on masks {011 (dims 1,2), 100 (dim 3)} with weights
+  // 1/4 and 3/4: rho_1 = rho_2 = lambda/4, rho_3 = 3 lambda/4.
+  std::vector<double> pmf(8, 0.0);
+  pmf[0b011] = 0.25;
+  pmf[0b100] = 0.75;
+  EXPECT_NEAR(dimension_load_factor(pmf, 1, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(dimension_load_factor(pmf, 2, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(dimension_load_factor(pmf, 3, 2.0), 1.5, 1e-12);
+  EXPECT_NEAR(load_factor_general(pmf, 3, 2.0), 1.5, 1e-12);
+}
+
+TEST(Bounds, GeneralReducesToBitFlip) {
+  // Bit-flip pmf as a general law: rho_j = lambda*p for every j.
+  const int d = 4;
+  const double p = 0.3;
+  std::vector<double> pmf(16);
+  for (NodeId mask = 0; mask < 16; ++mask) {
+    pmf[mask] = std::pow(p, std::popcount(mask)) *
+                std::pow(1 - p, d - std::popcount(mask));
+  }
+  for (int dim = 1; dim <= d; ++dim) {
+    EXPECT_NEAR(dimension_load_factor(pmf, dim, 1.5), 1.5 * p, 1e-12);
+  }
+  EXPECT_NEAR(load_factor_general(pmf, d, 1.5), 1.5 * p, 1e-12);
+}
+
+// ------------------------------------------------------------------ butterfly
+
+TEST(BflyBounds, LoadFactorUsesWorseDirection) {
+  EXPECT_DOUBLE_EQ(bfly_load_factor({5, 1.0, 0.3}), 0.7);
+  EXPECT_DOUBLE_EQ(bfly_load_factor({5, 1.0, 0.7}), 0.7);
+  EXPECT_DOUBLE_EQ(bfly_load_factor({5, 1.0, 0.5}), 0.5);
+}
+
+TEST(BflyBounds, UniformPMaximisesSustainableLambda) {
+  // For given lambda, rho is minimised at p = 1/2 (§4.2).
+  const double lambda = 1.5;
+  EXPECT_TRUE(bfly_stability_possible({4, lambda, 0.5}));
+  EXPECT_FALSE(bfly_stability_possible({4, lambda, 0.2}));
+}
+
+TEST(BflyBounds, Prop17HandValue) {
+  // d=4, lambda=1, p=1/2: T <= 4*0.5/0.5 + 4*0.5/0.5 = 8.
+  EXPECT_DOUBLE_EQ(bfly_greedy_delay_upper_bound({4, 1.0, 0.5}), 8.0);
+}
+
+TEST(BflyBounds, Prop14HandValue) {
+  // d=4, lambda=1, p=1/2: T >= 3 + 0.5*(1+0.5) + 0.5*(1+0.5) = 4.5.
+  EXPECT_DOUBLE_EQ(bfly_universal_delay_lower_bound({4, 1.0, 0.5}), 4.5);
+}
+
+TEST(BflyBounds, LowerNeverExceedsUpper) {
+  for (const double lambda : {0.2, 0.8, 1.2}) {
+    for (const double p : {0.1, 0.4, 0.5, 0.8}) {
+      if (lambda * std::max(p, 1 - p) >= 1.0) continue;
+      const ButterflyParams bp{6, lambda, p};
+      EXPECT_LE(bfly_universal_delay_lower_bound(bp),
+                bfly_greedy_delay_upper_bound(bp) + 1e-12);
+    }
+  }
+}
+
+TEST(BflyBounds, SymmetricInP) {
+  const ButterflyParams a{5, 0.9, 0.3};
+  const ButterflyParams b{5, 0.9, 0.7};
+  EXPECT_NEAR(bfly_greedy_delay_upper_bound(a), bfly_greedy_delay_upper_bound(b), 1e-12);
+  EXPECT_NEAR(bfly_universal_delay_lower_bound(a), bfly_universal_delay_lower_bound(b),
+              1e-12);
+  EXPECT_NEAR(bfly_mean_packets_per_node(a), bfly_mean_packets_per_node(b), 1e-12);
+}
+
+TEST(BflyBounds, MeanPacketsPerNodeHandValue) {
+  // eta = 0.5/(0.5) + 0.5/(0.5) = 2 at lambda=1, p=1/2.
+  EXPECT_DOUBLE_EQ(bfly_mean_packets_per_node({4, 1.0, 0.5}), 2.0);
+}
+
+TEST(BflyBounds, HeavyTrafficLimits) {
+  const ButterflyParams bp{7, 1.0, 0.3};
+  EXPECT_DOUBLE_EQ(bfly_heavy_traffic_lower(bp), 0.35);
+  EXPECT_DOUBLE_EQ(bfly_heavy_traffic_upper(bp), 4.9);
+}
+
+TEST(BflyBounds, UnstableRejected) {
+  EXPECT_THROW((void)bfly_greedy_delay_upper_bound({4, 2.0, 0.5}),
+               routesim::ContractViolation);
+  EXPECT_THROW((void)bfly_universal_delay_lower_bound({4, 1.3, 0.8}),
+               routesim::ContractViolation);
+}
+
+}  // namespace
+}  // namespace routesim::bounds

@@ -1,0 +1,143 @@
+// Tests for the butterfly topology of §4.1.
+
+#include "topology/butterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+namespace {
+
+using ArcKind = Butterfly::ArcKind;
+
+TEST(ButterflyTopology, CountsMatchPaper) {
+  // (d+1) 2^d nodes; d 2^(d+1) arcs.
+  const Butterfly bfly(2);
+  EXPECT_EQ(bfly.num_levels(), 3);
+  EXPECT_EQ(bfly.rows(), 4u);
+  EXPECT_EQ(bfly.num_nodes(), 12u);
+  EXPECT_EQ(bfly.num_arcs(), 16u);
+
+  const Butterfly bigger(5);
+  EXPECT_EQ(bigger.num_nodes(), 6u * 32u);
+  EXPECT_EQ(bigger.num_arcs(), 5u * 64u);
+}
+
+TEST(ButterflyTopology, DimensionBoundsEnforced) {
+  EXPECT_THROW(Butterfly(0), ContractViolation);
+  EXPECT_THROW(Butterfly(26), ContractViolation);
+  EXPECT_NO_THROW(Butterfly(1));
+}
+
+TEST(ButterflyTopology, ArcIndexIsBijective) {
+  const Butterfly bfly(4);
+  std::set<BflyArcId> seen;
+  for (int level = 1; level <= 4; ++level) {
+    for (NodeId row = 0; row < bfly.rows(); ++row) {
+      for (const auto kind : {ArcKind::kStraight, ArcKind::kVertical}) {
+        const BflyArcId arc = bfly.arc_index(row, level, kind);
+        EXPECT_LT(arc, bfly.num_arcs());
+        EXPECT_TRUE(seen.insert(arc).second);
+        EXPECT_EQ(bfly.arc_kind(arc), kind);
+        EXPECT_EQ(bfly.arc_level(arc), level);
+        EXPECT_EQ(bfly.arc_row(arc), row);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), bfly.num_arcs());
+}
+
+TEST(ButterflyTopology, StraightArcKeepsRow) {
+  const Butterfly bfly(3);
+  for (int level = 1; level <= 3; ++level) {
+    for (NodeId row = 0; row < bfly.rows(); ++row) {
+      EXPECT_EQ(bfly.arc_target_row(bfly.arc_index(row, level, ArcKind::kStraight)),
+                row);
+    }
+  }
+}
+
+TEST(ButterflyTopology, VerticalArcFlipsLevelBit) {
+  // [x; j] connects vertically to [x XOR e_j; j+1] (§4.1).
+  const Butterfly bfly(3);
+  for (int level = 1; level <= 3; ++level) {
+    for (NodeId row = 0; row < bfly.rows(); ++row) {
+      EXPECT_EQ(bfly.arc_target_row(bfly.arc_index(row, level, ArcKind::kVertical)),
+                flip_dimension(row, level));
+    }
+  }
+}
+
+TEST(ButterflyTopology, PathHasExactlyDArcs) {
+  const Butterfly bfly(5);
+  for (NodeId origin = 0; origin < bfly.rows(); origin += 7) {
+    for (NodeId dest = 0; dest < bfly.rows(); dest += 5) {
+      EXPECT_EQ(bfly.path(origin, dest).size(), 5u);
+    }
+  }
+}
+
+TEST(ButterflyTopology, PathVerticalArcsMatchHammingDistance) {
+  // The path from [x;1] to [z;d+1] contains exactly H(x,z) vertical arcs,
+  // at the levels where x and z differ (§4.1).
+  const Butterfly bfly(6);
+  for (NodeId origin = 0; origin < bfly.rows(); origin += 13) {
+    for (NodeId dest = 0; dest < bfly.rows(); dest += 11) {
+      int verticals = 0;
+      for (const BflyArcId arc : bfly.path(origin, dest)) {
+        if (bfly.arc_kind(arc) == ArcKind::kVertical) {
+          ++verticals;
+          EXPECT_TRUE(has_dimension(origin ^ dest, bfly.arc_level(arc)));
+        }
+      }
+      EXPECT_EQ(verticals, hamming_distance(origin, dest));
+    }
+  }
+}
+
+TEST(ButterflyTopology, PathTraversesLevelsInOrder) {
+  const Butterfly bfly(4);
+  const auto path = bfly.path(0b0000, 0b1010);
+  ASSERT_EQ(path.size(), 4u);
+  NodeId row = 0b0000;
+  for (int level = 1; level <= 4; ++level) {
+    const BflyArcId arc = path[static_cast<std::size_t>(level - 1)];
+    EXPECT_EQ(bfly.arc_level(arc), level);
+    EXPECT_EQ(bfly.arc_row(arc), row);
+    row = bfly.arc_target_row(arc);
+  }
+  EXPECT_EQ(row, 0b1010u);
+}
+
+TEST(ButterflyTopology, PathIsUniquePerPair) {
+  // Distinct destination rows yield distinct arc sequences from the same
+  // origin (the butterfly is a permutation-of-levels crossbar).
+  const Butterfly bfly(4);
+  std::set<std::vector<BflyArcId>> paths;
+  for (NodeId dest = 0; dest < bfly.rows(); ++dest) {
+    EXPECT_TRUE(paths.insert(bfly.path(3, dest)).second);
+  }
+}
+
+TEST(ButterflyTopology, AllStraightPathWhenRowsEqual) {
+  const Butterfly bfly(4);
+  for (const BflyArcId arc : bfly.path(9, 9)) {
+    EXPECT_EQ(bfly.arc_kind(arc), ArcKind::kStraight);
+  }
+}
+
+TEST(ButterflyTopology, PathsFromSameRowShareFirstArcOnlyIfSameDirection) {
+  const Butterfly bfly(2);
+  // Fig. 3a sanity: from [00;1], destinations 00 and 01 diverge at level 1.
+  const auto to_same = bfly.path(0b00, 0b00);
+  const auto to_flip = bfly.path(0b00, 0b01);
+  EXPECT_NE(to_same[0], to_flip[0]);
+  EXPECT_EQ(bfly.arc_kind(to_same[0]), ArcKind::kStraight);
+  EXPECT_EQ(bfly.arc_kind(to_flip[0]), ArcKind::kVertical);
+}
+
+}  // namespace
+}  // namespace routesim

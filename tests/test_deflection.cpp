@@ -1,0 +1,82 @@
+// Tests for the deflection (hot-potato) comparator [GrH89].
+
+#include "routing/deflection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+namespace {
+
+DeflectionConfig make_config(int d, double lambda, double p, std::uint64_t seed) {
+  DeflectionConfig config;
+  config.d = d;
+  config.lambda = lambda;
+  config.destinations = DestinationDistribution::bit_flip(d, p);
+  config.seed = seed;
+  return config;
+}
+
+TEST(Deflection, DeliversTrafficAtLowLoad) {
+  DeflectionSim sim(make_config(4, 0.05, 0.5, 1));
+  sim.run(100, 10100);
+  EXPECT_GT(sim.deliveries_in_window(), 1000u);
+}
+
+TEST(Deflection, LowLoadDelayApproachesShortestPath) {
+  // Almost no contention: hops ~ Hamming distance, so mean hops ~ d*p and
+  // deflections are rare.
+  DeflectionSim sim(make_config(5, 0.01, 0.5, 3));
+  sim.run(100, 20100);
+  EXPECT_NEAR(sim.hops().mean(), 5 * 0.5, 0.2);
+  EXPECT_LT(sim.deflection_fraction(), 0.02);
+}
+
+TEST(Deflection, DeflectionsGrowWithLoad) {
+  DeflectionSim light(make_config(4, 0.05, 0.5, 5));
+  DeflectionSim heavy(make_config(4, 0.6, 0.5, 5));
+  light.run(100, 5100);
+  heavy.run(100, 5100);
+  EXPECT_GT(heavy.deflection_fraction(), light.deflection_fraction());
+}
+
+TEST(Deflection, HopsNeverBelowHammingOnAverage) {
+  DeflectionSim sim(make_config(5, 0.3, 0.5, 7));
+  sim.run(100, 5100);
+  EXPECT_GE(sim.hops().mean(), 5 * 0.5 - 0.1);
+}
+
+TEST(Deflection, DelayAtLeastHops) {
+  DeflectionSim sim(make_config(4, 0.2, 0.5, 9));
+  sim.run(100, 5100);
+  EXPECT_GE(sim.delay().mean(), sim.hops().mean() - 1e-9);
+}
+
+TEST(Deflection, BoundedResidencyInvariant) {
+  // The bufferless property: injection backlog exists, but the network
+  // itself never holds more than d packets per node — indirectly verified
+  // by the simulation completing with a consistent backlog accounting.
+  DeflectionSim sim(make_config(4, 0.9, 0.5, 11));
+  sim.run(0, 2000);
+  EXPECT_GE(sim.injection_backlog(), 0u);
+}
+
+TEST(Deflection, DeterministicForSeed) {
+  DeflectionSim a(make_config(4, 0.2, 0.5, 13));
+  DeflectionSim b(make_config(4, 0.2, 0.5, 13));
+  a.run(100, 2100);
+  b.run(100, 2100);
+  EXPECT_EQ(a.deliveries_in_window(), b.deliveries_in_window());
+  EXPECT_DOUBLE_EQ(a.delay().mean(), b.delay().mean());
+}
+
+TEST(Deflection, ConfigValidation) {
+  DeflectionConfig config;
+  config.d = 5;
+  config.destinations = DestinationDistribution::uniform(4);
+  EXPECT_THROW(DeflectionSim sim(config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace routesim

@@ -1,0 +1,165 @@
+// Tests for the destination law of eq. (1) and Lemma 1, plus general
+// translation-invariant distributions.
+
+#include "workload/destination.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(Destination, MaskPmfMatchesEquationOne) {
+  // P[dest = z | origin x] = p^H (1-p)^(d-H).
+  const auto dist = DestinationDistribution::bit_flip(4, 0.3);
+  EXPECT_NEAR(dist.mask_probability(0b0000), std::pow(0.7, 4), 1e-12);
+  EXPECT_NEAR(dist.mask_probability(0b0001), 0.3 * std::pow(0.7, 3), 1e-12);
+  EXPECT_NEAR(dist.mask_probability(0b0101), 0.09 * 0.49, 1e-12);
+  EXPECT_NEAR(dist.mask_probability(0b1111), std::pow(0.3, 4), 1e-12);
+}
+
+TEST(Destination, MaskPmfSumsToOne) {
+  for (const double p : {0.0, 0.2, 0.5, 1.0}) {
+    const auto dist = DestinationDistribution::bit_flip(6, p);
+    double total = 0.0;
+    for (NodeId mask = 0; mask < 64; ++mask) total += dist.mask_probability(mask);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Destination, UniformIsHalf) {
+  const auto dist = DestinationDistribution::uniform(5);
+  EXPECT_TRUE(dist.is_bit_flip());
+  EXPECT_DOUBLE_EQ(dist.flip_parameter(), 0.5);
+  for (NodeId mask = 0; mask < 32; ++mask) {
+    EXPECT_NEAR(dist.mask_probability(mask), 1.0 / 32.0, 1e-12);
+  }
+}
+
+TEST(Destination, Lemma1FlipProbabilities) {
+  // Pr[B_i] = p for every dimension i.
+  const auto dist = DestinationDistribution::bit_flip(7, 0.37);
+  for (int dim = 1; dim <= 7; ++dim) {
+    EXPECT_DOUBLE_EQ(dist.flip_probability(dim), 0.37);
+  }
+  EXPECT_DOUBLE_EQ(dist.max_flip_probability(), 0.37);
+  EXPECT_NEAR(dist.mean_hops(), 7 * 0.37, 1e-12);
+}
+
+TEST(Destination, Lemma1BitIndependence) {
+  // Empirical: bit flips are independent across dimensions — the joint
+  // frequency of (B_1, B_2) factorises.
+  const double p = 0.3;
+  const auto dist = DestinationDistribution::bit_flip(6, p);
+  Rng rng(101);
+  int b1 = 0, b2 = 0, b12 = 0;
+  constexpr int n = 500000;
+  for (int i = 0; i < n; ++i) {
+    const NodeId mask = dist.sample_mask(rng);
+    const bool f1 = has_dimension(mask, 1);
+    const bool f2 = has_dimension(mask, 2);
+    b1 += f1;
+    b2 += f2;
+    b12 += f1 && f2;
+  }
+  const double p1 = static_cast<double>(b1) / n;
+  const double p2 = static_cast<double>(b2) / n;
+  const double p12 = static_cast<double>(b12) / n;
+  EXPECT_NEAR(p1, p, 4e-3);
+  EXPECT_NEAR(p2, p, 4e-3);
+  EXPECT_NEAR(p12, p1 * p2, 4e-3);
+}
+
+TEST(Destination, SampledMaskFrequenciesMatchPmf) {
+  const auto dist = DestinationDistribution::bit_flip(3, 0.4);
+  Rng rng(55);
+  std::vector<int> counts(8, 0);
+  constexpr int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[dist.sample_mask(rng)];
+  for (NodeId mask = 0; mask < 8; ++mask) {
+    EXPECT_NEAR(static_cast<double>(counts[mask]) / n, dist.mask_probability(mask),
+                4e-3);
+  }
+}
+
+TEST(Destination, ExtremesAreDeterministic) {
+  Rng rng(1);
+  const auto stay = DestinationDistribution::bit_flip(5, 0.0);
+  const auto flip = DestinationDistribution::bit_flip(5, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(stay.sample(rng, 13), 13u);
+    EXPECT_EQ(flip.sample(rng, 13), antipode(13, 5));
+  }
+}
+
+TEST(Destination, SampleXorsOrigin) {
+  const auto dist = DestinationDistribution::uniform(8);
+  Rng a(7), b(7);
+  // Translation invariance: same RNG stream, shifted origin => shifted dest.
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId d0 = dist.sample(a, 0);
+    const NodeId d9 = dist.sample(b, 9);
+    EXPECT_EQ(d0 ^ 9u, d9);
+  }
+}
+
+TEST(Destination, GeneralDistributionNormalises) {
+  std::vector<double> pmf(8, 0.0);
+  pmf[0b011] = 2.0;
+  pmf[0b100] = 6.0;
+  const auto dist = DestinationDistribution::general(3, pmf);
+  EXPECT_FALSE(dist.is_bit_flip());
+  EXPECT_NEAR(dist.mask_probability(0b011), 0.25, 1e-12);
+  EXPECT_NEAR(dist.mask_probability(0b100), 0.75, 1e-12);
+  EXPECT_NEAR(dist.mask_probability(0b000), 0.0, 1e-12);
+}
+
+TEST(Destination, GeneralFlipProbabilitiesArePerDimensionMasses) {
+  std::vector<double> pmf(8, 0.0);
+  pmf[0b011] = 0.25;  // dims 1, 2
+  pmf[0b100] = 0.75;  // dim 3
+  const auto dist = DestinationDistribution::general(3, pmf);
+  EXPECT_NEAR(dist.flip_probability(1), 0.25, 1e-12);
+  EXPECT_NEAR(dist.flip_probability(2), 0.25, 1e-12);
+  EXPECT_NEAR(dist.flip_probability(3), 0.75, 1e-12);
+  EXPECT_NEAR(dist.max_flip_probability(), 0.75, 1e-12);
+  EXPECT_NEAR(dist.mean_hops(), 0.25 * 2 + 0.75, 1e-12);
+}
+
+TEST(Destination, GeneralSamplingMatchesPmf) {
+  std::vector<double> pmf(4, 0.0);
+  pmf[0] = 0.1;
+  pmf[1] = 0.2;
+  pmf[2] = 0.3;
+  pmf[3] = 0.4;
+  const auto dist = DestinationDistribution::general(2, pmf);
+  Rng rng(9);
+  std::vector<int> counts(4, 0);
+  constexpr int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[dist.sample_mask(rng)];
+  for (NodeId mask = 0; mask < 4; ++mask) {
+    EXPECT_NEAR(static_cast<double>(counts[mask]) / n, pmf[mask], 4e-3);
+  }
+}
+
+TEST(Destination, GeneralValidation) {
+  EXPECT_THROW((void)DestinationDistribution::general(3, std::vector<double>(7, 0.1)),
+               ContractViolation);
+  EXPECT_THROW((void)DestinationDistribution::general(2, {0.5, -0.1, 0.3, 0.3}),
+               ContractViolation);
+  EXPECT_THROW((void)DestinationDistribution::general(2, std::vector<double>(4, 0.0)),
+               ContractViolation);
+}
+
+TEST(Destination, BitFlipValidation) {
+  EXPECT_THROW((void)DestinationDistribution::bit_flip(3, -0.1), ContractViolation);
+  EXPECT_THROW((void)DestinationDistribution::bit_flip(3, 1.1), ContractViolation);
+  EXPECT_THROW((void)DestinationDistribution::bit_flip(0, 0.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace routesim

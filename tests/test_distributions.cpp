@@ -1,0 +1,149 @@
+// Statistical tests for the variate generators.  Tolerances are sized for
+// the sample counts used (deterministic seeds, so no flakiness).
+
+#include "util/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(Exponential, MeanMatchesRate) {
+  Rng rng(1);
+  for (const double rate : {0.1, 1.0, 7.5}) {
+    double sum = 0.0;
+    constexpr int n = 400000;
+    for (int i = 0; i < n; ++i) sum += sample_exponential(rng, rate);
+    EXPECT_NEAR(sum / n, 1.0 / rate, 0.02 / rate);
+  }
+}
+
+TEST(Exponential, VarianceMatchesRate) {
+  Rng rng(2);
+  const double rate = 2.0;
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_exponential(rng, rate);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(sumsq / n - mean * mean, 1.0 / (rate * rate), 5e-3);
+}
+
+TEST(Exponential, MemorylessTailProbability) {
+  Rng rng(3);
+  const double rate = 1.0;
+  int above_one = 0;
+  constexpr int n = 400000;
+  for (int i = 0; i < n; ++i) above_one += sample_exponential(rng, rate) > 1.0;
+  EXPECT_NEAR(static_cast<double>(above_one) / n, std::exp(-1.0), 3e-3);
+}
+
+TEST(Exponential, AlwaysPositive) {
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) EXPECT_GT(sample_exponential(rng, 3.0), 0.0);
+}
+
+TEST(Exponential, RejectsNonPositiveRate) {
+  Rng rng(5);
+  EXPECT_THROW((void)sample_exponential(rng, 0.0), ContractViolation);
+  EXPECT_THROW((void)sample_exponential(rng, -1.0), ContractViolation);
+}
+
+class PoissonMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMoments, MeanAndVarianceEqualParameter) {
+  // Covers both the Knuth (mean <= 30) and PTRS (mean > 30) branches.
+  const double mean = GetParam();
+  Rng rng(6);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const auto x = static_cast<double>(sample_poisson(rng, mean));
+    sum += x;
+    sumsq += x * x;
+  }
+  const double sample_mean = sum / n;
+  const double sample_var = sumsq / n - sample_mean * sample_mean;
+  EXPECT_NEAR(sample_mean, mean, 0.02 * mean + 0.01);
+  EXPECT_NEAR(sample_var, mean, 0.05 * mean + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLarge, PoissonMoments,
+                         ::testing::Values(0.05, 0.5, 2.0, 10.0, 29.0, 45.0, 120.0));
+
+TEST(Poisson, ZeroMeanIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_poisson(rng, 0.0), 0u);
+}
+
+TEST(Poisson, ZeroProbabilityMatchesTheory) {
+  Rng rng(8);
+  const double mean = 1.5;
+  int zeros = 0;
+  constexpr int n = 300000;
+  for (int i = 0; i < n; ++i) zeros += sample_poisson(rng, mean) == 0;
+  EXPECT_NEAR(static_cast<double>(zeros) / n, std::exp(-mean), 3e-3);
+}
+
+TEST(Geometric, MeanMatchesFailureLaw) {
+  // E[X] = q/(1-q) for P[X=n] = (1-q)q^n.
+  Rng rng(9);
+  for (const double q : {0.2, 0.5, 0.9}) {
+    double sum = 0.0;
+    constexpr int n = 300000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(sample_geometric(rng, q));
+    EXPECT_NEAR(sum / n, q / (1.0 - q), 0.03 * (q / (1.0 - q)) + 0.01);
+  }
+}
+
+TEST(Geometric, ZeroParameterAlwaysZero) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_geometric(rng, 0.0), 0u);
+}
+
+TEST(Geometric, PointMassProbabilities) {
+  Rng rng(11);
+  const double q = 0.6;
+  int zero = 0, one = 0;
+  constexpr int n = 300000;
+  for (int i = 0; i < n; ++i) {
+    const auto x = sample_geometric(rng, q);
+    zero += x == 0;
+    one += x == 1;
+  }
+  EXPECT_NEAR(static_cast<double>(zero) / n, 1.0 - q, 4e-3);
+  EXPECT_NEAR(static_cast<double>(one) / n, (1.0 - q) * q, 4e-3);
+}
+
+TEST(Binomial, MomentsMatch) {
+  Rng rng(12);
+  const int trials = 10;
+  const double p = 0.3;
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const auto x = static_cast<double>(sample_binomial_small(rng, trials, p));
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, trials * p, 0.02);
+  EXPECT_NEAR(sumsq / n - mean * mean, trials * p * (1 - p), 0.05);
+}
+
+TEST(Binomial, EdgeProbabilities) {
+  Rng rng(13);
+  EXPECT_EQ(sample_binomial_small(rng, 5, 0.0), 0);
+  EXPECT_EQ(sample_binomial_small(rng, 5, 1.0), 5);
+  EXPECT_EQ(sample_binomial_small(rng, 0, 0.5), 0);
+}
+
+}  // namespace
+}  // namespace routesim

@@ -1,0 +1,116 @@
+// Integration tests for the paper's central comparison machinery:
+// Lemma 10 / Proposition 11 on the full hypercube network Q — coupled
+// FIFO vs PS sample paths — and the Prop. 12 consequence N_FIFO <= N_PS.
+
+#include <gtest/gtest.h>
+
+#include "core/equivalence.hpp"
+#include "queueing/levelled_network.hpp"
+#include "queueing/product_form.hpp"
+
+namespace routesim {
+namespace {
+
+struct CoupledRun {
+  LevelledNetwork fifo;
+  LevelledNetwork ps;
+
+  CoupledRun(int d, double lambda, double p, std::uint64_t seed)
+      : fifo(make_hypercube_network_q(d, lambda, p, Discipline::kFifo, seed)),
+        ps(make_hypercube_network_q(d, lambda, p, Discipline::kPs, seed)) {}
+};
+
+// Lemma 10: B(t) >= B~(t) for all t on the coupled path, for the *full*
+// network Q (not just the 3-server example).
+class Lemma10Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma10Property, DepartureCountsDominateOnNetworkQ) {
+  const int d = 4;
+  const double lambda = 1.4, p = 0.5;  // rho = 0.7
+  CoupledRun run(d, lambda, p, GetParam());
+
+  std::vector<double> checkpoints;
+  for (int i = 1; i <= 150; ++i) checkpoints.push_back(20.0 * i);
+  run.fifo.set_checkpoints(checkpoints);
+  run.ps.set_checkpoints(checkpoints);
+  run.fifo.run(0.0, 3001.0);
+  run.ps.run(0.0, 3001.0);
+
+  const auto& b_fifo = run.fifo.checkpoint_departures();
+  const auto& b_ps = run.ps.checkpoint_departures();
+  for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+    EXPECT_GE(b_fifo[i], b_ps[i]) << "t = " << checkpoints[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma10Property,
+                         ::testing::Values(101u, 102u, 103u, 104u, 105u, 106u));
+
+TEST(Prop11, MeanPopulationFifoBelowPs) {
+  // N(t) <=_st N~(t) implies the time averages are ordered.
+  const int d = 5;
+  const double lambda = 1.6, p = 0.5;  // rho = 0.8
+  CoupledRun run(d, lambda, p, 777);
+  run.fifo.run(500.0, 30500.0);
+  run.ps.run(500.0, 30500.0);
+  EXPECT_LE(run.fifo.time_avg_population(), run.ps.time_avg_population() * 1.02);
+}
+
+TEST(Prop11, MeanDelayFifoBelowPs) {
+  const int d = 5;
+  const double lambda = 1.6, p = 0.5;
+  CoupledRun run(d, lambda, p, 888);
+  run.fifo.run(500.0, 30500.0);
+  run.ps.run(500.0, 30500.0);
+  EXPECT_LE(run.fifo.delay().mean(), run.ps.delay().mean() * 1.02);
+}
+
+TEST(Prop12Mechanism, PsPopulationMatchesProductForm) {
+  // The PS network Q~ is product-form with every server at utilisation rho:
+  // N~ = d 2^d rho/(1-rho) (proof of Prop. 12).
+  const int d = 4;
+  const double lambda = 1.2, p = 0.5;  // rho = 0.6
+  LevelledNetwork ps(make_hypercube_network_q(d, lambda, p, Discipline::kPs, 999));
+  ps.run(1000.0, 61000.0);
+  const double expected = hypercube_ps_mean_population(d, lambda * p);
+  EXPECT_NEAR(ps.time_avg_population() / expected, 1.0, 0.05);
+}
+
+TEST(Prop12Mechanism, FifoPopulationBelowProductForm) {
+  // Combining Prop. 11 with the product form: the FIFO population is below
+  // d 2^d rho/(1-rho), which is exactly how Prop. 12 is proved.
+  const int d = 5;
+  const double lambda = 1.8, p = 0.5;  // rho = 0.9 (heavy traffic)
+  LevelledNetwork fifo(make_hypercube_network_q(d, lambda, p, Discipline::kFifo, 555));
+  fifo.run(2000.0, 82000.0);
+  const double bound = hypercube_ps_mean_population(d, lambda * p);
+  EXPECT_LE(fifo.time_avg_population(), bound * 1.03);
+}
+
+TEST(Prop11Butterfly, DominanceHoldsOnNetworkR) {
+  const int d = 3;
+  const double lambda = 1.2, p = 0.4;
+  LevelledNetwork fifo(make_butterfly_network_r(d, lambda, p, Discipline::kFifo, 246));
+  LevelledNetwork ps(make_butterfly_network_r(d, lambda, p, Discipline::kPs, 246));
+  std::vector<double> checkpoints;
+  for (int i = 1; i <= 100; ++i) checkpoints.push_back(30.0 * i);
+  fifo.set_checkpoints(checkpoints);
+  ps.set_checkpoints(checkpoints);
+  fifo.run(0.0, 3001.0);
+  ps.run(0.0, 3001.0);
+  for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+    EXPECT_GE(fifo.checkpoint_departures()[i], ps.checkpoint_departures()[i]);
+  }
+}
+
+TEST(Prop17Mechanism, ButterflyPsPopulationMatchesEquation21) {
+  const int d = 3;
+  const double lambda = 1.0, p = 0.3;
+  LevelledNetwork ps(make_butterfly_network_r(d, lambda, p, Discipline::kPs, 135));
+  ps.run(1000.0, 81000.0);
+  const double expected = butterfly_ps_mean_population(d, lambda, p);
+  EXPECT_NEAR(ps.time_avg_population() / expected, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace routesim

@@ -1,0 +1,120 @@
+// Tests for the stable binary-heap pending-event set.
+
+#include "des/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue<int> queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> queue;
+  queue.push(3.0, 3);
+  queue.push(1.0, 1);
+  queue.push(2.0, 2);
+  EXPECT_EQ(queue.pop().payload, 1);
+  EXPECT_EQ(queue.pop().payload, 2);
+  EXPECT_EQ(queue.pop().payload, 3);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  // FIFO among simultaneous events: critical for the greedy scheme's
+  // "priority to the packet that arrived first" rule.
+  EventQueue<int> queue;
+  for (int i = 0; i < 100; ++i) queue.push(5.0, i);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(queue.pop().payload, i);
+}
+
+TEST(EventQueue, MixedTimesAndTies) {
+  EventQueue<int> queue;
+  queue.push(2.0, 20);
+  queue.push(1.0, 10);
+  queue.push(2.0, 21);
+  queue.push(1.0, 11);
+  queue.push(0.5, 5);
+  EXPECT_EQ(queue.pop().payload, 5);
+  EXPECT_EQ(queue.pop().payload, 10);
+  EXPECT_EQ(queue.pop().payload, 11);
+  EXPECT_EQ(queue.pop().payload, 20);
+  EXPECT_EQ(queue.pop().payload, 21);
+}
+
+TEST(EventQueue, TopDoesNotRemove) {
+  EventQueue<int> queue;
+  queue.push(1.0, 1);
+  EXPECT_EQ(queue.top().payload, 1);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue<int> queue;
+  queue.push(1.0, 1);
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.pushed(), 0u);
+}
+
+TEST(EventQueue, PushedCountsAllInsertions) {
+  EventQueue<int> queue;
+  for (int i = 0; i < 10; ++i) queue.push(1.0, i);
+  (void)queue.pop();
+  EXPECT_EQ(queue.pushed(), 10u);
+}
+
+TEST(EventQueue, RandomStressSortsCorrectly) {
+  EventQueue<int> queue;
+  Rng rng(17);
+  std::vector<double> times;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.uniform() * 1000.0;
+    times.push_back(t);
+    queue.push(t, i);
+  }
+  std::sort(times.begin(), times.end());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(queue.pop().time, times[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue<int> queue;
+  Rng rng(23);
+  double last = -1.0;
+  int pending = 0;
+  for (int round = 0; round < 5000; ++round) {
+    if (pending == 0 || rng.bernoulli(0.6)) {
+      // Schedule at or after the last popped time (simulator discipline).
+      queue.push(last + rng.uniform() * 10.0, round);
+      ++pending;
+    } else {
+      const auto event = queue.pop();
+      EXPECT_GE(event.time, last);
+      last = event.time;
+      --pending;
+    }
+  }
+}
+
+TEST(EventQueue, MovesLargePayloads) {
+  EventQueue<std::vector<int>> queue;
+  queue.push(1.0, std::vector<int>(1000, 7));
+  const auto event = queue.pop();
+  EXPECT_EQ(event.payload.size(), 1000u);
+  EXPECT_EQ(event.payload.front(), 7);
+}
+
+}  // namespace
+}  // namespace routesim

@@ -1,0 +1,169 @@
+// Tests for the greedy butterfly simulator (§4).
+
+#include "routing/greedy_butterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "util/assert.hpp"
+
+namespace routesim {
+namespace {
+
+GreedyButterflyConfig make_config(int d, double lambda, double p, std::uint64_t seed) {
+  GreedyButterflyConfig config;
+  config.d = d;
+  config.lambda = lambda;
+  config.destinations = DestinationDistribution::bit_flip(d, p);
+  config.seed = seed;
+  return config;
+}
+
+TEST(GreedyButterfly, SinglePacketTakesExactlyDSteps) {
+  // With no contention every packet crosses d arcs: delay = d.
+  PacketTrace trace;
+  trace.dimension = 4;
+  trace.packets = {TracedPacket{1.0, 0b0000, 0b1010}};
+  GreedyButterflyConfig config;
+  config.d = 4;
+  config.destinations = DestinationDistribution::uniform(4);
+  config.trace = &trace;
+  GreedyButterflySim sim(config);
+  sim.run(0.0, 100.0);
+  EXPECT_EQ(sim.delay().count(), 1u);
+  EXPECT_DOUBLE_EQ(sim.delay().mean(), 4.0);
+  EXPECT_DOUBLE_EQ(sim.vertical_hops().mean(), 2.0);
+}
+
+TEST(GreedyButterfly, SameRowStillCrossesAllLevels) {
+  PacketTrace trace;
+  trace.dimension = 3;
+  trace.packets = {TracedPacket{0.0, 5, 5}};
+  GreedyButterflyConfig config;
+  config.d = 3;
+  config.destinations = DestinationDistribution::uniform(3);
+  config.trace = &trace;
+  GreedyButterflySim sim(config);
+  sim.run(0.0, 50.0);
+  EXPECT_DOUBLE_EQ(sim.delay().mean(), 3.0);  // all straight, but still d arcs
+  EXPECT_DOUBLE_EQ(sim.vertical_hops().mean(), 0.0);
+}
+
+TEST(GreedyButterfly, DelayAtLeastD) {
+  GreedyButterflySim sim(make_config(5, 0.6, 0.5, 3));
+  sim.run(100.0, 5100.0);
+  EXPECT_GE(sim.delay().min(), 5.0 - 1e-9);
+}
+
+TEST(GreedyButterfly, MeanVerticalHopsIsDp) {
+  GreedyButterflySim sim(make_config(6, 0.5, 0.3, 5));
+  sim.run(200.0, 20200.0);
+  EXPECT_NEAR(sim.vertical_hops().mean(), 6 * 0.3, 0.05);
+}
+
+TEST(GreedyButterfly, LittleLawSelfConsistency) {
+  GreedyButterflySim sim(make_config(5, 0.9, 0.5, 7));
+  sim.run(500.0, 30500.0);
+  EXPECT_TRUE(sim.little_check().consistent(0.03))
+      << "relative error " << sim.little_check().relative_error();
+}
+
+TEST(GreedyButterfly, DelayWithinPaperBounds) {
+  // Prop. 14 <= T <= Prop. 17.
+  bounds::ButterflyParams params{5, 1.0, 0.5};  // rho = 0.5
+  GreedyButterflySim sim(make_config(5, 1.0, 0.5, 11));
+  sim.run(500.0, 40500.0);
+  EXPECT_GE(sim.delay().mean(),
+            bounds::bfly_universal_delay_lower_bound(params) * 0.98);
+  EXPECT_LE(sim.delay().mean(), bounds::bfly_greedy_delay_upper_bound(params) * 1.02);
+}
+
+TEST(GreedyButterfly, ExactDelayAtExtremes) {
+  // p = 0 (all straight) and p = 1 (all vertical): packets from different
+  // origins use disjoint arcs, each origin's stream is M/D/1 at its level-1
+  // arc and spaced >= 1 afterwards, so T = d + W_q(M/D/1).
+  for (const double p : {0.0, 1.0}) {
+    const int d = 4;
+    const double lambda = 0.6;
+    GreedyButterflySim sim(make_config(d, lambda, p, 13));
+    sim.run(1000.0, 81000.0);
+    const double expected = d + lambda / (2.0 * (1.0 - lambda));
+    EXPECT_NEAR(sim.delay().mean(), expected, 0.05) << "p = " << p;
+  }
+}
+
+TEST(GreedyButterfly, SymmetricInPAndOneMinusP) {
+  // The network treats straight/vertical symmetrically: delays at p and 1-p
+  // match statistically.
+  GreedyButterflySim low(make_config(5, 1.0, 0.3, 17));
+  GreedyButterflySim high(make_config(5, 1.0, 0.7, 17));
+  low.run(500.0, 30500.0);
+  high.run(500.0, 30500.0);
+  EXPECT_NEAR(low.delay().mean(), high.delay().mean(),
+              0.02 * low.delay().mean());
+}
+
+TEST(GreedyButterfly, ThroughputMatchesOfferedLoad) {
+  GreedyButterflySim sim(make_config(5, 1.0, 0.5, 19));
+  sim.run(500.0, 20500.0);
+  EXPECT_NEAR(sim.throughput() / (1.0 * 32.0), 1.0, 0.03);
+}
+
+TEST(GreedyButterfly, LevelOccupancyTracked) {
+  auto config = make_config(4, 1.0, 0.5, 23);
+  config.track_level_occupancy = true;
+  GreedyButterflySim sim(config);
+  sim.run(500.0, 20500.0);
+  const auto& levels = sim.level_mean_occupancy();
+  ASSERT_EQ(levels.size(), 4u);
+  // Every level holds about 2^d * (rho_s/(1-rho_s)+rho_v/(1-rho_v)) / ...
+  // at least: it must be positive and bounded by the product-form estimate
+  // with slack.
+  for (const double occupancy : levels) {
+    EXPECT_GT(occupancy, 0.0);
+    EXPECT_LT(occupancy, 16.0 * 2.0 * 2.0);
+  }
+}
+
+TEST(GreedyButterfly, DeterministicForSeed) {
+  GreedyButterflySim a(make_config(4, 0.7, 0.4, 29));
+  GreedyButterflySim b(make_config(4, 0.7, 0.4, 29));
+  a.run(100.0, 2100.0);
+  b.run(100.0, 2100.0);
+  EXPECT_EQ(a.delay().count(), b.delay().count());
+  EXPECT_DOUBLE_EQ(a.delay().mean(), b.delay().mean());
+}
+
+TEST(GreedyButterfly, ConfigValidation) {
+  GreedyButterflyConfig mismatch;
+  mismatch.d = 5;
+  mismatch.destinations = DestinationDistribution::uniform(4);
+  EXPECT_THROW(GreedyButterflySim sim(mismatch), ContractViolation);
+
+  GreedyButterflyConfig bad_rate;
+  bad_rate.d = 4;
+  bad_rate.destinations = DestinationDistribution::uniform(4);
+  bad_rate.lambda = -1.0;
+  EXPECT_THROW(GreedyButterflySim sim(bad_rate), ContractViolation);
+}
+
+// Property sweep over asymmetric destination laws: the delay must respect
+// the Prop. 14 / Prop. 17 bracket for every p.
+class ButterflyBracketProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ButterflyBracketProperty, WithinBounds) {
+  const double p = GetParam();
+  const double lambda = 0.9;
+  bounds::ButterflyParams params{4, lambda, p};
+  GreedyButterflySim sim(make_config(4, lambda, p, 31));
+  sim.run(500.0, 40500.0);
+  EXPECT_GE(sim.delay().mean(),
+            bounds::bfly_universal_delay_lower_bound(params) * 0.97);
+  EXPECT_LE(sim.delay().mean(), bounds::bfly_greedy_delay_upper_bound(params) * 1.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlipProbabilities, ButterflyBracketProperty,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace routesim

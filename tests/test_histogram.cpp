@@ -1,0 +1,74 @@
+// Tests for the fixed-width histogram with tail/quantile estimation.
+
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 1.0, 10);
+  EXPECT_EQ(h.num_bins(), 10u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(9), 9.0);
+}
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram h(0.0, 1.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(1.0);   // bin 1 (left-closed)
+  h.add(4.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(2.0);
+  h.add(7.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, TailProbability) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  // 10 values per bin; P[X > 7] counts bins 7,8,9 -> 30%.
+  EXPECT_NEAR(h.tail_probability(7.0), 0.3, 1e-12);
+  EXPECT_NEAR(h.tail_probability(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(h.tail_probability(10.0), 0.0, 1e-12);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 0.01, 100);
+  Rng rng(6);
+  for (int i = 0; i < 200000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.01);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.01);
+  EXPECT_NEAR(h.quantile(0.99), 0.99, 0.01);
+}
+
+TEST(Histogram, QuantileRequiresData) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW((void)h.quantile(0.5), ContractViolation);
+  h.add(1.5);
+  EXPECT_THROW((void)h.quantile(-0.1), ContractViolation);
+  EXPECT_NO_THROW((void)h.quantile(1.0));
+}
+
+TEST(Histogram, ConstructorValidation) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, -1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace routesim

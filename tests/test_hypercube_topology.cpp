@@ -1,0 +1,142 @@
+// Tests for the d-cube topology and the canonical (greedy) paths of §3.
+
+#include "topology/hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(HypercubeTopology, CountsMatchPaper) {
+  const Hypercube cube(3);
+  EXPECT_EQ(cube.num_nodes(), 8u);
+  EXPECT_EQ(cube.num_arcs(), 24u);  // d * 2^d
+  EXPECT_EQ(cube.dimension(), 3);
+}
+
+TEST(HypercubeTopology, DimensionBoundsEnforced) {
+  EXPECT_THROW(Hypercube(0), ContractViolation);
+  EXPECT_THROW(Hypercube(27), ContractViolation);
+  EXPECT_NO_THROW(Hypercube(1));
+  EXPECT_NO_THROW(Hypercube(26));
+}
+
+TEST(HypercubeTopology, ArcIndexIsBijective) {
+  const Hypercube cube(5);
+  std::set<ArcId> seen;
+  for (int dim = 1; dim <= 5; ++dim) {
+    for (NodeId x = 0; x < cube.num_nodes(); ++x) {
+      const ArcId arc = cube.arc_index(x, dim);
+      EXPECT_LT(arc, cube.num_arcs());
+      EXPECT_TRUE(seen.insert(arc).second);
+      EXPECT_EQ(cube.arc_source(arc), x);
+      EXPECT_EQ(cube.arc_dimension(arc), dim);
+      EXPECT_EQ(cube.arc_target(arc), flip_dimension(x, dim));
+    }
+  }
+  EXPECT_EQ(seen.size(), cube.num_arcs());
+}
+
+TEST(HypercubeTopology, ArcsGroupedByDimension) {
+  // Arc indexing doubles as the level index of network Q: all dimension-1
+  // arcs precede all dimension-2 arcs, etc.
+  const Hypercube cube(4);
+  for (int dim = 1; dim < 4; ++dim) {
+    for (NodeId x = 0; x < cube.num_nodes(); ++x) {
+      EXPECT_LT(cube.arc_index(x, dim), cube.arc_index(0, dim + 1));
+    }
+  }
+}
+
+TEST(HypercubeTopology, ArcsConnectHammingNeighbours) {
+  const Hypercube cube(6);
+  for (ArcId arc = 0; arc < cube.num_arcs(); ++arc) {
+    EXPECT_EQ(cube.distance(cube.arc_source(arc), cube.arc_target(arc)), 1);
+  }
+}
+
+TEST(HypercubeTopology, PaperPathExample) {
+  // §3: identity (1,0,1,1) is node 0b1011; a packet from (0,0,0,0) crosses
+  // dimensions 1, 2, 4 in increasing order:
+  // (0,0,0,0) -> (0,0,0,1) -> (0,0,1,1) -> (1,0,1,1).
+  const Hypercube cube(4);
+  const NodeId origin = 0b0000;
+  const NodeId dest = 0b1011;
+  const auto dims = cube.required_dimensions(origin, dest);
+  EXPECT_EQ(dims, (std::vector<int>{1, 2, 4}));
+
+  const auto path = cube.canonical_path(origin, dest);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(cube.arc_source(path[0]), 0b0000u);
+  EXPECT_EQ(cube.arc_target(path[0]), 0b0001u);
+  EXPECT_EQ(cube.arc_source(path[1]), 0b0001u);
+  EXPECT_EQ(cube.arc_target(path[1]), 0b0011u);
+  EXPECT_EQ(cube.arc_source(path[2]), 0b0011u);
+  EXPECT_EQ(cube.arc_target(path[2]), 0b1011u);
+}
+
+TEST(HypercubeTopology, CanonicalPathIsEmptyForSelf) {
+  const Hypercube cube(4);
+  EXPECT_TRUE(cube.canonical_path(9, 9).empty());
+  EXPECT_TRUE(cube.required_dimensions(9, 9).empty());
+}
+
+TEST(HypercubeTopology, NeighboursAreAllDistinctAtDistanceOne) {
+  const Hypercube cube(5);
+  for (NodeId x = 0; x < cube.num_nodes(); ++x) {
+    const auto neighbours = cube.neighbours(x);
+    ASSERT_EQ(neighbours.size(), 5u);
+    std::set<NodeId> unique(neighbours.begin(), neighbours.end());
+    EXPECT_EQ(unique.size(), 5u);
+    for (const NodeId y : neighbours) EXPECT_EQ(cube.distance(x, y), 1);
+  }
+}
+
+// Exhaustive property check over all origin/destination pairs of a 6-cube.
+class CanonicalPathProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanonicalPathProperty, ShortestIncreasingAndConsistent) {
+  const int d = GetParam();
+  const Hypercube cube(d);
+  for (NodeId x = 0; x < cube.num_nodes(); ++x) {
+    for (NodeId z = 0; z < cube.num_nodes(); ++z) {
+      const auto path = cube.canonical_path(x, z);
+      // Shortest: length equals the Hamming distance (§1.1).
+      ASSERT_EQ(path.size(), static_cast<std::size_t>(cube.distance(x, z)));
+      // Contiguous, starts at x, ends at z, dimensions strictly increasing.
+      NodeId cur = x;
+      int last_dim = 0;
+      for (const ArcId arc : path) {
+        ASSERT_EQ(cube.arc_source(arc), cur);
+        ASSERT_GT(cube.arc_dimension(arc), last_dim);
+        last_dim = cube.arc_dimension(arc);
+        cur = cube.arc_target(arc);
+      }
+      ASSERT_EQ(cur, z);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallCubes, CanonicalPathProperty, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(HypercubeTopology, AntipodalPathsOfDifferentOriginsAreArcDisjoint) {
+  // End of §3.3: at p = 1 every packet goes to the complement of its origin
+  // and canonical paths from different origins are arc-disjoint.
+  const int d = 5;
+  const Hypercube cube(d);
+  std::set<ArcId> used;
+  for (NodeId x = 0; x < cube.num_nodes(); ++x) {
+    for (const ArcId arc : cube.canonical_path(x, antipode(x, d))) {
+      EXPECT_TRUE(used.insert(arc).second) << "arc shared between antipodal paths";
+    }
+  }
+  // d arcs per path, 2^d paths: all d*2^d arcs are used exactly once.
+  EXPECT_EQ(used.size(), cube.num_arcs());
+}
+
+}  // namespace
+}  // namespace routesim

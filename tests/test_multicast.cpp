@@ -1,0 +1,90 @@
+// Tests for the §5 multicast extension (dimension-ordered multicast trees).
+
+#include "routing/multicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+namespace {
+
+MulticastConfig make_config(int d, double lambda, int fanout, std::uint64_t seed) {
+  MulticastConfig config;
+  config.d = d;
+  config.lambda = lambda;
+  config.fanout = fanout;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Multicast, FanoutOneBehavesLikeUnicast) {
+  GreedyMulticastSim sim(make_config(5, 0.1, 1, 1));
+  sim.run(200.0, 20200.0);
+  // Mean delay for a single uniform destination ~ a bit above d*p = 2.5.
+  EXPECT_GT(sim.delivery_delay().count(), 1000u);
+  EXPECT_NEAR(sim.delivery_delay().mean(), 2.6, 0.5);
+  // Completion == delivery when there is one destination.
+  EXPECT_NEAR(sim.completion_delay().mean(), sim.delivery_delay().mean(), 1e-9);
+}
+
+TEST(Multicast, EveryDestinationIsDelivered) {
+  GreedyMulticastSim sim(make_config(4, 0.05, 4, 3));
+  sim.run(100.0, 10100.0);
+  // k delivery observations per completed packet.
+  EXPECT_NEAR(static_cast<double>(sim.delivery_delay().count()) /
+                  static_cast<double>(sim.completion_delay().count()),
+              4.0, 0.05);
+}
+
+TEST(Multicast, TreeUsesFewerTransmissionsThanUnicasts) {
+  // The defining property of the multicast tree: shared path prefixes.
+  auto tree_config = make_config(6, 0.02, 8, 5);
+  auto unicast_config = tree_config;
+  unicast_config.unicast_baseline = true;
+
+  GreedyMulticastSim tree(tree_config);
+  GreedyMulticastSim unicast(unicast_config);
+  tree.run(200.0, 20200.0);
+  unicast.run(200.0, 20200.0);
+
+  EXPECT_LT(tree.transmissions_per_packet().mean(),
+            unicast.transmissions_per_packet().mean() * 0.92);
+  // Unicast transmissions ~ k * d * p = 8 * 3 = 24.
+  EXPECT_NEAR(unicast.transmissions_per_packet().mean(), 24.0, 1.5);
+}
+
+TEST(Multicast, TreeNeverExceedsArcCount) {
+  // A dimension-ordered tree uses each arc at most once per packet, and at
+  // most sum over dests of H(origin, dest) arcs.
+  GreedyMulticastSim sim(make_config(4, 0.02, 6, 7));
+  sim.run(100.0, 5100.0);
+  EXPECT_LE(sim.transmissions_per_packet().max(), 6.0 * 4.0);
+  EXPECT_GE(sim.transmissions_per_packet().mean(), 4.0);  // at least ~d
+}
+
+TEST(Multicast, CompletionDelayGrowsWithFanout) {
+  GreedyMulticastSim narrow(make_config(5, 0.02, 2, 9));
+  GreedyMulticastSim wide(make_config(5, 0.02, 16, 9));
+  narrow.run(100.0, 10100.0);
+  wide.run(100.0, 10100.0);
+  EXPECT_GT(wide.completion_delay().mean(), narrow.completion_delay().mean());
+}
+
+TEST(Multicast, DeterministicForSeed) {
+  GreedyMulticastSim a(make_config(4, 0.05, 3, 11));
+  GreedyMulticastSim b(make_config(4, 0.05, 3, 11));
+  a.run(100.0, 2100.0);
+  b.run(100.0, 2100.0);
+  EXPECT_EQ(a.delivery_delay().count(), b.delivery_delay().count());
+  EXPECT_DOUBLE_EQ(a.delivery_delay().mean(), b.delivery_delay().mean());
+}
+
+TEST(Multicast, ConfigValidation) {
+  EXPECT_THROW(GreedyMulticastSim sim(make_config(4, 0.0, 3, 1)), ContractViolation);
+  EXPECT_THROW(GreedyMulticastSim sim(make_config(4, 0.1, 0, 1)), ContractViolation);
+  EXPECT_THROW(GreedyMulticastSim sim(make_config(4, 0.1, 17, 1)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace routesim

@@ -1,0 +1,108 @@
+// Tests for the product-form network formulas of Propositions 12 / 17 and
+// the Chernoff tail bound behind the high-probability occupancy claims.
+
+#include "queueing/product_form.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(ProductForm, NetworkPopulationIsSumOfGeometricMeans) {
+  const std::vector<double> rho{0.5, 0.5, 0.9};
+  // 1 + 1 + 9 = 11.
+  EXPECT_NEAR(ps_network_mean_population(rho), 11.0, 1e-12);
+}
+
+TEST(ProductForm, EmptyNetworkHoldsNothing) {
+  EXPECT_DOUBLE_EQ(ps_network_mean_population(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(ps_network_mean_population(std::vector<double>{0.0, 0.0}), 0.0);
+}
+
+TEST(ProductForm, HypercubeMatchesPaperFormula) {
+  // N~ = d 2^d rho/(1-rho) (proof of Prop. 12).
+  EXPECT_NEAR(hypercube_ps_mean_population(3, 0.5), 3 * 8 * 1.0, 1e-12);
+  EXPECT_NEAR(hypercube_ps_mean_population(10, 0.9), 10 * 1024 * 9.0, 1e-9);
+}
+
+TEST(ProductForm, HypercubeDelayViaLittleEqualsProp12Bound) {
+  // T~ = N~/(lambda 2^d) = dp/(1-rho): the Prop. 12 upper bound *is* the
+  // product-form delay.
+  const int d = 8;
+  const double lambda = 1.2, p = 0.5;
+  const double rho = lambda * p;
+  const double population = hypercube_ps_mean_population(d, rho);
+  const double delay = population / (lambda * std::ldexp(1.0, d));
+  EXPECT_NEAR(delay, d * p / (1.0 - rho), 1e-12);
+}
+
+TEST(ProductForm, ButterflyMatchesEquation21) {
+  // N~ = d 2^d [lambda p/(1-lambda p) + lambda(1-p)/(1-lambda(1-p))].
+  const int d = 4;
+  const double lambda = 0.8, p = 0.25;
+  const double expected =
+      d * 16.0 *
+      (lambda * p / (1 - lambda * p) + lambda * (1 - p) / (1 - lambda * (1 - p)));
+  EXPECT_NEAR(butterfly_ps_mean_population(d, lambda, p), expected, 1e-12);
+}
+
+TEST(ProductForm, ButterflySymmetricInP) {
+  EXPECT_NEAR(butterfly_ps_mean_population(5, 0.7, 0.3),
+              butterfly_ps_mean_population(5, 0.7, 0.7), 1e-12);
+}
+
+TEST(Chernoff, BoundIsAProbability) {
+  for (const double eps : {0.05, 0.2, 1.0}) {
+    const double bound = geometric_sum_chernoff_tail(100.0, 0.5, eps);
+    EXPECT_GT(bound, 0.0);
+    EXPECT_LE(bound, 1.0);
+  }
+}
+
+TEST(Chernoff, DecaysExponentiallyInM) {
+  const double small = geometric_sum_chernoff_tail(10.0, 0.5, 0.5);
+  const double large = geometric_sum_chernoff_tail(1000.0, 0.5, 0.5);
+  EXPECT_LT(large, small);
+  EXPECT_LT(large, 1e-10);  // "with high probability" at d 2^d scale
+}
+
+TEST(Chernoff, TighterForLargerEps) {
+  const double loose = geometric_sum_chernoff_tail(100.0, 0.5, 0.1);
+  const double tight = geometric_sum_chernoff_tail(100.0, 0.5, 1.0);
+  EXPECT_LT(tight, loose);
+}
+
+TEST(Chernoff, BoundDominatesEmpiricalTail) {
+  // Monte-Carlo check: the bound upper-bounds the observed frequency of
+  // {sum of m geometrics > m mu (1+eps)}.
+  Rng rng(21);
+  const double rho = 0.6, eps = 0.3;
+  const int m = 50;
+  const double threshold = m * (rho / (1 - rho)) * (1 + eps);
+  int exceed = 0;
+  constexpr int trials = 20000;
+  for (int trial = 0; trial < trials; ++trial) {
+    double sum = 0.0;
+    for (int i = 0; i < m; ++i) sum += static_cast<double>(sample_geometric(rng, rho));
+    exceed += sum > threshold;
+  }
+  const double empirical = static_cast<double>(exceed) / trials;
+  EXPECT_LE(empirical, geometric_sum_chernoff_tail(m, rho, eps) + 0.01);
+}
+
+TEST(Chernoff, RejectsBadParameters) {
+  EXPECT_THROW((void)geometric_sum_chernoff_tail(0.0, 0.5, 0.1), ContractViolation);
+  EXPECT_THROW((void)geometric_sum_chernoff_tail(10.0, 0.0, 0.1), ContractViolation);
+  EXPECT_THROW((void)geometric_sum_chernoff_tail(10.0, 1.0, 0.1), ContractViolation);
+  EXPECT_THROW((void)geometric_sum_chernoff_tail(10.0, 0.5, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace routesim

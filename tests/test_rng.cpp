@@ -1,0 +1,134 @@
+// Tests for the xoshiro256** generator and deterministic stream derivation.
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace routesim {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng.next());
+  rng.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformPosNeverZero) {
+  Rng rng(99);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform_pos();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(4242);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int n = 1000000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sumsq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 2e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 2e-3);
+}
+
+TEST(Rng, UniformBelowRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {2ull, 3ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_below(bound), bound);
+  }
+}
+
+TEST(Rng, UniformBelowBoundOneIsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_below(1), 0u);
+  EXPECT_EQ(rng.uniform_below(0), 0u);
+}
+
+TEST(Rng, UniformBelowIsApproximatelyUniform) {
+  Rng rng(31337);
+  constexpr std::uint64_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_below(bound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesProbability) {
+  Rng rng(8);
+  int hits = 0;
+  constexpr int n = 500000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 5e-3);
+}
+
+TEST(Rng, SplitMix64KnownValues) {
+  // Reference values from the SplitMix64 reference implementation with
+  // state 0: first output is 0xE220A8397B1DCDAF.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(splitmix64(state), 0x6E789E6AA1B965F4ull);
+}
+
+TEST(Rng, DeriveStreamProducesDistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t stream = 0; stream < 10000; ++stream) {
+    seeds.insert(derive_stream(42, stream));
+  }
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(Rng, DeriveStreamDependsOnMaster) {
+  EXPECT_NE(derive_stream(1, 0), derive_stream(2, 0));
+}
+
+TEST(Rng, DerivedStreamsAreUncorrelated) {
+  Rng a(derive_stream(7, 0)), b(derive_stream(7, 1));
+  // Crude independence check: correlation of uniforms near zero.
+  double sum_ab = 0, sum_a = 0, sum_b = 0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double ua = a.uniform(), ub = b.uniform();
+    sum_ab += ua * ub;
+    sum_a += ua;
+    sum_b += ub;
+  }
+  const double cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+  EXPECT_NEAR(cov, 0.0, 2e-3);
+}
+
+}  // namespace
+}  // namespace routesim

@@ -1,0 +1,91 @@
+// Integration tests for the top-level façade: replicated delay estimates
+// land inside the paper's brackets with calibrated confidence intervals.
+
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(Facade, WindowHeuristicScalesWithLoadAndDimension) {
+  const auto light = Window::for_load(4, 0.2, 1000.0);
+  const auto heavy = Window::for_load(4, 0.95, 1000.0);
+  const auto big = Window::for_load(12, 0.2, 1000.0);
+  EXPECT_LT(light.warmup, heavy.warmup);
+  EXPECT_LT(light.warmup, big.warmup);
+  EXPECT_DOUBLE_EQ(light.horizon - light.warmup, 1000.0);
+  EXPECT_THROW((void)Window::for_load(4, 1.0, 100.0), ContractViolation);
+}
+
+TEST(Facade, HypercubeEstimateWithinBrackets) {
+  bounds::HypercubeParams params{6, 1.2, 0.5};  // rho = 0.6
+  const auto window = Window::for_load(params.d, 0.6, 8000.0);
+  const auto estimate = estimate_hypercube_delay(params, window, {8, 2024, 0});
+  EXPECT_GE(estimate.delay.mean, estimate.lower_bound * 0.97);
+  EXPECT_LE(estimate.delay.mean, estimate.upper_bound * 1.03);
+  EXPECT_DOUBLE_EQ(estimate.lower_bound, bounds::greedy_delay_lower_bound(params));
+  EXPECT_DOUBLE_EQ(estimate.upper_bound, bounds::greedy_delay_upper_bound(params));
+  EXPECT_LT(estimate.max_little_error, 0.05);
+  EXPECT_NEAR(estimate.mean_hops, 3.0, 0.05);
+  EXPECT_GT(estimate.delay.half_width, 0.0);
+}
+
+TEST(Facade, HypercubeThroughputMatchesOfferedLoad) {
+  bounds::HypercubeParams params{5, 1.0, 0.5};
+  const auto window = Window::for_load(params.d, 0.5, 5000.0);
+  const auto estimate = estimate_hypercube_delay(params, window, {6, 7, 0});
+  EXPECT_NEAR(estimate.throughput.mean / (1.0 * 32.0), 1.0, 0.03);
+}
+
+TEST(Facade, ButterflyEstimateWithinBrackets) {
+  bounds::ButterflyParams params{5, 1.0, 0.5};  // rho = 0.5
+  const auto window = Window::for_load(params.d, 0.5, 8000.0);
+  const auto estimate = estimate_butterfly_delay(params, window, {8, 99, 0});
+  EXPECT_GE(estimate.delay.mean, estimate.lower_bound * 0.97);
+  EXPECT_LE(estimate.delay.mean, estimate.upper_bound * 1.03);
+  EXPECT_LT(estimate.max_little_error, 0.05);
+}
+
+TEST(Facade, SlottedEstimateRespectsSlottedBound) {
+  bounds::HypercubeParams params{5, 1.0, 0.5};
+  const auto window = Window::for_load(params.d, 0.5, 6000.0);
+  const auto estimate =
+      estimate_hypercube_delay(params, window, {6, 11, 0}, /*tau=*/0.5);
+  EXPECT_DOUBLE_EQ(estimate.upper_bound,
+                   bounds::slotted_delay_upper_bound(params, 0.5));
+  EXPECT_LE(estimate.delay.mean, estimate.upper_bound * 1.03);
+}
+
+TEST(Facade, NetworkQEstimateMatchesPacketLevel) {
+  bounds::HypercubeParams params{5, 1.0, 0.5};
+  const auto window = Window::for_load(params.d, 0.5, 8000.0);
+  const auto direct = estimate_hypercube_delay(params, window, {6, 31, 0});
+  const auto via_q = estimate_network_q_delay(params, window, {6, 31, 0},
+                                              /*processor_sharing=*/false);
+  EXPECT_NEAR(via_q.delay.mean / direct.delay.mean, 1.0, 0.05);
+}
+
+TEST(Facade, PsNetworkDelayNearProductFormPrediction) {
+  // Under PS the network is product-form: T~ = dp/(1-rho) exactly (within
+  // simulation noise) — the Prop. 12 upper bound is tight for Q~.
+  bounds::HypercubeParams params{5, 1.0, 0.5};  // dp/(1-rho) = 5
+  const auto window = Window::for_load(params.d, 0.5, 12000.0);
+  const auto estimate = estimate_network_q_delay(params, window, {8, 47, 0},
+                                                 /*processor_sharing=*/true);
+  EXPECT_NEAR(estimate.delay.mean, bounds::greedy_delay_upper_bound(params), 0.15);
+}
+
+TEST(Facade, DeterministicForPlanSeed) {
+  bounds::HypercubeParams params{4, 0.8, 0.5};
+  const auto window = Window::for_load(params.d, 0.4, 1000.0);
+  const auto a = estimate_hypercube_delay(params, window, {4, 5, 1});
+  const auto b = estimate_hypercube_delay(params, window, {4, 5, 4});
+  EXPECT_DOUBLE_EQ(a.delay.mean, b.delay.mean);
+  EXPECT_DOUBLE_EQ(a.population.mean, b.population.mean);
+}
+
+}  // namespace
+}  // namespace routesim

@@ -1,0 +1,149 @@
+// Tests for Summary (Welford) and TimeWeighted accumulators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/little.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeavg.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(Summary, EmptyDefaults) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(Summary, SingleObservation) {
+  Summary s;
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Summary all, left, right;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10.0 - 3.0;
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  Summary s, empty;
+  s.add(1.0);
+  s.add(2.0);
+  const double mean = s.mean();
+  s.merge(empty);
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  empty.merge(s);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Summary, StdErrorScalesWithSqrtN) {
+  Summary s;
+  for (int i = 0; i < 100; ++i) s.add(i % 2 == 0 ? 1.0 : -1.0);
+  // variance ~ 1.0101..., stderr ~ sqrt(var/100)
+  EXPECT_NEAR(s.std_error(), std::sqrt(s.variance() / 100.0), 1e-12);
+}
+
+TEST(TimeWeighted, PiecewiseConstantIntegral) {
+  TimeWeighted tw;
+  tw.update(0.0, 2.0);  // value 2 on [0, 3)
+  tw.update(3.0, 5.0);  // value 5 on [3, 7)
+  tw.update(7.0, 0.0);  // value 0 on [7, 10]
+  EXPECT_DOUBLE_EQ(tw.integral(10.0), 2.0 * 3 + 5.0 * 4);
+  EXPECT_DOUBLE_EQ(tw.mean(10.0), 26.0 / 10.0);
+}
+
+TEST(TimeWeighted, AddAccumulatesDeltas) {
+  TimeWeighted tw;
+  tw.add(0.0, +1.0);
+  tw.add(1.0, +1.0);
+  tw.add(2.0, -2.0);
+  EXPECT_DOUBLE_EQ(tw.value(), 0.0);
+  EXPECT_DOUBLE_EQ(tw.integral(3.0), 1.0 * 1 + 2.0 * 1);
+}
+
+TEST(TimeWeighted, ResetStartsNewWindow) {
+  TimeWeighted tw;
+  tw.update(0.0, 10.0);
+  tw.reset(5.0);  // discard [0,5); keep current value 10
+  tw.update(7.0, 0.0);
+  EXPECT_DOUBLE_EQ(tw.integral(9.0), 10.0 * 2);
+  EXPECT_DOUBLE_EQ(tw.mean(9.0), 20.0 / 4.0);
+}
+
+TEST(TimeWeighted, PeakTracksMaximumSinceReset) {
+  TimeWeighted tw;
+  tw.update(0.0, 9.0);
+  tw.update(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.peak(), 9.0);
+  tw.reset(2.0);
+  EXPECT_DOUBLE_EQ(tw.peak(), 3.0);
+  tw.update(3.0, 6.0);
+  EXPECT_DOUBLE_EQ(tw.peak(), 6.0);
+}
+
+TEST(TimeWeighted, RejectsTimeTravel) {
+  TimeWeighted tw;
+  tw.update(5.0, 1.0);
+  EXPECT_THROW(tw.update(4.0, 2.0), ContractViolation);
+}
+
+TEST(TimeWeighted, EmptyWindowMeanIsZero) {
+  TimeWeighted tw;
+  tw.update(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.mean(0.0), 0.0);
+}
+
+TEST(Little, ExactTripleIsConsistent) {
+  LittleCheck check{2.0, 0.5, 4.0};
+  EXPECT_DOUBLE_EQ(check.relative_error(), 0.0);
+  EXPECT_TRUE(check.consistent());
+}
+
+TEST(Little, DetectsInconsistency) {
+  LittleCheck check{2.0, 0.5, 8.0};  // L=2 but lambda*W=4
+  EXPECT_NEAR(check.relative_error(), 0.5, 1e-12);
+  EXPECT_FALSE(check.consistent(0.05));
+  EXPECT_TRUE(check.consistent(0.6));
+}
+
+TEST(Little, AllZeroIsConsistent) {
+  LittleCheck check{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(check.relative_error(), 0.0);
+  EXPECT_TRUE(check.consistent());
+}
+
+}  // namespace
+}  // namespace routesim

@@ -1,0 +1,89 @@
+// Tests for packet-trace generation and replay determinism.
+
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(Trace, GeneratedTraceIsSortedAndInRange) {
+  const auto dist = DestinationDistribution::uniform(5);
+  const auto trace = generate_hypercube_trace(5, 0.3, dist, 1000.0, 11);
+  EXPECT_EQ(trace.dimension, 5);
+  EXPECT_DOUBLE_EQ(trace.rate_per_node, 0.3);
+  double last = 0.0;
+  for (const auto& packet : trace.packets) {
+    EXPECT_GE(packet.time, last);
+    EXPECT_LE(packet.time, 1000.0);
+    EXPECT_LT(packet.origin, 32u);
+    EXPECT_LT(packet.destination, 32u);
+    last = packet.time;
+  }
+  EXPECT_DOUBLE_EQ(trace.horizon(), last);
+}
+
+TEST(Trace, CountMatchesRate) {
+  const auto dist = DestinationDistribution::uniform(6);
+  const auto trace = generate_hypercube_trace(6, 0.2, dist, 5000.0, 12);
+  // Expected 64 * 0.2 * 5000 = 64000 packets.
+  EXPECT_NEAR(static_cast<double>(trace.size()), 64000.0, 4.0 * 253.0);
+}
+
+TEST(Trace, DeterministicForSeed) {
+  const auto dist = DestinationDistribution::bit_flip(4, 0.3);
+  const auto a = generate_hypercube_trace(4, 0.5, dist, 200.0, 99);
+  const auto b = generate_hypercube_trace(4, 0.5, dist, 200.0, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.packets[i].time, b.packets[i].time);
+    EXPECT_EQ(a.packets[i].origin, b.packets[i].origin);
+    EXPECT_EQ(a.packets[i].destination, b.packets[i].destination);
+  }
+}
+
+TEST(Trace, DifferentSeedsDiffer) {
+  const auto dist = DestinationDistribution::uniform(4);
+  const auto a = generate_hypercube_trace(4, 0.5, dist, 200.0, 1);
+  const auto b = generate_hypercube_trace(4, 0.5, dist, 200.0, 2);
+  ASSERT_FALSE(a.packets.empty());
+  ASSERT_FALSE(b.packets.empty());
+  EXPECT_NE(a.packets.front().time, b.packets.front().time);
+}
+
+TEST(Trace, DestinationFrequenciesFollowDistribution) {
+  const auto dist = DestinationDistribution::bit_flip(3, 0.25);
+  const auto trace = generate_hypercube_trace(3, 1.0, dist, 30000.0, 13);
+  std::vector<int> mask_counts(8, 0);
+  for (const auto& packet : trace.packets) {
+    ++mask_counts[packet.origin ^ packet.destination];
+  }
+  const auto total = static_cast<double>(trace.size());
+  for (NodeId mask = 0; mask < 8; ++mask) {
+    EXPECT_NEAR(mask_counts[mask] / total, dist.mask_probability(mask), 5e-3);
+  }
+}
+
+TEST(Trace, ButterflyTraceUsesRows) {
+  const auto dist = DestinationDistribution::uniform(4);
+  const auto trace = generate_butterfly_trace(4, 0.4, dist, 500.0, 14);
+  for (const auto& packet : trace.packets) {
+    EXPECT_LT(packet.origin, 16u);
+    EXPECT_LT(packet.destination, 16u);
+  }
+}
+
+TEST(Trace, EmptyOnZeroHorizonRejected) {
+  const auto dist = DestinationDistribution::uniform(4);
+  EXPECT_THROW((void)generate_hypercube_trace(4, 0.5, dist, 0.0, 1),
+               ContractViolation);
+  EXPECT_THROW((void)generate_hypercube_trace(4, 0.0, dist, 10.0, 1),
+               ContractViolation);
+  EXPECT_THROW((void)generate_hypercube_trace(5, 0.5, dist, 10.0, 1),
+               ContractViolation);  // dimension mismatch
+}
+
+}  // namespace
+}  // namespace routesim
