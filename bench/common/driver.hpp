@@ -1,0 +1,127 @@
+#pragma once
+/// \file driver.hpp
+/// \brief Declarative bench harness over the Scenario API: a bench binary
+///        is a table of named `Scenario`s plus its experiment-specific
+///        checks.
+///
+/// Each added case is run through routesim::run(); the driver prints one
+/// aligned row per case (simulated delay between the paper's bounds, plus
+/// any scheme-specific extra metrics), applies the two standard acceptance
+/// checks uniformly (bracket containment and Little's-law consistency),
+/// and handles the shared CLI surface (`--json PATH` reports).  Custom
+/// shape checks go through checker()/outcomes().
+///
+/// Header-only, like table.hpp: build/bench holds only executables.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/scenario.hpp"
+
+namespace benchdrive {
+
+/// One experiment point: a label, a scenario, and which of the standard
+/// checks apply to it.
+struct Case {
+  std::string label;
+  routesim::Scenario scenario;
+  bool check_bracket = true;   ///< delay within [LB, UB] (when bounds exist)
+  bool check_little = true;    ///< Little's-law error below little_tol
+  double little_tol = 0.05;
+  double bracket_slack = 0.0;  ///< widens the bracket check in delay units
+};
+
+struct Outcome {
+  Case spec;
+  routesim::RunResult result;
+};
+
+class Suite {
+ public:
+  /// `extra_columns` names scheme extra metrics shown as table columns
+  /// (means of the across-replication intervals).
+  Suite(std::string name, const std::string& title,
+        std::vector<std::string> extra_columns = {})
+      : name_(std::move(name)),
+        extra_columns_(std::move(extra_columns)),
+        table_(make_headers(extra_columns_)),
+        report_(name_) {
+    std::cout << title << "\n\n";
+  }
+
+  /// Runs the case now and records its row + standard checks.
+  const routesim::RunResult& add(Case spec) {
+    routesim::RunResult result = routesim::run(spec.scenario);
+    outcomes_.push_back({std::move(spec), std::move(result)});
+    const Case& c = outcomes_.back().spec;
+    const routesim::RunResult& r = outcomes_.back().result;
+
+    std::vector<std::string> row{
+        c.label,
+        benchtab::fmt(r.rho, 2),
+        r.has_bounds ? benchtab::fmt(r.lower_bound) : "-",
+        benchtab::fmt(r.delay.mean),
+        benchtab::fmt(r.delay.half_width),
+        r.has_bounds ? benchtab::fmt(r.upper_bound) : "-",
+        benchtab::fmt(r.throughput.mean, 2),
+        benchtab::fmt(r.max_little_error, 4)};
+    for (const auto& column : extra_columns_) {
+      const auto* interval = r.extra(column);
+      row.push_back(interval ? benchtab::fmt(interval->mean) : "-");
+    }
+    row.push_back(!r.has_bounds ? "-"
+                                : r.within_bracket(c.bracket_slack) ? "yes" : "NO");
+    table_.add_row(std::move(row));
+
+    if (c.check_bracket && r.has_bounds) {
+      checker_.require(r.within_bracket(c.bracket_slack),
+                       c.label + ": simulated T within the paper's bracket");
+    }
+    if (c.check_little) {
+      checker_.require(r.max_little_error < c.little_tol,
+                       c.label + ": Little's law consistent");
+    }
+    return r;
+  }
+
+  [[nodiscard]] benchtab::Checker& checker() noexcept { return checker_; }
+  [[nodiscard]] const std::vector<Outcome>& outcomes() const noexcept {
+    return outcomes_;
+  }
+  [[nodiscard]] const routesim::RunResult& result(std::size_t i) const {
+    return outcomes_.at(i).result;
+  }
+  [[nodiscard]] benchtab::JsonReport& report() noexcept { return report_; }
+
+  /// Prints the table and the check summary, honours --json, and returns
+  /// the process exit code.
+  int finish(int argc, char** argv) {
+    table_.print();
+    report_.add_table("results", table_);
+    const int exit_code = checker_.summarize();
+    const std::string json_path = benchtab::json_path_from_args(argc, argv);
+    if (!json_path.empty()) report_.write(json_path, checker_);
+    return exit_code;
+  }
+
+ private:
+  static std::vector<std::string> make_headers(
+      const std::vector<std::string>& extra_columns) {
+    std::vector<std::string> headers{"case", "rho",  "LB",    "T sim",
+                                     "+/-",  "UB",   "thpt",  "little"};
+    headers.insert(headers.end(), extra_columns.begin(), extra_columns.end());
+    headers.push_back("in bracket");
+    return headers;
+  }
+
+  std::string name_;
+  std::vector<std::string> extra_columns_;
+  benchtab::Table table_;
+  benchtab::Checker checker_;
+  benchtab::JsonReport report_;
+  std::vector<Outcome> outcomes_;
+};
+
+}  // namespace benchdrive

@@ -8,10 +8,17 @@
 /// the process exits non-zero if any check fails, so the bench suite doubles
 /// as an integration gate.
 ///
+/// Passing `--json PATH` to a bench binary additionally writes a
+/// machine-readable report (every table row keyed by header + the check
+/// results) so bench outputs can be tracked as BENCH_*.json across PRs —
+/// see JsonReport below.
+///
 /// Header-only on purpose: build/bench must contain only executables
 /// (the standard run loop executes every file in that directory).
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -28,6 +35,29 @@ inline std::string fmt(double value, int precision = 3) {
 }
 
 inline std::string fmt_int(std::uint64_t value) { return std::to_string(value); }
+
+/// JSON string escaping (quotes, backslashes, control characters).
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 /// Column-aligned ASCII table.
 class Table {
@@ -66,6 +96,21 @@ class Table {
     line();
   }
 
+  /// Rows as a JSON array of objects keyed by the column headers.
+  void json(std::ostream& os) const {
+    os << '[';
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << (r == 0 ? "" : ",") << "\n    {";
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < rows_[r].size() ? rows_[r][c] : std::string{};
+        os << (c == 0 ? "" : ", ") << '"' << json_escape(headers_[c]) << "\": \""
+           << json_escape(cell) << '"';
+      }
+      os << '}';
+    }
+    os << (rows_.empty() ? "]" : "\n  ]");
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
@@ -90,9 +135,74 @@ class Checker {
     return failures_ == 0 ? 0 : 1;
   }
 
+  [[nodiscard]] bool all_passed() const noexcept { return failures_ == 0; }
+
+  /// Check results as JSON: {"passed": N, "failed": N, "checks": [...]}.
+  void json(std::ostream& os) const {
+    os << "{\"passed\": " << results_.size() - static_cast<std::size_t>(failures_)
+       << ", \"failed\": " << failures_ << ", \"checks\": [";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      os << (i == 0 ? "" : ",") << "\n    {\"pass\": "
+         << (results_[i].first ? "true" : "false") << ", \"description\": \""
+         << json_escape(results_[i].second) << "\"}";
+    }
+    os << (results_.empty() ? "]}" : "\n  ]}");
+  }
+
  private:
   std::vector<std::pair<bool, std::string>> results_;
   int failures_ = 0;
 };
+
+/// Machine-readable bench report: named tables plus the checker verdicts,
+/// written when the binary is invoked with `--json PATH`.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  void add_table(const std::string& name, const Table& table) {
+    std::ostringstream os;
+    table.json(os);
+    tables_.emplace_back(name, os.str());
+  }
+
+  [[nodiscard]] std::string str(const Checker& checker) const {
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"" << json_escape(bench_name_) << "\",\n";
+    for (const auto& [name, body] : tables_) {
+      os << "  \"" << json_escape(name) << "\": " << body << ",\n";
+    }
+    os << "  \"summary\": ";
+    checker.json(os);
+    os << "\n}\n";
+    return os.str();
+  }
+
+  /// Writes the report; complains on stderr (but does not fail the bench)
+  /// when the file cannot be opened.
+  void write(const std::string& path, const Checker& checker) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write JSON report to " << path << '\n';
+      return;
+    }
+    out << str(checker);
+    std::cout << "JSON report written to " << path << '\n';
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> tables_;
+};
+
+/// Scans argv for "--json PATH" (or "--json=PATH"); empty when absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return {};
+}
 
 }  // namespace benchtab

@@ -1,80 +1,74 @@
 // Experiment X8 — butterfly greedy routing (Props. 14-17): delay versus
 // lambda for several p, bracketed by the universal lower bound (P14) and
 // the product-form upper bound (P17); the p <-> 1-p symmetry and the
-// bottleneck role of max{p, 1-p} are checked explicitly.
+// bottleneck role of max{p, 1-p} are checked over the scenario results.
 
 #include <cmath>
-#include <iostream>
 
-#include "common/table.hpp"
-#include "core/simulation.hpp"
+#include "common/driver.hpp"
+#include "core/bounds.hpp"
 
-using namespace routesim;
+namespace {
 
-int main() {
-  std::cout << "X8: butterfly greedy delay vs lambda (d = 6)\n";
-  std::cout << "bounds: LB = Prop. 14, UB = Prop. 17; rho = lambda*max{p,1-p}\n\n";
+routesim::Scenario butterfly(int d, double lambda, double p) {
+  routesim::Scenario scenario;
+  scenario.scheme = "butterfly_greedy";
+  scenario.d = d;
+  scenario.lambda = lambda;
+  scenario.p = p;
+  scenario.measure = 5000.0;
+  return scenario;
+}
 
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchdrive::Suite suite(
+      "tab_butterfly_delay",
+      "X8: butterfly greedy delay vs lambda (d = 6)\n"
+      "bounds: LB = Prop. 14, UB = Prop. 17; rho = lambda*max{p,1-p}");
   const int d = 6;
-  benchtab::Checker checker;
 
   for (const double p : {0.3, 0.5, 0.7}) {
-    std::cout << "p = " << p << ":\n";
-    benchtab::Table table({"lambda", "rho", "LB (P14)", "T sim", "+/-", "UB (P17)",
-                           "in bracket"});
     for (const double lambda : {0.3, 0.6, 0.9, 1.1, 1.3}) {
-      const bounds::ButterflyParams params{d, lambda, p};
-      const double rho = bounds::bfly_load_factor(params);
-      if (rho >= 0.99) continue;
-      const auto window = Window::for_load(d, rho, 5000.0);
-      const auto estimate = estimate_butterfly_delay(params, window, {6, 4242, 0});
-      const bool inside =
-          estimate.delay.mean >= estimate.lower_bound - estimate.delay.half_width &&
-          estimate.delay.mean <= estimate.upper_bound + estimate.delay.half_width;
-      table.add_row({benchtab::fmt(lambda, 2), benchtab::fmt(rho, 2),
-                     benchtab::fmt(estimate.lower_bound),
-                     benchtab::fmt(estimate.delay.mean),
-                     benchtab::fmt(estimate.delay.half_width),
-                     benchtab::fmt(estimate.upper_bound), inside ? "yes" : "NO"});
-      checker.require(inside, "p=" + benchtab::fmt(p, 1) +
-                                  " lambda=" + benchtab::fmt(lambda, 1) +
-                                  ": T within [P14, P17]");
+      const routesim::bounds::ButterflyParams params{d, lambda, p};
+      if (routesim::bounds::bfly_load_factor(params) >= 0.99) continue;
+      routesim::Scenario scenario = butterfly(d, lambda, p);
+      scenario.plan = {6, 4242, 0};
+      suite.add({"p=" + benchtab::fmt(p, 1) + " lambda=" + benchtab::fmt(lambda, 1),
+                 scenario});
     }
-    table.print();
-    std::cout << '\n';
   }
 
-  // Symmetry p <-> 1-p.
+  // Symmetry p <-> 1-p: same scheme, mirrored bit-flip parameter, same seeds.
   {
-    const bounds::ButterflyParams low{d, 1.0, 0.3};
-    const bounds::ButterflyParams high{d, 1.0, 0.7};
-    const auto window = Window::for_load(d, 0.7, 5000.0);
-    const auto estimate_low = estimate_butterfly_delay(low, window, {6, 31, 0});
-    const auto estimate_high = estimate_butterfly_delay(high, window, {6, 31, 0});
-    std::cout << "symmetry: T(p=0.3) = " << benchtab::fmt(estimate_low.delay.mean)
-              << "  vs  T(p=0.7) = " << benchtab::fmt(estimate_high.delay.mean)
-              << "\n";
-    checker.require(
-        std::abs(estimate_low.delay.mean / estimate_high.delay.mean - 1.0) < 0.03,
+    routesim::Scenario low = butterfly(d, 1.0, 0.3);
+    routesim::Scenario high = butterfly(d, 1.0, 0.7);
+    low.plan = high.plan = {6, 31, 0};
+    const double t_low = suite.add({"symmetry p=0.3", low, false, false}).delay.mean;
+    const double t_high =
+        suite.add({"symmetry p=0.7", high, false, false}).delay.mean;
+    suite.checker().require(
+        std::abs(t_low / t_high - 1.0) < 0.03,
         "delay symmetric under p <-> 1-p (straight/vertical exchange)");
   }
 
-  // Bottleneck: at fixed lambda, p = 1/2 minimises the delay bound and the
-  // simulated delay (rho = lambda*max{p,1-p} is smallest at p = 1/2).
+  // Bottleneck: at fixed lambda, p = 1/2 minimises the delay (the load
+  // rho = lambda*max{p,1-p} is smallest at p = 1/2).
   {
-    const double lambda = 1.3;
-    const auto window = Window::for_load(d, 0.91, 5000.0);
-    const auto balanced =
-        estimate_butterfly_delay({d, lambda, 0.5}, window, {6, 17, 0});
-    const auto skewed = estimate_butterfly_delay({d, lambda, 0.7}, window, {6, 17, 0});
-    std::cout << "bottleneck: T(p=0.5) = " << benchtab::fmt(balanced.delay.mean)
-              << "  vs  T(p=0.7) = " << benchtab::fmt(skewed.delay.mean)
-              << "  at lambda = " << lambda << "\n";
-    checker.require(balanced.delay.mean < skewed.delay.mean,
-                    "p = 1/2 sustains a given lambda with the least delay (§4.2)");
+    routesim::Scenario balanced = butterfly(d, 1.3, 0.5);
+    routesim::Scenario skewed = butterfly(d, 1.3, 0.7);
+    balanced.plan = skewed.plan = {6, 17, 0};
+    const double t_balanced =
+        suite.add({"bottleneck p=0.5", balanced, false, false}).delay.mean;
+    const double t_skewed =
+        suite.add({"bottleneck p=0.7", skewed, false, false}).delay.mean;
+    suite.checker().require(
+        t_balanced < t_skewed,
+        "p = 1/2 sustains a given lambda with the least delay (§4.2)");
   }
 
   std::cout << "\nShape check: delays sit inside [P14, P17]; the vertical arcs\n"
                "(p > 1/2) or straight arcs (p < 1/2) are the bottleneck.\n";
-  return checker.summarize();
+  return suite.finish(argc, argv);
 }

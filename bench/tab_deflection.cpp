@@ -1,70 +1,63 @@
 // Experiment X17 — related-work comparison [GrH89]: deflection (hot-potato)
 // routing versus greedy store-and-forward, both slot-synchronous (tau = 1).
 // Deflection needs no buffers but misroutes under contention; greedy queues
-// instead.  The shapes to see: comparable delay at light load, growing
-// deflection fraction and extra hops as load rises.
+// instead.  Both schemes are scenarios sharing d, lambda, window and seeds;
+// the deflection fraction arrives as a registry extra metric.
 
-#include <iostream>
+#include <cmath>
 
-#include "common/table.hpp"
-#include "routing/deflection.hpp"
-#include "routing/greedy_hypercube.hpp"
+#include "common/driver.hpp"
 
-using namespace routesim;
+namespace {
 
-int main() {
-  std::cout << "X17: greedy (slotted) vs deflection routing (d = 5, p = 1/2)\n\n";
+routesim::Scenario slotted(const std::string& scheme, double lambda) {
+  routesim::Scenario scenario;
+  scenario.scheme = scheme;
+  scenario.d = 5;
+  scenario.workload = "uniform";
+  scenario.lambda = lambda;
+  if (scheme == "hypercube_greedy") scenario.tau = 1.0;
+  scenario.window = {500.0, 20500.0};  // slots for deflection
+  scenario.plan = {2, 929, 0};
+  return scenario;
+}
 
-  const int d = 5;
-  benchtab::Checker checker;
-  benchtab::Table table({"lambda/slot", "rho", "T greedy", "T deflection",
-                         "hops greedy", "hops deflect", "deflect frac"});
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchdrive::Suite suite("tab_deflection",
+                          "X17: greedy (slotted) vs deflection routing "
+                          "(d = 5, p = 1/2)",
+                          {"deflection_fraction"});
 
   double light_fraction = -1.0, heavy_fraction = -1.0;
   for (const double lambda : {0.05, 0.2, 0.4, 0.6}) {
-    GreedyHypercubeConfig greedy_cfg;
-    greedy_cfg.d = d;
-    greedy_cfg.lambda = lambda;
-    greedy_cfg.destinations = DestinationDistribution::uniform(d);
-    greedy_cfg.seed = 929;
-    greedy_cfg.slot = 1.0;
-    GreedyHypercubeSim greedy(greedy_cfg);
-    greedy.run(500.0, 20500.0);
+    const std::string tag = "lambda=" + benchtab::fmt(lambda, 2);
+    const auto& greedy =
+        suite.add({tag + " greedy", slotted("hypercube_greedy", lambda), false});
+    const auto& deflection =
+        suite.add({tag + " deflection", slotted("deflection", lambda), false,
+                   false});
 
-    DeflectionConfig deflect_cfg;
-    deflect_cfg.d = d;
-    deflect_cfg.lambda = lambda;
-    deflect_cfg.destinations = DestinationDistribution::uniform(d);
-    deflect_cfg.seed = 929;
-    DeflectionSim deflection(deflect_cfg);
-    deflection.run(500, 20500);
+    const double fraction = deflection.extra("deflection_fraction")->mean;
+    if (lambda == 0.05) light_fraction = fraction;
+    if (lambda == 0.6) heavy_fraction = fraction;
 
-    table.add_row({benchtab::fmt(lambda, 2), benchtab::fmt(lambda / 2, 2),
-                   benchtab::fmt(greedy.delay().mean(), 2),
-                   benchtab::fmt(deflection.delay().mean(), 2),
-                   benchtab::fmt(greedy.hops().mean(), 2),
-                   benchtab::fmt(deflection.hops().mean(), 2),
-                   benchtab::fmt(deflection.deflection_fraction(), 4)});
-
-    if (lambda == 0.05) light_fraction = deflection.deflection_fraction();
-    if (lambda == 0.6) heavy_fraction = deflection.deflection_fraction();
-
-    checker.require(deflection.hops().mean() >= greedy.hops().mean() - 0.1,
-                    "lambda=" + benchtab::fmt(lambda, 2) +
-                        ": deflection never takes fewer hops than shortest path");
+    suite.checker().require(
+        deflection.mean_hops >= greedy.mean_hops - 0.1,
+        tag + ": deflection never takes fewer hops than shortest path");
     if (lambda <= 0.05) {
-      checker.require(
-          std::abs(deflection.delay().mean() - greedy.delay().mean()) < 1.5,
+      suite.checker().require(
+          std::abs(deflection.delay.mean - greedy.delay.mean) < 1.5,
           "light load: deflection delay comparable to greedy");
     }
   }
-  table.print();
 
-  checker.require(heavy_fraction > 4.0 * light_fraction,
-                  "deflection fraction grows sharply with load");
+  suite.checker().require(heavy_fraction > 4.0 * light_fraction,
+                          "deflection fraction grows sharply with load");
 
-  std::cout << "\nShape check: with buffers (greedy) contention becomes queueing;\n"
-               "without (deflection) it becomes misrouting — the trade-off\n"
-               "studied approximately in [GrH89].\n";
-  return checker.summarize();
+  std::cout << "\nShape check: with buffers (greedy) contention becomes "
+               "queueing;\nwithout (deflection) it becomes misrouting — the "
+               "trade-off\nstudied approximately in [GrH89].\n";
+  return suite.finish(argc, argv);
 }

@@ -1,69 +1,63 @@
 // Experiment X6 — heavy-traffic behaviour (discussion after Prop. 13):
 //   p/2  <=  lim_{rho->1} (1-rho) T  <=  d p ,
 // and at p = 1 the limit is exactly p/2 = 1/2 (disjoint paths, closed form
-// T = d + rho/(2(1-rho))).  Tabulates (1-rho)*T as rho -> 1.
+// T = d + rho/(2(1-rho))).  Scenario sweeps of rho -> 1 with the band and
+// closed-form post-checks.
 
-#include <iostream>
+#include <cmath>
 
-#include "common/table.hpp"
-#include "core/simulation.hpp"
+#include "common/driver.hpp"
+#include "core/bounds.hpp"
 
-using namespace routesim;
+int main(int argc, char** argv) {
+  using routesim::bounds::HypercubeParams;
+  benchdrive::Suite suite("tab_heavy_traffic",
+                          "X6: heavy-traffic scaling (1-rho)*T as rho -> 1 "
+                          "(d = 5)");
+  const int d = 5;
 
-int main() {
-  std::cout << "X6: heavy-traffic scaling (1-rho)*T as rho -> 1\n\n";
-  benchtab::Checker checker;
-
-  // Uniform destinations, d = 5.
-  {
-    const int d = 5;
-    const double p = 0.5;
-    std::cout << "d = " << d << ", p = 1/2 (uniform destinations):\n";
-    benchtab::Table table({"rho", "T sim", "(1-rho)T", "limit LB p/2", "limit UB dp"});
-    double last_scaled = 0.0;
-    for (const double rho : {0.90, 0.95, 0.98, 0.99}) {
-      const bounds::HypercubeParams params{d, rho / p, p};
-      const double measure = 20000.0 / (1 - rho) / 10.0;  // longer near 1
-      const auto window = Window::for_load(d, rho, measure);
-      const auto estimate = estimate_hypercube_delay(params, window, {6, 555, 0});
-      const double scaled = (1 - rho) * estimate.delay.mean;
-      last_scaled = scaled;
-      table.add_row({benchtab::fmt(rho, 2), benchtab::fmt(estimate.delay.mean, 2),
-                     benchtab::fmt(scaled, 3),
-                     benchtab::fmt(bounds::heavy_traffic_lower(params), 3),
-                     benchtab::fmt(bounds::heavy_traffic_upper(params), 3)});
-      checker.require(scaled >= bounds::heavy_traffic_lower(params) * 0.9 &&
-                          scaled <= bounds::heavy_traffic_upper(params) * 1.1,
-                      "rho=" + benchtab::fmt(rho, 2) +
-                          ": (1-rho)T within [p/2, dp] band");
-    }
-    table.print();
-    checker.require(last_scaled > 0.0, "scaled delay converges to a finite value");
-    std::cout << '\n';
+  // Uniform destinations: the scaled delay stays inside [p/2, dp].
+  double last_scaled = 0.0;
+  for (const double rho : {0.90, 0.95, 0.98, 0.99}) {
+    routesim::Scenario scenario;
+    scenario.scheme = "hypercube_greedy";
+    scenario.d = d;
+    scenario.p = 0.5;
+    scenario.lambda = rho / scenario.p;
+    scenario.measure = 20000.0 / (1 - rho) / 10.0;  // longer near 1
+    scenario.plan = {6, 555, 0};
+    const auto& result =
+        suite.add({"p=0.5 rho=" + benchtab::fmt(rho, 2), scenario, false, false});
+    const double scaled = (1 - rho) * result.delay.mean;
+    last_scaled = scaled;
+    const HypercubeParams params{d, scenario.lambda, scenario.p};
+    suite.checker().require(
+        scaled >= routesim::bounds::heavy_traffic_lower(params) * 0.9 &&
+            scaled <= routesim::bounds::heavy_traffic_upper(params) * 1.1,
+        "rho=" + benchtab::fmt(rho, 2) + ": (1-rho)T within [p/2, dp] band");
   }
+  suite.checker().require(last_scaled > 0.0,
+                          "scaled delay converges to a finite value");
 
   // p = 1: the lower bound is tight and the delay has a closed form.
-  {
-    const int d = 5;
-    std::cout << "d = " << d << ", p = 1 (antipodal traffic, disjoint paths):\n";
-    benchtab::Table table({"rho", "T sim", "T exact", "(1-rho)T", "limit = 1/2"});
-    for (const double rho : {0.90, 0.95, 0.98}) {
-      const bounds::HypercubeParams params{d, rho, 1.0};
-      const auto window = Window::for_load(d, rho, 20000.0);
-      const auto estimate = estimate_hypercube_delay(params, window, {6, 777, 0});
-      const double exact = bounds::greedy_delay_exact_p1(d, rho);
-      table.add_row({benchtab::fmt(rho, 2), benchtab::fmt(estimate.delay.mean, 3),
-                     benchtab::fmt(exact, 3),
-                     benchtab::fmt((1 - rho) * estimate.delay.mean, 3),
-                     "0.500"});
-      checker.require(std::abs(estimate.delay.mean / exact - 1.0) < 0.03,
-                      "p=1 rho=" + benchtab::fmt(rho, 2) +
-                          ": simulation matches closed form d + rho/(2(1-rho))");
-    }
-    table.print();
+  for (const double rho : {0.90, 0.95, 0.98}) {
+    routesim::Scenario scenario;
+    scenario.scheme = "hypercube_greedy";
+    scenario.d = d;
+    scenario.p = 1.0;
+    scenario.lambda = rho;
+    scenario.measure = 20000.0;
+    scenario.plan = {6, 777, 0};
+    const auto& result =
+        suite.add({"p=1 rho=" + benchtab::fmt(rho, 2), scenario, false, false});
+    const double exact = routesim::bounds::greedy_delay_exact_p1(d, rho);
+    suite.checker().require(
+        std::abs(result.delay.mean / exact - 1.0) < 0.03,
+        "p=1 rho=" + benchtab::fmt(rho, 2) +
+            ": simulation matches closed form d + rho/(2(1-rho))");
   }
 
-  std::cout << "\nShape check: (1-rho)T is bounded and the p=1 case attains the "
-               "lower-bound scaling p/2 (§3.3 end).\n";
-  return checker.summarize();
+  std::cout << "\nShape check: (1-rho)T is bounded and the p=1 case attains "
+               "the lower-bound scaling p/2 (§3.3 end).\n";
+  return suite.finish(argc, argv);
 }

@@ -1,55 +1,44 @@
 // Experiment X4 — the O(d) delay claim: for fixed rho < 1 the average
 // delay grows linearly in the dimension d, with slope between the bounds'
-// slopes p (LB) and p/(1-rho) (UB).  Sweeps d at two loads.
+// slopes p (LB) and p/(1-rho) (UB).  A scenario sweep of d at two loads
+// with linearity post-checks over the collected results.
 
-#include <iostream>
+#include <cmath>
 
-#include "common/table.hpp"
-#include "core/simulation.hpp"
+#include "common/driver.hpp"
 
-using namespace routesim;
-
-int main() {
-  std::cout << "X4: hypercube greedy delay vs dimension (p = 1/2)\n\n";
-
+int main(int argc, char** argv) {
+  benchdrive::Suite suite("tab_hypercube_delay_vs_dim",
+                          "X4: hypercube greedy delay vs dimension (p = 1/2)");
   const double p = 0.5;
-  benchtab::Checker checker;
 
   for (const double rho : {0.5, 0.8}) {
-    std::cout << "load factor rho = " << rho << ":\n";
-    benchtab::Table table({"d", "LB (P13)", "T sim", "+/-", "UB (P12)", "T/d"});
     std::vector<double> per_d;
     for (int d = 2; d <= 10; ++d) {
-      const bounds::HypercubeParams params{d, rho / p, p};
-      const auto window = Window::for_load(d, rho, 3000.0);
-      const auto estimate = estimate_hypercube_delay(params, window, {5, 77, 0});
-      per_d.push_back(estimate.delay.mean);
-      table.add_row({std::to_string(d), benchtab::fmt(estimate.lower_bound),
-                     benchtab::fmt(estimate.delay.mean),
-                     benchtab::fmt(estimate.delay.half_width),
-                     benchtab::fmt(estimate.upper_bound),
-                     benchtab::fmt(estimate.delay.mean / d, 3)});
-      checker.require(
-          estimate.delay.mean >=
-                  estimate.lower_bound - estimate.delay.half_width - 0.05 &&
-              estimate.delay.mean <=
-                  estimate.upper_bound + estimate.delay.half_width + 0.05,
-          "rho=" + benchtab::fmt(rho, 1) + " d=" + std::to_string(d) +
-              ": T within bracket");
+      routesim::Scenario scenario;
+      scenario.scheme = "hypercube_greedy";
+      scenario.d = d;
+      scenario.p = p;
+      scenario.lambda = rho / p;
+      scenario.measure = 3000.0;
+      scenario.plan = {5, 77, 0};
+      const auto& result =
+          suite.add({"rho=" + benchtab::fmt(rho, 1) + " d=" + std::to_string(d),
+                     scenario, true, true, 0.05, 0.05});
+      per_d.push_back(result.delay.mean);
     }
-    table.print();
 
     // Linearity: T(d)/d settles to a constant — compare the last ratios.
     const double ratio_8 = per_d[6] / 8.0;
     const double ratio_10 = per_d[8] / 10.0;
-    checker.require(std::abs(ratio_10 / ratio_8 - 1.0) < 0.1,
-                    "rho=" + benchtab::fmt(rho, 1) +
-                        ": T/d approximately constant for large d (O(d) delay)");
-    // Slope within the bounds' slopes.
-    checker.require(ratio_10 >= p * 0.95 && ratio_10 <= p / (1 - rho) * 1.05,
-                    "rho=" + benchtab::fmt(rho, 1) +
-                        ": slope between p and p/(1-rho)");
-    std::cout << '\n';
+    suite.checker().require(std::abs(ratio_10 / ratio_8 - 1.0) < 0.1,
+                            "rho=" + benchtab::fmt(rho, 1) +
+                                ": T/d approximately constant for large d "
+                                "(O(d) delay)");
+    suite.checker().require(ratio_10 >= p * 0.95 &&
+                                ratio_10 <= p / (1 - rho) * 1.05,
+                            "rho=" + benchtab::fmt(rho, 1) +
+                                ": slope between p and p/(1-rho)");
   }
-  return checker.summarize();
+  return suite.finish(argc, argv);
 }

@@ -1,50 +1,29 @@
 // Experiment X3 — the paper's headline quantitative claim (Props. 12/13):
 // for the greedy scheme on the d-cube with uniform destinations,
 //   dp + p*rho/(2(1-rho))  <=  T  <=  dp/(1-rho)   for all rho < 1,
-// and T grows like 1/(1-rho) under heavy traffic.  Sweeps the load factor
-// at fixed d and prints simulated delay (with 95% CIs over replications)
-// against both bounds.
+// and T grows like 1/(1-rho) under heavy traffic.  A pure scenario sweep
+// of the load factor at fixed d.
 
-#include <iostream>
+#include "common/driver.hpp"
 
-#include "common/table.hpp"
-#include "core/simulation.hpp"
-
-using namespace routesim;
-
-int main() {
-  std::cout << "X3: hypercube greedy delay vs load factor (d = 8, p = 1/2)\n";
-  std::cout << "bounds: LB = Prop. 13, UB = Prop. 12\n\n";
-
-  const int d = 8;
-  const double p = 0.5;
-  benchtab::Table table(
-      {"rho", "LB (P13)", "T sim", "+/-", "UB (P12)", "T/(dp)", "in bracket"});
-  benchtab::Checker checker;
+int main(int argc, char** argv) {
+  benchdrive::Suite suite(
+      "tab_hypercube_delay_vs_load",
+      "X3: hypercube greedy delay vs load factor (d = 8, p = 1/2)\n"
+      "bounds: LB = Prop. 13, UB = Prop. 12");
 
   for (const double rho : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
-    const bounds::HypercubeParams params{d, rho / p, p};
-    const double measure = rho < 0.9 ? 4000.0 : 12000.0;
-    const auto window = Window::for_load(d, rho, measure);
-    const auto estimate = estimate_hypercube_delay(params, window, {6, 1234, 0});
-
-    const bool inside =
-        estimate.delay.mean >= estimate.lower_bound - estimate.delay.half_width &&
-        estimate.delay.mean <= estimate.upper_bound + estimate.delay.half_width;
-    table.add_row({benchtab::fmt(rho, 2), benchtab::fmt(estimate.lower_bound),
-                   benchtab::fmt(estimate.delay.mean),
-                   benchtab::fmt(estimate.delay.half_width),
-                   benchtab::fmt(estimate.upper_bound),
-                   benchtab::fmt(estimate.delay.mean / (d * p), 2),
-                   inside ? "yes" : "NO"});
-    checker.require(inside, "rho=" + benchtab::fmt(rho, 2) +
-                                ": simulated T within [P13, P12] bracket");
-    checker.require(estimate.max_little_error < 0.05,
-                    "rho=" + benchtab::fmt(rho, 2) + ": Little's law consistent");
+    routesim::Scenario scenario;
+    scenario.scheme = "hypercube_greedy";
+    scenario.d = 8;
+    scenario.p = 0.5;
+    scenario.lambda = rho / scenario.p;
+    scenario.measure = rho < 0.9 ? 4000.0 : 12000.0;
+    scenario.plan = {6, 1234, 0};
+    suite.add({"rho=" + benchtab::fmt(rho, 2), scenario});
   }
-  table.print();
 
   std::cout << "\nShape check: T stays O(d) for fixed rho and blows up like "
                "1/(1-rho) as rho -> 1.\n";
-  return checker.summarize();
+  return suite.finish(argc, argv);
 }

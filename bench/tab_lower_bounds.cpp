@@ -3,50 +3,46 @@
 // and the greedy-specific bound (Prop. 13) versus the simulated delay.
 // The greedy scheme is oblivious, so all three must sit below it, in order.
 
-#include <iostream>
+#include "common/driver.hpp"
+#include "core/bounds.hpp"
 
-#include "common/table.hpp"
-#include "core/simulation.hpp"
+int main(int argc, char** argv) {
+  using namespace routesim::bounds;
+  benchdrive::Suite suite(
+      "tab_lower_bounds",
+      "X13: lower-bound hierarchy vs simulated greedy delay (p = 1/2)");
 
-using namespace routesim;
-
-int main() {
-  std::cout << "X13: lower-bound hierarchy vs simulated greedy delay (p = 1/2)\n\n";
-  benchtab::Checker checker;
-
-  benchtab::Table table({"d", "rho", "P2 universal", "P3 oblivious", "P13 greedy",
-                         "T sim", "T/P3"});
   for (const int d : {4, 6, 8}) {
     for (const double rho : {0.5, 0.9}) {
-      const bounds::HypercubeParams params{d, 2.0 * rho, 0.5};
-      const double universal = bounds::universal_delay_lower_bound(params);
-      const double oblivious = bounds::oblivious_delay_lower_bound(params);
-      const double greedy_lb = bounds::greedy_delay_lower_bound(params);
-
-      const auto window = Window::for_load(d, rho, rho < 0.9 ? 4000.0 : 10000.0);
-      const auto estimate = estimate_hypercube_delay(params, window, {5, 606, 0});
-
-      table.add_row({std::to_string(d), benchtab::fmt(rho, 1),
-                     benchtab::fmt(universal), benchtab::fmt(oblivious),
-                     benchtab::fmt(greedy_lb), benchtab::fmt(estimate.delay.mean),
-                     benchtab::fmt(estimate.delay.mean / oblivious, 2)});
-
+      routesim::Scenario scenario;
+      scenario.scheme = "hypercube_greedy";
+      scenario.d = d;
+      scenario.p = 0.5;
+      scenario.lambda = 2.0 * rho;
+      scenario.measure = rho < 0.9 ? 4000.0 : 10000.0;
+      scenario.plan = {5, 606, 0};
       const std::string tag =
           "d=" + std::to_string(d) + " rho=" + benchtab::fmt(rho, 1);
-      checker.require(universal <= oblivious + 1e-9,
-                      tag + ": P2 <= P3 (restricting to oblivious tightens)");
-      checker.require(oblivious <= greedy_lb + 1e-9, tag + ": P3 <= P13");
-      checker.require(estimate.delay.mean >= greedy_lb * 0.97,
-                      tag + ": simulated T above the greedy LB");
-      checker.require(estimate.delay.mean >= oblivious * 0.97,
-                      tag + ": simulated T above the oblivious LB "
-                            "(greedy is oblivious)");
+      const auto& result = suite.add({tag, scenario});
+
+      const HypercubeParams params{d, scenario.lambda, scenario.p};
+      const double universal = universal_delay_lower_bound(params);
+      const double oblivious = oblivious_delay_lower_bound(params);
+      const double greedy_lb = greedy_delay_lower_bound(params);
+      suite.checker().require(universal <= oblivious + 1e-9,
+                              tag + ": P2 <= P3 (restricting to oblivious "
+                                    "tightens)");
+      suite.checker().require(oblivious <= greedy_lb + 1e-9, tag + ": P3 <= P13");
+      suite.checker().require(result.delay.mean >= greedy_lb * 0.97,
+                              tag + ": simulated T above the greedy LB");
+      suite.checker().require(result.delay.mean >= oblivious * 0.97,
+                              tag + ": simulated T above the oblivious LB "
+                                    "(greedy is oblivious)");
     }
   }
-  table.print();
 
   std::cout << "\nShape check: P2's queueing term carries the 1/2^d factor, so\n"
                "it is loose in d (as the paper remarks); P3 removes it for\n"
                "oblivious schemes and P13 sharpens it by a factor <= 2.\n";
-  return checker.summarize();
+  return suite.finish(argc, argv);
 }

@@ -1,61 +1,60 @@
 // Experiment X19 — the §5 generalisation implemented: packets destined for
 // a SUBSET of nodes, routed along dimension-ordered multicast trees.
-// Compares the tree against k independent unicasts on traffic and delay.
+// Tree vs k-unicast is one scenario pair per fanout (unicast_baseline=1
+// disables tree sharing); transmissions and completion delay arrive as
+// registry extra metrics.
 
-#include <iostream>
+#include <cmath>
 
-#include "common/table.hpp"
-#include "routing/multicast.hpp"
+#include "common/driver.hpp"
 
-using namespace routesim;
+namespace {
 
-int main() {
-  std::cout << "X19: greedy multicast trees vs k unicasts (d = 6, lambda = 0.02)\n\n";
+routesim::Scenario multicast(int fanout, bool unicast_baseline) {
+  routesim::Scenario scenario;
+  scenario.scheme = "multicast";
+  scenario.d = 6;
+  scenario.lambda = 0.02;
+  scenario.fanout = fanout;
+  scenario.unicast_baseline = unicast_baseline;
+  scenario.window = {500.0, 20500.0};
+  scenario.plan = {2, 606, 0};
+  return scenario;
+}
 
-  const int d = 6;
-  benchtab::Checker checker;
-  benchtab::Table table({"fanout k", "tree tx/packet", "unicast tx/packet",
-                         "saving", "T per-dest", "T completion"});
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchdrive::Suite suite(
+      "tab_multicast",
+      "X19: greedy multicast trees vs k unicasts (d = 6, lambda = 0.02)",
+      {"completion_delay", "transmissions_per_packet"});
 
   for (const int fanout : {1, 2, 4, 8, 16, 32}) {
-    MulticastConfig tree_cfg;
-    tree_cfg.d = d;
-    tree_cfg.lambda = 0.02;
-    tree_cfg.fanout = fanout;
-    tree_cfg.seed = 606;
-    GreedyMulticastSim tree(tree_cfg);
-    tree.run(500.0, 20500.0);
+    const std::string tag = "k=" + std::to_string(fanout);
+    const auto& tree =
+        suite.add({tag + " tree", multicast(fanout, false), false, false});
+    const auto& unicast =
+        suite.add({tag + " unicast", multicast(fanout, true), false, false});
 
-    auto unicast_cfg = tree_cfg;
-    unicast_cfg.unicast_baseline = true;
-    GreedyMulticastSim unicast(unicast_cfg);
-    unicast.run(500.0, 20500.0);
-
-    const double tree_tx = tree.transmissions_per_packet().mean();
-    const double unicast_tx = unicast.transmissions_per_packet().mean();
-    table.add_row({std::to_string(fanout), benchtab::fmt(tree_tx, 2),
-                   benchtab::fmt(unicast_tx, 2),
-                   benchtab::fmt(100.0 * (1.0 - tree_tx / unicast_tx), 1) + "%",
-                   benchtab::fmt(tree.delivery_delay().mean(), 2),
-                   benchtab::fmt(tree.completion_delay().mean(), 2)});
-
+    const double tree_tx = tree.extra("transmissions_per_packet")->mean;
+    const double unicast_tx = unicast.extra("transmissions_per_packet")->mean;
     if (fanout == 1) {
-      checker.require(std::abs(tree_tx - unicast_tx) < 0.05,
-                      "k=1: tree degenerates to unicast");
+      suite.checker().require(std::abs(tree_tx - unicast_tx) < 0.05,
+                              "k=1: tree degenerates to unicast");
     } else {
-      checker.require(tree_tx < unicast_tx,
-                      "k=" + std::to_string(fanout) +
-                          ": tree uses fewer transmissions than k unicasts");
+      suite.checker().require(tree_tx < unicast_tx,
+                              tag + ": tree uses fewer transmissions than k "
+                                    "unicasts");
     }
-    checker.require(tree.completion_delay().mean() >=
-                        tree.delivery_delay().mean() - 1e-9,
-                    "k=" + std::to_string(fanout) +
-                        ": completion (last dest) >= per-destination delay");
+    suite.checker().require(
+        tree.extra("completion_delay")->mean >= tree.delay.mean - 1e-9,
+        tag + ": completion (last dest) >= per-destination delay");
   }
-  table.print();
 
-  std::cout << "\nShape check: the saving grows with k (shared tree prefixes);\n"
-               "at k = 2^d/2 the tree approaches the full-broadcast regime\n"
-               "studied in [StT90] (the paper's companion reference).\n";
-  return checker.summarize();
+  std::cout << "\nShape check: the saving grows with k (shared tree "
+               "prefixes);\nat k = 2^d/2 the tree approaches the "
+               "full-broadcast regime\nstudied in [StT90] (the paper's "
+               "companion reference).\n";
+  return suite.finish(argc, argv);
 }

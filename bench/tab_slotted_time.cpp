@@ -1,54 +1,41 @@
 // Experiment X10 — slotted time (§3.4): batch Poisson arrivals at slot
 // boundaries k*tau.  The paper bounds the slotted delay by the continuous
-// bound plus tau: T~ <= dp/(1-rho) + tau.
+// bound plus tau: T~ <= dp/(1-rho) + tau.  One scenario per tau (tau = 0
+// is the continuous-time reference row); the registry picks the slotted
+// upper bound automatically.
 
-#include <iostream>
+#include "common/driver.hpp"
+#include "core/bounds.hpp"
 
-#include "common/table.hpp"
-#include "core/simulation.hpp"
+int main(int argc, char** argv) {
+  benchdrive::Suite suite(
+      "tab_slotted_time",
+      "X10: slotted-time greedy routing (d = 6, p = 1/2, rho = 0.6)");
 
-using namespace routesim;
+  routesim::Scenario base;
+  base.scheme = "hypercube_greedy";
+  base.d = 6;
+  base.p = 0.5;
+  base.lambda = 0.6 / base.p;
+  base.measure = 6000.0;
+  base.plan = {6, 3000, 0};
+  const double continuous_lb =
+      routesim::bounds::greedy_delay_lower_bound(base.hypercube_params());
 
-int main() {
-  std::cout << "X10: slotted-time greedy routing (d = 6, p = 1/2, rho = 0.6)\n\n";
-
-  const int d = 6;
-  const double p = 0.5;
-  const double rho = 0.6;
-  const bounds::HypercubeParams params{d, rho / p, p};
-  const auto window = Window::for_load(d, rho, 6000.0);
-
-  benchtab::Checker checker;
-  benchtab::Table table(
-      {"tau", "T sim", "+/-", "UB dp/(1-rho)+tau", "within bound"});
-
-  // Continuous-time reference row (tau = 0).
-  const auto continuous = estimate_hypercube_delay(params, window, {6, 3000, 0});
-  table.add_row({"0 (continuous)", benchtab::fmt(continuous.delay.mean),
-                 benchtab::fmt(continuous.delay.half_width),
-                 benchtab::fmt(bounds::greedy_delay_upper_bound(params)),
-                 continuous.delay.mean <=
-                         bounds::greedy_delay_upper_bound(params) + 0.1
-                     ? "yes"
-                     : "NO"});
-
-  for (const double tau : {0.125, 0.25, 0.5, 1.0}) {
-    const auto estimate = estimate_hypercube_delay(params, window, {6, 3000, 0}, tau);
-    const double bound = bounds::slotted_delay_upper_bound(params, tau);
-    const bool within = estimate.delay.mean <= bound + estimate.delay.half_width;
-    table.add_row({benchtab::fmt(tau, 3), benchtab::fmt(estimate.delay.mean),
-                   benchtab::fmt(estimate.delay.half_width), benchtab::fmt(bound),
-                   within ? "yes" : "NO"});
-    checker.require(within, "tau=" + benchtab::fmt(tau, 3) +
-                                ": T~ <= dp/(1-rho) + tau (§3.4)");
-    checker.require(estimate.delay.mean >=
-                        bounds::greedy_delay_lower_bound(params) * 0.95,
-                    "tau=" + benchtab::fmt(tau, 3) +
-                        ": slotted delay not below the continuous LB");
+  for (const double tau : {0.0, 0.125, 0.25, 0.5, 1.0}) {
+    routesim::Scenario scenario = base;
+    scenario.tau = tau;
+    const auto& result = suite.add(
+        {tau == 0.0 ? "tau=0 (continuous)" : "tau=" + benchtab::fmt(tau, 3),
+         scenario});
+    if (tau > 0.0) {
+      suite.checker().require(result.delay.mean >= continuous_lb * 0.95,
+                              "tau=" + benchtab::fmt(tau, 3) +
+                                  ": slotted delay not below the continuous LB");
+    }
   }
-  table.print();
 
   std::cout << "\nShape check: slotting perturbs the delay by at most about "
                "tau; stability is unaffected (§3.4).\n";
-  return checker.summarize();
+  return suite.finish(argc, argv);
 }

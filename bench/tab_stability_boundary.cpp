@@ -1,64 +1,52 @@
 // Experiment X5 — the stability boundary: the necessary condition of §2.1
 // (rho <= 1 for ANY scheme) is attained by the greedy scheme (Prop. 6).
 // Below rho = 1 the backlog is flat in the horizon; above it grows
-// linearly at rate ~ (rho - 1) * 2^d packets per unit time (the bottleneck
-// dimension overflows).
+// linearly (the bottleneck dimension overflows).  Each load is probed by
+// the same scenario at two explicit horizons; the growth rate is the slope
+// of the replication-mean backlog.
 
-#include <iostream>
-
-#include "common/table.hpp"
-#include "routing/greedy_hypercube.hpp"
-
-using namespace routesim;
+#include "common/driver.hpp"
 
 namespace {
 
-double backlog_growth_rate(int d, double rho, std::uint64_t seed) {
-  // Growth rate estimated from backlog at two horizons (slope of N(t)).
-  GreedyHypercubeConfig config;
-  config.d = d;
-  config.lambda = 2.0 * rho;  // p = 1/2
-  config.destinations = DestinationDistribution::uniform(d);
-  config.seed = seed;
-  const double t1 = 10000.0, t2 = 20000.0;
-  GreedyHypercubeSim first(config), second(config);
-  first.run(0.0, t1);
-  second.run(0.0, t2);
-  return (second.final_population() - first.final_population()) / (t2 - t1);
+routesim::Scenario at_horizon(double rho, double horizon) {
+  routesim::Scenario scenario;
+  scenario.scheme = "hypercube_greedy";
+  scenario.d = 5;
+  scenario.workload = "uniform";
+  scenario.lambda = 2.0 * rho;  // p = 1/2
+  scenario.window = {0.0, horizon};
+  scenario.plan = {3, 1, 0};
+  return scenario;
 }
 
 }  // namespace
 
-int main() {
-  std::cout << "X5: stability boundary of greedy routing (d = 5, p = 1/2)\n";
-  std::cout << "growth rate = d/dt of network backlog, averaged over seeds\n\n";
-
-  const int d = 5;
-  benchtab::Table table({"rho", "backlog growth (pkt/unit)", "per-node",
-                         "verdict", "paper"});
-  benchtab::Checker checker;
+int main(int argc, char** argv) {
+  benchdrive::Suite suite(
+      "tab_stability_boundary",
+      "X5: stability boundary of greedy routing (d = 5, p = 1/2)\n"
+      "growth rate = d/dt of network backlog, averaged over replications");
+  const double t1 = 10000.0, t2 = 20000.0;
 
   for (const double rho : {0.70, 0.90, 0.98, 1.02, 1.10, 1.30}) {
-    double growth = 0.0;
-    constexpr int kSeeds = 3;
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-      growth += backlog_growth_rate(d, rho, seed);
-    }
-    growth /= kSeeds;
-    const double per_node = growth / 32.0;
-    const bool stable_observed = per_node < 0.005;
+    // Same seeds at both horizons: the pair is sample-path coupled.
+    const auto& first = suite.add(
+        {"rho=" + benchtab::fmt(rho, 2) + " t=" + benchtab::fmt(t1, 0),
+         at_horizon(rho, t1), false, false});
+    const auto& second = suite.add(
+        {"rho=" + benchtab::fmt(rho, 2) + " t=" + benchtab::fmt(t2, 0),
+         at_horizon(rho, t2), false, false});
+    const double growth =
+        (second.mean_final_backlog - first.mean_final_backlog) / (t2 - t1);
+    const bool stable_observed = growth / 32.0 < 0.005;
     const bool stable_expected = rho < 1.0;
-    table.add_row({benchtab::fmt(rho, 2), benchtab::fmt(growth, 3),
-                   benchtab::fmt(per_node, 4),
-                   stable_observed ? "stable" : "UNSTABLE",
-                   stable_expected ? "stable (P6)" : "unstable (§2.1)"});
-    checker.require(stable_observed == stable_expected,
-                    "rho=" + benchtab::fmt(rho, 2) +
-                        ": observed stability matches theory");
+    suite.checker().require(stable_observed == stable_expected,
+                            "rho=" + benchtab::fmt(rho, 2) +
+                                ": observed stability matches theory");
   }
-  table.print();
 
   std::cout << "\nShape check: the boundary sits at rho = 1 exactly — the "
                "broadest region any scheme can achieve (§2.1 + Prop. 6).\n";
-  return checker.summarize();
+  return suite.finish(argc, argv);
 }

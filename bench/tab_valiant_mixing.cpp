@@ -1,86 +1,67 @@
 // Experiment X16 — the §5 concluding remark, implemented: two-phase
 // Valiant "mixing" (greedy to a random intermediate node, then greedy to
-// the destination) versus direct greedy routing, on the SAME packet trace.
-// For translation-invariant traffic the paper predicts mixing only costs:
-// longer routes and a smaller maximum sustainable load.
+// the destination) versus direct greedy routing, on the SAME packet trace:
+// the "trace" workload regenerates an identical trace for equal-seed
+// scenarios, so the two schemes are sample-path coupled declaratively.
 
-#include <iostream>
+#include "common/driver.hpp"
 
-#include "common/table.hpp"
-#include "routing/greedy_hypercube.hpp"
-#include "routing/valiant_mixing.hpp"
-#include "workload/trace.hpp"
+namespace {
 
-using namespace routesim;
+routesim::Scenario traced(const std::string& scheme, double lambda,
+                          double warmup, std::uint64_t seed) {
+  routesim::Scenario scenario;
+  scenario.scheme = scheme;
+  scenario.d = 6;
+  scenario.workload = "trace";  // uniform destinations: p = 1/2
+  scenario.lambda = lambda;
+  scenario.window = {warmup, 12000.0};
+  scenario.plan = {2, seed, 0};
+  return scenario;
+}
 
-int main() {
-  std::cout << "X16: direct greedy vs two-phase Valiant mixing (d = 6, p = 1/2)\n";
-  std::cout << "same trace replayed through both schemes\n\n";
+}  // namespace
 
+int main(int argc, char** argv) {
+  benchdrive::Suite suite(
+      "tab_valiant_mixing",
+      "X16: direct greedy vs two-phase Valiant mixing (d = 6, p = 1/2)\n"
+      "same trace replayed through both schemes");
   const int d = 6;
-  const auto dist = DestinationDistribution::uniform(d);
-  benchtab::Checker checker;
-  benchtab::Table table({"lambda", "rho(greedy)", "T greedy", "T mixing",
-                         "hops greedy", "hops mixing", "backlog greedy",
-                         "backlog mixing"});
 
   for (const double lambda : {0.2, 0.6, 1.0, 1.4}) {
-    const auto trace = generate_hypercube_trace(d, lambda, dist, 12000.0, 515);
+    const std::string tag = "lambda=" + benchtab::fmt(lambda, 1);
+    const auto& greedy = suite.add(
+        {tag + " greedy", traced("hypercube_greedy", lambda, 1000.0, 515),
+         false, false});
+    const auto& mixing = suite.add(
+        {tag + " mixing", traced("valiant_mixing", lambda, 1000.0, 515),
+         false, false});
 
-    GreedyHypercubeConfig greedy_cfg;
-    greedy_cfg.d = d;
-    greedy_cfg.destinations = dist;
-    greedy_cfg.trace = &trace;
-    GreedyHypercubeSim greedy(greedy_cfg);
-    greedy.run(1000.0, 12000.0);
-
-    ValiantMixingConfig mixing_cfg;
-    mixing_cfg.d = d;
-    mixing_cfg.destinations = dist;
-    mixing_cfg.trace = &trace;
-    mixing_cfg.seed = 515;
-    ValiantMixingSim mixing(mixing_cfg);
-    mixing.run(1000.0, 12000.0);
-
-    table.add_row({benchtab::fmt(lambda, 1), benchtab::fmt(lambda / 2, 2),
-                   benchtab::fmt(greedy.delay().mean(), 2),
-                   benchtab::fmt(mixing.delay().mean(), 2),
-                   benchtab::fmt(greedy.hops().mean(), 2),
-                   benchtab::fmt(mixing.hops().mean(), 2),
-                   benchtab::fmt(greedy.final_population(), 0),
-                   benchtab::fmt(mixing.final_population(), 0)});
-
-    checker.require(mixing.delay().mean() > greedy.delay().mean(),
-                    "lambda=" + benchtab::fmt(lambda, 1) +
-                        ": mixing slower than direct greedy (uniform traffic)");
+    suite.checker().require(mixing.delay.mean > greedy.delay.mean,
+                            tag + ": mixing slower than direct greedy "
+                                  "(uniform traffic)");
     if (lambda <= 0.6) {
-      checker.require(mixing.hops().mean() > greedy.hops().mean() + d * 0.3,
-                      "lambda=" + benchtab::fmt(lambda, 1) +
-                          ": mixing pays ~d/2 extra hops");
+      suite.checker().require(mixing.mean_hops > greedy.mean_hops + d * 0.3,
+                              tag + ": mixing pays ~d/2 extra hops");
     }
   }
-  table.print();
 
-  // Capacity: mixing saturates near rho ~ 1/2 * (d/(d/2+dp)) of greedy's —
-  // at lambda = 1.4 (greedy rho = 0.7, fine) mixing has effective per-arc
-  // load ~ lambda*(d/2 + d/2)/d = lambda > 1... check backlog divergence.
+  // Capacity: at lambda = 1.4 greedy is comfortably stable (rho = 0.7) but
+  // mixing's effective per-arc load exceeds 1 — its backlog diverges.
   {
-    const auto trace = generate_hypercube_trace(d, 1.4, dist, 12000.0, 616);
-    ValiantMixingConfig mixing_cfg;
-    mixing_cfg.d = d;
-    mixing_cfg.destinations = dist;
-    mixing_cfg.trace = &trace;
-    mixing_cfg.seed = 616;
-    ValiantMixingSim mixing(mixing_cfg);
-    mixing.run(0.0, 12000.0);
-    checker.require(mixing.final_population() > 2000.0,
-                    "lambda=1.4: mixing unstable while greedy (rho=0.7) is stable "
-                    "— reduced maximum sustainable traffic (§5)");
+    const auto& mixing = suite.add(
+        {"capacity mixing lambda=1.4", traced("valiant_mixing", 1.4, 0.0, 616),
+         false, false});
+    suite.checker().require(mixing.mean_final_backlog > 2000.0,
+                            "lambda=1.4: mixing unstable while greedy "
+                            "(rho=0.7) is stable — reduced maximum "
+                            "sustainable traffic (§5)");
   }
 
   std::cout << "\nShape check: for translation-invariant traffic, mixing only\n"
                "adds ~d/2 hops and halves capacity — matching the paper's\n"
                "caveat that mixing trades maximum throughput for robustness\n"
                "against adversarial (non-translation-invariant) patterns.\n";
-  return checker.summarize();
+  return suite.finish(argc, argv);
 }

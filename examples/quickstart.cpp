@@ -3,42 +3,48 @@
 //
 //   build/examples/example_quickstart
 //
-// This is the smallest end-to-end use of the library: one config, one
-// replicated estimate, one pair of bounds.
+// This is the smallest end-to-end use of the library: one declarative
+// Scenario, one run(), one pair of bounds.  The same experiment is
+// reachable from the command line as
+//
+//   build/bench/routesim_bench --scenario hypercube_greedy --set d=6
+//       --set rho=0.6 --set measure=5000 --set reps=8 --set seed=42
 
 #include <iostream>
 
-#include "core/simulation.hpp"
+#include "core/scenario.hpp"
 
 int main() {
   using namespace routesim;
 
   // d-cube with per-node Poisson rate lambda and bit-flip destinations
-  // with parameter p; the load factor is rho = lambda * p.
-  const bounds::HypercubeParams params{/*d=*/6, /*lambda=*/1.2, /*p=*/0.5};
-  const double rho = bounds::load_factor(params);
+  // with parameter p; the load factor is rho = lambda * p.  Unset fields
+  // keep their defaults; the measurement window is derived from the load.
+  Scenario scenario;
+  scenario.scheme = "hypercube_greedy";
+  scenario.d = 6;
+  scenario.lambda = 1.2;
+  scenario.p = 0.5;
+  scenario.measure = 5000.0;
+  scenario.plan = ReplicationPlan{8, /*seed=*/42};
 
-  std::cout << "Greedy routing on the " << params.d << "-cube\n";
-  std::cout << "  lambda = " << params.lambda << " packets/node/unit, p = "
-            << params.p << "  =>  rho = " << rho << "\n\n";
+  std::cout << "Greedy routing on the " << scenario.d << "-cube\n";
+  std::cout << "  lambda = " << scenario.lambda << " packets/node/unit, p = "
+            << scenario.p << "  =>  rho = " << scenario.rho() << "\n";
+  std::cout << "  scenario: " << scenario.to_string() << "\n\n";
 
-  // A measurement window sized for this load, 8 independent replications
-  // run in parallel, deterministic for the given base seed.
-  const auto window = Window::for_load(params.d, rho, /*length=*/5000.0);
-  const auto estimate =
-      estimate_hypercube_delay(params, window, ReplicationPlan{8, /*seed=*/42});
+  const RunResult result = run(scenario);
 
-  std::cout << "  Prop. 13 lower bound : " << estimate.lower_bound << "\n";
-  std::cout << "  simulated delay T    : " << estimate.delay.mean << "  (+/- "
-            << estimate.delay.half_width << " at 95%)\n";
-  std::cout << "  Prop. 12 upper bound : " << estimate.upper_bound << "\n\n";
-  std::cout << "  mean hops (d*p)      : " << estimate.mean_hops << "\n";
-  std::cout << "  throughput           : " << estimate.throughput.mean
-            << " packets/unit (offered: " << params.lambda * 64 << ")\n";
-  std::cout << "  Little's law error   : " << estimate.max_little_error << "\n";
+  std::cout << "  Prop. 13 lower bound : " << result.lower_bound << "\n";
+  std::cout << "  simulated delay T    : " << result.delay.mean << "  (+/- "
+            << result.delay.half_width << " at 95%)\n";
+  std::cout << "  Prop. 12 upper bound : " << result.upper_bound << "\n\n";
+  std::cout << "  mean hops (d*p)      : " << result.mean_hops << "\n";
+  std::cout << "  throughput           : " << result.throughput.mean
+            << " packets/unit (offered: " << scenario.lambda * 64 << ")\n";
+  std::cout << "  Little's law error   : " << result.max_little_error << "\n";
 
-  const bool inside = estimate.delay.mean >= estimate.lower_bound &&
-                      estimate.delay.mean <= estimate.upper_bound;
+  const bool inside = result.within_bracket();
   std::cout << "\n  delay inside the paper's bracket: " << (inside ? "yes" : "NO")
             << "\n";
   return inside ? 0 : 1;

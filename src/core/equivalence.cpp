@@ -1,5 +1,8 @@
 #include "core/equivalence.hpp"
 
+#include "core/registry.hpp"
+#include "stats/little.hpp"
+
 #include <cmath>
 
 #include "util/assert.hpp"
@@ -120,6 +123,69 @@ LevelledNetworkConfig make_lemma9_network(double rate1, double rate2, double rat
   config.servers[1].routing = {RoutingChoice{p2_to_3, 2}};
   config.servers[2].external_rate = rate3;
   return config;
+}
+
+namespace {
+
+CompiledScenario compile_network_q(const Scenario& s, Discipline discipline) {
+  if (s.workload != "bit_flip" && s.workload != "uniform") {
+    throw ScenarioError("network_q supports only bit_flip/uniform workloads");
+  }
+  const double p_eff = s.effective_p();
+  CompiledScenario compiled;
+  const Window window = s.resolved_window();
+  compiled.replicate = [s, window, discipline, p_eff](std::uint64_t seed, int) {
+    LevelledNetwork net(
+        make_hypercube_network_q(s.d, s.lambda, p_eff, discipline, seed));
+    net.run(window.warmup, window.horizon);
+    const double window_length = window.horizon - window.warmup;
+    LittleCheck little;
+    little.time_avg_population = net.time_avg_population();
+    little.arrival_rate =
+        window_length > 0.0
+            ? static_cast<double>(net.arrivals_in_window()) / window_length
+            : 0.0;
+    little.mean_sojourn = net.delay().mean();
+    // Packets whose destination equals their origin (probability (1-p)^d)
+    // never enter Q; the paper's T averages over *all* packets, so the
+    // in-network sojourn is scaled by the probability of entering.
+    const double enter_prob = 1.0 - std::pow(1.0 - p_eff, s.d);
+    return std::vector<double>{net.delay().mean() * enter_prob,
+                               net.time_avg_population(),
+                               net.throughput(),
+                               0.0,
+                               little.relative_error(),
+                               net.final_population()};
+  };
+  const bounds::HypercubeParams params{s.d, s.lambda, p_eff};
+  if (bounds::load_factor(params) < 1.0) {
+    compiled.has_bounds = true;
+    compiled.lower_bound = bounds::greedy_delay_lower_bound(params);
+    compiled.upper_bound = bounds::greedy_delay_upper_bound(params);
+  }
+  return compiled;
+}
+
+}  // namespace
+
+void register_network_q_schemes(SchemeRegistry& registry) {
+  registry.add({"network_q",
+                "equivalent Markovian network Q of §3.1 (discipline from the "
+                "scenario: FIFO = Q, PS = Q~)",
+                [](const Scenario& s) {
+                  return compile_network_q(s, s.discipline);
+                }});
+  registry.add({"network_q_fifo",
+                "network Q under FIFO (the real scheme's equivalent, §3.1)",
+                [](const Scenario& s) {
+                  return compile_network_q(s, Discipline::kFifo);
+                }});
+  registry.add({"network_q_ps",
+                "network Q~ under processor sharing (the product-form "
+                "majorant of Props. 11/12)",
+                [](const Scenario& s) {
+                  return compile_network_q(s, Discipline::kPs);
+                }});
 }
 
 }  // namespace routesim

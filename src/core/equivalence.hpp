@@ -55,4 +55,12 @@ namespace routesim {
     double rate1, double rate2, double rate3, double p1_to_3, double p2_to_3,
     Discipline discipline, std::uint64_t seed);
 
+class SchemeRegistry;
+
+/// core/registry.hpp hookup: registers "network_q" (discipline taken from
+/// the scenario) plus the aliases "network_q_fifo" and "network_q_ps" that
+/// force the discipline — the equivalent-network estimators of §3.1 used
+/// for cross-validation and the FIFO-vs-PS experiments.
+void register_network_q_schemes(SchemeRegistry& registry);
+
 }  // namespace routesim

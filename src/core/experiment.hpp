@@ -26,6 +26,8 @@ struct ReplicationPlan {
   std::uint64_t base_seed = 1;
   /// 0 = use std::thread::hardware_concurrency().
   int threads = 0;
+
+  friend bool operator==(const ReplicationPlan&, const ReplicationPlan&) = default;
 };
 
 /// Runs body(seed, rep_index) once per replication (in parallel) and

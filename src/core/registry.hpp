@@ -1,0 +1,85 @@
+#pragma once
+/// \file registry.hpp
+/// \brief The scheme registry: name -> factory compiling a `Scenario` into
+///        a runnable replication body plus its theoretical bracket.
+///
+/// Each routing scheme registers itself under one or more names (the
+/// hookups live next to the simulators: register_*_scheme in
+/// src/routing/*.cpp and core/equivalence.cpp for the equivalent
+/// networks).  `run(scenario)` resolves the scenario's scheme name here,
+/// so every consumer — the façade, the bench driver, the tests — goes
+/// through one uniform path: compile -> replicate -> intervals -> bounds.
+///
+/// A compiled replication body returns the six standard metrics
+/// (metric::kDelay .. metric::kBacklog) followed by one value per entry of
+/// `extra_metrics`; the engine turns each column into an
+/// across-replication confidence interval.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace routesim {
+
+namespace metric {
+/// Layout of the standard metric columns every scheme produces.
+enum : std::size_t {
+  kDelay = 0,     ///< per-packet delay (generation to delivery)
+  kPopulation,    ///< time-average packets in the network
+  kThroughput,    ///< deliveries per time unit
+  kHops,          ///< arcs traversed per delivered packet
+  kLittle,        ///< Little's-law relative error (0 when not applicable)
+  kBacklog,       ///< packets left in the network at the horizon
+  kCount
+};
+}  // namespace metric
+
+/// A scenario bound to a concrete scheme: ready-to-run replication body,
+/// the names of any extra metric columns, and the paper's bracket.
+struct CompiledScenario {
+  /// One replication: simulate with this seed, return metric::kCount
+  /// standard metrics followed by extra_metrics.size() named extras.
+  std::function<std::vector<double>(std::uint64_t seed, int rep)> replicate;
+  std::vector<std::string> extra_metrics;
+  bool has_bounds = false;
+  double lower_bound = 0.0;
+  double upper_bound = 0.0;
+};
+
+class SchemeRegistry {
+ public:
+  struct SchemeInfo {
+    std::string name;
+    std::string summary;  ///< one line for --list and error messages
+    std::function<CompiledScenario(const Scenario&)> compile;
+    /// Scheme-specific load-factor rule consulted by Scenario::rho();
+    /// null means the default lambda*max_j P[B_j] rule applies.
+    std::function<double(const Scenario&)> load_factor = {};
+  };
+
+  /// The process-wide registry, with every built-in scheme registered.
+  static SchemeRegistry& instance();
+
+  /// Registers (or replaces) a scheme.  Callable at any time — downstream
+  /// users can plug in their own schemes and drive them through run().
+  void add(SchemeInfo info);
+
+  [[nodiscard]] const SchemeInfo* find(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return find(name) != nullptr;
+  }
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  SchemeRegistry() = default;
+
+  std::map<std::string, SchemeInfo> schemes_;
+};
+
+}  // namespace routesim

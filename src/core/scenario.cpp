@@ -1,0 +1,312 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "core/registry.hpp"
+#include "util/assert.hpp"
+
+namespace routesim {
+
+Window Window::for_load(int d, double rho, double length) {
+  RS_EXPECTS(d >= 1);
+  RS_EXPECTS(rho >= 0.0 && rho < 1.0);
+  RS_EXPECTS(length > 0.0);
+  const double slack = 1.0 - rho;
+  const double warmup = 50.0 + 10.0 * static_cast<double>(d) + 5.0 / (slack * slack);
+  return Window{warmup, warmup + length};
+}
+
+double Scenario::rho() const {
+  const auto* info = SchemeRegistry::instance().find(scheme);
+  if (info != nullptr && info->load_factor) return info->load_factor(*this);
+  if (workload == "general" && !mask_pmf.empty()) {
+    return bounds::load_factor_general(mask_pmf, d, lambda);
+  }
+  return lambda * effective_p();
+}
+
+DestinationDistribution Scenario::make_destinations() const {
+  if (workload == "uniform") return DestinationDistribution::uniform(d);
+  if (workload == "bit_flip" || workload == "trace") {
+    return DestinationDistribution::bit_flip(d, p);
+  }
+  if (workload == "general") {
+    if (mask_pmf.empty()) {
+      throw ScenarioError("workload 'general' requires a mask_pmf (2^d entries)");
+    }
+    return DestinationDistribution::general(d, mask_pmf);
+  }
+  throw ScenarioError("unknown workload '" + workload +
+                      "' (known: bit_flip, uniform, general, trace)");
+}
+
+Window Scenario::resolved_window() const {
+  if (!window.is_auto()) {
+    if (window.warmup < 0.0 || window.horizon < window.warmup) {
+      throw ScenarioError("window horizon must be >= warmup >= 0 (got warmup=" +
+                          std::to_string(window.warmup) + ", horizon=" +
+                          std::to_string(window.horizon) + ")");
+    }
+    return window;
+  }
+  const double load = rho();
+  if (load >= 1.0) {
+    throw ScenarioError(
+        "the automatic window needs rho < 1 (got rho = " + std::to_string(load) +
+        "); set warmup/horizon explicitly for unstable runs");
+  }
+  return Window::for_load(d, load, measure);
+}
+
+namespace {
+
+double parse_double(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    throw ScenarioError("bad value '" + value + "' for key '" + key + "'");
+  }
+  if (pos != value.size()) {
+    throw ScenarioError("bad value '" + value + "' for key '" + key + "'");
+  }
+  return parsed;
+}
+
+int parse_int(const std::string& key, const std::string& value) {
+  const double parsed = parse_double(key, value);
+  const int rounded = static_cast<int>(std::lround(parsed));
+  if (static_cast<double>(rounded) != parsed) {
+    throw ScenarioError("key '" + key + "' needs an integer, got '" + value + "'");
+  }
+  return rounded;
+}
+
+/// Shortest decimal form that round-trips through stod.
+std::string fmt_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  double parsed = 0.0;
+  for (const int precision : {1, 3, 6, 9, 12, 15}) {
+    char candidate[32];
+    std::snprintf(candidate, sizeof candidate, "%.*g", precision, value);
+    if (std::sscanf(candidate, "%lf", &parsed) == 1 && parsed == value) {
+      return candidate;
+    }
+  }
+  return buffer;
+}
+
+}  // namespace
+
+void Scenario::set(const std::string& key, const std::string& value) {
+  if (key == "d") {
+    d = parse_int(key, value);
+  } else if (key == "lambda") {
+    lambda = parse_double(key, value);
+  } else if (key == "rho") {
+    const double target = parse_double(key, value);
+    // Every load factor is linear in lambda, so probe it at lambda = 1 and
+    // solve; this stays correct for any registry load-factor rule.
+    Scenario probe = *this;
+    probe.lambda = 1.0;
+    const double per_unit_lambda = probe.rho();
+    if (per_unit_lambda <= 0.0) {
+      throw ScenarioError(
+          "cannot set rho while the load factor is zero (set p/workload first)");
+    }
+    lambda = target / per_unit_lambda;
+  } else if (key == "p") {
+    p = parse_double(key, value);
+  } else if (key == "tau") {
+    tau = parse_double(key, value);
+  } else if (key == "discipline") {
+    if (value == "fifo") {
+      discipline = Discipline::kFifo;
+    } else if (value == "ps") {
+      discipline = Discipline::kPs;
+    } else {
+      throw ScenarioError("discipline must be 'fifo' or 'ps', got '" + value + "'");
+    }
+  } else if (key == "workload") {
+    workload = value;
+  } else if (key == "fanout") {
+    fanout = parse_int(key, value);
+  } else if (key == "unicast_baseline") {
+    unicast_baseline = parse_int(key, value) != 0;
+  } else if (key == "buffers") {
+    buffer_capacity = static_cast<std::uint32_t>(parse_int(key, value));
+  } else if (key == "warmup") {
+    window.warmup = parse_double(key, value);
+  } else if (key == "horizon") {
+    window.horizon = parse_double(key, value);
+  } else if (key == "measure") {
+    measure = parse_double(key, value);
+  } else if (key == "reps") {
+    plan.replications = parse_int(key, value);
+  } else if (key == "seed") {
+    // Full 64-bit parse: going through a double would corrupt seeds above
+    // 2^53 and silently wrap negatives.
+    std::size_t pos = 0;
+    try {
+      if (value.find('-') != std::string::npos) throw std::invalid_argument("");
+      plan.base_seed = std::stoull(value, &pos);
+    } catch (const std::exception&) {
+      throw ScenarioError("bad value '" + value + "' for key 'seed'");
+    }
+    if (pos != value.size()) {
+      throw ScenarioError("bad value '" + value + "' for key 'seed'");
+    }
+  } else if (key == "threads") {
+    plan.threads = parse_int(key, value);
+  } else {
+    throw ScenarioError(
+        "unknown scenario key '" + key +
+        "' (known: d, lambda, rho, p, tau, discipline, workload, fanout, "
+        "unicast_baseline, buffers, warmup, horizon, measure, reps, seed, "
+        "threads)");
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> Scenario::to_key_values() const {
+  return {
+      {"d", std::to_string(d)},
+      {"lambda", fmt_double(lambda)},
+      {"p", fmt_double(p)},
+      {"tau", fmt_double(tau)},
+      {"discipline", discipline == Discipline::kPs ? "ps" : "fifo"},
+      {"workload", workload},
+      {"fanout", std::to_string(fanout)},
+      {"unicast_baseline", unicast_baseline ? "1" : "0"},
+      {"buffers", std::to_string(buffer_capacity)},
+      {"warmup", fmt_double(window.warmup)},
+      {"horizon", fmt_double(window.horizon)},
+      {"measure", fmt_double(measure)},
+      {"reps", std::to_string(plan.replications)},
+      {"seed", std::to_string(plan.base_seed)},
+      {"threads", std::to_string(plan.threads)},
+  };
+}
+
+std::string Scenario::to_string() const {
+  std::ostringstream os;
+  os << scheme;
+  for (const auto& [key, value] : to_key_values()) os << ' ' << key << '=' << value;
+  return os.str();
+}
+
+Scenario Scenario::parse(const std::vector<std::string>& args) {
+  if (args.empty()) throw ScenarioError("empty scenario: expected a scheme name");
+  Scenario scenario;
+  scenario.scheme = args.front();
+  if (scenario.scheme.find('=') != std::string::npos) {
+    throw ScenarioError("first scenario token must be the scheme name, got '" +
+                        scenario.scheme + "'");
+  }
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const auto eq = args[i].find('=');
+    if (eq == std::string::npos) {
+      throw ScenarioError("expected key=value, got '" + args[i] + "'");
+    }
+    scenario.set(args[i].substr(0, eq), args[i].substr(eq + 1));
+  }
+  return scenario;
+}
+
+const ConfidenceInterval* RunResult::extra(const std::string& name) const {
+  for (const auto& [key, interval] : extras) {
+    if (key == name) return &interval;
+  }
+  return nullptr;
+}
+
+bool RunResult::within_bracket(double slack) const {
+  if (!has_bounds) return true;
+  return delay.mean >= lower_bound - delay.half_width - slack &&
+         delay.mean <= upper_bound + delay.half_width + slack;
+}
+
+RunResult run(const Scenario& scenario) {
+  const auto* info = SchemeRegistry::instance().find(scenario.scheme);
+  if (info == nullptr) {
+    std::string known;
+    for (const auto& name : SchemeRegistry::instance().names()) {
+      known += known.empty() ? name : ", " + name;
+    }
+    throw ScenarioError("unknown scheme '" + scenario.scheme + "' (known: " +
+                        known + ")");
+  }
+  const CompiledScenario compiled = info->compile(scenario);
+  const auto rows = run_replications(scenario.plan, compiled.replicate);
+  const auto intervals = replication_intervals(rows);
+  const auto summaries = summarize_replications(rows);
+  RS_ENSURES(intervals.size() == metric::kCount + compiled.extra_metrics.size());
+
+  RunResult result;
+  result.delay = intervals[metric::kDelay];
+  result.population = intervals[metric::kPopulation];
+  result.throughput = intervals[metric::kThroughput];
+  result.mean_hops = summaries[metric::kHops].mean();
+  result.max_little_error = summaries[metric::kLittle].max();
+  result.mean_final_backlog = summaries[metric::kBacklog].mean();
+  result.has_bounds = compiled.has_bounds;
+  result.lower_bound = compiled.lower_bound;
+  result.upper_bound = compiled.upper_bound;
+  for (std::size_t i = 0; i < compiled.extra_metrics.size(); ++i) {
+    result.extras.emplace_back(compiled.extra_metrics[i],
+                               intervals[metric::kCount + i]);
+  }
+  result.rho = scenario.rho();
+  return result;
+}
+
+SweepSpec SweepSpec::parse(const std::string& text) {
+  const auto eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw ScenarioError("sweep must look like key=start:stop[:step], got '" +
+                        text + "'");
+  }
+  SweepSpec spec;
+  spec.key = text.substr(0, eq);
+  const std::string range = text.substr(eq + 1);
+  const auto colon1 = range.find(':');
+  if (colon1 == std::string::npos) {
+    throw ScenarioError("sweep range needs start:stop, got '" + range + "'");
+  }
+  spec.start = parse_double(spec.key, range.substr(0, colon1));
+  const auto colon2 = range.find(':', colon1 + 1);
+  if (colon2 == std::string::npos) {
+    spec.stop = parse_double(spec.key, range.substr(colon1 + 1));
+  } else {
+    spec.stop = parse_double(spec.key, range.substr(colon1 + 1, colon2 - colon1 - 1));
+    spec.step = parse_double(spec.key, range.substr(colon2 + 1));
+  }
+  if (spec.step <= 0.0) throw ScenarioError("sweep step must be positive");
+  if (spec.stop < spec.start) {
+    throw ScenarioError("sweep stop must be >= start");
+  }
+  return spec;
+}
+
+std::vector<double> SweepSpec::values() const {
+  std::vector<double> out;
+  // Half-step tolerance so 0.1:0.9:0.1 includes 0.9 despite rounding.
+  for (double v = start; v <= stop + step / 2.0; v += step) {
+    out.push_back(std::min(v, stop));
+  }
+  return out;
+}
+
+void apply_sweep_value(Scenario& scenario, const std::string& key, double value) {
+  if (key == "d" || key == "fanout" || key == "reps" || key == "seed") {
+    scenario.set(key, std::to_string(std::llround(value)));
+  } else {
+    scenario.set(key, fmt_double(value));
+  }
+}
+
+}  // namespace routesim

@@ -1,0 +1,198 @@
+#pragma once
+/// \file scenario.hpp
+/// \brief The declarative experiment API: a `Scenario` value names one
+///        point of the experiment space *topology x scheme x workload x
+///        load x window x replication plan*, and `run(scenario)` produces a
+///        `RunResult` with confidence intervals and the paper's bounds.
+///
+/// Every experiment in this library — the paper's tables (Props. 12-17),
+/// the ablations and the related-work comparators — is a `Scenario`;
+/// schemes are looked up by name in the `SchemeRegistry`
+/// (core/registry.hpp), so adding a sweep or a workload is a data change,
+/// not a new binary.  Scenarios round-trip through the `key=value` textual
+/// form used by the `routesim_bench` CLI (`--scenario NAME --set rho=0.6`).
+///
+/// The legacy façade (core/simulation.hpp) is a thin shim over this API
+/// and produces bit-identical results for the same seed and plan.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/experiment.hpp"
+#include "queueing/levelled_network.hpp"
+#include "stats/ci.hpp"
+#include "workload/destination.hpp"
+
+namespace routesim {
+
+/// Thrown on malformed scenario text or an unknown scheme/key/value.
+struct ScenarioError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Measurement window specification for steady-state estimation.
+struct Window {
+  double warmup = 0.0;
+  double horizon = 0.0;
+
+  /// A window heuristically matched to relaxation time ~ 1/(1-rho)^2 and
+  /// diameter d, with `length` time units of measurement.
+  static Window for_load(int d, double rho, double length);
+
+  /// True when unset ({0, 0}): run() derives a window from the scenario's
+  /// load via for_load(d, rho, measure).
+  [[nodiscard]] bool is_auto() const noexcept {
+    return warmup == 0.0 && horizon == 0.0;
+  }
+
+  friend bool operator==(const Window&, const Window&) = default;
+};
+
+/// One point of the experiment space.  Every field has a usable default;
+/// scheme-specific fields (tau, fanout, ...) are ignored by schemes that do
+/// not consume them.
+struct Scenario {
+  /// Registry key: hypercube_greedy, butterfly_greedy, network_q,
+  /// network_q_fifo, network_q_ps, pipelined_baseline, valiant_mixing,
+  /// deflection, batch_greedy, multicast (see SchemeRegistry::names()).
+  std::string scheme = "hypercube_greedy";
+
+  // --- model parameters -------------------------------------------------
+  int d = 4;            ///< cube / butterfly dimension
+  double lambda = 0.1;  ///< per-node generation rate
+  double p = 0.5;       ///< bit-flip probability of the destination law
+  double tau = 0.0;     ///< > 0: slotted-time variant (§3.4)
+  /// Service discipline for the equivalent-network schemes: network Q
+  /// (FIFO) or Q~ (PS).  Packet-level schemes ignore it.
+  Discipline discipline = Discipline::kFifo;
+
+  // --- workload ---------------------------------------------------------
+  /// "bit_flip" (law (1) with parameter p), "uniform" (p = 1/2),
+  /// "general" (translation-invariant law mask_pmf), or "trace"
+  /// (pre-generated packet trace shared by equal-seed scenarios, the
+  /// coupled-comparison workload).
+  std::string workload = "bit_flip";
+  /// For workload == "general": P[dest = origin XOR y] for each mask y
+  /// (2^d entries).  Not representable on the CLI.
+  std::vector<double> mask_pmf;
+
+  // --- scheme-specific knobs -------------------------------------------
+  int fanout = 4;                 ///< multicast destinations / batch packets per node
+  bool unicast_baseline = false;  ///< multicast: k unicasts instead of a tree
+  std::uint32_t buffer_capacity = 0;  ///< 0 = infinite (the paper's model)
+
+  // --- measurement ------------------------------------------------------
+  Window window{};          ///< {0,0} => auto window from load
+  double measure = 4000.0;  ///< measurement length used by the auto window
+  ReplicationPlan plan{};
+
+  // --- derived ----------------------------------------------------------
+
+  /// The bit-flip parameter the workload actually simulates: 0.5 for
+  /// "uniform" (which ignores the p field), p otherwise.
+  [[nodiscard]] double effective_p() const noexcept {
+    return workload == "uniform" ? 0.5 : p;
+  }
+
+  /// Scheme-aware load factor.  Schemes may install their own rule in the
+  /// registry (the butterfly uses lambda*max{p,1-p}); the default is
+  /// lambda*max_j P[B_j] over the destination law (= lambda*p for the
+  /// bit-flip law).
+  [[nodiscard]] double rho() const;
+
+  [[nodiscard]] bounds::HypercubeParams hypercube_params() const {
+    return {d, lambda, p};
+  }
+  [[nodiscard]] bounds::ButterflyParams butterfly_params() const {
+    return {d, lambda, p};
+  }
+
+  /// Builds the destination law this scenario describes.
+  [[nodiscard]] DestinationDistribution make_destinations() const;
+
+  /// The window actually simulated: `window` if set (horizon must exceed
+  /// warmup), otherwise Window::for_load(d, rho(), measure) — which needs
+  /// rho < 1; unstable runs must set the window explicitly.  Throws
+  /// ScenarioError on either violation.
+  [[nodiscard]] Window resolved_window() const;
+
+  // --- textual form (CLI round trip) -----------------------------------
+
+  /// Applies one `key=value` setting.  Keys: d, lambda, rho (solves for
+  /// the lambda giving that load under the current scheme/workload — set
+  /// p/workload first), p, tau, discipline (fifo|ps), workload, fanout,
+  /// unicast_baseline, buffers, warmup, horizon, measure, reps, seed,
+  /// threads.  Throws ScenarioError on an unknown key or unparsable value.
+  void set(const std::string& key, const std::string& value);
+
+  /// Every non-derived field as `key=value` pairs; parse(scheme + these)
+  /// reconstructs the scenario exactly (except mask_pmf, which has no
+  /// textual form).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> to_key_values()
+      const;
+
+  /// "scheme key=value ..." one-line form of to_key_values().
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses {"scheme", "key=value", ...} (the CLI argument form).
+  static Scenario parse(const std::vector<std::string>& args);
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+/// Aggregate of one run(): across-replication 95% t intervals for the
+/// standard metrics, the paper's bracket when the scheme has one, plus any
+/// scheme-specific extra metrics (deflection fraction, round length, ...).
+struct RunResult {
+  ConfidenceInterval delay;       ///< mean packet delay T
+  ConfidenceInterval population;  ///< time-average packets in network
+  ConfidenceInterval throughput;  ///< deliveries per time unit
+  double mean_hops = 0.0;         ///< average arcs traversed
+  double max_little_error = 0.0;  ///< worst Little's-law discrepancy seen
+  double mean_final_backlog = 0.0;
+
+  bool has_bounds = false;   ///< scheme provides a theoretical bracket
+  double lower_bound = 0.0;  ///< paper lower bound for these parameters
+  double upper_bound = 0.0;  ///< paper upper bound for these parameters
+
+  /// Scheme-specific metrics by name, with across-replication intervals.
+  std::vector<std::pair<std::string, ConfidenceInterval>> extras;
+
+  double rho = 0.0;  ///< the scenario's load factor, echoed for tables
+
+  /// Looks up an extra metric; nullptr when absent.
+  [[nodiscard]] const ConfidenceInterval* extra(const std::string& name) const;
+
+  /// Bracket containment with `slack` added on both sides (plus the CI
+  /// half-width); true when the scheme has no bounds.
+  [[nodiscard]] bool within_bracket(double slack = 0.0) const;
+};
+
+/// The engine: looks the scheme up in the registry, compiles the scenario,
+/// runs the replication plan, and assembles intervals + bounds uniformly.
+/// Throws ScenarioError for an unknown scheme.
+[[nodiscard]] RunResult run(const Scenario& scenario);
+
+// ----------------------------------------------------------------- sweeps
+
+/// A swept parameter: "rho=0.1:0.9" or "rho=0.1:0.9:0.05" (default step
+/// 0.1).  Keys: rho, lambda, p, tau, d, fanout, measure, reps, seed.
+struct SweepSpec {
+  std::string key;
+  double start = 0.0;
+  double stop = 0.0;
+  double step = 0.1;
+
+  static SweepSpec parse(const std::string& text);
+  [[nodiscard]] std::vector<double> values() const;
+};
+
+/// Applies one swept value to a scenario (rho adjusts lambda; d, fanout and
+/// reps round to the nearest integer).
+void apply_sweep_value(Scenario& scenario, const std::string& key, double value);
+
+}  // namespace routesim

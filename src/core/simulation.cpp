@@ -1,52 +1,32 @@
 #include "core/simulation.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "core/equivalence.hpp"
-#include "queueing/levelled_network.hpp"
-#include "routing/greedy_butterfly.hpp"
-#include "routing/greedy_hypercube.hpp"
-#include "util/assert.hpp"
-
 namespace routesim {
-
-Window Window::for_load(int d, double rho, double length) {
-  RS_EXPECTS(d >= 1);
-  RS_EXPECTS(rho >= 0.0 && rho < 1.0);
-  RS_EXPECTS(length > 0.0);
-  const double slack = 1.0 - rho;
-  const double warmup = 50.0 + 10.0 * static_cast<double>(d) + 5.0 / (slack * slack);
-  return Window{warmup, warmup + length};
-}
 
 namespace {
 
-// Metric layout shared by all estimators.
-enum : std::size_t {
-  kDelay = 0,
-  kPopulation,
-  kThroughput,
-  kHops,
-  kLittle,
-  kBacklog,
-  kNumMetrics
-};
-
-DelayEstimate assemble(const std::vector<std::vector<double>>& rows, double lb,
-                       double ub) {
-  const auto intervals = replication_intervals(rows);
-  const auto summaries = summarize_replications(rows);
+DelayEstimate to_estimate(const RunResult& result) {
   DelayEstimate estimate;
-  estimate.delay = intervals[kDelay];
-  estimate.population = intervals[kPopulation];
-  estimate.throughput = intervals[kThroughput];
-  estimate.mean_hops = summaries[kHops].mean();
-  estimate.max_little_error = summaries[kLittle].max();
-  estimate.mean_final_backlog = summaries[kBacklog].mean();
-  estimate.lower_bound = lb;
-  estimate.upper_bound = ub;
+  estimate.delay = result.delay;
+  estimate.population = result.population;
+  estimate.throughput = result.throughput;
+  estimate.mean_hops = result.mean_hops;
+  estimate.max_little_error = result.max_little_error;
+  estimate.mean_final_backlog = result.mean_final_backlog;
+  estimate.lower_bound = result.lower_bound;
+  estimate.upper_bound = result.upper_bound;
   return estimate;
+}
+
+Scenario base_scenario(std::string scheme, int d, double lambda, double p,
+                       const Window& window, const ReplicationPlan& plan) {
+  Scenario scenario;
+  scenario.scheme = std::move(scheme);
+  scenario.d = d;
+  scenario.lambda = lambda;
+  scenario.p = p;
+  scenario.window = window;
+  scenario.plan = plan;
+  return scenario;
 }
 
 }  // namespace
@@ -54,76 +34,27 @@ DelayEstimate assemble(const std::vector<std::vector<double>>& rows, double lb,
 DelayEstimate estimate_hypercube_delay(const bounds::HypercubeParams& params,
                                        const Window& window,
                                        const ReplicationPlan& plan, double tau) {
-  const auto rows = run_replications(plan, [&](std::uint64_t seed, int) {
-    GreedyHypercubeConfig config;
-    config.d = params.d;
-    config.lambda = params.lambda;
-    config.destinations = DestinationDistribution::bit_flip(params.d, params.p);
-    config.seed = seed;
-    config.slot = tau;
-    GreedyHypercubeSim sim(config);
-    sim.run(window.warmup, window.horizon);
-    return std::vector<double>{
-        sim.delay().mean(),          sim.time_avg_population(),
-        sim.throughput(),            sim.hops().mean(),
-        sim.little_check().relative_error(), sim.final_population()};
-  });
-  const double lb = bounds::greedy_delay_lower_bound(params);
-  const double ub = tau > 0.0 ? bounds::slotted_delay_upper_bound(params, tau)
-                              : bounds::greedy_delay_upper_bound(params);
-  return assemble(rows, lb, ub);
+  Scenario scenario = base_scenario("hypercube_greedy", params.d, params.lambda,
+                                    params.p, window, plan);
+  scenario.tau = tau;
+  return to_estimate(run(scenario));
 }
 
 DelayEstimate estimate_butterfly_delay(const bounds::ButterflyParams& params,
                                        const Window& window,
                                        const ReplicationPlan& plan) {
-  const auto rows = run_replications(plan, [&](std::uint64_t seed, int) {
-    GreedyButterflyConfig config;
-    config.d = params.d;
-    config.lambda = params.lambda;
-    config.destinations = DestinationDistribution::bit_flip(params.d, params.p);
-    config.seed = seed;
-    GreedyButterflySim sim(config);
-    sim.run(window.warmup, window.horizon);
-    return std::vector<double>{
-        sim.delay().mean(),          sim.time_avg_population(),
-        sim.throughput(),            sim.vertical_hops().mean(),
-        sim.little_check().relative_error(), sim.final_population()};
-  });
-  return assemble(rows, bounds::bfly_universal_delay_lower_bound(params),
-                  bounds::bfly_greedy_delay_upper_bound(params));
+  return to_estimate(run(base_scenario("butterfly_greedy", params.d,
+                                       params.lambda, params.p, window, plan)));
 }
 
 DelayEstimate estimate_network_q_delay(const bounds::HypercubeParams& params,
                                        const Window& window,
                                        const ReplicationPlan& plan,
                                        bool processor_sharing) {
-  const auto discipline = processor_sharing ? Discipline::kPs : Discipline::kFifo;
-  const auto rows = run_replications(plan, [&](std::uint64_t seed, int) {
-    LevelledNetwork net(make_hypercube_network_q(params.d, params.lambda, params.p,
-                                                 discipline, seed));
-    net.run(window.warmup, window.horizon);
-    const double window_length = window.horizon - window.warmup;
-    LittleCheck little;
-    little.time_avg_population = net.time_avg_population();
-    little.arrival_rate = window_length > 0.0
-                              ? static_cast<double>(net.arrivals_in_window()) /
-                                    window_length
-                              : 0.0;
-    little.mean_sojourn = net.delay().mean();
-    // Packets whose destination equals their origin (probability (1-p)^d)
-    // never enter Q; the paper's T averages over *all* packets, so the
-    // in-network sojourn is scaled by the probability of entering.
-    const double enter_prob = 1.0 - std::pow(1.0 - params.p, params.d);
-    return std::vector<double>{net.delay().mean() * enter_prob,
-                               net.time_avg_population(),
-                               net.throughput(),
-                               0.0,
-                               little.relative_error(),
-                               net.final_population()};
-  });
-  return assemble(rows, bounds::greedy_delay_lower_bound(params),
-                  bounds::greedy_delay_upper_bound(params));
+  Scenario scenario = base_scenario("network_q", params.d, params.lambda,
+                                    params.p, window, plan);
+  scenario.discipline = processor_sharing ? Discipline::kPs : Discipline::kFifo;
+  return to_estimate(run(scenario));
 }
 
 }  // namespace routesim

@@ -1,32 +1,27 @@
 #pragma once
 /// \file simulation.hpp
-/// \brief High-level façade: configure -> replicate -> confidence intervals.
+/// \brief Legacy façade, now a thin compatibility shim over the Scenario
+///        API (core/scenario.hpp).
 ///
-/// This is the public entry point most users want: it wires together the
-/// packet-level simulators, the replication runner and the paper's bounds,
-/// and returns delay estimates with confidence intervals next to the
-/// corresponding theoretical brackets [Prop. 13, Prop. 12] (hypercube) or
-/// [Prop. 14, Prop. 17] (butterfly).
+/// The three estimator functions below predate `routesim::Scenario`; they
+/// survive so existing callers keep compiling, and each simply builds the
+/// equivalent Scenario and forwards to run() — producing bit-identical
+/// results for the same window, seed and plan (the parity test in
+/// tests/test_scenario.cpp pins this down).  New code should construct a
+/// `Scenario` directly: it reaches every scheme (not just these three) and
+/// returns the richer `RunResult`.
 
 #include <cstdint>
 
 #include "core/bounds.hpp"
 #include "core/experiment.hpp"
+#include "core/scenario.hpp"
 #include "stats/ci.hpp"
 
 namespace routesim {
 
-/// Measurement window specification for steady-state estimation.
-struct Window {
-  double warmup = 0.0;
-  double horizon = 0.0;
-
-  /// A window heuristically matched to relaxation time ~ 1/(1-rho)^2 and
-  /// diameter d, with `length` time units of measurement.
-  static Window for_load(int d, double rho, double length);
-};
-
 /// Aggregated steady-state estimates across replications (95% t intervals).
+/// The legacy shape of RunResult, kept for source compatibility.
 struct DelayEstimate {
   ConfidenceInterval delay;       ///< mean packet delay T
   ConfidenceInterval population;  ///< time-average packets in network
@@ -38,21 +33,20 @@ struct DelayEstimate {
   double upper_bound = 0.0;  ///< paper upper bound for these parameters
 };
 
-/// Greedy routing on the d-cube (§3): simulate `plan.replications`
-/// replications of the model with the given parameters and window.
-/// Set tau > 0 for the slotted-time variant of §3.4.
+/// Greedy routing on the d-cube (§3): shim for the "hypercube_greedy"
+/// scenario.  Set tau > 0 for the slotted-time variant of §3.4.
 [[nodiscard]] DelayEstimate estimate_hypercube_delay(
     const bounds::HypercubeParams& params, const Window& window,
     const ReplicationPlan& plan, double tau = 0.0);
 
-/// Greedy routing on the d-dimensional butterfly (§4).
+/// Greedy routing on the d-dimensional butterfly (§4): shim for
+/// "butterfly_greedy".
 [[nodiscard]] DelayEstimate estimate_butterfly_delay(
     const bounds::ButterflyParams& params, const Window& window,
     const ReplicationPlan& plan);
 
-/// Equivalent-network estimate: runs the Markovian network Q (FIFO) or Q~
-/// (PS) instead of the packet-level hypercube; used for cross-validation
-/// and the FIFO-vs-PS experiments.
+/// Equivalent-network estimate (§3.1): shim for "network_q" under FIFO
+/// (network Q) or processor sharing (network Q~).
 [[nodiscard]] DelayEstimate estimate_network_q_delay(
     const bounds::HypercubeParams& params, const Window& window,
     const ReplicationPlan& plan, bool processor_sharing);

@@ -3,15 +3,24 @@
 /// \brief Umbrella header: the full public API of the greedy-routing
 ///        reproduction library.
 ///
-/// Most applications only need core/simulation.hpp (the configure ->
-/// replicate -> confidence-interval façade) plus core/bounds.hpp (the
-/// paper's closed forms).  This header pulls in everything for
-/// explorative use.
+/// The primary entry point is core/scenario.hpp: describe an experiment as
+/// a declarative `Scenario` ({scheme, d, lambda, p, workload, window,
+/// plan, ...}), then `run(scenario)` returns delay/population/throughput
+/// intervals next to the paper's bounds.  Schemes are resolved by name in
+/// the `SchemeRegistry` (core/registry.hpp) — greedy hypercube/butterfly,
+/// the equivalent networks Q/Q~, and the baseline/related-work comparators
+/// all go through the same engine, so new sweeps and workloads are a data
+/// change, not new wiring.  core/bounds.hpp has every proposition as a
+/// directly callable closed form; core/simulation.hpp is the legacy façade
+/// (now a shim over the Scenario API).  This header pulls in everything
+/// for explorative use.
 
 #include "core/bounds.hpp"           // every proposition as a function
 #include "core/equivalence.hpp"      // networks Q, R, G builders
 #include "core/experiment.hpp"       // parallel replication runner
-#include "core/simulation.hpp"       // top-level façade
+#include "core/registry.hpp"         // scheme name -> factory registry
+#include "core/scenario.hpp"         // declarative Scenario + run() engine
+#include "core/simulation.hpp"       // legacy façade (shim over Scenario)
 
 #include "des/event_queue.hpp"
 #include "des/simulator.hpp"

@@ -1,5 +1,8 @@
 #include "routing/batch_router.hpp"
 
+#include "core/registry.hpp"
+#include "util/bits.hpp"
+
 #include "des/event_queue.hpp"
 #include "util/assert.hpp"
 
@@ -63,6 +66,45 @@ BatchRoutingResult route_batch_greedy(const Hypercube& cube,
     }
   }
   return result;
+}
+
+void register_batch_greedy_scheme(SchemeRegistry& registry) {
+  registry.add(
+      {"batch_greedy",
+       "one synchronous greedy round: fanout packets per node, all present "
+       "at t = 0 (the §2.3 round primitive)",
+       [](const Scenario& s) {
+         CompiledScenario compiled;
+         compiled.replicate = [s, destinations = s.make_destinations()](
+                                  std::uint64_t seed, int) {
+           const Hypercube cube(s.d);
+           Rng rng(seed);
+           std::vector<BatchPacket> batch;
+           batch.reserve(cube.num_nodes() * static_cast<std::size_t>(s.fanout));
+           double hops_total = 0.0;
+           for (NodeId origin = 0; origin < cube.num_nodes(); ++origin) {
+             for (int k = 0; k < s.fanout; ++k) {
+               const NodeId dest = destinations.sample(rng, origin);
+               batch.push_back({origin, dest});
+               hops_total += static_cast<double>(hamming_distance(origin, dest));
+             }
+           }
+           const auto result = route_batch_greedy(cube, batch, 0.0);
+           double completion_total = 0.0;
+           for (const double t : result.completion_times) completion_total += t;
+           const double n = static_cast<double>(batch.size());
+           return std::vector<double>{
+               n > 0.0 ? completion_total / n : 0.0,
+               0.0,
+               result.makespan > 0.0 ? n / result.makespan : 0.0,
+               n > 0.0 ? hops_total / n : 0.0,
+               0.0,
+               0.0,
+               result.makespan};
+         };
+         compiled.extra_metrics = {"makespan"};
+         return compiled;
+       }});
 }
 
 }  // namespace routesim

@@ -38,4 +38,11 @@ struct BatchRoutingResult {
                                                     std::span<const BatchPacket> batch,
                                                     double start_time);
 
+class SchemeRegistry;
+
+/// core/registry.hpp hookup: registers "batch_greedy" — one synchronous
+/// round per replication with `fanout` packets per node, extra metric
+/// makespan.
+void register_batch_greedy_scheme(SchemeRegistry& registry);
+
 }  // namespace routesim

@@ -1,5 +1,7 @@
 #include "routing/deflection.hpp"
 
+#include "core/registry.hpp"
+
 #include <algorithm>
 
 #include "util/assert.hpp"
@@ -109,6 +111,42 @@ void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
   backlog_ = 0;
   for (const auto& queue : injection_) backlog_ += queue.size();
   for (const auto& residents : resident_) backlog_ += residents.size();
+}
+
+void register_deflection_scheme(SchemeRegistry& registry) {
+  registry.add(
+      {"deflection",
+       "bufferless hot-potato routing on the d-cube ([GrH89]; window in "
+       "slots, lambda in packets per node per slot)",
+       [](const Scenario& s) {
+         CompiledScenario compiled;
+         const Window window = s.resolved_window();
+         compiled.replicate = [s, window, dist = s.make_destinations()](
+                                  std::uint64_t seed, int) {
+           DeflectionConfig config;
+           config.d = s.d;
+           config.lambda = s.lambda;
+           config.destinations = dist;
+           config.seed = seed;
+           DeflectionSim sim(config);
+           const auto warmup_slots = static_cast<std::uint64_t>(window.warmup);
+           const auto num_slots = static_cast<std::uint64_t>(window.horizon);
+           sim.run(warmup_slots, num_slots);
+           const double slots =
+               static_cast<double>(num_slots) - static_cast<double>(warmup_slots);
+           return std::vector<double>{
+               sim.delay().mean(),
+               0.0,
+               slots > 0.0 ? static_cast<double>(sim.deliveries_in_window()) / slots
+                           : 0.0,
+               sim.hops().mean(),
+               0.0,
+               static_cast<double>(sim.injection_backlog()),
+               sim.deflection_fraction()};
+         };
+         compiled.extra_metrics = {"deflection_fraction"};
+         return compiled;
+       }});
 }
 
 }  // namespace routesim

@@ -80,4 +80,11 @@ class DeflectionSim {
   std::uint64_t deliveries_window_ = 0;
 };
 
+class SchemeRegistry;
+
+/// core/registry.hpp hookup: registers "deflection" ([GrH89] hot-potato
+/// comparator; window interpreted in slots) with extra metric
+/// deflection_fraction.
+void register_deflection_scheme(SchemeRegistry& registry);
+
 }  // namespace routesim

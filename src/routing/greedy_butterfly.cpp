@@ -1,5 +1,7 @@
 #include "routing/greedy_butterfly.hpp"
 
+#include "core/registry.hpp"
+
 #include <cmath>
 
 #include "util/assert.hpp"
@@ -186,6 +188,53 @@ LittleCheck GreedyButterflySim::little_check() const noexcept {
       window_ > 0.0 ? static_cast<double>(arrivals_window_) / window_ : 0.0;
   check.mean_sojourn = delay_.mean();
   return check;
+}
+
+void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
+  registry.add(
+      {"butterfly_greedy",
+       "greedy routing on the d-dimensional butterfly (§4; Props. 14/17)",
+       [](const Scenario& s) {
+         CompiledScenario compiled;
+         const Window window = s.resolved_window();
+         // Built here so a bad workload fails at compile time, not inside a
+         // replication worker thread.
+         compiled.replicate = [s, window, dist = s.make_destinations()](
+                                  std::uint64_t seed, int) {
+           GreedyButterflyConfig config;
+           config.d = s.d;
+           config.lambda = s.lambda;
+           config.destinations = dist;
+           config.seed = seed;
+           config.slot = s.tau;
+           PacketTrace trace;
+           if (s.workload == "trace") {
+             trace = generate_butterfly_trace(s.d, s.lambda, config.destinations,
+                                              window.horizon, seed);
+             config.trace = &trace;
+           }
+           GreedyButterflySim sim(config);
+           sim.run(window.warmup, window.horizon);
+           return std::vector<double>{
+               sim.delay().mean(),          sim.time_avg_population(),
+               sim.throughput(),            sim.vertical_hops().mean(),
+               sim.little_check().relative_error(), sim.final_population()};
+         };
+         // Unstable points (rho >= 1) run fine — only the bracket is gone.
+         if (s.workload != "general") {
+           const bounds::ButterflyParams params{s.d, s.lambda, s.effective_p()};
+           if (bounds::bfly_load_factor(params) < 1.0) {
+             compiled.has_bounds = true;
+             compiled.lower_bound =
+                 bounds::bfly_universal_delay_lower_bound(params);
+             compiled.upper_bound = bounds::bfly_greedy_delay_upper_bound(params);
+           }
+         }
+         return compiled;
+       },
+       [](const Scenario& s) {
+         return bounds::bfly_load_factor({s.d, s.lambda, s.effective_p()});
+       }});
 }
 
 }  // namespace routesim

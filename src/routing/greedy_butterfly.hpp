@@ -114,4 +114,10 @@ class GreedyButterflySim {
   double throughput_ = 0.0;
 };
 
+class SchemeRegistry;
+
+/// core/registry.hpp hookup: registers "butterfly_greedy" (§4, Props.
+/// 14/17; workloads bit_flip, uniform and trace).
+void register_butterfly_greedy_scheme(SchemeRegistry& registry);
+
 }  // namespace routesim

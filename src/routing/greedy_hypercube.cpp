@@ -1,5 +1,7 @@
 #include "routing/greedy_hypercube.hpp"
 
+#include "core/registry.hpp"
+
 #include <cmath>
 
 #include "util/assert.hpp"
@@ -252,6 +254,53 @@ LittleCheck GreedyHypercubeSim::little_check() const noexcept {
                            : 0.0;
   check.mean_sojourn = delay_.mean();
   return check;
+}
+
+void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
+  registry.add(
+      {"hypercube_greedy",
+       "greedy dimension-order routing on the d-cube (§3; Props. 12/13, "
+       "slotted §3.4 when tau > 0)",
+       [](const Scenario& s) {
+         CompiledScenario compiled;
+         const Window window = s.resolved_window();
+         // Built here so a bad workload fails at compile time, not inside a
+         // replication worker thread.
+         compiled.replicate = [s, window, dist = s.make_destinations()](
+                                  std::uint64_t seed, int) {
+           GreedyHypercubeConfig config;
+           config.d = s.d;
+           config.lambda = s.lambda;
+           config.destinations = dist;
+           config.seed = seed;
+           config.slot = s.tau;
+           config.buffer_capacity = s.buffer_capacity;
+           PacketTrace trace;
+           if (s.workload == "trace") {
+             trace = generate_hypercube_trace(s.d, s.lambda, config.destinations,
+                                              window.horizon, seed);
+             config.trace = &trace;
+           }
+           GreedyHypercubeSim sim(config);
+           sim.run(window.warmup, window.horizon);
+           return std::vector<double>{
+               sim.delay().mean(),          sim.time_avg_population(),
+               sim.throughput(),            sim.hops().mean(),
+               sim.little_check().relative_error(), sim.final_population()};
+         };
+         // Unstable points (rho >= 1) run fine — only the bracket is gone.
+         if (s.workload != "general") {
+           const bounds::HypercubeParams params{s.d, s.lambda, s.effective_p()};
+           if (bounds::load_factor(params) < 1.0) {
+             compiled.has_bounds = true;
+             compiled.lower_bound = bounds::greedy_delay_lower_bound(params);
+             compiled.upper_bound =
+                 s.tau > 0.0 ? bounds::slotted_delay_upper_bound(params, s.tau)
+                             : bounds::greedy_delay_upper_bound(params);
+           }
+         }
+         return compiled;
+       }});
 }
 
 }  // namespace routesim

@@ -187,4 +187,11 @@ class GreedyHypercubeSim {
   double throughput_ = 0.0;
 };
 
+class SchemeRegistry;
+
+/// core/registry.hpp hookup: registers "hypercube_greedy" (continuous or,
+/// with tau > 0, the slotted variant of §3.4; workloads bit_flip, uniform,
+/// general and trace; finite buffers via buffer_capacity).
+void register_hypercube_greedy_scheme(SchemeRegistry& registry);
+
 }  // namespace routesim

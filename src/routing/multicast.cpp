@@ -1,5 +1,7 @@
 #include "routing/multicast.hpp"
 
+#include "core/registry.hpp"
+
 #include <algorithm>
 
 #include "util/assert.hpp"
@@ -65,7 +67,7 @@ void GreedyMulticastSim::inject(double now) {
   }
 }
 
-void GreedyMulticastSim::finish_packet_if_done(double now, std::uint32_t packet) {
+void GreedyMulticastSim::finish_packet_if_done(double /*now*/, std::uint32_t packet) {
   PacketState& state = packets_[packet];
   if (state.undelivered > 0) return;
   if (state.counted) {
@@ -173,6 +175,41 @@ void GreedyMulticastSim::run(double warmup, double horizon) {
 
   if (!stats_reset) population_.reset(warmup);
   time_avg_population_ = population_.mean(horizon);
+}
+
+void register_multicast_scheme(SchemeRegistry& registry) {
+  registry.add(
+      {"multicast",
+       "greedy dimension-order multicast trees, fanout destinations per "
+       "packet (§5; unicast_baseline=1 sends fanout independent unicasts)",
+       [](const Scenario& s) {
+         CompiledScenario compiled;
+         const Window window = s.resolved_window();
+         compiled.replicate = [s, window](std::uint64_t seed, int) {
+           MulticastConfig config;
+           config.d = s.d;
+           config.lambda = s.lambda;
+           config.fanout = s.fanout;
+           config.seed = seed;
+           config.unicast_baseline = s.unicast_baseline;
+           GreedyMulticastSim sim(config);
+           sim.run(window.warmup, window.horizon);
+           const double window_length = window.horizon - window.warmup;
+           return std::vector<double>{
+               sim.delivery_delay().mean(),
+               sim.time_avg_copies_in_network(),
+               window_length > 0.0
+                   ? static_cast<double>(sim.packets_in_window()) / window_length
+                   : 0.0,
+               0.0,
+               0.0,
+               0.0,
+               sim.completion_delay().mean(),
+               sim.transmissions_per_packet().mean()};
+         };
+         compiled.extra_metrics = {"completion_delay", "transmissions_per_packet"};
+         return compiled;
+       }});
 }
 
 }  // namespace routesim

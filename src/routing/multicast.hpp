@@ -111,4 +111,12 @@ class GreedyMulticastSim {
   double time_avg_population_ = 0.0;
 };
 
+class SchemeRegistry;
+
+/// core/registry.hpp hookup: registers "multicast" (§5 destination-set
+/// generalisation; `fanout` destinations per packet, unicast_baseline
+/// disables tree sharing) with extra metrics completion_delay and
+/// transmissions_per_packet.
+void register_multicast_scheme(SchemeRegistry& registry);
+
 }  // namespace routesim

@@ -1,5 +1,7 @@
 #include "routing/pipelined_baseline.hpp"
 
+#include "core/registry.hpp"
+
 #include "routing/batch_router.hpp"
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
@@ -75,6 +77,40 @@ void PipelinedBaselineSim::run(double warmup, double horizon) {
 
   backlog_ = 0;
   for (const auto& queue : node_queue_) backlog_ += queue.size();
+}
+
+void register_pipelined_baseline_scheme(SchemeRegistry& registry) {
+  registry.add(
+      {"pipelined_baseline",
+       "non-greedy pipelined rounds of the Valiant-Brebner first phase "
+       "(§2.3; stable only for lambda*R*d < 1)",
+       [](const Scenario& s) {
+         CompiledScenario compiled;
+         const Window window = s.resolved_window();
+         compiled.replicate = [s, window, dist = s.make_destinations()](
+                                  std::uint64_t seed, int) {
+           PipelinedBaselineConfig config;
+           config.d = s.d;
+           config.lambda = s.lambda;
+           config.destinations = dist;
+           config.seed = seed;
+           PipelinedBaselineSim sim(config);
+           sim.run(window.warmup, window.horizon);
+           const double window_length = window.horizon - window.warmup;
+           return std::vector<double>{
+               sim.delay().mean(),
+               sim.backlog_at_rounds().mean(),
+               window_length > 0.0
+                   ? static_cast<double>(sim.deliveries_in_window()) / window_length
+                   : 0.0,
+               0.0,
+               0.0,
+               static_cast<double>(sim.backlog()),
+               sim.round_length().mean() / static_cast<double>(s.d)};
+         };
+         compiled.extra_metrics = {"round_over_d"};
+         return compiled;
+       }});
 }
 
 }  // namespace routesim

@@ -83,4 +83,10 @@ class PipelinedBaselineSim {
   std::uint64_t deliveries_window_ = 0;
 };
 
+class SchemeRegistry;
+
+/// core/registry.hpp hookup: registers "pipelined_baseline" (§2.3) with
+/// extra metric round_over_d (the measured constant R).
+void register_pipelined_baseline_scheme(SchemeRegistry& registry);
+
 }  // namespace routesim

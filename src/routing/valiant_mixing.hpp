@@ -94,4 +94,10 @@ class ValiantMixingSim {
   double throughput_ = 0.0;
 };
 
+class SchemeRegistry;
+
+/// core/registry.hpp hookup: registers "valiant_mixing" (§5 two-phase
+/// mixing; workload "trace" couples it to an equal-seed greedy scenario).
+void register_valiant_mixing_scheme(SchemeRegistry& registry);
+
 }  // namespace routesim

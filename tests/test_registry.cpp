@@ -1,0 +1,101 @@
+// SchemeRegistry tests: every built-in scheme is constructible and runnable
+// by name, metric layouts are consistent, and downstream schemes can be
+// plugged in at runtime.
+
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace routesim {
+namespace {
+
+/// A small, fast scenario valid for every built-in scheme.
+Scenario tiny_scenario(const std::string& scheme) {
+  Scenario scenario;
+  scenario.scheme = scheme;
+  scenario.d = 3;
+  scenario.lambda = 0.4;  // rho = 0.2 for the packet-level schemes
+  scenario.p = 0.5;
+  scenario.fanout = 2;
+  scenario.window = {20.0, 120.0};
+  scenario.plan = {2, 42, 1};
+  if (scheme == "pipelined_baseline") scenario.lambda = 0.02;  // inside 1/(Rd)
+  return scenario;
+}
+
+TEST(SchemeRegistry, AllBuiltInSchemesAreRegistered) {
+  const auto names = SchemeRegistry::instance().names();
+  for (const char* expected :
+       {"hypercube_greedy", "butterfly_greedy", "network_q", "network_q_fifo",
+        "network_q_ps", "pipelined_baseline", "valiant_mixing", "deflection",
+        "batch_greedy", "multicast"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing scheme: " << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(SchemeRegistry, EverySchemeHasASummaryAndCompiles) {
+  const auto& registry = SchemeRegistry::instance();
+  for (const auto& name : registry.names()) {
+    const auto* info = registry.find(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(info->name, name);
+    EXPECT_FALSE(info->summary.empty()) << name;
+    const CompiledScenario compiled = info->compile(tiny_scenario(name));
+    EXPECT_TRUE(static_cast<bool>(compiled.replicate)) << name;
+  }
+}
+
+TEST(SchemeRegistry, EverySchemeRunsByNameWithConsistentMetricLayout) {
+  const auto& registry = SchemeRegistry::instance();
+  for (const auto& name : registry.names()) {
+    const Scenario scenario = tiny_scenario(name);
+    const CompiledScenario compiled = registry.find(name)->compile(scenario);
+    const auto metrics = compiled.replicate(1, 0);
+    EXPECT_EQ(metrics.size(), metric::kCount + compiled.extra_metrics.size())
+        << name;
+
+    const RunResult result = run(scenario);
+    EXPECT_EQ(result.extras.size(), compiled.extra_metrics.size()) << name;
+    EXPECT_GE(result.delay.mean, 0.0) << name;
+    if (compiled.has_bounds) {
+      EXPECT_LT(result.lower_bound, result.upper_bound) << name;
+    }
+  }
+}
+
+TEST(SchemeRegistry, FindReturnsNullForUnknownName) {
+  EXPECT_EQ(SchemeRegistry::instance().find("no_such_scheme"), nullptr);
+  EXPECT_FALSE(SchemeRegistry::instance().contains("no_such_scheme"));
+}
+
+TEST(SchemeRegistry, DownstreamSchemesCanBePluggedIn) {
+  SchemeRegistry::instance().add(
+      {"test_constant_delay", "fixed-delay toy scheme for this test",
+       [](const Scenario& s) {
+         CompiledScenario compiled;
+         compiled.replicate = [d = s.d](std::uint64_t, int) {
+           return std::vector<double>{static_cast<double>(d), 0.0, 1.0,
+                                      0.0,                    0.0, 0.0, 2.5};
+         };
+         compiled.extra_metrics = {"toy_metric"};
+         return compiled;
+       }});
+
+  Scenario scenario;
+  scenario.scheme = "test_constant_delay";
+  scenario.d = 6;
+  scenario.plan = {3, 1, 1};
+  const RunResult result = run(scenario);
+  EXPECT_DOUBLE_EQ(result.delay.mean, 6.0);
+  EXPECT_DOUBLE_EQ(result.delay.half_width, 0.0);
+  ASSERT_NE(result.extra("toy_metric"), nullptr);
+  EXPECT_DOUBLE_EQ(result.extra("toy_metric")->mean, 2.5);
+  EXPECT_FALSE(result.has_bounds);
+}
+
+}  // namespace
+}  // namespace routesim

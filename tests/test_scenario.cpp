@@ -1,0 +1,262 @@
+// Scenario API tests: textual round trip through the CLI parser, sweep
+// specs, derived quantities, and bit-identical parity between run() and
+// the legacy façade shims.
+
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "util/assert.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(Scenario, DefaultsRoundTripThroughTextualForm) {
+  const Scenario original;
+  std::vector<std::string> args{original.scheme};
+  for (const auto& [key, value] : original.to_key_values()) {
+    args.push_back(key + "=" + value);
+  }
+  EXPECT_EQ(Scenario::parse(args), original);
+}
+
+TEST(Scenario, NonDefaultRoundTripThroughTextualForm) {
+  Scenario original;
+  original.scheme = "network_q";
+  original.d = 9;
+  original.lambda = 1.7342;
+  original.p = 0.3125;
+  original.tau = 0.25;
+  original.discipline = Discipline::kPs;
+  original.workload = "uniform";
+  original.fanout = 7;
+  original.unicast_baseline = true;
+  original.buffer_capacity = 12;
+  original.window = {123.5, 4567.25};
+  original.measure = 777.125;
+  original.plan = {11, 987654321, 3};
+
+  std::vector<std::string> args{original.scheme};
+  for (const auto& [key, value] : original.to_key_values()) {
+    args.push_back(key + "=" + value);
+  }
+  const Scenario parsed = Scenario::parse(args);
+  EXPECT_EQ(parsed, original);
+  EXPECT_EQ(parsed.to_string(), original.to_string());
+}
+
+TEST(Scenario, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)Scenario::parse({}), ScenarioError);
+  EXPECT_THROW((void)Scenario::parse({"d=4"}), ScenarioError);
+  EXPECT_THROW((void)Scenario::parse({"hypercube_greedy", "bogus"}),
+               ScenarioError);
+  EXPECT_THROW((void)Scenario::parse({"hypercube_greedy", "nope=1"}),
+               ScenarioError);
+  EXPECT_THROW((void)Scenario::parse({"hypercube_greedy", "d=abc"}),
+               ScenarioError);
+  EXPECT_THROW((void)Scenario::parse({"hypercube_greedy", "d=4.5"}),
+               ScenarioError);
+  EXPECT_THROW((void)Scenario::parse({"hypercube_greedy", "discipline=lifo"}),
+               ScenarioError);
+}
+
+TEST(Scenario, UniformWorkloadOverridesPEverywhere) {
+  Scenario scenario;
+  scenario.workload = "uniform";
+  scenario.p = 0.9;  // ignored by the uniform law
+  scenario.lambda = 1.2;
+  EXPECT_DOUBLE_EQ(scenario.effective_p(), 0.5);
+  EXPECT_DOUBLE_EQ(scenario.rho(), 0.6);
+  scenario.set("rho", "0.5");
+  EXPECT_DOUBLE_EQ(scenario.lambda, 1.0);
+}
+
+TEST(Scenario, SeedRoundTripsFull64Bits) {
+  Scenario scenario;
+  scenario.set("seed", "12345678901234567890");  // > 2^53
+  EXPECT_EQ(scenario.plan.base_seed, 12345678901234567890ull);
+  EXPECT_THROW(scenario.set("seed", "-1"), ScenarioError);
+  EXPECT_THROW(scenario.set("seed", "12x"), ScenarioError);
+}
+
+TEST(Scenario, ResolvedWindowRejectsInvalidWindows) {
+  Scenario inverted;
+  inverted.window = {500.0, 100.0};  // horizon < warmup
+  EXPECT_THROW((void)inverted.resolved_window(), ScenarioError);
+
+  Scenario unstable;
+  unstable.lambda = 3.0;  // rho = 1.5: the auto window cannot be derived
+  EXPECT_THROW((void)unstable.resolved_window(), ScenarioError);
+  unstable.window = {0.0, 1000.0};  // explicit window is fine
+  EXPECT_NO_THROW((void)unstable.resolved_window());
+}
+
+TEST(Scenario, RhoKeySetsLambdaFromCurrentP) {
+  Scenario scenario;
+  scenario.set("p", "0.25");
+  scenario.set("rho", "0.5");
+  EXPECT_DOUBLE_EQ(scenario.lambda, 2.0);
+  EXPECT_DOUBLE_EQ(scenario.rho(), 0.5);
+
+  Scenario butterfly;
+  butterfly.scheme = "butterfly_greedy";
+  butterfly.set("p", "0.3");
+  butterfly.set("rho", "0.7");
+  EXPECT_DOUBLE_EQ(butterfly.lambda, 1.0);  // rho = lambda * max{p, 1-p}
+  EXPECT_DOUBLE_EQ(butterfly.rho(), 0.7);
+}
+
+TEST(Scenario, ResolvedWindowDerivesFromLoadWhenAuto) {
+  Scenario scenario;
+  scenario.d = 6;
+  scenario.lambda = 1.2;
+  scenario.p = 0.5;
+  scenario.measure = 1000.0;
+  const Window window = scenario.resolved_window();
+  EXPECT_EQ(window, Window::for_load(6, 0.6, 1000.0));
+
+  scenario.window = {5.0, 50.0};
+  EXPECT_EQ(scenario.resolved_window(), (Window{5.0, 50.0}));
+}
+
+TEST(Scenario, GeneralWorkloadUsesBottleneckLoadFactor) {
+  Scenario scenario;
+  scenario.d = 2;
+  scenario.lambda = 1.0;
+  scenario.workload = "general";
+  scenario.mask_pmf = {0.2, 0.5, 0.3, 0.0};  // flip_1 = 0.5, flip_2 = 0.3
+  EXPECT_DOUBLE_EQ(scenario.rho(), 0.5);
+  EXPECT_EQ(scenario.make_destinations().dimension(), 2);
+
+  Scenario missing_pmf;
+  missing_pmf.workload = "general";
+  EXPECT_THROW((void)missing_pmf.make_destinations(), ScenarioError);
+}
+
+TEST(SweepSpec, ParsesRangesAndDefaultStep) {
+  const auto sweep = SweepSpec::parse("rho=0.1:0.9");
+  EXPECT_EQ(sweep.key, "rho");
+  EXPECT_DOUBLE_EQ(sweep.start, 0.1);
+  EXPECT_DOUBLE_EQ(sweep.stop, 0.9);
+  EXPECT_DOUBLE_EQ(sweep.step, 0.1);
+  EXPECT_EQ(sweep.values().size(), 9u);
+
+  const auto stepped = SweepSpec::parse("d=2:10:2");
+  EXPECT_EQ(stepped.values().size(), 5u);
+
+  EXPECT_THROW((void)SweepSpec::parse("rho"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse("rho=0.5"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse("rho=0.9:0.1"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse("rho=0.1:0.9:0"), ScenarioError);
+}
+
+TEST(SweepSpec, ApplySweepValueRoundsIntegerKeys) {
+  Scenario scenario;
+  apply_sweep_value(scenario, "d", 8.0);
+  EXPECT_EQ(scenario.d, 8);
+  apply_sweep_value(scenario, "rho", 0.6);
+  EXPECT_DOUBLE_EQ(scenario.lambda, 1.2);
+}
+
+TEST(RunResult, BracketAndExtraLookup) {
+  RunResult result;
+  result.extras.emplace_back("makespan", ConfidenceInterval{7.0, 0.5, 0.95});
+  ASSERT_NE(result.extra("makespan"), nullptr);
+  EXPECT_DOUBLE_EQ(result.extra("makespan")->mean, 7.0);
+  EXPECT_EQ(result.extra("absent"), nullptr);
+
+  EXPECT_TRUE(result.within_bracket());  // no bounds => trivially inside
+  result.has_bounds = true;
+  result.lower_bound = 2.0;
+  result.upper_bound = 4.0;
+  result.delay = {3.0, 0.1, 0.95};
+  EXPECT_TRUE(result.within_bracket());
+  result.delay.mean = 5.0;
+  EXPECT_FALSE(result.within_bracket());
+  EXPECT_TRUE(result.within_bracket(1.0));
+}
+
+TEST(Scenario, RunRejectsUnknownScheme) {
+  Scenario scenario;
+  scenario.scheme = "no_such_scheme";
+  EXPECT_THROW((void)run(scenario), ScenarioError);
+}
+
+// --- parity with the legacy façade (bit-identical, same seeds/plan) ------
+
+TEST(FacadeParity, HypercubeEstimateMatchesScenarioRun) {
+  const bounds::HypercubeParams params{4, 1.0, 0.5};
+  const Window window = Window::for_load(4, 0.5, 500.0);
+  const ReplicationPlan plan{3, 99, 0};
+  const DelayEstimate legacy = estimate_hypercube_delay(params, window, plan);
+
+  Scenario scenario;
+  scenario.scheme = "hypercube_greedy";
+  scenario.d = params.d;
+  scenario.lambda = params.lambda;
+  scenario.p = params.p;
+  scenario.window = window;
+  scenario.plan = plan;
+  const RunResult result = run(scenario);
+
+  EXPECT_DOUBLE_EQ(legacy.delay.mean, result.delay.mean);
+  EXPECT_DOUBLE_EQ(legacy.delay.half_width, result.delay.half_width);
+  EXPECT_DOUBLE_EQ(legacy.population.mean, result.population.mean);
+  EXPECT_DOUBLE_EQ(legacy.throughput.mean, result.throughput.mean);
+  EXPECT_DOUBLE_EQ(legacy.mean_hops, result.mean_hops);
+  EXPECT_DOUBLE_EQ(legacy.max_little_error, result.max_little_error);
+  EXPECT_DOUBLE_EQ(legacy.mean_final_backlog, result.mean_final_backlog);
+  EXPECT_DOUBLE_EQ(legacy.lower_bound, result.lower_bound);
+  EXPECT_DOUBLE_EQ(legacy.upper_bound, result.upper_bound);
+  EXPECT_TRUE(result.has_bounds);
+}
+
+TEST(FacadeParity, NetworkQEstimateMatchesScenarioRun) {
+  const bounds::HypercubeParams params{4, 1.0, 0.5};
+  const Window window = Window::for_load(4, 0.5, 400.0);
+  const ReplicationPlan plan{2, 7, 0};
+  for (const bool ps : {false, true}) {
+    const DelayEstimate legacy =
+        estimate_network_q_delay(params, window, plan, ps);
+
+    Scenario scenario;
+    scenario.scheme = ps ? "network_q_ps" : "network_q_fifo";
+    scenario.d = params.d;
+    scenario.lambda = params.lambda;
+    scenario.p = params.p;
+    scenario.window = window;
+    scenario.plan = plan;
+    const RunResult result = run(scenario);
+
+    EXPECT_DOUBLE_EQ(legacy.delay.mean, result.delay.mean);
+    EXPECT_DOUBLE_EQ(legacy.population.mean, result.population.mean);
+    EXPECT_DOUBLE_EQ(legacy.throughput.mean, result.throughput.mean);
+    EXPECT_DOUBLE_EQ(legacy.max_little_error, result.max_little_error);
+  }
+}
+
+TEST(FacadeParity, ButterflyEstimateMatchesScenarioRun) {
+  const bounds::ButterflyParams params{4, 0.8, 0.5};
+  const Window window = Window::for_load(4, 0.4, 400.0);
+  const ReplicationPlan plan{2, 11, 0};
+  const DelayEstimate legacy = estimate_butterfly_delay(params, window, plan);
+
+  Scenario scenario;
+  scenario.scheme = "butterfly_greedy";
+  scenario.d = params.d;
+  scenario.lambda = params.lambda;
+  scenario.p = params.p;
+  scenario.window = window;
+  scenario.plan = plan;
+  const RunResult result = run(scenario);
+
+  EXPECT_DOUBLE_EQ(legacy.delay.mean, result.delay.mean);
+  EXPECT_DOUBLE_EQ(legacy.population.mean, result.population.mean);
+  EXPECT_DOUBLE_EQ(legacy.throughput.mean, result.throughput.mean);
+  EXPECT_DOUBLE_EQ(legacy.lower_bound, result.lower_bound);
+  EXPECT_DOUBLE_EQ(legacy.upper_bound, result.upper_bound);
+}
+
+}  // namespace
+}  // namespace routesim
