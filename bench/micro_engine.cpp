@@ -82,6 +82,48 @@ void BM_GreedyHypercubeSim(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyHypercubeSim)->Arg(6)->Arg(8)->Arg(10);
 
+// End-to-end kernel throughput at heavy traffic (d=10, rho = lambda*p =
+// 0.9): the perf-trajectory headline number for the shared packet kernel.
+// A fresh simulator per iteration, so construction + teardown are included.
+void BM_KernelHypercubeHeavyTraffic(benchmark::State& state) {
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    GreedyHypercubeConfig config;
+    config.d = 10;
+    config.lambda = 1.8;  // rho = 0.9
+    config.destinations = DestinationDistribution::uniform(10);
+    config.seed = 6;
+    GreedyHypercubeSim sim(config);
+    sim.run(0.0, 300.0);
+    delivered += sim.deliveries_in_window();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.SetLabel("packets");
+}
+BENCHMARK(BM_KernelHypercubeHeavyTraffic);
+
+// Same workload through reset(): kernel storage (packet pool, arc queues,
+// event ring) is reused across iterations exactly as replication workers
+// reuse it across reps.  The gap to BM_KernelHypercubeHeavyTraffic is the
+// per-replication allocation cost that storage reuse eliminates.
+void BM_KernelHypercubeStorageReuse(benchmark::State& state) {
+  GreedyHypercubeConfig config;
+  config.d = 10;
+  config.lambda = 1.8;  // rho = 0.9
+  config.destinations = DestinationDistribution::uniform(10);
+  config.seed = 6;
+  GreedyHypercubeSim sim(config);
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    sim.reset(config);
+    sim.run(0.0, 300.0);
+    delivered += sim.deliveries_in_window();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.SetLabel("packets");
+}
+BENCHMARK(BM_KernelHypercubeStorageReuse);
+
 void BM_LevelledNetworkQ(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));
   std::uint64_t departed = 0;

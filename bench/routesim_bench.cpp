@@ -39,9 +39,9 @@ int usage(const char* argv0) {
       << " --scenario SCHEME [--set key=value ...] [--sweep key=a:b[:step]]\n"
          "       [--json PATH] [--list]\n\n"
          "keys: d, lambda, rho, p, tau, discipline (fifo|ps), workload\n"
-         "      (bit_flip|uniform|trace), fanout, unicast_baseline, buffers,\n"
-         "      warmup, horizon, measure, reps, seed, threads\n"
-         "sweep keys: rho, lambda, p, tau, d, fanout, measure, reps\n";
+         "      (bit_flip|uniform|general|trace), fanout, unicast_baseline,\n"
+         "      buffers, warmup, horizon, measure, reps, seed, threads\n"
+         "sweep keys: rho, lambda, p, tau, d, fanout, measure, reps, seed\n";
   return 2;
 }
 

@@ -78,11 +78,11 @@ int main() {
         straight += static_cast<double>(
             sim.arc_counters()[bfly.arc_index(row, level,
                                               Butterfly::ArcKind::kStraight)]
-                .arrivals);
+                .total_arrivals);
         vertical += static_cast<double>(
             sim.arc_counters()[bfly.arc_index(row, level,
                                               Butterfly::ArcKind::kVertical)]
-                .arrivals);
+                .total_arrivals);
       }
       const double straight_rate = straight / 16.0 / window;
       const double vertical_rate = vertical / 16.0 / window;

@@ -18,7 +18,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -49,6 +51,24 @@ struct CompiledScenario {
   double lower_bound = 0.0;
   double upper_bound = 0.0;
 };
+
+/// Per-thread cached simulator: replication bodies call this instead of
+/// constructing a fresh simulator, so kernel storage (packet pool, arc
+/// queues, event set) is reused across the replications a worker thread
+/// executes instead of being reallocated per rep.  Safe because
+/// Sim::reset() reinitialises *all* state from the config — results are
+/// bit-identical to a fresh construction regardless of which thread runs
+/// which replication.
+template <typename Sim, typename Config>
+[[nodiscard]] Sim& reusable_sim(Config config) {
+  thread_local std::unique_ptr<Sim> sim;
+  if (sim == nullptr) {
+    sim = std::make_unique<Sim>(std::move(config));
+  } else {
+    sim->reset(std::move(config));
+  }
+  return *sim;
+}
 
 class SchemeRegistry {
  public:

@@ -285,6 +285,14 @@ SweepSpec SweepSpec::parse(const std::string& text) {
     spec.stop = parse_double(spec.key, range.substr(colon1 + 1, colon2 - colon1 - 1));
     spec.step = parse_double(spec.key, range.substr(colon2 + 1));
   }
+  // Non-finite endpoints would otherwise fail *silently*: a NaN start or
+  // step makes every loop comparison false (an empty sweep), and an
+  // infinite step never advances past stop (an endless one).
+  if (!std::isfinite(spec.start) || !std::isfinite(spec.stop) ||
+      !std::isfinite(spec.step)) {
+    throw ScenarioError("sweep start/stop/step must be finite, got '" + text +
+                        "'");
+  }
   if (spec.step <= 0.0) throw ScenarioError("sweep step must be positive");
   if (spec.stop < spec.start) {
     throw ScenarioError("sweep stop must be >= start");

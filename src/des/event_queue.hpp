@@ -2,16 +2,20 @@
 /// \file event_queue.hpp
 /// \brief Pending-event set for discrete-event simulation.
 ///
-/// EventQueue<Payload> is a binary min-heap ordered by (time, insertion
+/// EventQueue<Payload> is a 4-ary min-heap ordered by (time, insertion
 /// sequence).  The sequence tie-break makes extraction order *stable*:
 /// events scheduled earlier fire first among equal timestamps.  Stability
 /// matters here because the greedy router resolves simultaneous contention
 /// in FIFO order (§3), and because reproducibility requires a total order
-/// independent of heap internals.
+/// independent of heap internals — (time, seq) is a strict total order, so
+/// the pop sequence is the same for any heap arity, and switching the
+/// binary heap to a 4-ary layout is purely a speed change: half the levels
+/// per sift and four children per cache line on the hot pop path.
 ///
 /// Payload must be cheaply movable; simulators use small POD payloads so no
 /// allocation happens per event beyond the vector storage.
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -46,8 +50,17 @@ class EventQueue {
   /// precede) the time of the most recently popped event; the simulator
   /// loop enforces global monotonicity.
   void push(double time, Payload payload) {
-    heap_.push_back(Event{time, next_seq_++, std::move(payload)});
-    sift_up(heap_.size() - 1);
+    Event item{time, next_seq_++, std::move(payload)};
+    std::size_t i = heap_.size();
+    heap_.emplace_back();
+    // Hole percolation: move parents down into the hole instead of swapping.
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(item, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(item);
   }
 
   /// The earliest event (undefined when empty; checked in debug builds).
@@ -60,39 +73,34 @@ class EventQueue {
   Event pop() {
     RS_DASSERT(!heap_.empty());
     Event result = std::move(heap_.front());
-    heap_.front() = std::move(heap_.back());
+    Event last = std::move(heap_.back());
     heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
+    const std::size_t n = heap_.size();
+    if (n != 0) {
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first_child = kArity * i + 1;
+        if (first_child >= n) break;
+        const std::size_t limit = std::min(first_child + kArity, n);
+        std::size_t best = first_child;
+        for (std::size_t c = first_child + 1; c < limit; ++c) {
+          if (before(heap_[c], heap_[best])) best = c;
+        }
+        if (!before(heap_[best], last)) break;
+        heap_[i] = std::move(heap_[best]);
+        i = best;
+      }
+      heap_[i] = std::move(last);
+    }
     return result;
   }
 
  private:
+  static constexpr std::size_t kArity = 4;
+
   [[nodiscard]] static bool before(const Event& a, const Event& b) noexcept {
     if (a.time != b.time) return a.time < b.time;
     return a.seq < b.seq;
-  }
-
-  void sift_up(std::size_t i) noexcept {
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (!before(heap_[i], heap_[parent])) break;
-      std::swap(heap_[i], heap_[parent]);
-      i = parent;
-    }
-  }
-
-  void sift_down(std::size_t i) noexcept {
-    const std::size_t n = heap_.size();
-    for (;;) {
-      const std::size_t left = 2 * i + 1;
-      const std::size_t right = left + 1;
-      std::size_t smallest = i;
-      if (left < n && before(heap_[left], heap_[smallest])) smallest = left;
-      if (right < n && before(heap_[right], heap_[smallest])) smallest = right;
-      if (smallest == i) return;
-      std::swap(heap_[i], heap_[smallest]);
-      i = smallest;
-    }
   }
 
   std::vector<Event> heap_;

@@ -1,0 +1,55 @@
+#include "des/packet_kernel.hpp"
+
+#include <algorithm>
+
+namespace routesim {
+
+void KernelStats::begin(double warmup, double horizon) {
+  warmup_ = warmup;
+  window_ = horizon - warmup;
+  delay_ = Summary{};
+  hops_ = Summary{};
+  population_ = TimeWeighted{};
+  occupancy_.assign(config_.occupancy_trackers, TimeWeighted{});
+  occupancy_means_.assign(config_.occupancy_trackers, 0.0);
+  if (config_.delay_histogram) {
+    // Reuse the existing bin storage when the shape is unchanged.
+    if (delay_histogram_ &&
+        delay_histogram_->num_bins() == config_.histogram_bins &&
+        delay_histogram_->lower_bound() == config_.histogram_lo &&
+        delay_histogram_->bin_width() == config_.histogram_bin_width) {
+      delay_histogram_->clear();
+    } else {
+      delay_histogram_.emplace(config_.histogram_lo, config_.histogram_bin_width,
+                               config_.histogram_bins);
+    }
+  } else {
+    delay_histogram_.reset();
+  }
+  deliveries_window_ = 0;
+  arrivals_window_ = 0;
+  drops_window_ = 0;
+  time_avg_population_ = 0.0;
+  peak_population_ = 0.0;
+  final_population_ = 0.0;
+  max_occupancy_ = 0.0;
+  throughput_ = 0.0;
+}
+
+void KernelStats::finalize(double warmup, double horizon, bool pending_reset) {
+  // When no event fired inside the window the population tracker never saw
+  // its warmup reset; apply it now (occupancy trackers deliberately keep
+  // their full-run integral in that case, matching the original harvest).
+  if (pending_reset) population_.reset(warmup);
+  time_avg_population_ = population_.mean(horizon);
+  peak_population_ = population_.peak();
+  final_population_ = population_.value();
+  throughput_ =
+      window_ > 0.0 ? static_cast<double>(deliveries_window_) / window_ : 0.0;
+  for (std::size_t tracker = 0; tracker < occupancy_.size(); ++tracker) {
+    occupancy_means_[tracker] = occupancy_[tracker].mean(horizon);
+    max_occupancy_ = std::max(max_occupancy_, occupancy_[tracker].peak());
+  }
+}
+
+}  // namespace routesim

@@ -1,0 +1,611 @@
+#pragma once
+/// \file packet_kernel.hpp
+/// \brief The shared packet-simulation kernel under every packet-level
+///        routing simulator.
+///
+/// All six routing simulators (greedy hypercube, greedy butterfly,
+/// deflection, multicast, pipelined baseline, Valiant mixing) used to carry
+/// private copies of the same machinery: a packet store with a free list,
+/// per-arc FIFO queues with windowed counters, the Poisson / slotted /
+/// trace arrival process, warmup-window accounting, population / delay /
+/// hops accumulators, optional occupancy and delay-histogram tracking, and
+/// the Little's-law harvest.  The paper's coupled comparisons (Props.
+/// 12-17) only mean something when every scheme runs on *identical*
+/// arrival and measurement machinery, so that machinery lives here once:
+///
+///   - `Pool<T>`         — index-based object pool with a free list;
+///   - `FifoRing`        — cache-friendly ring-buffer queue of packet ids
+///                         (replaces one std::deque per arc);
+///   - `KernelStats`     — measurement-window accounting and harvest;
+///   - `PacketKernel<P>` — the event-driven core: event set, arc queues,
+///                         arrival process and the drive() loop.
+///
+/// A scheme plugs in by implementing three hooks called by drive():
+///   `on_spawn(t)`              sample origin/destination and inject;
+///   `on_traced(t, org, dst)`   inject one replayed packet (optional);
+///   `on_arc_done(t, arc)`      advance the head-of-line packet one hop.
+///
+/// Everything here preserves the exact event order, RNG consumption order
+/// and floating-point arithmetic of the pre-kernel simulators, so results
+/// are bit-identical (pinned by tests/test_kernel_parity.cpp).  The event
+/// set is a 4-ary heap (des/event_queue.hpp); (time, seq) is a strict
+/// total order, so heap internals cannot affect results.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stats/histogram.hpp"
+#include "stats/little.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeavg.hpp"
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace routesim {
+
+/// Which waiting packet an arc serves next.  The paper's scheme is FIFO
+/// ("priority is given to the one that arrived first", §3); LIFO and random
+/// are ablations.  All three are work-conserving and blind to service
+/// times, so the *mean* delay is unchanged — only the delay distribution's
+/// shape (variance, tails) differs.  The ablation bench verifies exactly
+/// this insensitivity.
+enum class ArcServiceOrder : std::uint8_t { kFifo, kLifo, kRandom };
+
+/// Per-arc counters over the measurement window.  Schemes that only need
+/// one arrival count (the butterfly) read total_arrivals.
+struct ArcCounters {
+  std::uint64_t external_arrivals = 0;  ///< packets starting their route here
+  std::uint64_t total_arrivals = 0;     ///< all packets entering the queue
+};
+
+/// Index-based object pool with a free list.  allocate() returns an id whose
+/// slot the caller assigns; release() recycles the id (most recently freed
+/// first, preserving the allocation order of the pre-kernel free lists).
+/// clear() forgets all objects but keeps the storage, so a kernel reused
+/// across replications does not reallocate.
+template <typename T>
+class Pool {
+ public:
+  [[nodiscard]] std::uint32_t allocate() {
+    std::uint32_t id;
+    if (!free_.empty()) {
+      id = free_.back();
+      free_.pop_back();
+    } else {
+      id = static_cast<std::uint32_t>(items_.size());
+      items_.emplace_back();
+    }
+    return id;
+  }
+
+  void release(std::uint32_t id) { free_.push_back(id); }
+
+  [[nodiscard]] T& operator[](std::uint32_t id) {
+    RS_DASSERT(id < items_.size());
+    return items_[id];
+  }
+  [[nodiscard]] const T& operator[](std::uint32_t id) const {
+    RS_DASSERT(id < items_.size());
+    return items_[id];
+  }
+
+  /// Slots ever allocated (live + free).
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+  void reserve(std::size_t n) {
+    items_.reserve(n);
+    free_.reserve(n);
+  }
+
+  void clear() noexcept {
+    items_.clear();
+    free_.clear();
+  }
+
+ private:
+  std::vector<T> items_;
+  std::vector<std::uint32_t> free_;
+};
+
+/// Ring-buffer FIFO with power-of-two capacity.  Supports the deque subset
+/// the kernel needs — push_back/pop_front for FIFO service, push_front /
+/// pop_back/erase for the LIFO and random ablations — in one contiguous
+/// allocation instead of std::deque's chunk map.  An empty ring owns no
+/// memory, which matters when a scenario instantiates one queue per arc
+/// (d * 2^d of them) and most are idle.
+template <typename T>
+class Ring {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+  [[nodiscard]] const T& front() const {
+    RS_DASSERT(count_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& back() const {
+    RS_DASSERT(count_ > 0);
+    return buf_[wrap(head_ + count_ - 1)];
+  }
+  /// i-th element counted from the front (deque-compatible indexing).
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    RS_DASSERT(i < count_);
+    return buf_[wrap(head_ + i)];
+  }
+
+  void push_back(T value) {
+    if (count_ == buf_.size()) grow();
+    buf_[wrap(head_ + count_)] = value;
+    ++count_;
+  }
+
+  void push_front(T value) {
+    if (count_ == buf_.size()) grow();
+    head_ = wrap(head_ + buf_.size() - 1);
+    buf_[head_] = value;
+    ++count_;
+  }
+
+  T pop_front() {
+    RS_DASSERT(count_ > 0);
+    const T value = buf_[head_];
+    head_ = wrap(head_ + 1);
+    --count_;
+    return value;
+  }
+
+  void pop_back() {
+    RS_DASSERT(count_ > 0);
+    --count_;
+  }
+
+  /// Removes the i-th element from the front, shifting later elements
+  /// toward the front (only the random-service ablation uses this).
+  void erase(std::size_t i) {
+    RS_DASSERT(i < count_);
+    for (std::size_t j = i; j + 1 < count_; ++j) {
+      buf_[wrap(head_ + j)] = buf_[wrap(head_ + j + 1)];
+    }
+    --count_;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    if (n <= buf_.size()) return;
+    std::size_t cap = buf_.empty() ? 8 : buf_.size();
+    while (cap < n) cap *= 2;
+    rebuild(cap);
+  }
+
+ private:
+  [[nodiscard]] std::size_t wrap(std::size_t i) const noexcept {
+    return i & (buf_.size() - 1);
+  }
+
+  void grow() { rebuild(buf_.empty() ? 8 : 2 * buf_.size()); }
+
+  void rebuild(std::size_t cap) {
+    std::vector<T> bigger(cap);
+    for (std::size_t i = 0; i < count_; ++i) bigger[i] = buf_[wrap(head_ + i)];
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;  ///< power-of-two capacity (or empty)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Queue of packet ids (one per arc).
+using FifoRing = Ring<std::uint32_t>;
+
+/// Measurement-window accounting shared by every simulator: the delay /
+/// hops / population accumulators, the windowed arrival / delivery / drop
+/// counters, optional occupancy trackers and delay histogram, and the
+/// end-of-run harvest (time averages, throughput, Little's-law check).
+/// configure() fixes the static shape; begin() resets all values, so one
+/// instance serves many replications without reallocating.
+class KernelStats {
+ public:
+  struct Config {
+    /// Number of time-weighted occupancy trackers (0 = tracking off).  The
+    /// hypercube indexes them by node, the butterfly by level, the levelled
+    /// network by server.
+    std::size_t occupancy_trackers = 0;
+    bool delay_histogram = false;
+    double histogram_lo = 0.0;
+    double histogram_bin_width = 1.0;
+    std::size_t histogram_bins = 1;
+  };
+
+  void configure(const Config& config) { config_ = config; }
+
+  /// Opens the measurement window [warmup, horizon] and resets every
+  /// accumulator (keeping storage).
+  void begin(double warmup, double horizon);
+
+  [[nodiscard]] double warmup() const noexcept { return warmup_; }
+  [[nodiscard]] double measurement_window() const noexcept { return window_; }
+
+  // --- accounting (hot path) --------------------------------------------
+
+  /// One packet entered the network: windowed arrival count + population.
+  void count_arrival(double now) {
+    if (now >= warmup_) ++arrivals_window_;
+    population_.add(now, +1.0);
+  }
+
+  /// One packet reached its destination: delay / hops / histogram, counted
+  /// iff it was generated inside the window (the paper's convention).
+  void record_delivery(double now, double gen_time, double hops) {
+    if (gen_time >= warmup_) {
+      ++deliveries_window_;
+      const double delay = now - gen_time;
+      delay_.add(delay);
+      hops_.add(hops);
+      if (delay_histogram_) delay_histogram_->add(delay);
+    }
+  }
+
+  /// Windowed delivery count alone — for schemes (the levelled network)
+  /// that count departures by departure time rather than generation time.
+  void count_delivery() noexcept { ++deliveries_window_; }
+
+  void count_drop(double now) {
+    if (now >= warmup_) ++drops_window_;
+  }
+
+  void occupancy_add(std::size_t tracker, double now, double delta) {
+    if (!occupancy_.empty()) occupancy_[tracker].add(now, delta);
+  }
+
+  /// Direct accumulator access for scheme-specific bookkeeping.
+  [[nodiscard]] Summary& delay() noexcept { return delay_; }
+  [[nodiscard]] const Summary& delay() const noexcept { return delay_; }
+  [[nodiscard]] Summary& hops() noexcept { return hops_; }
+  [[nodiscard]] const Summary& hops() const noexcept { return hops_; }
+  [[nodiscard]] TimeWeighted& population() noexcept { return population_; }
+
+  /// Restarts the time-weighted trackers when the window opens mid-run.
+  void reset_at_warmup(double warmup) {
+    population_.reset(warmup);
+    for (auto& occ : occupancy_) occ.reset(warmup);
+  }
+
+  /// Harvests the derived results.  `pending_reset` is true when no event
+  /// fired at or after the warmup time (the population tracker still needs
+  /// its reset, exactly as the pre-kernel simulators did it).
+  void finalize(double warmup, double horizon, bool pending_reset);
+
+  // --- results (valid after finalize()) ---------------------------------
+
+  [[nodiscard]] double time_avg_population() const noexcept { return time_avg_population_; }
+  [[nodiscard]] double peak_population() const noexcept { return peak_population_; }
+  [[nodiscard]] double final_population() const noexcept { return final_population_; }
+  [[nodiscard]] double throughput() const noexcept { return throughput_; }
+  [[nodiscard]] std::uint64_t deliveries_in_window() const noexcept { return deliveries_window_; }
+  [[nodiscard]] std::uint64_t arrivals_in_window() const noexcept { return arrivals_window_; }
+  [[nodiscard]] std::uint64_t drops_in_window() const noexcept { return drops_window_; }
+
+  /// Mean occupancy per tracker (empty when tracking is off).
+  [[nodiscard]] const std::vector<double>& occupancy_means() const noexcept {
+    return occupancy_means_;
+  }
+  [[nodiscard]] double occupancy_mean(std::size_t tracker) const {
+    return occupancy_means_.at(tracker);
+  }
+  /// Largest instantaneous tracker value seen in the window.
+  [[nodiscard]] double max_occupancy() const noexcept { return max_occupancy_; }
+
+  [[nodiscard]] const std::optional<Histogram>& delay_histogram() const noexcept {
+    return delay_histogram_;
+  }
+
+  /// Little's-law self check over the window (L = lambda * W).
+  [[nodiscard]] LittleCheck little_check() const noexcept {
+    LittleCheck check;
+    check.time_avg_population = time_avg_population_;
+    check.arrival_rate =
+        window_ > 0.0 ? static_cast<double>(arrivals_window_) / window_ : 0.0;
+    check.mean_sojourn = delay_.mean();
+    return check;
+  }
+
+ private:
+  Config config_{};
+  double warmup_ = 0.0;
+  double window_ = 0.0;
+  Summary delay_;
+  Summary hops_;
+  TimeWeighted population_;
+  std::vector<TimeWeighted> occupancy_;
+  std::vector<double> occupancy_means_;
+  std::optional<Histogram> delay_histogram_;
+  std::uint64_t deliveries_window_ = 0;
+  std::uint64_t arrivals_window_ = 0;
+  std::uint64_t drops_window_ = 0;
+  double time_avg_population_ = 0.0;
+  double peak_population_ = 0.0;
+  double final_population_ = 0.0;
+  double max_occupancy_ = 0.0;
+  double throughput_ = 0.0;
+};
+
+/// Sentinel for "no occupancy tracker" in PacketKernel::enqueue/finish_arc.
+inline constexpr std::size_t kNoTracker = static_cast<std::size_t>(-1);
+
+/// Static description of one kernel instance; configure() may be called
+/// repeatedly (replication reuse) — storage is kept, state is reset.
+struct PacketKernelConfig {
+  std::size_t num_arcs = 0;
+  std::uint64_t seed = 1;
+  std::uint64_t stream_salt = 0;  ///< scheme-specific RNG stream id
+  /// Aggregate external arrival rate (sum over sources).  Continuous mode
+  /// draws exponential gaps at this rate; slotted mode draws
+  /// Poisson(birth_rate * slot) batch sizes.
+  double birth_rate = 0.0;
+  double slot = 0.0;  ///< > 0: slotted arrivals at k*slot (§3.4)
+  const PacketTrace* trace = nullptr;  ///< replay instead of generating
+  ArcServiceOrder service_order = ArcServiceOrder::kFifo;
+  std::uint32_t buffer_capacity = 0;  ///< max per arc incl. in service; 0 = infinite
+  /// Pre-reserve hint: expected peak number of packets in flight.
+  std::size_t expected_packets = 0;
+  KernelStats::Config stats{};
+};
+
+/// The event-driven core: pending-event set, per-arc queues, arrival
+/// process and statistics, generic over the scheme's packet type `Pkt`.
+/// The scheme owns the routing decision; the kernel owns everything else.
+///
+/// **The fast event set.**  A general pending-event set needs a priority
+/// queue, but the kernel's events have special structure: every service
+/// completion is scheduled at now + 1.0 (unit-length packets), and the
+/// simulation clock is nondecreasing, so service completions are *pushed
+/// in nondecreasing (time, seq) order* — a plain FIFO ring already holds
+/// them sorted.  The only competing events are the arrival-process control
+/// events (next birth / next slot / next trace record), of which at most
+/// one is outstanding at any moment.  The event set is therefore a
+/// monotone ring plus a single control slot; each pop is one (time, seq)
+/// comparison — O(1) instead of O(log n) heap sifts — and extraction
+/// order is *identical* to the heap's strict (time, seq) total order.
+template <typename Pkt>
+class PacketKernel {
+ public:
+  enum class EventKind : std::uint8_t { kBirth, kSlot, kArcDone };
+
+  void configure(const PacketKernelConfig& config) {
+    config_ = config;
+    rng_.reseed(derive_stream(config.seed, config.stream_salt));
+    if (arc_queue_.size() != config.num_arcs) arc_queue_.resize(config.num_arcs);
+    for (auto& queue : arc_queue_) queue.clear();
+    arc_counters_.assign(config.num_arcs, ArcCounters{});
+    service_events_.clear();
+    // Pre-reserve from the expected load: the event set holds at most one
+    // service completion per busy arc.
+    service_events_.reserve(config.num_arcs / 2 + 16);
+    has_control_ = false;
+    next_seq_ = 0;
+    pool_.clear();
+    // Default reserve hint for trace replay: a quarter of the trace is a
+    // comfortable bound on simultaneously in-flight packets.
+    std::size_t expected = config.expected_packets;
+    if (expected == 0 && config.trace != nullptr) {
+      expected = config.trace->packets.size() / 4 + 64;
+    }
+    if (expected > 0) pool_.reserve(expected);
+    stats_.configure(config.stats);
+  }
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] KernelStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const KernelStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] Pkt& packet(std::uint32_t id) { return pool_[id]; }
+  [[nodiscard]] const Pkt& packet(std::uint32_t id) const { return pool_[id]; }
+  [[nodiscard]] std::uint32_t allocate_packet() { return pool_.allocate(); }
+
+  [[nodiscard]] const std::vector<ArcCounters>& arc_counters() const noexcept {
+    return arc_counters_;
+  }
+
+  /// Windowed arrival accounting for a freshly injected packet.
+  void count_arrival(double now) { stats_.count_arrival(now); }
+
+  /// Appends the packet to the arc's queue, schedules the arc's service
+  /// completion if it was idle, and maintains counters / occupancy
+  /// (`tracker` indexes the stats occupancy tracker; kNoTracker skips it).
+  /// Returns false when a finite buffer was full and the packet dropped.
+  bool enqueue(double now, std::uint32_t arc, std::uint32_t pkt, bool external,
+               std::size_t tracker = kNoTracker) {
+    auto& queue = arc_queue_[arc];
+    if (config_.buffer_capacity > 0 && queue.size() >= config_.buffer_capacity) {
+      drop(now, pkt);
+      return false;
+    }
+    if (now >= stats_.warmup()) {
+      auto& counters = arc_counters_[arc];
+      ++counters.total_arrivals;
+      if (external) ++counters.external_arrivals;
+    }
+    if (tracker != kNoTracker) stats_.occupancy_add(tracker, now, +1.0);
+    queue.push_back(pkt);
+    if (queue.size() == 1) schedule_service(now + 1.0, arc);
+    return true;
+  }
+
+  /// Completes one unit service at the arc: dequeues the packet in service,
+  /// applies the service-order ablation to pick the next one, reschedules
+  /// the arc if packets wait, and returns the completed packet's id.
+  std::uint32_t finish_arc(double now, std::uint32_t arc,
+                           std::size_t tracker = kNoTracker) {
+    auto& queue = arc_queue_[arc];
+    RS_DASSERT(!queue.empty());
+    const std::uint32_t pkt = queue.pop_front();
+    if (!queue.empty()) {
+      // Select the next packet to serve and rotate it to the head.  The
+      // head is always the packet in service; the rest of the queue stays
+      // in arrival order, so LIFO really serves the most recent arrival
+      // and random picks uniformly among the waiting packets.
+      if (config_.service_order == ArcServiceOrder::kLifo) {
+        const std::uint32_t chosen = queue.back();
+        queue.pop_back();
+        queue.push_front(chosen);
+      } else if (config_.service_order == ArcServiceOrder::kRandom) {
+        const auto pick = static_cast<std::size_t>(rng_.uniform_below(queue.size()));
+        const std::uint32_t chosen = queue[pick];
+        queue.erase(pick);
+        queue.push_front(chosen);
+      }
+      schedule_service(now + 1.0, arc);
+    }
+    if (tracker != kNoTracker) stats_.occupancy_add(tracker, now, -1.0);
+    return pkt;
+  }
+
+  /// Full delivery: statistics + population + packet recycling.
+  void deliver(double now, std::uint32_t pkt, double gen_time, double hops) {
+    stats_.record_delivery(now, gen_time, hops);
+    stats_.population().add(now, -1.0);
+    pool_.release(pkt);
+  }
+
+  /// Finite-buffer loss: drop statistics + population + recycling.
+  void drop(double now, std::uint32_t pkt) {
+    stats_.count_drop(now);
+    stats_.population().add(now, -1.0);
+    pool_.release(pkt);
+  }
+
+  /// Removes a packet from the network without delivery accounting
+  /// (multicast copies that merged into another branch's statistics).
+  void retire(double now, std::uint32_t pkt) {
+    stats_.population().add(now, -1.0);
+    pool_.release(pkt);
+  }
+
+  /// The main loop: seeds the arrival process, dispatches events on
+  /// [0, horizon] to the scheme's hooks, and harvests the statistics over
+  /// [warmup, horizon].
+  template <typename Scheme>
+  void drive(Scheme& scheme, double warmup, double horizon) {
+    RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
+    stats_.begin(warmup, horizon);
+
+    if (config_.trace != nullptr) {
+      trace_pos_ = 0;
+      if (!config_.trace->packets.empty()) {
+        schedule_control(config_.trace->packets.front().time, EventKind::kBirth);
+      }
+    } else if (config_.slot > 0.0) {
+      schedule_control(0.0, EventKind::kSlot);
+    } else if (config_.birth_rate > 0.0) {
+      schedule_control(sample_exponential(rng_, config_.birth_rate),
+                       EventKind::kBirth);
+    }
+
+    bool stats_reset = warmup == 0.0;
+    for (;;) {
+      // Earliest of (single control event, front of the monotone service
+      // ring) under the strict (time, seq) order — identical to a heap's
+      // extraction order, without the heap.
+      bool take_control;
+      if (!has_control_) {
+        if (service_events_.empty()) break;
+        take_control = false;
+      } else if (service_events_.empty()) {
+        take_control = true;
+      } else {
+        const ServiceEvent& head = service_events_.front();
+        take_control = control_time_ < head.time ||
+                       (control_time_ == head.time && control_seq_ < head.seq);
+      }
+      const double t = take_control ? control_time_ : service_events_.front().time;
+      if (t > horizon) break;
+      if (!stats_reset && t >= warmup) {
+        stats_.reset_at_warmup(warmup);
+        stats_reset = true;
+      }
+
+      if (!take_control) {
+        const std::uint32_t arc = service_events_.pop_front().arc;
+        scheme.on_arc_done(t, arc);
+        continue;
+      }
+      const EventKind kind = control_kind_;
+      has_control_ = false;
+      if (kind == EventKind::kBirth) {
+        if (config_.trace != nullptr) {
+          const auto& traced = config_.trace->packets[trace_pos_++];
+          if constexpr (requires {
+                          scheme.on_traced(t, traced.origin, traced.destination);
+                        }) {
+            scheme.on_traced(t, traced.origin, traced.destination);
+          } else {
+            RS_EXPECTS_MSG(false, "scheme has no trace-replay hook");
+          }
+          if (trace_pos_ < config_.trace->packets.size()) {
+            schedule_control(config_.trace->packets[trace_pos_].time,
+                             EventKind::kBirth);
+          }
+        } else {
+          scheme.on_spawn(t);
+          schedule_control(t + sample_exponential(rng_, config_.birth_rate),
+                           EventKind::kBirth);
+        }
+      } else {  // kSlot
+        const std::uint64_t batch =
+            sample_poisson(rng_, config_.birth_rate * config_.slot);
+        for (std::uint64_t i = 0; i < batch; ++i) scheme.on_spawn(t);
+        schedule_control(t + config_.slot, EventKind::kSlot);
+      }
+    }
+
+    stats_.finalize(warmup, horizon, !stats_reset);
+  }
+
+ private:
+  struct ServiceEvent {
+    double time = 0.0;
+    std::uint64_t seq = 0;  ///< global insertion sequence (tie-break)
+    std::uint32_t arc = 0;
+  };
+
+  /// Service completions are pushed with nondecreasing times (now + 1.0
+  /// under a nondecreasing clock), so the ring stays sorted by (time, seq).
+  void schedule_service(double time, std::uint32_t arc) {
+    RS_DASSERT(service_events_.empty() || service_events_.back().time <= time);
+    service_events_.push_back(ServiceEvent{time, next_seq_++, arc});
+  }
+
+  /// At most one arrival-process control event is outstanding at a time.
+  void schedule_control(double time, EventKind kind) {
+    RS_DASSERT(!has_control_);
+    control_time_ = time;
+    control_seq_ = next_seq_++;
+    control_kind_ = kind;
+    has_control_ = true;
+  }
+
+  PacketKernelConfig config_{};
+  Rng rng_;
+  Pool<Pkt> pool_;
+  std::vector<FifoRing> arc_queue_;
+  std::vector<ArcCounters> arc_counters_;
+  Ring<ServiceEvent> service_events_;
+  bool has_control_ = false;
+  double control_time_ = 0.0;
+  std::uint64_t control_seq_ = 0;
+  EventKind control_kind_ = EventKind::kBirth;
+  std::uint64_t next_seq_ = 0;
+  KernelStats stats_;
+  std::size_t trace_pos_ = 0;
+};
+
+}  // namespace routesim

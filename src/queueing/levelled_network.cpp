@@ -28,6 +28,9 @@ LevelledNetwork::LevelledNetwork(LevelledNetworkConfig config)
     RS_EXPECTS_MSG(total_prob <= 1.0 + 1e-9, "routing probabilities exceed 1");
     servers_[s].arrival_rng.reseed(derive_stream(config_.seed, s));
   }
+  KernelStats::Config stats;
+  if (config_.track_per_server) stats.occupancy_trackers = n;
+  stats_.configure(stats);
 }
 
 void LevelledNetwork::set_checkpoints(std::vector<double> times) {
@@ -35,27 +38,6 @@ void LevelledNetwork::set_checkpoints(std::vector<double> times) {
   checkpoints_ = std::move(times);
   checkpoint_counts_.assign(checkpoints_.size(), 0);
   next_checkpoint_ = 0;
-}
-
-std::uint32_t LevelledNetwork::allocate_customer(double now) {
-  std::uint32_t id;
-  if (!free_customers_.empty()) {
-    id = free_customers_.back();
-    free_customers_.pop_back();
-  } else {
-    id = static_cast<std::uint32_t>(customers_.size());
-    customers_.emplace_back();
-  }
-  customers_[id].arrival_time = now;
-  return id;
-}
-
-void LevelledNetwork::release_customer(std::uint32_t id) {
-  free_customers_.push_back(id);
-}
-
-void LevelledNetwork::record_occupancy(double now, std::uint32_t server, double delta) {
-  if (config_.track_per_server) servers_[server].occupancy.add(now, delta);
 }
 
 void LevelledNetwork::schedule_next_external(double now, std::uint32_t server) {
@@ -69,7 +51,7 @@ void LevelledNetwork::enter_server(double now, std::uint32_t server,
                                    std::uint32_t customer) {
   auto& state = servers_[server];
   if (now >= warmup_) ++server_stats_[server].total_arrivals;
-  record_occupancy(now, server, +1.0);
+  stats_.occupancy_add(server, now, +1.0);
   if (config_.discipline == Discipline::kFifo) {
     state.fifo.push_back(customer);
     if (state.fifo.size() == 1) {
@@ -107,20 +89,20 @@ void LevelledNetwork::ps_reschedule(double now, std::uint32_t server) {
 void LevelledNetwork::on_network_departure(double now, std::uint32_t customer) {
   ++departures_total_;
   if (now >= warmup_) {
-    ++departures_window_;
+    stats_.count_delivery();
     if (customers_[customer].arrival_time >= warmup_) {
-      delay_.add(now - customers_[customer].arrival_time);
+      stats_.delay().add(now - customers_[customer].arrival_time);
     }
   }
-  population_.add(now, -1.0);
-  release_customer(customer);
+  stats_.population().add(now, -1.0);
+  customers_.release(customer);
 }
 
 void LevelledNetwork::complete_service(double now, std::uint32_t server,
                                        std::uint32_t customer) {
   auto& state = servers_[server];
   if (now >= warmup_) ++server_stats_[server].departures;
-  record_occupancy(now, server, -1.0);
+  stats_.occupancy_add(server, now, -1.0);
 
   // Routing decision k at server s is the *stateless* coupled uniform, so
   // FIFO and PS runs with the same seed make identical decisions (Lemma 10).
@@ -140,6 +122,7 @@ void LevelledNetwork::run(double warmup, double horizon) {
   RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
   warmup_ = warmup;
   now_ = 0.0;
+  stats_.begin(warmup, horizon);
 
   for (std::uint32_t s = 0; s < servers_.size(); ++s) {
     if (config_.servers[s].external_rate > 0.0) schedule_next_external(0.0, s);
@@ -156,10 +139,7 @@ void LevelledNetwork::run(double warmup, double horizon) {
       checkpoint_counts_[next_checkpoint_++] = departures_total_;
     }
     if (!stats_reset && t >= warmup) {
-      population_.reset(warmup);
-      if (config_.track_per_server) {
-        for (auto& srv : servers_) srv.occupancy.reset(warmup);
-      }
+      stats_.reset_at_warmup(warmup);
       stats_reset = true;
     }
     now_ = t;
@@ -168,20 +148,17 @@ void LevelledNetwork::run(double warmup, double horizon) {
     switch (payload.kind) {
       case EventKind::kExternalArrival: {
         schedule_next_external(t, payload.server);
-        const std::uint32_t customer = allocate_customer(t);
-        if (t >= warmup) {
-          ++arrivals_window_;
-          ++server_stats_[payload.server].external_arrivals;
-        }
-        population_.add(t, +1.0);
+        const std::uint32_t customer = customers_.allocate();
+        customers_[customer].arrival_time = t;
+        if (t >= warmup) ++server_stats_[payload.server].external_arrivals;
+        stats_.count_arrival(t);
         enter_server(t, payload.server, customer);
         break;
       }
       case EventKind::kFifoDone: {
         auto& state = servers_[payload.server];
         RS_DASSERT(!state.fifo.empty());
-        const std::uint32_t customer = state.fifo.front();
-        state.fifo.pop_front();
+        const std::uint32_t customer = state.fifo.pop_front();
         if (!state.fifo.empty()) {
           events_.push(t + 1.0 / config_.servers[payload.server].service_rate,
                        Ev{EventKind::kFifoDone, payload.server, 0});
@@ -209,16 +186,11 @@ void LevelledNetwork::run(double warmup, double horizon) {
          checkpoints_[next_checkpoint_] <= horizon) {
     checkpoint_counts_[next_checkpoint_++] = departures_total_;
   }
-  if (!stats_reset) population_.reset(warmup);
 
-  time_avg_population_ = population_.mean(horizon);
-  peak_population_ = population_.peak();
-  final_population_ = population_.value();
-  const double window = horizon - warmup;
-  throughput_ = window > 0.0 ? static_cast<double>(departures_window_) / window : 0.0;
+  stats_.finalize(warmup, horizon, !stats_reset);
   if (config_.track_per_server) {
     for (std::uint32_t s = 0; s < servers_.size(); ++s) {
-      server_stats_[s].mean_occupancy = servers_[s].occupancy.mean(horizon);
+      server_stats_[s].mean_occupancy = stats_.occupancy_mean(s);
     }
   }
 }

@@ -12,6 +12,13 @@
 /// Sharing; the networks Q and Q~ of Proposition 11 are the same config
 /// run under the two disciplines.
 ///
+/// Measurement accounting (delay, population, occupancy trackers, harvest)
+/// is the shared KernelStats of des/packet_kernel.hpp — the same path the
+/// packet-level simulators use — so Q's metrics are directly comparable
+/// with the direct simulation's.  The customer pool and the FIFO queues
+/// reuse the kernel's Pool/FifoRing storage as well; only the PS virtual
+/// time and the coupled routing uniforms are specific to this class.
+///
 /// **Sample-path coupling.**  The dominance results (Lemmas 9-10, Prop. 11)
 /// compare FIFO and PS *on the same sample path ω*: identical external
 /// arrival times per server and identical routing decisions identified by
@@ -22,13 +29,12 @@
 /// same seed but different disciplines see the same ω.
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <vector>
 
 #include "des/event_queue.hpp"
+#include "des/packet_kernel.hpp"
 #include "stats/summary.hpp"
-#include "stats/timeavg.hpp"
 #include "util/rng.hpp"
 
 namespace routesim {
@@ -87,29 +93,35 @@ class LevelledNetwork {
 
   /// Delay (network sojourn time) of customers that arrived inside the
   /// measurement window and departed before the horizon.
-  [[nodiscard]] const Summary& delay() const noexcept { return delay_; }
+  [[nodiscard]] const Summary& delay() const noexcept { return stats_.delay(); }
 
   /// Time-average number of customers in the network over the window.
-  [[nodiscard]] double time_avg_population() const noexcept { return time_avg_population_; }
+  [[nodiscard]] double time_avg_population() const noexcept {
+    return stats_.time_avg_population();
+  }
 
   /// Peak population since warm-up.
-  [[nodiscard]] double peak_population() const noexcept { return peak_population_; }
+  [[nodiscard]] double peak_population() const noexcept {
+    return stats_.peak_population();
+  }
 
   /// Population remaining at the horizon (backlog; grows linearly iff unstable).
-  [[nodiscard]] double final_population() const noexcept { return final_population_; }
+  [[nodiscard]] double final_population() const noexcept {
+    return stats_.final_population();
+  }
 
   /// Customers that left the network inside the measurement window.
   [[nodiscard]] std::uint64_t departures_in_window() const noexcept {
-    return departures_window_;
+    return stats_.deliveries_in_window();
   }
 
   /// External arrivals inside the measurement window.
   [[nodiscard]] std::uint64_t arrivals_in_window() const noexcept {
-    return arrivals_window_;
+    return stats_.arrivals_in_window();
   }
 
   /// Observed departure throughput over the window.
-  [[nodiscard]] double throughput() const noexcept { return throughput_; }
+  [[nodiscard]] double throughput() const noexcept { return stats_.throughput(); }
 
   /// Cumulative departure counts at the requested checkpoints.
   [[nodiscard]] const std::vector<std::uint64_t>& checkpoint_departures() const noexcept {
@@ -145,7 +157,7 @@ class LevelledNetwork {
 
   struct ServerState {
     // FIFO: customers in arrival order; front is in service.
-    std::deque<std::uint32_t> fifo;
+    FifoRing fifo;
     // PS: active customers keyed by the virtual time at which they finish.
     std::multimap<double, std::uint32_t> ps_active;
     double virtual_time = 0.0;
@@ -153,36 +165,24 @@ class LevelledNetwork {
     std::uint64_t ps_stamp = 0;
     std::uint64_t completions = 0;  ///< routing-decision counter (the "k")
     Rng arrival_rng{0};
-    TimeWeighted occupancy;
   };
 
-  std::uint32_t allocate_customer(double now);
-  void release_customer(std::uint32_t id);
   void enter_server(double now, std::uint32_t server, std::uint32_t customer);
   void complete_service(double now, std::uint32_t server, std::uint32_t customer);
   void ps_update_virtual(double now, std::uint32_t server);
   void ps_reschedule(double now, std::uint32_t server);
   void schedule_next_external(double now, std::uint32_t server);
-  void record_occupancy(double now, std::uint32_t server, double delta);
   void on_network_departure(double now, std::uint32_t customer);
 
   LevelledNetworkConfig config_;
   std::vector<ServerState> servers_;
-  std::vector<Customer> customers_;
-  std::vector<std::uint32_t> free_customers_;
+  Pool<Customer> customers_;
   EventQueue<Ev> events_;
 
   double warmup_ = 0.0;
   double now_ = 0.0;
-  TimeWeighted population_;
-  Summary delay_;
+  KernelStats stats_;
   std::uint64_t departures_total_ = 0;   // from time 0 (checkpoints)
-  std::uint64_t departures_window_ = 0;  // post-warm-up
-  std::uint64_t arrivals_window_ = 0;
-  double time_avg_population_ = 0.0;
-  double peak_population_ = 0.0;
-  double final_population_ = 0.0;
-  double throughput_ = 0.0;
 
   std::vector<double> checkpoints_;
   std::vector<std::uint64_t> checkpoint_counts_;

@@ -3,26 +3,33 @@
 #include "core/registry.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
 
 namespace routesim {
 
-DeflectionSim::DeflectionSim(DeflectionConfig config)
-    : config_(std::move(config)),
-      cube_(config_.d),
-      rng_(derive_stream(config_.seed, 0xDEF1)) {
+DeflectionSim::DeflectionSim(DeflectionConfig config) { reset(std::move(config)); }
+
+void DeflectionSim::reset(DeflectionConfig config) {
+  config_ = std::move(config);
   RS_EXPECTS(config_.lambda > 0.0);
   RS_EXPECTS(config_.destinations.dimension() == config_.d);
+  cube_ = Hypercube(config_.d);
+  rng_.reseed(derive_stream(config_.seed, 0xDEF1));
   resident_.resize(cube_.num_nodes());
   injection_.resize(cube_.num_nodes());
+  for (auto& residents : resident_) residents.clear();
+  for (auto& waiting : injection_) waiting.clear();
+  productive_ = deflected_ = backlog_ = 0;
 }
 
 void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
   RS_EXPECTS(warmup_slots <= num_slots);
   const auto d = static_cast<std::size_t>(config_.d);
   const double warmup_time = static_cast<double>(warmup_slots);
+  stats_.begin(warmup_time, static_cast<double>(num_slots));
 
   // Next-slot buffers, reused across slots.
   std::vector<std::vector<Pkt>> incoming(cube_.num_nodes());
@@ -38,11 +45,7 @@ void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
         const NodeId dest = config_.destinations.sample(rng_, node);
         if (dest == node) {
           // Delivered in place, delay 0 (consistent with the greedy model).
-          if (now >= warmup_time) {
-            delay_.add(0.0);
-            hops_.add(0.0);
-            ++deliveries_window_;
-          }
+          stats_.record_delivery(now, now, 0.0);
           continue;
         }
         injection_.at(node).push_back(Pkt{dest, now, 0});
@@ -91,11 +94,8 @@ void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
         ++packet.hops;
         const NodeId next = flip_dimension(node, chosen);
         if (productive && next == packet.dest) {
-          if (packet.gen_time >= warmup_time) {
-            delay_.add(now + 1.0 - packet.gen_time);
-            hops_.add(static_cast<double>(packet.hops));
-            ++deliveries_window_;
-          }
+          stats_.record_delivery(now + 1.0, packet.gen_time,
+                                 static_cast<double>(packet.hops));
         } else {
           incoming[next].push_back(packet);
         }
@@ -108,6 +108,8 @@ void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
     }
   }
 
+  stats_.finalize(warmup_time, static_cast<double>(num_slots),
+                  /*pending_reset=*/false);
   backlog_ = 0;
   for (const auto& queue : injection_) backlog_ += queue.size();
   for (const auto& residents : resident_) backlog_ += residents.size();
@@ -128,17 +130,14 @@ void register_deflection_scheme(SchemeRegistry& registry) {
            config.lambda = s.lambda;
            config.destinations = dist;
            config.seed = seed;
-           DeflectionSim sim(config);
+           DeflectionSim& sim = reusable_sim<DeflectionSim>(std::move(config));
            const auto warmup_slots = static_cast<std::uint64_t>(window.warmup);
            const auto num_slots = static_cast<std::uint64_t>(window.horizon);
            sim.run(warmup_slots, num_slots);
-           const double slots =
-               static_cast<double>(num_slots) - static_cast<double>(warmup_slots);
            return std::vector<double>{
                sim.delay().mean(),
                0.0,
-               slots > 0.0 ? static_cast<double>(sim.deliveries_in_window()) / slots
-                           : 0.0,
+               sim.throughput(),
                sim.hops().mean(),
                0.0,
                static_cast<double>(sim.injection_backlog()),

@@ -12,11 +12,17 @@
 /// and otherwise is *deflected* onto the lowest free non-productive
 /// dimension.  Freshly generated packets wait in a per-node injection
 /// queue and are admitted whenever the node holds fewer than d packets.
+///
+/// The slot-stepped dynamics need no event set, but the measurement-window
+/// accounting (delay / hops / deliveries / throughput) is the shared
+/// KernelStats of des/packet_kernel.hpp — the same harvest every other
+/// scheme uses, which is what makes the cross-scheme comparisons coupled.
 
 #include <cstdint>
 #include <deque>
 #include <vector>
 
+#include "des/packet_kernel.hpp"
 #include "stats/summary.hpp"
 #include "topology/hypercube.hpp"
 #include "util/rng.hpp"
@@ -35,15 +41,18 @@ class DeflectionSim {
  public:
   explicit DeflectionSim(DeflectionConfig config);
 
+  /// Reconfigures for another replication, reusing storage.
+  void reset(DeflectionConfig config);
+
   /// Simulates `num_slots` unit slots; statistics cover slots >= warmup_slots.
   void run(std::uint64_t warmup_slots, std::uint64_t num_slots);
 
   /// Delay: generation slot to delivery slot (includes injection waiting).
-  [[nodiscard]] const Summary& delay() const noexcept { return delay_; }
+  [[nodiscard]] const Summary& delay() const noexcept { return stats_.delay(); }
 
   /// Hops actually taken per delivered packet (>= Hamming distance;
   /// the excess counts deflections).
-  [[nodiscard]] const Summary& hops() const noexcept { return hops_; }
+  [[nodiscard]] const Summary& hops() const noexcept { return stats_.hops(); }
 
   /// Fraction of transmissions that were deflections (non-productive).
   [[nodiscard]] double deflection_fraction() const noexcept {
@@ -55,8 +64,11 @@ class DeflectionSim {
   [[nodiscard]] std::uint64_t injection_backlog() const noexcept { return backlog_; }
 
   [[nodiscard]] std::uint64_t deliveries_in_window() const noexcept {
-    return deliveries_window_;
+    return stats_.deliveries_in_window();
   }
+
+  /// Deliveries per slot over the measurement window.
+  [[nodiscard]] double throughput() const noexcept { return stats_.throughput(); }
 
  private:
   struct Pkt {
@@ -66,18 +78,16 @@ class DeflectionSim {
   };
 
   DeflectionConfig config_;
-  Hypercube cube_;
+  Hypercube cube_{1};  ///< placeholder; reset() installs the real topology
   Rng rng_;
 
   std::vector<std::vector<Pkt>> resident_;           // packets at each node
   std::vector<std::deque<Pkt>> injection_;           // waiting to be admitted
 
-  Summary delay_;
-  Summary hops_;
+  KernelStats stats_;
   std::uint64_t productive_ = 0;
   std::uint64_t deflected_ = 0;
   std::uint64_t backlog_ = 0;
-  std::uint64_t deliveries_window_ = 0;
 };
 
 class SchemeRegistry;

@@ -3,6 +3,7 @@
 #include "core/registry.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
@@ -10,9 +11,17 @@
 namespace routesim {
 
 GreedyButterflySim::GreedyButterflySim(GreedyButterflyConfig config)
-    : config_(std::move(config)),
-      bfly_(config_.d),
-      rng_(derive_stream(config_.seed, 0xBF17)) {
+    : config_(std::move(config)), bfly_(config_.d) {
+  configure_kernel();
+}
+
+void GreedyButterflySim::reset(GreedyButterflyConfig config) {
+  config_ = std::move(config);
+  bfly_ = Butterfly(config_.d);
+  configure_kernel();
+}
+
+void GreedyButterflySim::configure_kernel() {
   RS_EXPECTS_MSG(config_.destinations.dimension() == config_.d,
                  "destination distribution dimension must match d");
   if (config_.trace == nullptr) {
@@ -25,83 +34,68 @@ GreedyButterflySim::GreedyButterflySim(GreedyButterflyConfig config)
     RS_EXPECTS_MSG(config_.slot <= 1.0 && std::abs(inv - std::round(inv)) < 1e-9,
                    "slot length must satisfy: 1/slot integer, slot <= 1");
   }
-  arc_queue_.resize(bfly_.num_arcs());
-  arc_counters_.resize(bfly_.num_arcs());
-  if (config_.track_level_occupancy) {
-    level_occupancy_.resize(static_cast<std::size_t>(config_.d));
-    level_mean_occupancy_.resize(static_cast<std::size_t>(config_.d), 0.0);
-  }
-}
 
-std::uint32_t GreedyButterflySim::allocate_packet(double gen_time, NodeId origin,
-                                                  NodeId dest) {
-  std::uint32_t id;
-  if (!free_packets_.empty()) {
-    id = free_packets_.back();
-    free_packets_.pop_back();
-  } else {
-    id = static_cast<std::uint32_t>(packets_.size());
-    packets_.emplace_back();
+  PacketKernelConfig kernel;
+  kernel.num_arcs = bfly_.num_arcs();
+  kernel.seed = config_.seed;
+  kernel.stream_salt = 0xBF17;
+  kernel.birth_rate = config_.lambda * static_cast<double>(bfly_.rows());
+  kernel.slot = config_.slot;
+  kernel.trace = config_.trace;
+  if (config_.trace == nullptr) {
+    kernel.expected_packets =
+        static_cast<std::size_t>(kernel.birth_rate * config_.d) + 64;
   }
-  packets_[id] = Pkt{origin, dest, gen_time, 0, 1};
-  return id;
+  if (config_.track_level_occupancy) {
+    kernel.stats.occupancy_trackers = static_cast<std::size_t>(config_.d);
+  }
+  kernel_.configure(kernel);
 }
 
 void GreedyButterflySim::inject(double now, NodeId origin_row, NodeId dest_row) {
-  if (now >= warmup_) ++arrivals_window_;
-  population_.add(now, +1.0);
-  const std::uint32_t pkt = allocate_packet(now, origin_row, dest_row);
+  kernel_.count_arrival(now);
+  const std::uint32_t pkt = kernel_.allocate_packet();
+  kernel_.packet(pkt) = Pkt{origin_row, dest_row, now, 0, 1};
   // Every packet crosses exactly d arcs (one per level), even when the rows
   // agree everywhere (all-straight path): the butterfly is a crossbar, and
   // "delivery" means reaching level d+1.
   enqueue(now, pkt);
 }
 
+void GreedyButterflySim::on_spawn(double now) {
+  const auto origin = static_cast<NodeId>(kernel_.rng().uniform_below(bfly_.rows()));
+  inject(now, origin, config_.destinations.sample(kernel_.rng(), origin));
+}
+
+void GreedyButterflySim::on_traced(double now, NodeId origin_row, NodeId dest_row) {
+  inject(now, origin_row, dest_row);
+}
+
 void GreedyButterflySim::enqueue(double now, std::uint32_t pkt) {
-  Pkt& packet = packets_[pkt];
+  Pkt& packet = kernel_.packet(pkt);
   const int level = packet.level;
   const auto kind = has_dimension(packet.row ^ packet.dest_row, level)
                         ? Butterfly::ArcKind::kVertical
                         : Butterfly::ArcKind::kStraight;
   const BflyArcId arc = bfly_.arc_index(packet.row, level, kind);
-  if (now >= warmup_) ++arc_counters_[arc].arrivals;
-  if (config_.track_level_occupancy) {
-    level_occupancy_[static_cast<std::size_t>(level - 1)].add(now, +1.0);
-  }
-  auto& queue = arc_queue_[arc];
-  queue.push_back(pkt);
-  if (queue.size() == 1) {
-    events_.push(now + 1.0, Ev{EventKind::kArcDone, arc});
-  }
+  kernel_.enqueue(now, arc, pkt, /*external=*/false,
+                  static_cast<std::size_t>(level - 1));
 }
 
 void GreedyButterflySim::on_arc_done(double now, BflyArcId arc) {
-  auto& queue = arc_queue_[arc];
-  RS_DASSERT(!queue.empty());
-  const std::uint32_t pkt = queue.front();
-  queue.pop_front();
-  if (!queue.empty()) {
-    events_.push(now + 1.0, Ev{EventKind::kArcDone, arc});
-  }
   const int level = bfly_.arc_level(arc);
-  if (config_.track_level_occupancy) {
-    level_occupancy_[static_cast<std::size_t>(level - 1)].add(now, -1.0);
-  }
+  const std::uint32_t pkt =
+      kernel_.finish_arc(now, arc, static_cast<std::size_t>(level - 1));
 
-  Pkt& packet = packets_[pkt];
+  Pkt& packet = kernel_.packet(pkt);
   if (bfly_.arc_kind(arc) == Butterfly::ArcKind::kVertical) {
     packet.row = flip_dimension(packet.row, level);
     ++packet.vertical_count;
   }
   if (level == config_.d) {
     RS_DASSERT(packet.row == packet.dest_row);
-    if (packet.gen_time >= warmup_) {
-      ++deliveries_window_;
-      delay_.add(now - packet.gen_time);
-      vertical_hops_.add(static_cast<double>(packet.vertical_count));
-    }
-    population_.add(now, -1.0);
-    free_packets_.push_back(pkt);
+    kernel_.deliver(now, pkt, packet.gen_time,
+                    static_cast<double>(packet.vertical_count));
     return;
   }
   packet.level = static_cast<std::uint16_t>(level + 1);
@@ -109,85 +103,7 @@ void GreedyButterflySim::on_arc_done(double now, BflyArcId arc) {
 }
 
 void GreedyButterflySim::run(double warmup, double horizon) {
-  RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
-  warmup_ = warmup;
-  window_ = horizon - warmup;
-
-  if (config_.trace != nullptr) {
-    trace_pos_ = 0;
-    if (!config_.trace->packets.empty()) {
-      events_.push(config_.trace->packets.front().time, Ev{EventKind::kBirth, 0});
-    }
-  } else if (config_.slot > 0.0) {
-    events_.push(0.0, Ev{EventKind::kSlot, 0});
-  } else {
-    const double total_rate = config_.lambda * static_cast<double>(bfly_.rows());
-    events_.push(sample_exponential(rng_, total_rate), Ev{EventKind::kBirth, 0});
-  }
-
-  bool stats_reset = warmup == 0.0;
-  while (!events_.empty() && events_.top().time <= horizon) {
-    const auto event = events_.pop();
-    const double t = event.time;
-    if (!stats_reset && t >= warmup) {
-      population_.reset(warmup);
-      for (auto& occ : level_occupancy_) occ.reset(warmup);
-      stats_reset = true;
-    }
-
-    switch (event.payload.kind) {
-      case EventKind::kBirth: {
-        if (config_.trace != nullptr) {
-          const auto& traced = config_.trace->packets[trace_pos_++];
-          inject(t, traced.origin, traced.destination);
-          if (trace_pos_ < config_.trace->packets.size()) {
-            events_.push(config_.trace->packets[trace_pos_].time,
-                         Ev{EventKind::kBirth, 0});
-          }
-        } else {
-          const auto origin = static_cast<NodeId>(rng_.uniform_below(bfly_.rows()));
-          inject(t, origin, config_.destinations.sample(rng_, origin));
-          const double total_rate = config_.lambda * static_cast<double>(bfly_.rows());
-          events_.push(t + sample_exponential(rng_, total_rate),
-                       Ev{EventKind::kBirth, 0});
-        }
-        break;
-      }
-      case EventKind::kSlot: {
-        const double batch_mean =
-            config_.lambda * static_cast<double>(bfly_.rows()) * config_.slot;
-        const std::uint64_t batch = sample_poisson(rng_, batch_mean);
-        for (std::uint64_t i = 0; i < batch; ++i) {
-          const auto origin = static_cast<NodeId>(rng_.uniform_below(bfly_.rows()));
-          inject(t, origin, config_.destinations.sample(rng_, origin));
-        }
-        events_.push(t + config_.slot, Ev{EventKind::kSlot, 0});
-        break;
-      }
-      case EventKind::kArcDone:
-        on_arc_done(t, event.payload.arc);
-        break;
-    }
-  }
-
-  if (!stats_reset) population_.reset(warmup);
-  time_avg_population_ = population_.mean(horizon);
-  final_population_ = population_.value();
-  throughput_ = window_ > 0.0 ? static_cast<double>(deliveries_window_) / window_ : 0.0;
-  if (config_.track_level_occupancy) {
-    for (std::size_t level = 0; level < level_occupancy_.size(); ++level) {
-      level_mean_occupancy_[level] = level_occupancy_[level].mean(horizon);
-    }
-  }
-}
-
-LittleCheck GreedyButterflySim::little_check() const noexcept {
-  LittleCheck check;
-  check.time_avg_population = time_avg_population_;
-  check.arrival_rate =
-      window_ > 0.0 ? static_cast<double>(arrivals_window_) / window_ : 0.0;
-  check.mean_sojourn = delay_.mean();
-  return check;
+  kernel_.drive(*this, warmup, horizon);
 }
 
 void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
@@ -207,13 +123,16 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
            config.destinations = dist;
            config.seed = seed;
            config.slot = s.tau;
-           PacketTrace trace;
+           // Thread-local so the cached sim's trace pointer stays valid for
+           // the sim's whole lifetime (and the buffers are reused per rep).
+           thread_local PacketTrace trace;
            if (s.workload == "trace") {
              trace = generate_butterfly_trace(s.d, s.lambda, config.destinations,
                                               window.horizon, seed);
              config.trace = &trace;
            }
-           GreedyButterflySim sim(config);
+           GreedyButterflySim& sim =
+               reusable_sim<GreedyButterflySim>(std::move(config));
            sim.run(window.warmup, window.horizon);
            return std::vector<double>{
                sim.delay().mean(),          sim.time_avg_population(),

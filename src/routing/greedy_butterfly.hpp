@@ -1,24 +1,25 @@
 #pragma once
 /// \file greedy_butterfly.hpp
 /// \brief Packet-level simulator of greedy routing on the d-dimensional
-///        butterfly (§4).
+///        butterfly (§4), built on the shared packet kernel.
 ///
 /// Packets are generated at the 2^d nodes of level 1 (independent Poisson
 /// processes of rate lambda) and destined for a random node of level d+1,
 /// with the bit-flip destination law of eq. (1) applied to the rows.  The
 /// path of every packet is unique (d arcs, one per level); greedy routing
 /// advances packets as fast as possible with FIFO priority per arc.
+///
+/// The event set, arc queues, arrival process and measurement accounting
+/// live in des/packet_kernel.hpp; this class contributes the butterfly's
+/// level-by-level path (straight or vertical arc per level).
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
-#include "des/event_queue.hpp"
+#include "des/packet_kernel.hpp"
 #include "stats/little.hpp"
 #include "stats/summary.hpp"
-#include "stats/timeavg.hpp"
 #include "topology/butterfly.hpp"
-#include "util/rng.hpp"
 #include "workload/destination.hpp"
 #include "workload/trace.hpp"
 
@@ -34,48 +35,63 @@ struct GreedyButterflyConfig {
   bool track_level_occupancy = false; ///< time-avg packets stored per level
 };
 
-/// Windowed per-arc counters, split by arc kind for Proposition 15 checks.
-struct BflyArcCounters {
-  std::uint64_t arrivals = 0;
-};
-
 class GreedyButterflySim {
  public:
   explicit GreedyButterflySim(GreedyButterflyConfig config);
 
+  /// Reconfigures for another replication, reusing kernel storage.
+  void reset(GreedyButterflyConfig config);
+
   void run(double warmup, double horizon);
 
-  [[nodiscard]] const Summary& delay() const noexcept { return delay_; }
+  [[nodiscard]] const Summary& delay() const noexcept { return kernel_.stats().delay(); }
   /// Vertical arcs crossed per packet (Hamming distance of rows).
-  [[nodiscard]] const Summary& vertical_hops() const noexcept { return vertical_hops_; }
-  [[nodiscard]] double time_avg_population() const noexcept { return time_avg_population_; }
-  [[nodiscard]] double final_population() const noexcept { return final_population_; }
-  [[nodiscard]] std::uint64_t deliveries_in_window() const noexcept { return deliveries_window_; }
-  [[nodiscard]] std::uint64_t arrivals_in_window() const noexcept { return arrivals_window_; }
-  [[nodiscard]] double throughput() const noexcept { return throughput_; }
-  [[nodiscard]] LittleCheck little_check() const noexcept;
+  [[nodiscard]] const Summary& vertical_hops() const noexcept {
+    return kernel_.stats().hops();
+  }
+  [[nodiscard]] double time_avg_population() const noexcept {
+    return kernel_.stats().time_avg_population();
+  }
+  [[nodiscard]] double final_population() const noexcept {
+    return kernel_.stats().final_population();
+  }
+  [[nodiscard]] std::uint64_t deliveries_in_window() const noexcept {
+    return kernel_.stats().deliveries_in_window();
+  }
+  [[nodiscard]] std::uint64_t arrivals_in_window() const noexcept {
+    return kernel_.stats().arrivals_in_window();
+  }
+  [[nodiscard]] double throughput() const noexcept {
+    return kernel_.stats().throughput();
+  }
+  [[nodiscard]] LittleCheck little_check() const noexcept {
+    return kernel_.stats().little_check();
+  }
 
-  [[nodiscard]] const std::vector<BflyArcCounters>& arc_counters() const noexcept {
-    return arc_counters_;
+  /// Windowed per-arc arrival counters (read total_arrivals; every arrival
+  /// at a butterfly arc is counted there), for Proposition 15 checks.
+  [[nodiscard]] const std::vector<ArcCounters>& arc_counters() const noexcept {
+    return kernel_.arc_counters();
   }
 
   /// Mean number of packets stored by all nodes of each level 1..d
   /// (packets queued on the level's out-arcs), when tracked.
   [[nodiscard]] const std::vector<double>& level_mean_occupancy() const noexcept {
-    return level_mean_occupancy_;
+    return kernel_.stats().occupancy_means();
   }
 
   [[nodiscard]] const Butterfly& topology() const noexcept { return bfly_; }
-  [[nodiscard]] double measurement_window() const noexcept { return window_; }
+  [[nodiscard]] double measurement_window() const noexcept {
+    return kernel_.stats().measurement_window();
+  }
+
+  // --- kernel hooks (called by PacketKernel::drive) ---
+
+  void on_spawn(double now);
+  void on_traced(double now, NodeId origin_row, NodeId dest_row);
+  void on_arc_done(double now, BflyArcId arc);
 
  private:
-  enum class EventKind : std::uint8_t { kBirth, kSlot, kArcDone };
-
-  struct Ev {
-    EventKind kind{};
-    BflyArcId arc = 0;
-  };
-
   struct Pkt {
     NodeId row = 0;
     NodeId dest_row = 0;
@@ -84,34 +100,13 @@ class GreedyButterflySim {
     std::uint16_t level = 1;  ///< level of the next arc to cross
   };
 
-  std::uint32_t allocate_packet(double gen_time, NodeId origin, NodeId dest);
+  void configure_kernel();
   void inject(double now, NodeId origin_row, NodeId dest_row);
   void enqueue(double now, std::uint32_t pkt);
-  void on_arc_done(double now, BflyArcId arc);
 
   GreedyButterflyConfig config_;
   Butterfly bfly_;
-  Rng rng_;
-
-  std::vector<std::deque<std::uint32_t>> arc_queue_;
-  std::vector<Pkt> packets_;
-  std::vector<std::uint32_t> free_packets_;
-  EventQueue<Ev> events_;
-  std::size_t trace_pos_ = 0;
-
-  double warmup_ = 0.0;
-  double window_ = 0.0;
-  Summary delay_;
-  Summary vertical_hops_;
-  TimeWeighted population_;
-  std::vector<BflyArcCounters> arc_counters_;
-  std::vector<TimeWeighted> level_occupancy_;
-  std::vector<double> level_mean_occupancy_;
-  std::uint64_t deliveries_window_ = 0;
-  std::uint64_t arrivals_window_ = 0;
-  double time_avg_population_ = 0.0;
-  double final_population_ = 0.0;
-  double throughput_ = 0.0;
+  PacketKernel<Pkt> kernel_;
 };
 
 class SchemeRegistry;

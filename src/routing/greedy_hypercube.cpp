@@ -3,6 +3,7 @@
 #include "core/registry.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
@@ -10,9 +11,17 @@
 namespace routesim {
 
 GreedyHypercubeSim::GreedyHypercubeSim(GreedyHypercubeConfig config)
-    : config_(std::move(config)),
-      cube_(config_.d),
-      rng_(derive_stream(config_.seed, 0xC0BE)) {
+    : config_(std::move(config)), cube_(config_.d) {
+  configure_kernel();
+}
+
+void GreedyHypercubeSim::reset(GreedyHypercubeConfig config) {
+  config_ = std::move(config);
+  cube_ = Hypercube(config_.d);
+  configure_kernel();
+}
+
+void GreedyHypercubeSim::configure_kernel() {
   RS_EXPECTS_MSG(config_.destinations.dimension() == config_.d,
                  "destination distribution dimension must match d");
   if (config_.trace == nullptr) {
@@ -25,87 +34,57 @@ GreedyHypercubeSim::GreedyHypercubeSim(GreedyHypercubeConfig config)
     RS_EXPECTS_MSG(config_.slot <= 1.0 && std::abs(inv - std::round(inv)) < 1e-9,
                    "slot length must satisfy: 1/slot integer, slot <= 1 (§3.4)");
   }
-  arc_queue_.resize(cube_.num_arcs());
-  arc_counters_.resize(cube_.num_arcs());
+
+  PacketKernelConfig kernel;
+  kernel.num_arcs = cube_.num_arcs();
+  kernel.seed = config_.seed;
+  kernel.stream_salt = 0xC0BE;
+  kernel.birth_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
+  kernel.slot = config_.slot;
+  kernel.trace = config_.trace;
+  kernel.service_order = config_.arc_service_order;
+  kernel.buffer_capacity = config_.buffer_capacity;
+  // In-flight packets ~ (aggregate rate) x (delay ~ O(d)) at moderate load;
+  // trace replay leaves the default (the kernel derives it from the trace).
+  if (config_.trace == nullptr) {
+    kernel.expected_packets =
+        static_cast<std::size_t>(kernel.birth_rate * config_.d) + 64;
+  }
   if (config_.track_node_occupancy) {
-    node_occupancy_.resize(cube_.num_nodes());
-    node_mean_occupancy_.resize(cube_.num_nodes(), 0.0);
+    kernel.stats.occupancy_trackers = cube_.num_nodes();
   }
   if (config_.track_delay_histogram) {
-    delay_histogram_.emplace(0.0, 1.0, static_cast<std::size_t>(64) * config_.d);
+    kernel.stats.delay_histogram = true;
+    kernel.stats.histogram_lo = 0.0;
+    kernel.stats.histogram_bin_width = 1.0;
+    kernel.stats.histogram_bins = static_cast<std::size_t>(64) * config_.d;
   }
-}
-
-std::uint32_t GreedyHypercubeSim::allocate_packet(double gen_time, NodeId origin,
-                                                  NodeId dest) {
-  std::uint32_t id;
-  if (!free_packets_.empty()) {
-    id = free_packets_.back();
-    free_packets_.pop_back();
-  } else {
-    id = static_cast<std::uint32_t>(packets_.size());
-    packets_.emplace_back();
-  }
-  packets_[id] = Pkt{origin, dest, gen_time, 0};
-  return id;
-}
-
-void GreedyHypercubeSim::node_occupancy_add(double now, NodeId node, double delta) {
-  if (!config_.track_node_occupancy) return;
-  auto& occ = node_occupancy_[node];
-  occ.add(now, delta);
-}
-
-void GreedyHypercubeSim::deliver(double now, std::uint32_t pkt) {
-  const Pkt& packet = packets_[pkt];
-  if (packet.gen_time >= warmup_) {
-    ++deliveries_window_;
-    const double delay = now - packet.gen_time;
-    delay_.add(delay);
-    hops_.add(static_cast<double>(packet.hop_count));
-    if (delay_histogram_) delay_histogram_->add(delay);
-  }
-  population_.add(now, -1.0);
-  free_packets_.push_back(pkt);
-}
-
-void GreedyHypercubeSim::drop(double now, std::uint32_t pkt) {
-  if (now >= warmup_) ++drops_window_;
-  population_.add(now, -1.0);
-  free_packets_.push_back(pkt);
-}
-
-void GreedyHypercubeSim::enqueue(double now, ArcId arc, std::uint32_t pkt,
-                                 bool external) {
-  auto& queue = arc_queue_[arc];
-  if (config_.buffer_capacity > 0 && queue.size() >= config_.buffer_capacity) {
-    drop(now, pkt);
-    return;
-  }
-  if (now >= warmup_) {
-    auto& counters = arc_counters_[arc];
-    ++counters.total_arrivals;
-    if (external) ++counters.external_arrivals;
-  }
-  node_occupancy_add(now, cube_.arc_source(arc), +1.0);
-  queue.push_back(pkt);
-  if (queue.size() == 1) {
-    events_.push(now + 1.0, Ev{EventKind::kArcDone, arc});
-  }
+  kernel_.configure(kernel);
 }
 
 void GreedyHypercubeSim::inject(double now, NodeId origin, NodeId dest) {
-  if (now >= warmup_) ++arrivals_window_;
-  population_.add(now, +1.0);
-  const std::uint32_t pkt = allocate_packet(now, origin, dest);
+  kernel_.count_arrival(now);
+  const std::uint32_t pkt = kernel_.allocate_packet();
+  kernel_.packet(pkt) = Pkt{origin, dest, now, 0};
   if (origin == dest) {
     // A packet that selects its own origin (probability (1-p)^d) needs no
     // transmission at all; it is delivered instantly with delay 0.
-    deliver(now, pkt);
+    kernel_.deliver(now, pkt, now, 0.0);
     return;
   }
-  const int dim = next_dimension(packets_[pkt]);
-  enqueue(now, cube_.arc_index(origin, dim), pkt, /*external=*/true);
+  const int dim = next_dimension(kernel_.packet(pkt));
+  kernel_.enqueue(now, cube_.arc_index(origin, dim), pkt, /*external=*/true,
+                  origin);
+}
+
+void GreedyHypercubeSim::on_spawn(double now) {
+  const auto origin = static_cast<NodeId>(kernel_.rng().uniform_below(cube_.num_nodes()));
+  const NodeId dest = config_.destinations.sample(kernel_.rng(), origin);
+  inject(now, origin, dest);
+}
+
+void GreedyHypercubeSim::on_traced(double now, NodeId origin, NodeId dest) {
+  inject(now, origin, dest);
 }
 
 int GreedyHypercubeSim::next_dimension(const Pkt& packet) {
@@ -119,7 +98,7 @@ int GreedyHypercubeSim::next_dimension(const Pkt& packet) {
     case DimensionOrder::kRandomPerHop: {
       const int count = std::popcount(remaining);
       return nth_dimension(remaining,
-                           static_cast<int>(rng_.uniform_below(
+                           static_cast<int>(kernel_.rng().uniform_below(
                                static_cast<std::uint64_t>(count))));
     }
   }
@@ -127,35 +106,15 @@ int GreedyHypercubeSim::next_dimension(const Pkt& packet) {
 }
 
 void GreedyHypercubeSim::on_arc_done(double now, ArcId arc) {
-  auto& queue = arc_queue_[arc];
-  RS_DASSERT(!queue.empty());
-  const std::uint32_t pkt = queue.front();
-  queue.pop_front();
-  if (!queue.empty()) {
-    // Select the next packet to serve and rotate it to the head.  The head
-    // is always the packet in service; the rest of the deque stays in
-    // arrival order, so LIFO really serves the most recent arrival and
-    // random picks uniformly among the waiting packets.
-    if (config_.arc_service_order == ArcServiceOrder::kLifo) {
-      const std::uint32_t chosen = queue.back();
-      queue.pop_back();
-      queue.push_front(chosen);
-    } else if (config_.arc_service_order == ArcServiceOrder::kRandom) {
-      const auto pick = static_cast<std::size_t>(rng_.uniform_below(queue.size()));
-      const std::uint32_t chosen = queue[pick];
-      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
-      queue.push_front(chosen);
-    }
-    events_.push(now + 1.0, Ev{EventKind::kArcDone, arc});
-  }
-  node_occupancy_add(now, cube_.arc_source(arc), -1.0);
+  const std::uint32_t pkt = kernel_.finish_arc(now, arc, cube_.arc_source(arc));
 
-  Pkt& packet = packets_[pkt];
+  Pkt& packet = kernel_.packet(pkt);
   const int dim = cube_.arc_dimension(arc);
   packet.cur = flip_dimension(packet.cur, dim);
   ++packet.hop_count;
   if (packet.cur == packet.dest) {
-    deliver(now, pkt);
+    kernel_.deliver(now, pkt, packet.gen_time,
+                    static_cast<double>(packet.hop_count));
     return;
   }
   // Under the paper's increasing-index order the next required dimension is
@@ -164,96 +123,12 @@ void GreedyHypercubeSim::on_arc_done(double now, ArcId arc) {
   const int next_dim = next_dimension(packet);
   RS_DASSERT(config_.dimension_order != DimensionOrder::kIncreasing ||
              next_dim > dim);
-  enqueue(now, cube_.arc_index(packet.cur, next_dim), pkt, /*external=*/false);
+  kernel_.enqueue(now, cube_.arc_index(packet.cur, next_dim), pkt,
+                  /*external=*/false, packet.cur);
 }
 
 void GreedyHypercubeSim::run(double warmup, double horizon) {
-  RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
-  warmup_ = warmup;
-  window_ = horizon - warmup;
-
-  // Seed the traffic process.
-  if (config_.trace != nullptr) {
-    trace_pos_ = 0;
-    if (!config_.trace->packets.empty()) {
-      events_.push(config_.trace->packets.front().time, Ev{EventKind::kBirth, 0});
-    }
-  } else if (config_.slot > 0.0) {
-    events_.push(0.0, Ev{EventKind::kSlot, 0});
-  } else {
-    next_birth_time_ = sample_exponential(rng_, config_.lambda *
-                                                    static_cast<double>(cube_.num_nodes()));
-    events_.push(next_birth_time_, Ev{EventKind::kBirth, 0});
-  }
-
-  bool stats_reset = warmup == 0.0;
-  while (!events_.empty() && events_.top().time <= horizon) {
-    const auto event = events_.pop();
-    const double t = event.time;
-    if (!stats_reset && t >= warmup) {
-      population_.reset(warmup);
-      for (auto& occ : node_occupancy_) occ.reset(warmup);
-      stats_reset = true;
-    }
-
-    switch (event.payload.kind) {
-      case EventKind::kBirth: {
-        if (config_.trace != nullptr) {
-          const auto& traced = config_.trace->packets[trace_pos_++];
-          inject(t, traced.origin, traced.destination);
-          if (trace_pos_ < config_.trace->packets.size()) {
-            events_.push(config_.trace->packets[trace_pos_].time,
-                         Ev{EventKind::kBirth, 0});
-          }
-        } else {
-          const auto origin = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
-          const NodeId dest = config_.destinations.sample(rng_, origin);
-          inject(t, origin, dest);
-          next_birth_time_ =
-              t + sample_exponential(rng_, config_.lambda *
-                                               static_cast<double>(cube_.num_nodes()));
-          events_.push(next_birth_time_, Ev{EventKind::kBirth, 0});
-        }
-        break;
-      }
-      case EventKind::kSlot: {
-        const auto batch_mean = config_.lambda *
-                                static_cast<double>(cube_.num_nodes()) * config_.slot;
-        const std::uint64_t batch = sample_poisson(rng_, batch_mean);
-        for (std::uint64_t i = 0; i < batch; ++i) {
-          const auto origin = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
-          inject(t, origin, config_.destinations.sample(rng_, origin));
-        }
-        events_.push(t + config_.slot, Ev{EventKind::kSlot, 0});
-        break;
-      }
-      case EventKind::kArcDone:
-        on_arc_done(t, event.payload.arc);
-        break;
-    }
-  }
-
-  if (!stats_reset) population_.reset(warmup);
-  time_avg_population_ = population_.mean(horizon);
-  peak_population_ = population_.peak();
-  final_population_ = population_.value();
-  throughput_ = window_ > 0.0 ? static_cast<double>(deliveries_window_) / window_ : 0.0;
-  if (config_.track_node_occupancy) {
-    for (std::uint32_t node = 0; node < cube_.num_nodes(); ++node) {
-      node_mean_occupancy_[node] = node_occupancy_[node].mean(horizon);
-      max_node_occupancy_ = std::max(max_node_occupancy_, node_occupancy_[node].peak());
-    }
-  }
-}
-
-LittleCheck GreedyHypercubeSim::little_check() const noexcept {
-  LittleCheck check;
-  check.time_avg_population = time_avg_population_;
-  check.arrival_rate = window_ > 0.0
-                           ? static_cast<double>(arrivals_window_) / window_
-                           : 0.0;
-  check.mean_sojourn = delay_.mean();
-  return check;
+  kernel_.drive(*this, warmup, horizon);
 }
 
 void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
@@ -275,13 +150,16 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
            config.seed = seed;
            config.slot = s.tau;
            config.buffer_capacity = s.buffer_capacity;
-           PacketTrace trace;
+           // Thread-local so the cached sim's trace pointer stays valid for
+           // the sim's whole lifetime (and the buffers are reused per rep).
+           thread_local PacketTrace trace;
            if (s.workload == "trace") {
              trace = generate_hypercube_trace(s.d, s.lambda, config.destinations,
                                               window.horizon, seed);
              config.trace = &trace;
            }
-           GreedyHypercubeSim sim(config);
+           GreedyHypercubeSim& sim =
+               reusable_sim<GreedyHypercubeSim>(std::move(config));
            sim.run(window.warmup, window.horizon);
            return std::vector<double>{
                sim.delay().mean(),          sim.time_avg_population(),

@@ -1,7 +1,7 @@
 #pragma once
 /// \file greedy_hypercube.hpp
 /// \brief Packet-level simulator of the paper's greedy routing scheme on the
-///        d-cube (§3).
+///        d-cube (§3), built on the shared packet kernel.
 ///
 /// Every packet crosses the hypercube dimensions it needs in increasing
 /// index order, advancing as fast as possible (no idling) with FIFO
@@ -11,6 +11,10 @@
 /// queueing/levelled_network.hpp + core/equivalence.hpp, and the test suite
 /// checks that the two agree.
 ///
+/// The event set, arc queues, arrival process and measurement accounting
+/// live in des/packet_kernel.hpp; this class contributes the greedy routing
+/// decision (next_dimension) and the dimension-order ablations.
+///
 /// Three arrival modes:
 ///   - continuous (default): per-node Poisson(lambda), simulated exactly via
 ///     the superposition property;
@@ -19,29 +23,18 @@
 ///   - trace replay: a fixed PacketTrace, for coupled scheme comparisons.
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
-#include "des/event_queue.hpp"
+#include "des/packet_kernel.hpp"
 #include "stats/histogram.hpp"
 #include "stats/little.hpp"
 #include "stats/summary.hpp"
-#include "stats/timeavg.hpp"
 #include "topology/hypercube.hpp"
-#include "util/rng.hpp"
 #include "workload/destination.hpp"
 #include "workload/trace.hpp"
 
 namespace routesim {
-
-/// Which waiting packet an arc serves next.  The paper's scheme is FIFO
-/// ("priority is given to the one that arrived first", §3); LIFO and random
-/// are ablations.  All three are work-conserving and blind to service
-/// times, so the *mean* delay is unchanged — only the delay distribution's
-/// shape (variance, tails) differs.  The ablation bench verifies exactly
-/// this insensitivity.
-enum class ArcServiceOrder : std::uint8_t { kFifo, kLifo, kRandom };
 
 /// The order in which a packet crosses its required dimensions.  The paper
 /// fixes increasing index order (the canonical path), which makes the
@@ -75,15 +68,13 @@ struct GreedyHypercubeConfig {
   std::uint32_t buffer_capacity = 0;
 };
 
-/// Per-arc counters over the measurement window.
-struct ArcCounters {
-  std::uint64_t external_arrivals = 0;  ///< packets starting their route here
-  std::uint64_t total_arrivals = 0;     ///< all packets entering the queue
-};
-
 class GreedyHypercubeSim {
  public:
   explicit GreedyHypercubeSim(GreedyHypercubeConfig config);
+
+  /// Reconfigures for another replication, reusing kernel storage instead
+  /// of reallocating (results are identical to a fresh construction).
+  void reset(GreedyHypercubeConfig config);
 
   /// Simulates [0, horizon]; statistics cover [warmup, horizon].
   void run(double warmup, double horizon);
@@ -93,51 +84,70 @@ class GreedyHypercubeSim {
   /// Per-packet delay (generation to delivery) for packets generated in the
   /// window and delivered by the horizon.  Packets whose destination equals
   /// their origin are delivered instantly with delay 0, as in the paper.
-  [[nodiscard]] const Summary& delay() const noexcept { return delay_; }
+  [[nodiscard]] const Summary& delay() const noexcept { return kernel_.stats().delay(); }
 
   /// Number of arcs traversed per delivered packet (Hamming distance).
-  [[nodiscard]] const Summary& hops() const noexcept { return hops_; }
+  [[nodiscard]] const Summary& hops() const noexcept { return kernel_.stats().hops(); }
 
-  [[nodiscard]] double time_avg_population() const noexcept { return time_avg_population_; }
-  [[nodiscard]] double peak_population() const noexcept { return peak_population_; }
-  [[nodiscard]] double final_population() const noexcept { return final_population_; }
-  [[nodiscard]] std::uint64_t deliveries_in_window() const noexcept { return deliveries_window_; }
-  [[nodiscard]] std::uint64_t arrivals_in_window() const noexcept { return arrivals_window_; }
-  [[nodiscard]] double throughput() const noexcept { return throughput_; }
+  [[nodiscard]] double time_avg_population() const noexcept {
+    return kernel_.stats().time_avg_population();
+  }
+  [[nodiscard]] double peak_population() const noexcept {
+    return kernel_.stats().peak_population();
+  }
+  [[nodiscard]] double final_population() const noexcept {
+    return kernel_.stats().final_population();
+  }
+  [[nodiscard]] std::uint64_t deliveries_in_window() const noexcept {
+    return kernel_.stats().deliveries_in_window();
+  }
+  [[nodiscard]] std::uint64_t arrivals_in_window() const noexcept {
+    return kernel_.stats().arrivals_in_window();
+  }
+  [[nodiscard]] double throughput() const noexcept {
+    return kernel_.stats().throughput();
+  }
 
   /// Little's-law self check over the window.
-  [[nodiscard]] LittleCheck little_check() const noexcept;
+  [[nodiscard]] LittleCheck little_check() const noexcept {
+    return kernel_.stats().little_check();
+  }
 
   [[nodiscard]] const std::vector<ArcCounters>& arc_counters() const noexcept {
-    return arc_counters_;
+    return kernel_.arc_counters();
   }
 
   /// Mean occupancy (packets queued on out-arcs) of each node, if tracked.
   [[nodiscard]] const std::vector<double>& node_mean_occupancy() const noexcept {
-    return node_mean_occupancy_;
+    return kernel_.stats().occupancy_means();
   }
 
   /// Largest instantaneous per-node occupancy seen in the window, if tracked.
-  [[nodiscard]] double max_node_occupancy() const noexcept { return max_node_occupancy_; }
+  [[nodiscard]] double max_node_occupancy() const noexcept {
+    return kernel_.stats().max_occupancy();
+  }
 
   [[nodiscard]] const std::optional<Histogram>& delay_histogram() const noexcept {
-    return delay_histogram_;
+    return kernel_.stats().delay_histogram();
   }
 
   /// Packets dropped at full buffers within the window (finite-buffer mode).
-  [[nodiscard]] std::uint64_t drops_in_window() const noexcept { return drops_window_; }
+  [[nodiscard]] std::uint64_t drops_in_window() const noexcept {
+    return kernel_.stats().drops_in_window();
+  }
 
   [[nodiscard]] const Hypercube& topology() const noexcept { return cube_; }
-  [[nodiscard]] double measurement_window() const noexcept { return window_; }
+  [[nodiscard]] double measurement_window() const noexcept {
+    return kernel_.stats().measurement_window();
+  }
+
+  // --- kernel hooks (called by PacketKernel::drive) ---
+
+  void on_spawn(double now);
+  void on_traced(double now, NodeId origin, NodeId dest);
+  void on_arc_done(double now, ArcId arc);
 
  private:
-  enum class EventKind : std::uint8_t { kBirth, kSlot, kArcDone };
-
-  struct Ev {
-    EventKind kind{};
-    ArcId arc = 0;
-  };
-
   struct Pkt {
     NodeId cur = 0;
     NodeId dest = 0;
@@ -145,46 +155,13 @@ class GreedyHypercubeSim {
     std::uint16_t hop_count = 0;
   };
 
-  std::uint32_t allocate_packet(double gen_time, NodeId origin, NodeId dest);
+  void configure_kernel();
   void inject(double now, NodeId origin, NodeId dest);
-  void enqueue(double now, ArcId arc, std::uint32_t pkt, bool external);
-  void deliver(double now, std::uint32_t pkt);
-  void drop(double now, std::uint32_t pkt);
-  void on_arc_done(double now, ArcId arc);
-  void node_occupancy_add(double now, NodeId node, double delta);
   [[nodiscard]] int next_dimension(const Pkt& packet);
 
   GreedyHypercubeConfig config_;
   Hypercube cube_;
-  Rng rng_;
-
-  std::vector<std::deque<std::uint32_t>> arc_queue_;
-  std::vector<Pkt> packets_;
-  std::vector<std::uint32_t> free_packets_;
-  EventQueue<Ev> events_;
-
-  // traffic state
-  double next_birth_time_ = 0.0;
-  std::size_t trace_pos_ = 0;
-
-  // statistics
-  double warmup_ = 0.0;
-  double window_ = 0.0;
-  Summary delay_;
-  Summary hops_;
-  TimeWeighted population_;
-  std::vector<ArcCounters> arc_counters_;
-  std::vector<TimeWeighted> node_occupancy_;
-  std::vector<double> node_mean_occupancy_;
-  double max_node_occupancy_ = 0.0;
-  std::optional<Histogram> delay_histogram_;
-  std::uint64_t deliveries_window_ = 0;
-  std::uint64_t arrivals_window_ = 0;
-  std::uint64_t drops_window_ = 0;
-  double time_avg_population_ = 0.0;
-  double peak_population_ = 0.0;
-  double final_population_ = 0.0;
-  double throughput_ = 0.0;
+  PacketKernel<Pkt> kernel_;
 };
 
 class SchemeRegistry;

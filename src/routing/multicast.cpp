@@ -3,6 +3,7 @@
 #include "core/registry.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
@@ -10,53 +11,63 @@
 namespace routesim {
 
 GreedyMulticastSim::GreedyMulticastSim(MulticastConfig config)
-    : config_(std::move(config)),
-      cube_(config_.d),
-      rng_(derive_stream(config_.seed, 0x3CA5)) {
+    : config_(std::move(config)), cube_(config_.d) {
+  configure_kernel();
+}
+
+void GreedyMulticastSim::reset(MulticastConfig config) {
+  config_ = std::move(config);
+  cube_ = Hypercube(config_.d);
+  configure_kernel();
+}
+
+void GreedyMulticastSim::configure_kernel() {
   RS_EXPECTS(config_.lambda > 0.0);
   RS_EXPECTS_MSG(config_.fanout >= 1 &&
                      static_cast<std::uint64_t>(config_.fanout) <= cube_.num_nodes(),
                  "fanout must be between 1 and 2^d");
-  arc_queue_.resize(cube_.num_arcs());
+
+  PacketKernelConfig kernel;
+  kernel.num_arcs = cube_.num_arcs();
+  kernel.seed = config_.seed;
+  kernel.stream_salt = 0x3CA5;
+  kernel.birth_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
+  kernel.expected_packets =
+      static_cast<std::size_t>(kernel.birth_rate * config_.fanout * config_.d) + 64;
+  kernel_.configure(kernel);
+  packet_pool_.clear();
+  completion_ = Summary{};
+  transmissions_ = Summary{};
+  packets_window_ = 0;
 }
 
+void GreedyMulticastSim::on_spawn(double now) { inject(now); }
+
 void GreedyMulticastSim::inject(double now) {
-  const auto origin = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
+  Rng& rng = kernel_.rng();
+  const auto origin = static_cast<NodeId>(rng.uniform_below(cube_.num_nodes()));
 
   // Sample `fanout` distinct uniform destinations by rejection (fanout is
   // small relative to 2^d in all experiments).
   std::vector<NodeId> dests;
   dests.reserve(static_cast<std::size_t>(config_.fanout));
   while (dests.size() < static_cast<std::size_t>(config_.fanout)) {
-    const auto candidate = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
+    const auto candidate = static_cast<NodeId>(rng.uniform_below(cube_.num_nodes()));
     if (std::find(dests.begin(), dests.end(), candidate) == dests.end()) {
       dests.push_back(candidate);
     }
   }
 
-  std::uint32_t packet;
-  if (!free_packets_.empty()) {
-    packet = free_packets_.back();
-    free_packets_.pop_back();
-  } else {
-    packet = static_cast<std::uint32_t>(packets_.size());
-    packets_.emplace_back();
-  }
-  packets_[packet] =
-      PacketState{now, config_.fanout, 0, now, now >= warmup_};
-  if (now >= warmup_) ++packets_window_;
+  const std::uint32_t packet = packet_pool_.allocate();
+  const double warmup = kernel_.stats().warmup();
+  packet_pool_[packet] =
+      PacketState{now, config_.fanout, 0, now, now >= warmup};
+  if (now >= warmup) ++packets_window_;
 
   const auto make_copy = [&](std::vector<NodeId> subset) {
-    std::uint32_t copy;
-    if (!free_copies_.empty()) {
-      copy = free_copies_.back();
-      free_copies_.pop_back();
-    } else {
-      copy = static_cast<std::uint32_t>(copies_.size());
-      copies_.emplace_back();
-    }
-    copies_[copy] = Copy{origin, std::move(subset), packet};
-    population_.add(now, +1.0);
+    const std::uint32_t copy = kernel_.allocate_packet();
+    kernel_.packet(copy) = Copy{origin, std::move(subset), packet};
+    kernel_.stats().population().add(now, +1.0);
     process_at_node(now, copy);
   };
 
@@ -68,35 +79,34 @@ void GreedyMulticastSim::inject(double now) {
 }
 
 void GreedyMulticastSim::finish_packet_if_done(double /*now*/, std::uint32_t packet) {
-  PacketState& state = packets_[packet];
+  PacketState& state = packet_pool_[packet];
   if (state.undelivered > 0) return;
   if (state.counted) {
     completion_.add(state.last_delivery - state.gen_time);
     transmissions_.add(static_cast<double>(state.transmissions));
   }
-  free_packets_.push_back(packet);
+  packet_pool_.release(packet);
 }
 
 void GreedyMulticastSim::process_at_node(double now, std::uint32_t copy_index) {
   // Move the copy's state out first: forwarding below may allocate new
-  // copies (invalidating references into copies_).
-  const NodeId cur = copies_[copy_index].cur;
-  const std::uint32_t packet = copies_[copy_index].packet;
-  std::vector<NodeId> dests = std::move(copies_[copy_index].dests);
-  PacketState& state = packets_[packet];
+  // copies (invalidating references into the kernel's copy pool).
+  const NodeId cur = kernel_.packet(copy_index).cur;
+  const std::uint32_t packet = kernel_.packet(copy_index).packet;
+  std::vector<NodeId> dests = std::move(kernel_.packet(copy_index).dests);
+  PacketState& state = packet_pool_[packet];
 
   // Deliver locally if this node is one of the copy's destinations.
   const auto here = std::find(dests.begin(), dests.end(), cur);
   if (here != dests.end()) {
-    if (state.counted) delay_.add(now - state.gen_time);
+    if (state.counted) kernel_.stats().delay().add(now - state.gen_time);
     state.last_delivery = now;
     --state.undelivered;
     dests.erase(here);
   }
 
   if (dests.empty()) {
-    population_.add(now, -1.0);
-    free_copies_.push_back(copy_index);
+    kernel_.retire(now, copy_index);
     finish_packet_if_done(now, packet);
     return;
   }
@@ -117,64 +127,25 @@ void GreedyMulticastSim::process_at_node(double now, std::uint32_t copy_index) {
 
   // Forward one copy per branch; the first branch reuses this copy object.
   for (std::size_t b = 0; b < branches.size(); ++b) {
-    std::uint32_t forwarded;
-    if (b == 0) {
-      forwarded = copy_index;
-    } else if (!free_copies_.empty()) {
-      forwarded = free_copies_.back();
-      free_copies_.pop_back();
-    } else {
-      forwarded = static_cast<std::uint32_t>(copies_.size());
-      copies_.emplace_back();
-    }
-    copies_[forwarded] = Copy{cur, std::move(branches[b].second), packet};
-    if (b > 0) population_.add(now, +1.0);
-
-    const ArcId arc = cube_.arc_index(cur, branches[b].first);
-    auto& queue = arc_queue_[arc];
-    queue.push_back(forwarded);
-    if (queue.size() == 1) {
-      events_.push(now + 1.0, Ev{false, arc});
-    }
+    const std::uint32_t forwarded = b == 0 ? copy_index : kernel_.allocate_packet();
+    kernel_.packet(forwarded) = Copy{cur, std::move(branches[b].second), packet};
+    if (b > 0) kernel_.stats().population().add(now, +1.0);
+    kernel_.enqueue(now, cube_.arc_index(cur, branches[b].first), forwarded,
+                    /*external=*/false);
   }
 }
 
+void GreedyMulticastSim::on_arc_done(double now, ArcId arc) {
+  const std::uint32_t copy_index = kernel_.finish_arc(now, arc);
+  Copy& copy = kernel_.packet(copy_index);
+  copy.cur = flip_dimension(copy.cur, cube_.arc_dimension(arc));
+  PacketState& state = packet_pool_[copy.packet];
+  if (state.counted) ++state.transmissions;
+  process_at_node(now, copy_index);
+}
+
 void GreedyMulticastSim::run(double warmup, double horizon) {
-  RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
-  warmup_ = warmup;
-
-  const double total_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
-  events_.push(sample_exponential(rng_, total_rate), Ev{true, 0});
-
-  bool stats_reset = warmup == 0.0;
-  while (!events_.empty() && events_.top().time <= horizon) {
-    const auto event = events_.pop();
-    const double t = event.time;
-    if (!stats_reset && t >= warmup) {
-      population_.reset(warmup);
-      stats_reset = true;
-    }
-    if (event.payload.is_birth) {
-      inject(t);
-      events_.push(t + sample_exponential(rng_, total_rate), Ev{true, 0});
-    } else {
-      const ArcId arc = event.payload.arc;
-      auto& queue = arc_queue_[arc];
-      RS_DASSERT(!queue.empty());
-      const std::uint32_t copy_index = queue.front();
-      queue.pop_front();
-      if (!queue.empty()) events_.push(t + 1.0, Ev{false, arc});
-
-      Copy& copy = copies_[copy_index];
-      copy.cur = flip_dimension(copy.cur, cube_.arc_dimension(arc));
-      PacketState& state = packets_[copy.packet];
-      if (state.counted) ++state.transmissions;
-      process_at_node(t, copy_index);
-    }
-  }
-
-  if (!stats_reset) population_.reset(warmup);
-  time_avg_population_ = population_.mean(horizon);
+  kernel_.drive(*this, warmup, horizon);
 }
 
 void register_multicast_scheme(SchemeRegistry& registry) {
@@ -192,7 +163,7 @@ void register_multicast_scheme(SchemeRegistry& registry) {
            config.fanout = s.fanout;
            config.seed = seed;
            config.unicast_baseline = s.unicast_baseline;
-           GreedyMulticastSim sim(config);
+           GreedyMulticastSim& sim = reusable_sim<GreedyMulticastSim>(config);
            sim.run(window.warmup, window.horizon);
            const double window_length = window.horizon - window.warmup;
            return std::vector<double>{

@@ -3,7 +3,7 @@
 /// \brief Greedy dimension-order multicast — the first generalisation
 ///        suggested in the paper's concluding remarks (§5): "it may be
 ///        assumed that each packet is destined for a different subset of
-///        nodes".
+///        nodes".  Built on the shared packet kernel.
 ///
 /// A packet carries a destination *set*.  At a node y holding destination
 /// set S, the scheme delivers the copy addressed to y (if y in S), splits
@@ -15,16 +15,16 @@
 /// packet uses |tree| <= k * E[H] arcs, strictly fewer than k unicasts
 /// whenever paths share prefixes.
 ///
-/// This simulator measures (a) per-destination delay and (b) the traffic
-/// saving of tree forwarding versus k independent unicast packets.
+/// The kernel's pooled unit here is the *copy* (the object that occupies
+/// arc queues); the logical packets live in a second Pool owned by this
+/// class.  This simulator measures (a) per-destination delay and (b) the
+/// traffic saving of tree forwarding versus k independent unicast packets.
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
-#include "des/event_queue.hpp"
+#include "des/packet_kernel.hpp"
 #include "stats/summary.hpp"
-#include "stats/timeavg.hpp"
 #include "topology/hypercube.hpp"
 #include "util/rng.hpp"
 
@@ -44,11 +44,16 @@ class GreedyMulticastSim {
  public:
   explicit GreedyMulticastSim(MulticastConfig config);
 
+  /// Reconfigures for another replication, reusing kernel storage.
+  void reset(MulticastConfig config);
+
   void run(double warmup, double horizon);
 
   /// Delay from packet generation to the delivery at each destination
   /// (k observations per generated packet).
-  [[nodiscard]] const Summary& delivery_delay() const noexcept { return delay_; }
+  [[nodiscard]] const Summary& delivery_delay() const noexcept {
+    return kernel_.stats().delay();
+  }
 
   /// Delay until the *last* destination of a packet is reached
   /// (the multicast completion time).
@@ -60,12 +65,17 @@ class GreedyMulticastSim {
   }
 
   [[nodiscard]] double time_avg_copies_in_network() const noexcept {
-    return time_avg_population_;
+    return kernel_.stats().time_avg_population();
   }
 
   [[nodiscard]] std::uint64_t packets_in_window() const noexcept {
     return packets_window_;
   }
+
+  // --- kernel hooks (called by PacketKernel::drive) ---
+
+  void on_spawn(double now);
+  void on_arc_done(double now, ArcId arc);
 
  private:
   struct Copy {
@@ -82,33 +92,19 @@ class GreedyMulticastSim {
     bool counted = false;  ///< generated inside the measurement window
   };
 
-  struct Ev {
-    bool is_birth = false;
-    ArcId arc = 0;
-  };
-
+  void configure_kernel();
   void inject(double now);
   void process_at_node(double now, std::uint32_t copy_index);
   void finish_packet_if_done(double now, std::uint32_t packet);
 
   MulticastConfig config_;
   Hypercube cube_;
-  Rng rng_;
+  PacketKernel<Copy> kernel_;
+  Pool<PacketState> packet_pool_;
 
-  std::vector<std::deque<std::uint32_t>> arc_queue_;
-  std::vector<Copy> copies_;
-  std::vector<std::uint32_t> free_copies_;
-  std::vector<PacketState> packets_;
-  std::vector<std::uint32_t> free_packets_;
-  EventQueue<Ev> events_;
-
-  double warmup_ = 0.0;
-  Summary delay_;
   Summary completion_;
   Summary transmissions_;
-  TimeWeighted population_;
   std::uint64_t packets_window_ = 0;
-  double time_avg_population_ = 0.0;
 };
 
 class SchemeRegistry;

@@ -8,37 +8,43 @@
 
 namespace routesim {
 
-PipelinedBaselineSim::PipelinedBaselineSim(PipelinedBaselineConfig config)
-    : config_(std::move(config)),
-      cube_(config_.d),
-      rng_(derive_stream(config_.seed, 0xBA5E)) {
+PipelinedBaselineSim::PipelinedBaselineSim(PipelinedBaselineConfig config) {
+  reset(std::move(config));
+}
+
+void PipelinedBaselineSim::reset(PipelinedBaselineConfig config) {
+  config_ = std::move(config);
   RS_EXPECTS(config_.lambda > 0.0);
   RS_EXPECTS(config_.destinations.dimension() == config_.d);
+  cube_ = Hypercube(config_.d);
+  rng_.reseed(derive_stream(config_.seed, 0xBA5E));
   node_queue_.resize(cube_.num_nodes());
-  const double total_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
-  next_birth_ = sample_exponential(rng_, total_rate);
+  for (auto& queue : node_queue_) queue.clear();
+  round_length_ = backlog_samples_ = Summary{};
+  backlog_ = 0;
+  next_birth_ = sample_exponential(
+      rng_, config_.lambda * static_cast<double>(cube_.num_nodes()));
 }
 
 void PipelinedBaselineSim::generate_until(double t) {
   const double total_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
   while (next_birth_ <= t) {
     const auto origin = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
-    const NodeId dest = config_.destinations.sample(rng_, origin);
-    node_queue_[origin].push_back(Waiting{next_birth_, dest});
+    node_queue_[origin].push_back(
+        Waiting{next_birth_, config_.destinations.sample(rng_, origin)});
     next_birth_ += sample_exponential(rng_, total_rate);
   }
-  gen_clock_ = t;
 }
 
 void PipelinedBaselineSim::run(double warmup, double horizon) {
   RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
+  stats_.begin(warmup, horizon);
   double now = 0.0;
 
   while (now < horizon) {
     generate_until(now);
 
-    // Select one waiting packet per node (§2.3: "each node selects one of
-    // its packets"); record who waits.
+    // Select one waiting packet per node (§2.3); record who waits.
     std::vector<BatchPacket> batch;
     std::vector<double> gen_times;
     batch.reserve(cube_.num_nodes());
@@ -52,20 +58,17 @@ void PipelinedBaselineSim::run(double warmup, double horizon) {
     }
 
     if (batch.empty()) {
-      // Idle until the next packet appears anywhere.
-      now = next_birth_;
+      now = next_birth_;  // idle until the next packet appears anywhere
       continue;
     }
 
     const BatchRoutingResult routed = route_batch_greedy(cube_, batch, now);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (gen_times[i] >= warmup && routed.completion_times[i] <= horizon) {
-        delay_.add(routed.completion_times[i] - gen_times[i]);
-        ++deliveries_window_;
+      if (routed.completion_times[i] <= horizon) {
+        stats_.record_delivery(routed.completion_times[i], gen_times[i], 0.0);
       }
     }
-    const double length = routed.makespan - now;
-    if (length > 0.0) round_length_.add(length);
+    if (routed.makespan > now) round_length_.add(routed.makespan - now);
     now = routed.makespan > now ? routed.makespan : now + 1.0;
 
     if (now >= warmup) {
@@ -75,6 +78,7 @@ void PipelinedBaselineSim::run(double warmup, double horizon) {
     }
   }
 
+  stats_.finalize(warmup, horizon, /*pending_reset=*/false);
   backlog_ = 0;
   for (const auto& queue : node_queue_) backlog_ += queue.size();
 }
@@ -94,17 +98,12 @@ void register_pipelined_baseline_scheme(SchemeRegistry& registry) {
            config.lambda = s.lambda;
            config.destinations = dist;
            config.seed = seed;
-           PipelinedBaselineSim sim(config);
+           PipelinedBaselineSim& sim =
+               reusable_sim<PipelinedBaselineSim>(std::move(config));
            sim.run(window.warmup, window.horizon);
-           const double window_length = window.horizon - window.warmup;
            return std::vector<double>{
-               sim.delay().mean(),
-               sim.backlog_at_rounds().mean(),
-               window_length > 0.0
-                   ? static_cast<double>(sim.deliveries_in_window()) / window_length
-                   : 0.0,
-               0.0,
-               0.0,
+               sim.delay().mean(), sim.backlog_at_rounds().mean(),
+               sim.throughput(), 0.0, 0.0,
                static_cast<double>(sim.backlog()),
                sim.round_length().mean() / static_cast<double>(s.d)};
          };

@@ -14,11 +14,15 @@
 /// greedy scheme's full region rho < 1.  This class measures both the delay
 /// and the empirical round length (the paper's constant R is *measured*,
 /// not assumed).
+///
+/// Round-stepped, so no event set is needed; delay / delivery accounting
+/// goes through the shared KernelStats of des/packet_kernel.hpp.
 
 #include <cstdint>
 #include <deque>
 #include <vector>
 
+#include "des/packet_kernel.hpp"
 #include "stats/summary.hpp"
 #include "topology/hypercube.hpp"
 #include "util/rng.hpp"
@@ -37,13 +41,16 @@ class PipelinedBaselineSim {
  public:
   explicit PipelinedBaselineSim(PipelinedBaselineConfig config);
 
+  /// Reconfigures for another replication, reusing storage.
+  void reset(PipelinedBaselineConfig config);
+
   /// Simulates rounds until the round clock passes `horizon`; delay
   /// statistics cover packets generated in [warmup, horizon].
   void run(double warmup, double horizon);
 
   /// Per-packet delay: generation to delivery (includes waiting through
   /// whole rounds at the origin).
-  [[nodiscard]] const Summary& delay() const noexcept { return delay_; }
+  [[nodiscard]] const Summary& delay() const noexcept { return stats_.delay(); }
 
   /// Length of each executed (non-empty) round; mean/d estimates R.
   [[nodiscard]] const Summary& round_length() const noexcept { return round_length_; }
@@ -53,8 +60,11 @@ class PipelinedBaselineSim {
 
   /// Number of packets delivered within the measurement window.
   [[nodiscard]] std::uint64_t deliveries_in_window() const noexcept {
-    return deliveries_window_;
+    return stats_.deliveries_in_window();
   }
+
+  /// Deliveries per time unit over the measurement window.
+  [[nodiscard]] double throughput() const noexcept { return stats_.throughput(); }
 
   /// Mean backlog sampled at round boundaries after warm-up.
   [[nodiscard]] const Summary& backlog_at_rounds() const noexcept {
@@ -70,17 +80,15 @@ class PipelinedBaselineSim {
   void generate_until(double t);
 
   PipelinedBaselineConfig config_;
-  Hypercube cube_;
+  Hypercube cube_{1};  ///< placeholder; reset() installs the real topology
   Rng rng_;
   std::vector<std::deque<Waiting>> node_queue_;
-  double gen_clock_ = 0.0;
   double next_birth_ = 0.0;
 
-  Summary delay_;
+  KernelStats stats_;
   Summary round_length_;
   Summary backlog_samples_;
   std::uint64_t backlog_ = 0;
-  std::uint64_t deliveries_window_ = 0;
 };
 
 class SchemeRegistry;

@@ -2,40 +2,64 @@
 
 #include "core/registry.hpp"
 
+#include <utility>
+
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
 
 namespace routesim {
 
 ValiantMixingSim::ValiantMixingSim(ValiantMixingConfig config)
-    : config_(std::move(config)),
-      cube_(config_.d),
-      rng_(derive_stream(config_.seed, 0x3A1A)) {
+    : config_(std::move(config)), cube_(config_.d) {
+  configure_kernel();
+}
+
+void ValiantMixingSim::reset(ValiantMixingConfig config) {
+  config_ = std::move(config);
+  cube_ = Hypercube(config_.d);
+  configure_kernel();
+}
+
+void ValiantMixingSim::configure_kernel() {
   RS_EXPECTS(config_.destinations.dimension() == config_.d);
   if (config_.trace == nullptr) RS_EXPECTS(config_.lambda > 0.0);
-  arc_queue_.resize(cube_.num_arcs());
+
+  PacketKernelConfig kernel;
+  kernel.num_arcs = cube_.num_arcs();
+  kernel.seed = config_.seed;
+  kernel.stream_salt = 0x3A1A;
+  kernel.birth_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
+  kernel.trace = config_.trace;
+  // Mixing doubles the path length, so roughly twice the packets in flight.
+  if (config_.trace == nullptr) {
+    kernel.expected_packets =
+        static_cast<std::size_t>(kernel.birth_rate * 2.0 * config_.d) + 64;
+  }
+  kernel_.configure(kernel);
+}
+
+void ValiantMixingSim::on_spawn(double now) {
+  const auto origin = static_cast<NodeId>(kernel_.rng().uniform_below(cube_.num_nodes()));
+  inject(now, origin, config_.destinations.sample(kernel_.rng(), origin));
+}
+
+void ValiantMixingSim::on_traced(double now, NodeId origin, NodeId dest) {
+  inject(now, origin, dest);
 }
 
 void ValiantMixingSim::inject(double now, NodeId origin, NodeId dest) {
-  if (now >= warmup_) ++arrivals_window_;
-  population_.add(now, +1.0);
+  kernel_.count_arrival(now);
+  const std::uint32_t id = kernel_.allocate_packet();
+  const auto intermediate =
+      static_cast<NodeId>(kernel_.rng().uniform_below(cube_.num_nodes()));
+  kernel_.packet(id) = Pkt{origin, intermediate, dest, now, 0, 0};
 
-  std::uint32_t id;
-  if (!free_packets_.empty()) {
-    id = free_packets_.back();
-    free_packets_.pop_back();
-  } else {
-    id = static_cast<std::uint32_t>(packets_.size());
-    packets_.emplace_back();
-  }
-  const auto intermediate = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
-  packets_[id] = Pkt{origin, intermediate, dest, now, 0, 0};
-
+  Pkt& packet = kernel_.packet(id);
   if (origin == intermediate) {
-    packets_[id].phase = 1;
-    packets_[id].target = dest;
+    packet.phase = 1;
+    packet.target = dest;
     if (origin == dest) {
-      deliver(now, id);
+      kernel_.deliver(now, id, now, 0.0);
       return;
     }
   }
@@ -43,50 +67,30 @@ void ValiantMixingSim::inject(double now, NodeId origin, NodeId dest) {
 }
 
 void ValiantMixingSim::enqueue(double now, std::uint32_t pkt) {
-  const Pkt& packet = packets_[pkt];
+  const Pkt& packet = kernel_.packet(pkt);
   const int dim = lowest_dimension(packet.cur ^ packet.target);
   RS_DASSERT(dim >= 1);
-  const ArcId arc = cube_.arc_index(packet.cur, dim);
-  auto& queue = arc_queue_[arc];
-  queue.push_back(pkt);
-  if (queue.size() == 1) {
-    events_.push(now + 1.0, Ev{EventKind::kArcDone, arc});
-  }
-}
-
-void ValiantMixingSim::deliver(double now, std::uint32_t pkt) {
-  const Pkt& packet = packets_[pkt];
-  if (packet.gen_time >= warmup_) {
-    ++deliveries_window_;
-    delay_.add(now - packet.gen_time);
-    hops_.add(static_cast<double>(packet.hop_count));
-  }
-  population_.add(now, -1.0);
-  free_packets_.push_back(pkt);
+  kernel_.enqueue(now, cube_.arc_index(packet.cur, dim), pkt, /*external=*/false);
 }
 
 void ValiantMixingSim::on_arc_done(double now, ArcId arc) {
-  auto& queue = arc_queue_[arc];
-  RS_DASSERT(!queue.empty());
-  const std::uint32_t pkt = queue.front();
-  queue.pop_front();
-  if (!queue.empty()) {
-    events_.push(now + 1.0, Ev{EventKind::kArcDone, arc});
-  }
+  const std::uint32_t pkt = kernel_.finish_arc(now, arc);
 
-  Pkt& packet = packets_[pkt];
+  Pkt& packet = kernel_.packet(pkt);
   packet.cur = flip_dimension(packet.cur, cube_.arc_dimension(arc));
   ++packet.hop_count;
   if (packet.cur == packet.target) {
     if (packet.phase == 1) {
-      deliver(now, pkt);
+      kernel_.deliver(now, pkt, packet.gen_time,
+                      static_cast<double>(packet.hop_count));
       return;
     }
     // Reached the random intermediate node: start phase 2 from dimension 1.
     packet.phase = 1;
     packet.target = packet.final_dest;
     if (packet.cur == packet.target) {
-      deliver(now, pkt);
+      kernel_.deliver(now, pkt, packet.gen_time,
+                      static_cast<double>(packet.hop_count));
       return;
     }
   }
@@ -94,60 +98,7 @@ void ValiantMixingSim::on_arc_done(double now, ArcId arc) {
 }
 
 void ValiantMixingSim::run(double warmup, double horizon) {
-  RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
-  warmup_ = warmup;
-  window_ = horizon - warmup;
-
-  if (config_.trace != nullptr) {
-    trace_pos_ = 0;
-    if (!config_.trace->packets.empty()) {
-      events_.push(config_.trace->packets.front().time, Ev{EventKind::kBirth, 0});
-    }
-  } else {
-    const double total_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
-    events_.push(sample_exponential(rng_, total_rate), Ev{EventKind::kBirth, 0});
-  }
-
-  bool stats_reset = warmup == 0.0;
-  while (!events_.empty() && events_.top().time <= horizon) {
-    const auto event = events_.pop();
-    const double t = event.time;
-    if (!stats_reset && t >= warmup) {
-      population_.reset(warmup);
-      stats_reset = true;
-    }
-    if (event.payload.kind == EventKind::kBirth) {
-      if (config_.trace != nullptr) {
-        const auto& traced = config_.trace->packets[trace_pos_++];
-        inject(t, traced.origin, traced.destination);
-        if (trace_pos_ < config_.trace->packets.size()) {
-          events_.push(config_.trace->packets[trace_pos_].time,
-                       Ev{EventKind::kBirth, 0});
-        }
-      } else {
-        const auto origin = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
-        inject(t, origin, config_.destinations.sample(rng_, origin));
-        const double total_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
-        events_.push(t + sample_exponential(rng_, total_rate), Ev{EventKind::kBirth, 0});
-      }
-    } else {
-      on_arc_done(t, event.payload.arc);
-    }
-  }
-
-  if (!stats_reset) population_.reset(warmup);
-  time_avg_population_ = population_.mean(horizon);
-  final_population_ = population_.value();
-  throughput_ = window_ > 0.0 ? static_cast<double>(deliveries_window_) / window_ : 0.0;
-}
-
-LittleCheck ValiantMixingSim::little_check() const noexcept {
-  LittleCheck check;
-  check.time_avg_population = time_avg_population_;
-  check.arrival_rate =
-      window_ > 0.0 ? static_cast<double>(arrivals_window_) / window_ : 0.0;
-  check.mean_sojourn = delay_.mean();
-  return check;
+  kernel_.drive(*this, warmup, horizon);
 }
 
 void register_valiant_mixing_scheme(SchemeRegistry& registry) {
@@ -165,13 +116,16 @@ void register_valiant_mixing_scheme(SchemeRegistry& registry) {
            config.lambda = s.lambda;
            config.destinations = dist;
            config.seed = seed;
-           PacketTrace trace;
+           // Thread-local so the cached sim's trace pointer stays valid for
+           // the sim's whole lifetime (and the buffers are reused per rep).
+           thread_local PacketTrace trace;
            if (s.workload == "trace") {
              trace = generate_hypercube_trace(s.d, s.lambda, config.destinations,
                                               window.horizon, seed);
              config.trace = &trace;
            }
-           ValiantMixingSim sim(config);
+           ValiantMixingSim& sim =
+               reusable_sim<ValiantMixingSim>(std::move(config));
            sim.run(window.warmup, window.horizon);
            return std::vector<double>{
                sim.delay().mean(),          sim.time_avg_population(),

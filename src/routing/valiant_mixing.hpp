@@ -1,7 +1,7 @@
 #pragma once
 /// \file valiant_mixing.hpp
 /// \brief Two-phase "mixing" routing (§5, concluding remarks; [Val82],
-///        [VaB81]).
+///        [VaB81]), built on the shared packet kernel.
 ///
 /// Each packet is first routed greedily (increasing index order) to a
 /// uniformly random intermediate node, and from there — again greedily,
@@ -9,21 +9,18 @@
 /// that such mixing can improve delay under adversarial destination
 /// distributions at the price of a smaller maximum sustainable load (every
 /// packet now crosses about d/2 extra arcs).  This simulator quantifies
-/// both effects; it shares the arc-queue mechanics of GreedyHypercubeSim
+/// both effects; it runs on the same packet kernel as GreedyHypercubeSim
 /// but the network is no longer levelled (dimensions are revisited in the
 /// second phase), so none of the levelled-network theory applies — which
 /// is exactly the point of the comparison.
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
-#include "des/event_queue.hpp"
+#include "des/packet_kernel.hpp"
 #include "stats/little.hpp"
 #include "stats/summary.hpp"
-#include "stats/timeavg.hpp"
 #include "topology/hypercube.hpp"
-#include "util/rng.hpp"
 #include "workload/destination.hpp"
 #include "workload/trace.hpp"
 
@@ -41,24 +38,36 @@ class ValiantMixingSim {
  public:
   explicit ValiantMixingSim(ValiantMixingConfig config);
 
+  /// Reconfigures for another replication, reusing kernel storage.
+  void reset(ValiantMixingConfig config);
+
   void run(double warmup, double horizon);
 
-  [[nodiscard]] const Summary& delay() const noexcept { return delay_; }
-  [[nodiscard]] const Summary& hops() const noexcept { return hops_; }
-  [[nodiscard]] double time_avg_population() const noexcept { return time_avg_population_; }
-  [[nodiscard]] double final_population() const noexcept { return final_population_; }
-  [[nodiscard]] double throughput() const noexcept { return throughput_; }
-  [[nodiscard]] std::uint64_t arrivals_in_window() const noexcept { return arrivals_window_; }
-  [[nodiscard]] LittleCheck little_check() const noexcept;
+  [[nodiscard]] const Summary& delay() const noexcept { return kernel_.stats().delay(); }
+  [[nodiscard]] const Summary& hops() const noexcept { return kernel_.stats().hops(); }
+  [[nodiscard]] double time_avg_population() const noexcept {
+    return kernel_.stats().time_avg_population();
+  }
+  [[nodiscard]] double final_population() const noexcept {
+    return kernel_.stats().final_population();
+  }
+  [[nodiscard]] double throughput() const noexcept {
+    return kernel_.stats().throughput();
+  }
+  [[nodiscard]] std::uint64_t arrivals_in_window() const noexcept {
+    return kernel_.stats().arrivals_in_window();
+  }
+  [[nodiscard]] LittleCheck little_check() const noexcept {
+    return kernel_.stats().little_check();
+  }
+
+  // --- kernel hooks (called by PacketKernel::drive) ---
+
+  void on_spawn(double now);
+  void on_traced(double now, NodeId origin, NodeId dest);
+  void on_arc_done(double now, ArcId arc);
 
  private:
-  enum class EventKind : std::uint8_t { kBirth, kArcDone };
-
-  struct Ev {
-    EventKind kind{};
-    ArcId arc = 0;
-  };
-
   struct Pkt {
     NodeId cur = 0;
     NodeId target = 0;  ///< current phase's goal (intermediate, then final)
@@ -68,30 +77,13 @@ class ValiantMixingSim {
     std::uint8_t phase = 0;  ///< 0: toward intermediate; 1: toward destination
   };
 
+  void configure_kernel();
   void inject(double now, NodeId origin, NodeId dest);
   void enqueue(double now, std::uint32_t pkt);
-  void deliver(double now, std::uint32_t pkt);
-  void on_arc_done(double now, ArcId arc);
 
   ValiantMixingConfig config_;
   Hypercube cube_;
-  Rng rng_;
-  std::vector<std::deque<std::uint32_t>> arc_queue_;
-  std::vector<Pkt> packets_;
-  std::vector<std::uint32_t> free_packets_;
-  EventQueue<Ev> events_;
-  std::size_t trace_pos_ = 0;
-
-  double warmup_ = 0.0;
-  double window_ = 0.0;
-  Summary delay_;
-  Summary hops_;
-  TimeWeighted population_;
-  std::uint64_t deliveries_window_ = 0;
-  std::uint64_t arrivals_window_ = 0;
-  double time_avg_population_ = 0.0;
-  double final_population_ = 0.0;
-  double throughput_ = 0.0;
+  PacketKernel<Pkt> kernel_;
 };
 
 class SchemeRegistry;

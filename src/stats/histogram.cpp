@@ -1,5 +1,6 @@
 #include "stats/histogram.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/assert.hpp"
@@ -10,6 +11,13 @@ Histogram::Histogram(double lo, double bin_width, std::size_t num_bins)
     : lo_(lo), width_(bin_width), bins_(num_bins, 0) {
   RS_EXPECTS(bin_width > 0.0);
   RS_EXPECTS(num_bins >= 1);
+}
+
+void Histogram::clear() noexcept {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  underflow_ = 0;
+  overflow_ = 0;
+  total_ = 0;
 }
 
 void Histogram::add(double x) noexcept {

@@ -18,6 +18,9 @@ class Histogram {
 
   void add(double x) noexcept;
 
+  /// Zeroes every bin, keeping the shape and storage.
+  void clear() noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
   [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
@@ -28,6 +31,9 @@ class Histogram {
   [[nodiscard]] double bin_lower(std::size_t i) const noexcept {
     return lo_ + static_cast<double>(i) * width_;
   }
+
+  [[nodiscard]] double lower_bound() const noexcept { return lo_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
 
   /// Empirical P[X > x] using bin upper edges (conservative for tails).
   [[nodiscard]] double tail_probability(double x) const noexcept;

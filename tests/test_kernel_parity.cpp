@@ -1,0 +1,301 @@
+// Cross-scheme parity suite for the shared packet kernel.
+//
+// Every value below was captured from the simulators *before* they were
+// rebased onto des/packet_kernel.hpp (tools/capture_parity.cpp, run at the
+// pre-refactor commit) and is written as a hexadecimal float literal, so
+// the comparison is exact: the kernel must reproduce the original event
+// order, RNG consumption order and floating-point arithmetic bit for bit.
+// Any change to the kernel's event set, arc queues, arrival process or
+// statistics that alters results — however slightly — fails here.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/equivalence.hpp"
+#include "queueing/levelled_network.hpp"
+#include "routing/deflection.hpp"
+#include "routing/greedy_butterfly.hpp"
+#include "routing/greedy_hypercube.hpp"
+#include "routing/multicast.hpp"
+#include "routing/pipelined_baseline.hpp"
+#include "routing/valiant_mixing.hpp"
+#include "workload/trace.hpp"
+
+namespace routesim {
+namespace {
+
+void expect_exact(const std::vector<double>& actual,
+                  const std::vector<double>& pinned) {
+  ASSERT_EQ(actual.size(), pinned.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i], pinned[i]) << "metric index " << i;
+  }
+}
+
+TEST(KernelParity, HypercubeContinuousWithOccupancyAndHistogram) {
+  GreedyHypercubeConfig config;
+  config.d = 6;
+  config.lambda = 1.0;
+  config.destinations = DestinationDistribution::uniform(6);
+  config.seed = 42;
+  config.track_node_occupancy = true;
+  config.track_delay_histogram = true;
+  GreedyHypercubeSim sim(config);
+  sim.run(50.0, 550.0);
+  expect_exact(
+      {sim.delay().mean(), sim.delay().max(), sim.hops().mean(),
+       sim.time_avg_population(), sim.peak_population(), sim.final_population(),
+       static_cast<double>(sim.deliveries_in_window()),
+       static_cast<double>(sim.arrivals_in_window()), sim.throughput(),
+       sim.little_check().relative_error(),
+       static_cast<double>(sim.arc_counters()[3].total_arrivals),
+       static_cast<double>(sim.arc_counters()[3].external_arrivals),
+       sim.node_mean_occupancy()[5], sim.max_node_occupancy(),
+       static_cast<double>(sim.delay_histogram()->bin_count(4)),
+       sim.delay_histogram()->quantile(0.9)},
+      {0x1.0c056af905f04p+2, 0x1.61f6bf533987p+4, 0x1.7ed650aa79378p+1,
+       0x1.0d5c078f36224p+8, 0x1.5p+8, 0x1.2ap+8, 0x1.f11p+14, 0x1.f5b8p+14,
+       0x1.fcfdf3b645a1dp+5, 0x1.95d562f44e424p-10, 0x1.aep+7, 0x1.aep+7,
+       0x1.fe0446a0d94d2p+1, 0x1.ep+3, 0x1.89bp+12, 0x1.bcafeeaded7ap+2});
+}
+
+TEST(KernelParity, HypercubeSlotted) {
+  GreedyHypercubeConfig config;
+  config.d = 5;
+  config.lambda = 0.9;
+  config.destinations = DestinationDistribution::bit_flip(5, 0.4);
+  config.seed = 3;
+  config.slot = 0.5;
+  GreedyHypercubeSim sim(config);
+  sim.run(40.0, 540.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), sim.final_population(),
+       static_cast<double>(sim.deliveries_in_window())},
+      {0x1.3c437449e7e1ep+1, 0x1.fdebd231b667p+0, 0x1.1bbe76c8b4396p+6,
+       0x1.c91eb851eb852p+4, 0x1.0cp+6, 0x1.be68p+13});
+}
+
+TEST(KernelParity, HypercubeTraceReplay) {
+  const auto dist = DestinationDistribution::uniform(5);
+  const PacketTrace trace = generate_hypercube_trace(5, 0.8, dist, 400.0, 21);
+  GreedyHypercubeConfig config;
+  config.d = 5;
+  config.lambda = 0.8;
+  config.destinations = dist;
+  config.seed = 21;
+  config.trace = &trace;
+  GreedyHypercubeSim sim(config);
+  sim.run(30.0, 400.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), static_cast<double>(sim.deliveries_in_window())},
+      {0x1.929c3188bd2c9p+1, 0x1.3ea22856622e5p+1, 0x1.46ee3527959f8p+6,
+       0x1.9b1d0f38bc31dp+4, 0x1.2918p+13});
+}
+
+TEST(KernelParity, HypercubeAblationsLifoRandomOrderFiniteBuffers) {
+  GreedyHypercubeConfig config;
+  config.d = 5;
+  config.lambda = 1.2;
+  config.destinations = DestinationDistribution::uniform(5);
+  config.seed = 8;
+  config.arc_service_order = ArcServiceOrder::kLifo;
+  config.dimension_order = DimensionOrder::kRandomPerHop;
+  config.buffer_capacity = 3;
+  GreedyHypercubeSim sim(config);
+  sim.run(25.0, 525.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), static_cast<double>(sim.drops_in_window()),
+       static_cast<double>(sim.deliveries_in_window())},
+      {0x1.be6b8eba40477p+1, 0x1.3a285d7a285c2p+1, 0x1.fbc3226e1762fp+6,
+       0x1.15a1cac083127p+5, 0x1.a54p+10, 0x1.0f2p+14});
+}
+
+TEST(KernelParity, ButterflyContinuousWithLevelOccupancy) {
+  GreedyButterflyConfig config;
+  config.d = 5;
+  config.lambda = 0.8;
+  config.destinations = DestinationDistribution::bit_flip(5, 0.4);
+  config.seed = 7;
+  config.track_level_occupancy = true;
+  GreedyButterflySim sim(config);
+  sim.run(50.0, 550.0);
+  expect_exact(
+      {sim.delay().mean(), sim.vertical_hops().mean(), sim.time_avg_population(),
+       sim.final_population(),
+       static_cast<double>(sim.deliveries_in_window()),
+       static_cast<double>(sim.arrivals_in_window()), sim.throughput(),
+       sim.little_check().relative_error(),
+       static_cast<double>(sim.arc_counters()[2].total_arrivals),
+       sim.level_mean_occupancy()[1]},
+      {0x1.8a5bd874387e6p+2, 0x1.016f2bb02d3dcp+1, 0x1.365e6a2b5ca5dp+7,
+       0x1.5ap+7, 0x1.83a8p+13, 0x1.891p+13, 0x1.8cf5c28f5c28fp+4,
+       0x1.2a96c18bbda8dp-10, 0x1.c8p+7, 0x1.e9cb4a3f37beep+4});
+}
+
+TEST(KernelParity, ButterflySlotted) {
+  GreedyButterflyConfig config;
+  config.d = 4;
+  config.lambda = 0.7;
+  config.destinations = DestinationDistribution::uniform(4);
+  config.seed = 5;
+  config.slot = 1.0;
+  GreedyButterflySim sim(config);
+  sim.run(20.0, 520.0);
+  expect_exact(
+      {sim.delay().mean(), sim.vertical_hops().mean(), sim.time_avg_population(),
+       sim.throughput(), static_cast<double>(sim.deliveries_in_window())},
+      {0x1.2e75dcc147709p+2, 0x1.01415fb12c26fp+1, 0x1.9bc6a7ef9db23p+5,
+       0x1.59db22d0e5604p+3, 0x1.51cp+12});
+}
+
+TEST(KernelParity, ValiantMixing) {
+  ValiantMixingConfig config;
+  config.d = 6;
+  config.lambda = 0.5;
+  config.destinations = DestinationDistribution::uniform(6);
+  config.seed = 9;
+  ValiantMixingSim sim(config);
+  sim.run(50.0, 550.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.final_population(), sim.throughput(),
+       static_cast<double>(sim.arrivals_in_window()),
+       sim.little_check().relative_error()},
+      {0x1.0bb28f4c05ce2p+3, 0x1.80255ab1c1d0ep+2, 0x1.0cd62adf2be9ep+8,
+       0x1.15p+8, 0x1.f947ae147ae14p+4, 0x1.f618p+13, 0x1.1a89569698a64p-14});
+}
+
+TEST(KernelParity, MulticastTreeAndUnicastBaseline) {
+  MulticastConfig config;
+  config.d = 6;
+  config.lambda = 0.05;
+  config.fanout = 4;
+  config.seed = 11;
+  GreedyMulticastSim tree(config);
+  tree.run(50.0, 550.0);
+  expect_exact(
+      {tree.delivery_delay().mean(), tree.completion_delay().mean(),
+       tree.transmissions_per_packet().mean(), tree.time_avg_copies_in_network(),
+       static_cast<double>(tree.packets_in_window())},
+      {0x1.8c1224f046978p+1, 0x1.1b986495f9009p+2, 0x1.3a0707fd71758p+3,
+       0x1.061165ec63e8cp+5, 0x1.938p+10});
+
+  config.unicast_baseline = true;
+  GreedyMulticastSim unicast(config);
+  unicast.run(50.0, 550.0);
+  expect_exact(
+      {unicast.delivery_delay().mean(), unicast.completion_delay().mean(),
+       unicast.transmissions_per_packet().mean(),
+       unicast.time_avg_copies_in_network(),
+       static_cast<double>(unicast.packets_in_window())},
+      {0x1.d73edbbf4b33dp+1, 0x1.57d69910bae59p+2, 0x1.7fc7c0147455fp+3,
+       0x1.7cfa1767f80f8p+5, 0x1.938p+10});
+}
+
+TEST(KernelParity, Deflection) {
+  DeflectionConfig config;
+  config.d = 6;
+  config.lambda = 0.05;
+  config.destinations = DestinationDistribution::uniform(6);
+  config.seed = 13;
+  DeflectionSim sim(config);
+  sim.run(50, 1050);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.deflection_fraction(),
+       static_cast<double>(sim.injection_backlog()),
+       static_cast<double>(sim.deliveries_in_window())},
+      {0x1.81734f0c54203p+1, 0x1.81734f0c54203p+1, 0x1.450c0ff29780ap-9,
+       0x1.4p+2, 0x1.8d2p+11});
+}
+
+TEST(KernelParity, PipelinedBaseline) {
+  PipelinedBaselineConfig config;
+  config.d = 5;
+  config.lambda = 0.01;
+  config.destinations = DestinationDistribution::uniform(5);
+  config.seed = 17;
+  PipelinedBaselineSim sim(config);
+  sim.run(100.0, 2100.0);
+  expect_exact(
+      {sim.delay().mean(), sim.round_length().mean(),
+       sim.backlog_at_rounds().mean(), static_cast<double>(sim.backlog()),
+       static_cast<double>(sim.deliveries_in_window())},
+      {0x1.cff9a91011616p+1, 0x1.5c7531788e2aep+1, 0x1.b91b91b91b91fp-7,
+       0x0p+0, 0x1.56p+9});
+}
+
+// The levelled network shares the kernel's metric-harvest path (KernelStats),
+// so its outputs are pinned too — under both disciplines of Prop. 11.
+TEST(KernelParity, NetworkQFifoAndPs) {
+  const std::vector<std::vector<double>> pinned = {
+      {0x1.ce673037db013p+1, 0x1.be60eafd915bep+6, 0x1.2ap+7, 0x1.02p+7,
+       0x1.e13p+13, 0x1.e1e8p+13, 0x1.ecbc6a7ef9db2p+4, 0x1.1e7p+13,
+       0x1.90defa78b2d7p-1, 0x1.07p+8},
+      {0x1.4602c9e2805f5p+2, 0x1.3b445e89d6158p+7, 0x1.ap+7, 0x1.6cp+7,
+       0x1.e12p+13, 0x1.e1e8p+13, 0x1.ecac083126e98p+4, 0x1.1c98p+13,
+       0x1.0a0090ba240e8p+0, 0x1.07p+8}};
+  const Discipline disciplines[] = {Discipline::kFifo, Discipline::kPs};
+  for (int which = 0; which < 2; ++which) {
+    auto config = make_hypercube_network_q(5, 1.0, 0.5, disciplines[which], 19);
+    config.track_per_server = true;
+    LevelledNetwork net(config);
+    net.set_checkpoints({100.0, 300.0, 500.0});
+    net.run(50.0, 550.0);
+    expect_exact(
+        {net.delay().mean(), net.time_avg_population(), net.peak_population(),
+         net.final_population(),
+         static_cast<double>(net.departures_in_window()),
+         static_cast<double>(net.arrivals_in_window()), net.throughput(),
+         static_cast<double>(net.checkpoint_departures()[1]),
+         net.server_stats()[2].mean_occupancy,
+         static_cast<double>(net.server_stats()[2].total_arrivals)},
+        pinned[which]);
+  }
+}
+
+// reset() + rerun must reproduce a fresh construction exactly — this is the
+// contract that lets replication workers reuse kernel storage.
+TEST(KernelParity, ResetReusesStorageWithIdenticalResults) {
+  GreedyHypercubeConfig small;
+  small.d = 4;
+  small.lambda = 0.6;
+  small.destinations = DestinationDistribution::uniform(4);
+  small.seed = 101;
+
+  GreedyHypercubeConfig big;
+  big.d = 6;
+  big.lambda = 1.0;
+  big.destinations = DestinationDistribution::uniform(6);
+  big.seed = 42;
+  big.track_node_occupancy = true;
+  big.track_delay_histogram = true;
+
+  // Warm the simulator on a *different* topology first, then reset into the
+  // pinned configuration: results must match the fresh-construction pins.
+  GreedyHypercubeSim sim(small);
+  sim.run(10.0, 200.0);
+  sim.reset(big);
+  sim.run(50.0, 550.0);
+  EXPECT_EQ(sim.delay().mean(), 0x1.0c056af905f04p+2);
+  EXPECT_EQ(sim.time_avg_population(), 0x1.0d5c078f36224p+8);
+  EXPECT_EQ(sim.hops().mean(), 0x1.7ed650aa79378p+1);
+  EXPECT_EQ(static_cast<double>(sim.deliveries_in_window()), 0x1.f11p+14);
+  EXPECT_EQ(sim.node_mean_occupancy()[5], 0x1.fe0446a0d94d2p+1);
+
+  // And back again: reuse in the other direction.
+  GreedyHypercubeSim fresh(small);
+  fresh.run(10.0, 200.0);
+  sim.reset(small);
+  sim.run(10.0, 200.0);
+  EXPECT_EQ(sim.delay().mean(), fresh.delay().mean());
+  EXPECT_EQ(sim.time_avg_population(), fresh.time_avg_population());
+  EXPECT_EQ(static_cast<double>(sim.deliveries_in_window()),
+            static_cast<double>(fresh.deliveries_in_window()));
+}
+
+}  // namespace
+}  // namespace routesim

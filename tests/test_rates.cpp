@@ -113,10 +113,10 @@ TEST(Rates, Prop15StraightAndVerticalRates) {
     for (NodeId row = 0; row < 16; ++row) {
       straight += static_cast<double>(
           sim.arc_counters()[bfly.arc_index(row, level, Butterfly::ArcKind::kStraight)]
-              .arrivals);
+              .total_arrivals);
       vertical += static_cast<double>(
           sim.arc_counters()[bfly.arc_index(row, level, Butterfly::ArcKind::kVertical)]
-              .arrivals);
+              .total_arrivals);
     }
     EXPECT_NEAR(straight / 16.0 / window / (lambda * (1 - p)), 1.0, 0.03)
         << "level " << level;

@@ -151,6 +151,47 @@ TEST(SweepSpec, ParsesRangesAndDefaultStep) {
   EXPECT_THROW((void)SweepSpec::parse("rho=0.1:0.9:0"), ScenarioError);
 }
 
+// Every malformed sweep must fail loudly with a ScenarioError, never
+// degenerate into a silent empty (or endless) sweep.
+TEST(SweepSpec, ParseRejectsEdgeCases) {
+  // start > stop — would otherwise run zero points.
+  EXPECT_THROW((void)SweepSpec::parse("lambda=1.0:0.5"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse("d=10:2:2"), ScenarioError);
+  // zero / negative step — zero never advances, negative walks away.
+  EXPECT_THROW((void)SweepSpec::parse("p=0.1:0.9:0.0"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse("p=0.1:0.9:-0.1"), ScenarioError);
+  // missing colon (or missing '='/key entirely).
+  EXPECT_THROW((void)SweepSpec::parse("tau=0.25"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse("0.1:0.9"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse("=0.1:0.9"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse(""), ScenarioError);
+  // non-numeric pieces.
+  EXPECT_THROW((void)SweepSpec::parse("rho=a:b"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse("rho=0.1:0.9:x"), ScenarioError);
+  // non-finite values: NaN comparisons are all false (a *silent* empty
+  // sweep) and an infinite step never passes stop (an endless one).
+  EXPECT_THROW((void)SweepSpec::parse("rho=nan:0.9"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse("rho=0.1:nan"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse("rho=0.1:0.9:nan"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse("rho=0.1:inf"), ScenarioError);
+  EXPECT_THROW((void)SweepSpec::parse("rho=0.1:0.9:inf"), ScenarioError);
+}
+
+TEST(SweepSpec, SinglePointAndInclusiveStopSweeps) {
+  // start == stop is a valid one-point sweep.
+  const auto single = SweepSpec::parse("rho=0.5:0.5");
+  EXPECT_EQ(single.values().size(), 1u);
+  EXPECT_DOUBLE_EQ(single.values().front(), 0.5);
+  // The stop value is included despite floating-point accumulation.
+  const auto inclusive = SweepSpec::parse("rho=0.1:0.9:0.1");
+  ASSERT_EQ(inclusive.values().size(), 9u);
+  EXPECT_DOUBLE_EQ(inclusive.values().back(), 0.9);
+  // A step larger than the range still yields the start point.
+  const auto coarse = SweepSpec::parse("rho=0.2:0.4:5");
+  ASSERT_EQ(coarse.values().size(), 1u);
+  EXPECT_DOUBLE_EQ(coarse.values().front(), 0.2);
+}
+
 TEST(SweepSpec, ApplySweepValueRoundsIntegerKeys) {
   Scenario scenario;
   apply_sweep_value(scenario, "d", 8.0);

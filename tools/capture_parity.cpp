@@ -1,0 +1,218 @@
+// Maintenance tool (build target: tool_capture_parity): prints hexfloat
+// metric vectors for each packet simulator.  The pinned constants in
+// tests/test_kernel_parity.cpp were produced by running this tool at the
+// last commit *before* the simulators were rebased onto the shared packet
+// kernel; rerun it whenever a deliberate behaviour change requires
+// re-pinning, and diff its output across commits to prove bit parity.
+#include <cstdio>
+#include <vector>
+
+#include "core/equivalence.hpp"
+#include "queueing/levelled_network.hpp"
+#include "routing/deflection.hpp"
+#include "routing/greedy_butterfly.hpp"
+#include "routing/greedy_hypercube.hpp"
+#include "routing/multicast.hpp"
+#include "routing/pipelined_baseline.hpp"
+#include "routing/valiant_mixing.hpp"
+#include "workload/trace.hpp"
+
+using namespace routesim;
+
+namespace {
+void emit(const char* name, const std::vector<double>& values) {
+  std::printf("%s = {", name);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::printf("%s%a", i == 0 ? "" : ", ", values[i]);
+  }
+  std::printf("};\n");
+}
+}  // namespace
+
+int main() {
+  {
+    GreedyHypercubeConfig c;
+    c.d = 6;
+    c.lambda = 1.0;
+    c.destinations = DestinationDistribution::uniform(6);
+    c.seed = 42;
+    c.track_node_occupancy = true;
+    c.track_delay_histogram = true;
+    GreedyHypercubeSim sim(c);
+    sim.run(50.0, 550.0);
+    emit("hypercube_continuous",
+         {sim.delay().mean(), sim.delay().max(), sim.hops().mean(),
+          sim.time_avg_population(), sim.peak_population(),
+          sim.final_population(),
+          static_cast<double>(sim.deliveries_in_window()),
+          static_cast<double>(sim.arrivals_in_window()), sim.throughput(),
+          sim.little_check().relative_error(),
+          static_cast<double>(sim.arc_counters()[3].total_arrivals),
+          static_cast<double>(sim.arc_counters()[3].external_arrivals),
+          sim.node_mean_occupancy()[5], sim.max_node_occupancy(),
+          static_cast<double>(sim.delay_histogram()->bin_count(4)),
+          sim.delay_histogram()->quantile(0.9)});
+  }
+  {
+    GreedyHypercubeConfig c;
+    c.d = 5;
+    c.lambda = 0.9;
+    c.destinations = DestinationDistribution::bit_flip(5, 0.4);
+    c.seed = 3;
+    c.slot = 0.5;
+    GreedyHypercubeSim sim(c);
+    sim.run(40.0, 540.0);
+    emit("hypercube_slotted",
+         {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+          sim.throughput(), sim.final_population(),
+          static_cast<double>(sim.deliveries_in_window())});
+  }
+  {
+    const auto dist = DestinationDistribution::uniform(5);
+    const PacketTrace trace = generate_hypercube_trace(5, 0.8, dist, 400.0, 21);
+    GreedyHypercubeConfig c;
+    c.d = 5;
+    c.lambda = 0.8;
+    c.destinations = dist;
+    c.seed = 21;
+    c.trace = &trace;
+    GreedyHypercubeSim sim(c);
+    sim.run(30.0, 400.0);
+    emit("hypercube_trace",
+         {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+          sim.throughput(), static_cast<double>(sim.deliveries_in_window())});
+  }
+  {
+    GreedyHypercubeConfig c;
+    c.d = 5;
+    c.lambda = 1.2;
+    c.destinations = DestinationDistribution::uniform(5);
+    c.seed = 8;
+    c.arc_service_order = ArcServiceOrder::kLifo;
+    c.dimension_order = DimensionOrder::kRandomPerHop;
+    c.buffer_capacity = 3;
+    GreedyHypercubeSim sim(c);
+    sim.run(25.0, 525.0);
+    emit("hypercube_ablation",
+         {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+          sim.throughput(), static_cast<double>(sim.drops_in_window()),
+          static_cast<double>(sim.deliveries_in_window())});
+  }
+  {
+    GreedyButterflyConfig c;
+    c.d = 5;
+    c.lambda = 0.8;
+    c.destinations = DestinationDistribution::bit_flip(5, 0.4);
+    c.seed = 7;
+    c.track_level_occupancy = true;
+    GreedyButterflySim sim(c);
+    sim.run(50.0, 550.0);
+    emit("butterfly_continuous",
+         {sim.delay().mean(), sim.vertical_hops().mean(),
+          sim.time_avg_population(), sim.final_population(),
+          static_cast<double>(sim.deliveries_in_window()),
+          static_cast<double>(sim.arrivals_in_window()), sim.throughput(),
+          sim.little_check().relative_error(),
+          static_cast<double>(sim.arc_counters()[2].total_arrivals),
+          sim.level_mean_occupancy()[1]});
+  }
+  {
+    GreedyButterflyConfig c;
+    c.d = 4;
+    c.lambda = 0.7;
+    c.destinations = DestinationDistribution::uniform(4);
+    c.seed = 5;
+    c.slot = 1.0;
+    GreedyButterflySim sim(c);
+    sim.run(20.0, 520.0);
+    emit("butterfly_slotted",
+         {sim.delay().mean(), sim.vertical_hops().mean(),
+          sim.time_avg_population(), sim.throughput(),
+          static_cast<double>(sim.deliveries_in_window())});
+  }
+  {
+    ValiantMixingConfig c;
+    c.d = 6;
+    c.lambda = 0.5;
+    c.destinations = DestinationDistribution::uniform(6);
+    c.seed = 9;
+    ValiantMixingSim sim(c);
+    sim.run(50.0, 550.0);
+    emit("valiant",
+         {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+          sim.final_population(), sim.throughput(),
+          static_cast<double>(sim.arrivals_in_window()),
+          sim.little_check().relative_error()});
+  }
+  {
+    MulticastConfig c;
+    c.d = 6;
+    c.lambda = 0.05;
+    c.fanout = 4;
+    c.seed = 11;
+    GreedyMulticastSim sim(c);
+    sim.run(50.0, 550.0);
+    emit("multicast_tree",
+         {sim.delivery_delay().mean(), sim.completion_delay().mean(),
+          sim.transmissions_per_packet().mean(),
+          sim.time_avg_copies_in_network(),
+          static_cast<double>(sim.packets_in_window())});
+  }
+  {
+    MulticastConfig c;
+    c.d = 6;
+    c.lambda = 0.05;
+    c.fanout = 4;
+    c.seed = 11;
+    c.unicast_baseline = true;
+    GreedyMulticastSim sim(c);
+    sim.run(50.0, 550.0);
+    emit("multicast_unicast",
+         {sim.delivery_delay().mean(), sim.completion_delay().mean(),
+          sim.transmissions_per_packet().mean(),
+          sim.time_avg_copies_in_network(),
+          static_cast<double>(sim.packets_in_window())});
+  }
+  {
+    DeflectionConfig c;
+    c.d = 6;
+    c.lambda = 0.05;
+    c.destinations = DestinationDistribution::uniform(6);
+    c.seed = 13;
+    DeflectionSim sim(c);
+    sim.run(50, 1050);
+    emit("deflection",
+         {sim.delay().mean(), sim.hops().mean(), sim.deflection_fraction(),
+          static_cast<double>(sim.injection_backlog()),
+          static_cast<double>(sim.deliveries_in_window())});
+  }
+  {
+    PipelinedBaselineConfig c;
+    c.d = 5;
+    c.lambda = 0.01;
+    c.destinations = DestinationDistribution::uniform(5);
+    c.seed = 17;
+    PipelinedBaselineSim sim(c);
+    sim.run(100.0, 2100.0);
+    emit("pipelined",
+         {sim.delay().mean(), sim.round_length().mean(),
+          sim.backlog_at_rounds().mean(), static_cast<double>(sim.backlog()),
+          static_cast<double>(sim.deliveries_in_window())});
+  }
+  for (const auto discipline : {Discipline::kFifo, Discipline::kPs}) {
+    auto config = make_hypercube_network_q(5, 1.0, 0.5, discipline, 19);
+    config.track_per_server = true;
+    LevelledNetwork net(config);
+    net.set_checkpoints({100.0, 300.0, 500.0});
+    net.run(50.0, 550.0);
+    emit(discipline == Discipline::kFifo ? "network_q_fifo" : "network_q_ps",
+         {net.delay().mean(), net.time_avg_population(),
+          net.peak_population(), net.final_population(),
+          static_cast<double>(net.departures_in_window()),
+          static_cast<double>(net.arrivals_in_window()), net.throughput(),
+          static_cast<double>(net.checkpoint_departures()[1]),
+          net.server_stats()[2].mean_occupancy,
+          static_cast<double>(net.server_stats()[2].total_arrivals)});
+  }
+  return 0;
+}
