@@ -30,6 +30,22 @@ int list_schemes() {
     std::cout << "  " << name << "\n      " << registry.find(name)->summary
               << '\n';
   }
+  std::cout << "\nrecognized --set keys:\n ";
+  for (const auto& key : routesim::Scenario::known_set_keys()) {
+    std::cout << ' ' << key;
+  }
+  std::cout << "\n\nworkloads:\n"
+               "  bit_flip   law (1) with parameter p\n"
+               "  uniform    uniform destinations (p = 1/2)\n"
+               "  general    translation-invariant law (set mask_pmf=@path)\n"
+               "  trace      equal-seed scenarios replay the identical trace\n"
+               "\nfault policies (fault_policy=..., active when fault_rate,\n"
+               "node_fault_rate or fault_mtbf/fault_mttr is set):\n"
+               "  drop         drop packets whose next arc is dead (baseline)\n"
+               "  skip_dim     hypercube: greedy over surviving dimensions,\n"
+               "               random resolved-dimension detour, TTL-bounded\n"
+               "  deflect      hypercube: random surviving out-arc\n"
+               "  twin_detour  butterfly: cross the level on its other arc\n";
   return 0;
 }
 
@@ -39,9 +55,13 @@ int usage(const char* argv0) {
       << " --scenario SCHEME [--set key=value ...] [--sweep key=a:b[:step]]\n"
          "       [--json PATH] [--list]\n\n"
          "keys: d, lambda, rho, p, tau, discipline (fifo|ps), workload\n"
-         "      (bit_flip|uniform|general|trace), fanout, unicast_baseline,\n"
-         "      buffers, warmup, horizon, measure, reps, seed, threads\n"
-         "sweep keys: rho, lambda, p, tau, d, fanout, measure, reps, seed\n";
+         "      (bit_flip|uniform|general|trace), mask_pmf (@path or inline\n"
+         "      CSV), fanout, unicast_baseline, buffers, fault_rate,\n"
+         "      node_fault_rate, fault_mtbf, fault_mttr, fault_policy\n"
+         "      (drop|skip_dim|deflect|twin_detour), ttl, warmup, horizon,\n"
+         "      measure, reps, seed, threads\n"
+         "sweep keys: rho, lambda, p, tau, d, fanout, measure, reps, seed,\n"
+         "      fault_rate, node_fault_rate\n";
   return 2;
 }
 
@@ -81,15 +101,23 @@ int main(int argc, char** argv) {
     scenario_args.insert(scenario_args.end(), settings.begin(), settings.end());
     const routesim::Scenario base = routesim::Scenario::parse(scenario_args);
 
-    benchdrive::Suite suite("routesim_bench", "routesim_bench: " + base.to_string());
+    benchdrive::Suite suite("routesim_bench", "routesim_bench: " + base.to_string(),
+                            {"delivery_ratio", "mean_stretch", "delay_p99"});
+    // The Little's-law self check compares the sojourn of *delivered*
+    // packets against the rate of *all* arrivals, so it only applies when
+    // nothing is dropped by faults.
     if (sweep_text.empty()) {
-      suite.add({base.scheme, base});
+      benchdrive::Case spec{base.scheme, base};
+      spec.check_little = !base.faults_active();
+      suite.add(spec);
     } else {
       const auto sweep = routesim::SweepSpec::parse(sweep_text);
       for (const double value : sweep.values()) {
         routesim::Scenario point = base;
         routesim::apply_sweep_value(point, sweep.key, value);
-        suite.add({sweep.key + "=" + benchtab::fmt(value, 3), point});
+        benchdrive::Case spec{sweep.key + "=" + benchtab::fmt(value, 3), point};
+        spec.check_little = !point.faults_active();
+        suite.add(spec);
       }
     }
     return suite.finish(argc, argv);

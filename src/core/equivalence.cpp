@@ -133,6 +133,7 @@ CompiledScenario compile_network_q(const Scenario& s, Discipline discipline) {
   }
   const double p_eff = s.effective_p();
   CompiledScenario compiled;
+  (void)s.resolved_fault_policy({});  // no fault support: reject knobs
   const Window window = s.resolved_window();
   compiled.replicate = [s, window, discipline, p_eff](std::uint64_t seed, int) {
     LevelledNetwork net(

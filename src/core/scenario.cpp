@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/registry.hpp"
+#include "fault/fault_model.hpp"
 #include "util/assert.hpp"
 
 namespace routesim {
@@ -19,10 +21,28 @@ Window Window::for_load(int d, double rho, double length) {
   return Window{warmup, warmup + length};
 }
 
+namespace {
+
+/// mask_pmf is validated against 2^d when it is *set*, but d can change
+/// afterwards (another --set d=, a d sweep); re-check at every use so the
+/// mismatch surfaces as a ScenarioError, not an internal contract failure.
+void check_mask_pmf_matches_d(const std::vector<double>& mask_pmf, int d) {
+  const auto expected = std::size_t{1} << d;
+  if (mask_pmf.size() != expected) {
+    throw ScenarioError("mask_pmf has " + std::to_string(mask_pmf.size()) +
+                        " entries but d=" + std::to_string(d) + " needs 2^d = " +
+                        std::to_string(expected) +
+                        " (d changed after mask_pmf was set?)");
+  }
+}
+
+}  // namespace
+
 double Scenario::rho() const {
   const auto* info = SchemeRegistry::instance().find(scheme);
   if (info != nullptr && info->load_factor) return info->load_factor(*this);
   if (workload == "general" && !mask_pmf.empty()) {
+    check_mask_pmf_matches_d(mask_pmf, d);
     return bounds::load_factor_general(mask_pmf, d, lambda);
   }
   return lambda * effective_p();
@@ -37,10 +57,44 @@ DestinationDistribution Scenario::make_destinations() const {
     if (mask_pmf.empty()) {
       throw ScenarioError("workload 'general' requires a mask_pmf (2^d entries)");
     }
+    check_mask_pmf_matches_d(mask_pmf, d);
     return DestinationDistribution::general(d, mask_pmf);
   }
   throw ScenarioError("unknown workload '" + workload +
                       "' (known: bit_flip, uniform, general, trace)");
+}
+
+FaultPolicy Scenario::resolved_fault_policy(
+    std::initializer_list<FaultPolicy> supported) const {
+  if (!faults_active()) return FaultPolicy::kNone;
+  if (supported.size() == 0) {
+    throw ScenarioError("scheme '" + scheme +
+                        "' does not support fault injection (clear fault_rate,"
+                        " node_fault_rate, fault_mtbf and fault_mttr)");
+  }
+  if ((fault_mtbf > 0.0) != (fault_mttr > 0.0)) {
+    throw ScenarioError(
+        "dynamic faults need both fault_mtbf and fault_mttr > 0 (got mtbf=" +
+        std::to_string(fault_mtbf) + ", mttr=" + std::to_string(fault_mttr) +
+        ")");
+  }
+  FaultPolicy policy = FaultPolicy::kNone;
+  try {
+    policy = parse_fault_policy(fault_policy);
+  } catch (const std::invalid_argument& error) {
+    throw ScenarioError(error.what());
+  }
+  for (const FaultPolicy candidate : supported) {
+    if (candidate == policy) return policy;
+  }
+  std::string names;
+  for (const FaultPolicy candidate : supported) {
+    if (!names.empty()) names += ", ";
+    names += fault_policy_name(candidate);
+  }
+  throw ScenarioError("fault_policy '" + fault_policy +
+                      "' is not supported by scheme '" + scheme +
+                      "' (supported: " + names + ")");
 }
 
 Window Scenario::resolved_window() const {
@@ -84,6 +138,22 @@ int parse_int(const std::string& key, const std::string& value) {
     throw ScenarioError("key '" + key + "' needs an integer, got '" + value + "'");
   }
   return rounded;
+}
+
+/// Levenshtein edit distance, for did-you-mean suggestions on unknown keys.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution = diagonal + (a[i - 1] != b[j - 1] ? 1 : 0);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
 }
 
 /// Shortest decimal form that round-trips through stod.
@@ -163,26 +233,144 @@ void Scenario::set(const std::string& key, const std::string& value) {
     }
   } else if (key == "threads") {
     plan.threads = parse_int(key, value);
+  } else if (key == "fault_rate") {
+    fault_rate = parse_double(key, value);
+    if (fault_rate < 0.0 || fault_rate > 1.0) {
+      throw ScenarioError("fault_rate must be in [0, 1], got '" + value + "'");
+    }
+  } else if (key == "node_fault_rate") {
+    node_fault_rate = parse_double(key, value);
+    if (node_fault_rate < 0.0 || node_fault_rate > 1.0) {
+      throw ScenarioError("node_fault_rate must be in [0, 1], got '" + value +
+                          "'");
+    }
+  } else if (key == "fault_mtbf") {
+    fault_mtbf = parse_double(key, value);
+    if (fault_mtbf < 0.0) throw ScenarioError("fault_mtbf must be >= 0");
+  } else if (key == "fault_mttr") {
+    fault_mttr = parse_double(key, value);
+    if (fault_mttr < 0.0) throw ScenarioError("fault_mttr must be >= 0");
+  } else if (key == "fault_policy") {
+    try {
+      (void)parse_fault_policy(value);
+    } catch (const std::invalid_argument& error) {
+      throw ScenarioError(error.what());
+    }
+    fault_policy = value;
+  } else if (key == "ttl") {
+    ttl = parse_int(key, value);
+    if (ttl < 0) throw ScenarioError("ttl must be >= 0");
+  } else if (key == "mask_pmf") {
+    // Inline comma/whitespace-separated list, or @path to read the same
+    // format from a file.  Needs 2^d entries: set d (and workload=general)
+    // before mask_pmf.
+    std::string text = value;
+    if (!value.empty() && value.front() == '@') {
+      std::ifstream file(value.substr(1));
+      if (!file) {
+        throw ScenarioError("cannot open mask_pmf file '" + value.substr(1) +
+                            "'");
+      }
+      std::ostringstream contents;
+      contents << file.rdbuf();
+      text = contents.str();
+    }
+    for (char& c : text) {
+      if (c == ',') c = ' ';
+    }
+    std::istringstream in(text);
+    std::vector<double> pmf;
+    double entry = 0.0;
+    while (in >> entry) pmf.push_back(entry);
+    if (!in.eof()) {
+      throw ScenarioError("mask_pmf has a non-numeric entry (entry " +
+                          std::to_string(pmf.size() + 1) + ")");
+    }
+    const auto expected = std::size_t{1} << d;
+    if (pmf.size() != expected) {
+      throw ScenarioError("mask_pmf needs 2^d = " + std::to_string(expected) +
+                          " entries for d=" + std::to_string(d) + ", got " +
+                          std::to_string(pmf.size()) +
+                          " (set d before mask_pmf)");
+    }
+    double sum = 0.0;
+    for (const double probability : pmf) {
+      if (!std::isfinite(probability) || probability < 0.0) {
+        throw ScenarioError("mask_pmf entries must be finite and >= 0");
+      }
+      sum += probability;
+    }
+    if (sum <= 0.0) throw ScenarioError("mask_pmf must have a positive sum");
+    // Normalise, but only when the sum is meaningfully off 1: dividing an
+    // already-normalised pmf by its 1-plus-rounding sum would perturb the
+    // entries by an ulp on every parse and break the exact textual round
+    // trip (to_key_values() emits the stored values exactly).
+    if (std::abs(sum - 1.0) > 1e-9) {
+      for (double& probability : pmf) probability /= sum;
+    }
+    mask_pmf = std::move(pmf);
   } else {
-    throw ScenarioError(
-        "unknown scenario key '" + key +
-        "' (known: d, lambda, rho, p, tau, discipline, workload, fanout, "
-        "unicast_baseline, buffers, warmup, horizon, measure, reps, seed, "
-        "threads)");
+    const auto& known = known_set_keys();
+    std::string suggestions;
+    std::size_t best = 4;  // suggest only close matches
+    for (const auto& candidate : known) {
+      best = std::min(best, edit_distance(key, candidate));
+    }
+    for (const auto& candidate : known) {
+      if (edit_distance(key, candidate) == best) {
+        suggestions += suggestions.empty() ? candidate : ", " + candidate;
+      }
+    }
+    std::string message = "unknown scenario key '" + key + "'";
+    if (!suggestions.empty()) message += " — did you mean: " + suggestions + "?";
+    message += " (known:";
+    for (const auto& candidate : known) message += ' ' + candidate;
+    message += ')';
+    throw ScenarioError(message);
   }
 }
 
+const std::vector<std::string>& Scenario::known_set_keys() {
+  static const std::vector<std::string> keys{
+      "d",          "lambda",         "rho",        "p",
+      "tau",        "discipline",     "workload",   "mask_pmf",
+      "fanout",     "unicast_baseline", "buffers",
+      "fault_rate", "node_fault_rate", "fault_mtbf", "fault_mttr",
+      "fault_policy", "ttl",
+      "warmup",     "horizon",        "measure",    "reps",
+      "seed",       "threads"};
+  return keys;
+}
+
 std::vector<std::pair<std::string, std::string>> Scenario::to_key_values() const {
-  return {
+  std::vector<std::pair<std::string, std::string>> pairs{
       {"d", std::to_string(d)},
       {"lambda", fmt_double(lambda)},
       {"p", fmt_double(p)},
       {"tau", fmt_double(tau)},
       {"discipline", discipline == Discipline::kPs ? "ps" : "fifo"},
       {"workload", workload},
+  };
+  if (!mask_pmf.empty()) {
+    // Inline CSV form; the entries are already normalised, so the round
+    // trip through set() is exact.
+    std::string csv;
+    for (const double probability : mask_pmf) {
+      if (!csv.empty()) csv += ',';
+      csv += fmt_double(probability);
+    }
+    pairs.emplace_back("mask_pmf", std::move(csv));
+  }
+  const std::vector<std::pair<std::string, std::string>> rest{
       {"fanout", std::to_string(fanout)},
       {"unicast_baseline", unicast_baseline ? "1" : "0"},
       {"buffers", std::to_string(buffer_capacity)},
+      {"fault_rate", fmt_double(fault_rate)},
+      {"node_fault_rate", fmt_double(node_fault_rate)},
+      {"fault_mtbf", fmt_double(fault_mtbf)},
+      {"fault_mttr", fmt_double(fault_mttr)},
+      {"fault_policy", fault_policy},
+      {"ttl", std::to_string(ttl)},
       {"warmup", fmt_double(window.warmup)},
       {"horizon", fmt_double(window.horizon)},
       {"measure", fmt_double(measure)},
@@ -190,6 +378,8 @@ std::vector<std::pair<std::string, std::string>> Scenario::to_key_values() const
       {"seed", std::to_string(plan.base_seed)},
       {"threads", std::to_string(plan.threads)},
   };
+  pairs.insert(pairs.end(), rest.begin(), rest.end());
+  return pairs;
 }
 
 std::string Scenario::to_string() const {

@@ -16,6 +16,7 @@
 /// and produces bit-identical results for the same seed and plan.
 
 #include <cstdint>
+#include <initializer_list>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -28,6 +29,8 @@
 #include "workload/destination.hpp"
 
 namespace routesim {
+
+enum class FaultPolicy : std::uint8_t;  // fault/fault_model.hpp
 
 /// Thrown on malformed scenario text or an unknown scheme/key/value.
 struct ScenarioError : std::runtime_error {
@@ -85,6 +88,17 @@ struct Scenario {
   bool unicast_baseline = false;  ///< multicast: k unicasts instead of a tree
   std::uint32_t buffer_capacity = 0;  ///< 0 = infinite (the paper's model)
 
+  // --- fault injection (src/fault/fault_model.hpp) ---------------------
+  double fault_rate = 0.0;       ///< P[arc statically down], per replication
+  double node_fault_rate = 0.0;  ///< P[node down]; kills its incident arcs
+  double fault_mtbf = 0.0;       ///< mean link up-time (> 0 with mttr => dynamic)
+  double fault_mttr = 0.0;       ///< mean link repair time
+  /// Reroute policy when the desired arc is dead: "drop", "skip_dim",
+  /// "deflect" (hypercube family) or "twin_detour" (butterfly).  Consulted
+  /// only when faults_active().
+  std::string fault_policy = "drop";
+  int ttl = 0;  ///< max hops for detouring packets; 0 = scheme default (64*d)
+
   // --- measurement ------------------------------------------------------
   Window window{};          ///< {0,0} => auto window from load
   double measure = 4000.0;  ///< measurement length used by the auto window
@@ -97,6 +111,26 @@ struct Scenario {
   [[nodiscard]] double effective_p() const noexcept {
     return workload == "uniform" ? 0.5 : p;
   }
+
+  /// True when any fault source is configured; schemes attach a FaultModel
+  /// (and drop the paper's bracket) exactly when this holds.  A lone
+  /// fault_mttr counts as "configured" so resolved_fault_policy() can
+  /// reject it instead of silently simulating a pristine network.
+  [[nodiscard]] bool faults_active() const noexcept {
+    return fault_rate > 0.0 || node_fault_rate > 0.0 || fault_mtbf > 0.0 ||
+           fault_mttr > 0.0;
+  }
+
+  /// Validates the fault knobs against a scheme's supported policies and
+  /// returns the parsed policy — kNone when faults_active() is false.
+  /// Registry compile hooks call this *before* fanning replications out to
+  /// worker threads, so a bad combination (unsupported policy, mtbf
+  /// without mttr) surfaces as a catchable ScenarioError instead of a
+  /// contract violation inside a worker.  An empty `supported` list means
+  /// the scheme has no fault support at all: any active fault knob is
+  /// rejected rather than silently simulating a pristine network.
+  [[nodiscard]] FaultPolicy resolved_fault_policy(
+      std::initializer_list<FaultPolicy> supported) const;
 
   /// Scheme-aware load factor.  Schemes may install their own rule in the
   /// registry (the butterfly uses lambda*max{p,1-p}); the default is
@@ -122,16 +156,23 @@ struct Scenario {
 
   // --- textual form (CLI round trip) -----------------------------------
 
-  /// Applies one `key=value` setting.  Keys: d, lambda, rho (solves for
-  /// the lambda giving that load under the current scheme/workload — set
-  /// p/workload first), p, tau, discipline (fifo|ps), workload, fanout,
-  /// unicast_baseline, buffers, warmup, horizon, measure, reps, seed,
-  /// threads.  Throws ScenarioError on an unknown key or unparsable value.
+  /// Applies one `key=value` setting.  Keys (see known_set_keys()): d,
+  /// lambda, rho (solves for the lambda giving that load under the current
+  /// scheme/workload — set p/workload first), p, tau, discipline (fifo|ps),
+  /// workload, mask_pmf (inline comma/whitespace list of 2^d probabilities
+  /// or `@path` to load them from a file — set d and workload=general
+  /// first), fanout, unicast_baseline, buffers, fault_rate,
+  /// node_fault_rate, fault_mtbf, fault_mttr, fault_policy, ttl, warmup,
+  /// horizon, measure, reps, seed, threads.  Throws ScenarioError on an
+  /// unknown key (suggesting the nearest valid ones) or unparsable value.
   void set(const std::string& key, const std::string& value);
 
+  /// Every key accepted by set(), in the order set() documents them.
+  [[nodiscard]] static const std::vector<std::string>& known_set_keys();
+
   /// Every non-derived field as `key=value` pairs; parse(scheme + these)
-  /// reconstructs the scenario exactly (except mask_pmf, which has no
-  /// textual form).
+  /// reconstructs the scenario exactly.  mask_pmf is emitted as an inline
+  /// comma-separated list when non-empty (omitted when empty).
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> to_key_values()
       const;
 
@@ -180,7 +221,8 @@ struct RunResult {
 // ----------------------------------------------------------------- sweeps
 
 /// A swept parameter: "rho=0.1:0.9" or "rho=0.1:0.9:0.05" (default step
-/// 0.1).  Keys: rho, lambda, p, tau, d, fanout, measure, reps, seed.
+/// 0.1).  Keys: rho, lambda, p, tau, d, fanout, measure, reps, seed,
+/// fault_rate, node_fault_rate.
 struct SweepSpec {
   std::string key;
   double start = 0.0;

@@ -9,6 +9,7 @@ void KernelStats::begin(double warmup, double horizon) {
   window_ = horizon - warmup;
   delay_ = Summary{};
   hops_ = Summary{};
+  stretch_ = Summary{};
   population_ = TimeWeighted{};
   occupancy_.assign(config_.occupancy_trackers, TimeWeighted{});
   occupancy_means_.assign(config_.occupancy_trackers, 0.0);
@@ -29,6 +30,7 @@ void KernelStats::begin(double warmup, double horizon) {
   deliveries_window_ = 0;
   arrivals_window_ = 0;
   drops_window_ = 0;
+  fault_drops_window_ = 0;
   time_avg_population_ = 0.0;
   peak_population_ = 0.0;
   final_population_ = 0.0;

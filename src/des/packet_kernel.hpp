@@ -31,10 +31,12 @@
 /// set is a 4-ary heap (des/event_queue.hpp); (time, seq) is a strict
 /// total order, so heap internals cannot affect results.
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "fault/fault_model.hpp"
 #include "stats/histogram.hpp"
 #include "stats/little.hpp"
 #include "stats/summary.hpp"
@@ -244,12 +246,16 @@ class KernelStats {
 
   /// One packet reached its destination: delay / hops / histogram, counted
   /// iff it was generated inside the window (the paper's convention).
-  void record_delivery(double now, double gen_time, double hops) {
+  /// `stretch` > 0 additionally feeds the path-stretch accumulator (hops
+  /// divided by the packet's fault-free path length).
+  void record_delivery(double now, double gen_time, double hops,
+                       double stretch = 0.0) {
     if (gen_time >= warmup_) {
       ++deliveries_window_;
       const double delay = now - gen_time;
       delay_.add(delay);
       hops_.add(hops);
+      if (stretch > 0.0) stretch_.add(stretch);
       if (delay_histogram_) delay_histogram_->add(delay);
     }
   }
@@ -262,6 +268,15 @@ class KernelStats {
     if (now >= warmup_) ++drops_window_;
   }
 
+  /// A packet lost to a fault (dead arc / dead node / TTL exhaustion) —
+  /// kept separate from finite-buffer drops so the two loss sources stay
+  /// distinguishable in the harvested metrics.  Counted iff the packet was
+  /// *generated* inside the window, the same convention record_delivery
+  /// uses, so the delivery ratio compares like with like.
+  void count_fault_drop(double gen_time) {
+    if (gen_time >= warmup_) ++fault_drops_window_;
+  }
+
   void occupancy_add(std::size_t tracker, double now, double delta) {
     if (!occupancy_.empty()) occupancy_[tracker].add(now, delta);
   }
@@ -271,6 +286,8 @@ class KernelStats {
   [[nodiscard]] const Summary& delay() const noexcept { return delay_; }
   [[nodiscard]] Summary& hops() noexcept { return hops_; }
   [[nodiscard]] const Summary& hops() const noexcept { return hops_; }
+  [[nodiscard]] Summary& stretch() noexcept { return stretch_; }
+  [[nodiscard]] const Summary& stretch() const noexcept { return stretch_; }
   [[nodiscard]] TimeWeighted& population() noexcept { return population_; }
 
   /// Restarts the time-weighted trackers when the window opens mid-run.
@@ -293,6 +310,36 @@ class KernelStats {
   [[nodiscard]] std::uint64_t deliveries_in_window() const noexcept { return deliveries_window_; }
   [[nodiscard]] std::uint64_t arrivals_in_window() const noexcept { return arrivals_window_; }
   [[nodiscard]] std::uint64_t drops_in_window() const noexcept { return drops_window_; }
+  [[nodiscard]] std::uint64_t fault_drops_in_window() const noexcept {
+    return fault_drops_window_;
+  }
+
+  /// Windowed delivery ratio: deliveries over every packet whose fate was
+  /// decided (delivered, buffer-dropped or fault-dropped).  Deliveries and
+  /// fault drops are windowed by generation time; buffer drops keep their
+  /// pre-existing (pinned) drop-time windowing.  1 when nothing was
+  /// decided; exactly 1 with no faults and infinite buffers.
+  [[nodiscard]] double delivery_ratio() const noexcept {
+    const double decided = static_cast<double>(deliveries_window_ +
+                                               drops_window_ + fault_drops_window_);
+    return decided == 0.0 ? 1.0
+                          : static_cast<double>(deliveries_window_) / decided;
+  }
+
+  /// Mean path stretch (hops / fault-free path length) over delivered
+  /// packets; 1 when no stretch observations were recorded (also the exact
+  /// value on a fault-free network).
+  [[nodiscard]] double mean_stretch() const noexcept {
+    return stretch_.empty() ? 1.0 : stretch_.mean();
+  }
+
+  /// Delay quantile from the delay histogram; 0 when the histogram is off
+  /// or empty.
+  [[nodiscard]] double delay_quantile(double q) const {
+    return delay_histogram_ && delay_histogram_->count() > 0
+               ? delay_histogram_->quantile(q)
+               : 0.0;
+  }
 
   /// Mean occupancy per tracker (empty when tracking is off).
   [[nodiscard]] const std::vector<double>& occupancy_means() const noexcept {
@@ -324,6 +371,7 @@ class KernelStats {
   double window_ = 0.0;
   Summary delay_;
   Summary hops_;
+  Summary stretch_;
   TimeWeighted population_;
   std::vector<TimeWeighted> occupancy_;
   std::vector<double> occupancy_means_;
@@ -331,6 +379,7 @@ class KernelStats {
   std::uint64_t deliveries_window_ = 0;
   std::uint64_t arrivals_window_ = 0;
   std::uint64_t drops_window_ = 0;
+  std::uint64_t fault_drops_window_ = 0;
   double time_avg_population_ = 0.0;
   double peak_population_ = 0.0;
   double final_population_ = 0.0;
@@ -340,6 +389,16 @@ class KernelStats {
 
 /// Sentinel for "no occupancy tracker" in PacketKernel::enqueue/finish_arc.
 inline constexpr std::size_t kNoTracker = static_cast<std::size_t>(-1);
+
+/// The delay-tail tracking convention shared by the packet schemes:
+/// unit-width bins over [0, 64*d] — the same 64*d that bounds the default
+/// fault TTL, so a TTL-length walk still lands inside the histogram.
+inline void enable_delay_tail_tracking(KernelStats::Config& config, int d) {
+  config.delay_histogram = true;
+  config.histogram_lo = 0.0;
+  config.histogram_bin_width = 1.0;
+  config.histogram_bins = static_cast<std::size_t>(64) * static_cast<std::size_t>(d);
+}
 
 /// Static description of one kernel instance; configure() may be called
 /// repeatedly (replication reuse) — storage is kept, state is reset.
@@ -357,6 +416,11 @@ struct PacketKernelConfig {
   std::uint32_t buffer_capacity = 0;  ///< max per arc incl. in service; 0 = infinite
   /// Pre-reserve hint: expected peak number of packets in flight.
   std::size_t expected_packets = 0;
+  /// Non-owning fault model (src/fault/fault_model.hpp); null = pristine
+  /// network.  The owning scheme must configure it before drive(); when
+  /// its dynamic process is on, the kernel drives up/down transitions
+  /// through its control-event slot in global (time, seq) order.
+  FaultModel* fault_model = nullptr;
   KernelStats::Config stats{};
 };
 
@@ -391,6 +455,7 @@ class PacketKernel {
     // service completion per busy arc.
     service_events_.reserve(config.num_arcs / 2 + 16);
     has_control_ = false;
+    has_fault_control_ = false;
     next_seq_ = 0;
     pool_.clear();
     // Default reserve hint for trace replay: a quarter of the trace is a
@@ -413,6 +478,15 @@ class PacketKernel {
 
   [[nodiscard]] const std::vector<ArcCounters>& arc_counters() const noexcept {
     return arc_counters_;
+  }
+
+  [[nodiscard]] const FaultModel* fault_model() const noexcept {
+    return config_.fault_model;
+  }
+
+  /// O(1): is the arc down right now?  Always false without a fault model.
+  [[nodiscard]] bool arc_faulty(std::uint32_t arc) const noexcept {
+    return config_.fault_model != nullptr && config_.fault_model->is_faulty(arc);
   }
 
   /// Windowed arrival accounting for a freshly injected packet.
@@ -469,9 +543,11 @@ class PacketKernel {
     return pkt;
   }
 
-  /// Full delivery: statistics + population + packet recycling.
-  void deliver(double now, std::uint32_t pkt, double gen_time, double hops) {
-    stats_.record_delivery(now, gen_time, hops);
+  /// Full delivery: statistics + population + packet recycling.  `stretch`
+  /// > 0 feeds the path-stretch accumulator (see KernelStats).
+  void deliver(double now, std::uint32_t pkt, double gen_time, double hops,
+               double stretch = 0.0) {
+    stats_.record_delivery(now, gen_time, hops, stretch);
     stats_.population().add(now, -1.0);
     pool_.release(pkt);
   }
@@ -479,6 +555,15 @@ class PacketKernel {
   /// Finite-buffer loss: drop statistics + population + recycling.
   void drop(double now, std::uint32_t pkt) {
     stats_.count_drop(now);
+    stats_.population().add(now, -1.0);
+    pool_.release(pkt);
+  }
+
+  /// Fault loss (dead arc / dead node / TTL): counted separately from
+  /// finite-buffer drops, windowed by the packet's generation time (the
+  /// delivery convention).  Requires Pkt to expose `gen_time`.
+  void drop_faulty(double now, std::uint32_t pkt) {
+    stats_.count_fault_drop(pool_[pkt].gen_time);
     stats_.population().add(now, -1.0);
     pool_.release(pkt);
   }
@@ -509,33 +594,52 @@ class PacketKernel {
       schedule_control(sample_exponential(rng_, config_.birth_rate),
                        EventKind::kBirth);
     }
+    if (config_.fault_model != nullptr && config_.fault_model->dynamic()) {
+      schedule_fault(config_.fault_model->next_transition_time());
+    }
 
     bool stats_reset = warmup == 0.0;
     for (;;) {
-      // Earliest of (single control event, front of the monotone service
-      // ring) under the strict (time, seq) order — identical to a heap's
-      // extraction order, without the heap.
-      bool take_control;
-      if (!has_control_) {
-        if (service_events_.empty()) break;
-        take_control = false;
-      } else if (service_events_.empty()) {
-        take_control = true;
-      } else {
-        const ServiceEvent& head = service_events_.front();
-        take_control = control_time_ < head.time ||
-                       (control_time_ == head.time && control_seq_ < head.seq);
+      // Earliest of (single arrival control event, single fault control
+      // event, front of the monotone service ring) under the strict
+      // (time, seq) order — identical to a heap's extraction order,
+      // without the heap.  The fault slot is empty for pristine networks,
+      // so the fault-free pop reduces to the two-way comparison.
+      enum class Source : std::uint8_t { kControl, kFault, kService };
+      Source source = Source::kControl;
+      bool found = has_control_;
+      double t = control_time_;
+      std::uint64_t seq = control_seq_;
+      if (has_fault_control_ &&
+          (!found || fault_time_ < t || (fault_time_ == t && fault_seq_ < seq))) {
+        source = Source::kFault;
+        found = true;
+        t = fault_time_;
+        seq = fault_seq_;
       }
-      const double t = take_control ? control_time_ : service_events_.front().time;
-      if (t > horizon) break;
+      if (!service_events_.empty()) {
+        const ServiceEvent& head = service_events_.front();
+        if (!found || head.time < t || (head.time == t && head.seq < seq)) {
+          source = Source::kService;
+          found = true;
+          t = head.time;
+        }
+      }
+      if (!found || t > horizon) break;
       if (!stats_reset && t >= warmup) {
         stats_.reset_at_warmup(warmup);
         stats_reset = true;
       }
 
-      if (!take_control) {
+      if (source == Source::kService) {
         const std::uint32_t arc = service_events_.pop_front().arc;
         scheme.on_arc_done(t, arc);
+        continue;
+      }
+      if (source == Source::kFault) {
+        has_fault_control_ = false;
+        config_.fault_model->advance_to(t);
+        schedule_fault(config_.fault_model->next_transition_time());
         continue;
       }
       const EventKind kind = control_kind_;
@@ -593,6 +697,16 @@ class PacketKernel {
     has_control_ = true;
   }
 
+  /// At most one fault-transition control event is outstanding at a time;
+  /// an infinite time (exhausted dynamic process) leaves the slot empty.
+  void schedule_fault(double time) {
+    RS_DASSERT(!has_fault_control_);
+    if (!std::isfinite(time)) return;
+    fault_time_ = time;
+    fault_seq_ = next_seq_++;
+    has_fault_control_ = true;
+  }
+
   PacketKernelConfig config_{};
   Rng rng_;
   Pool<Pkt> pool_;
@@ -603,6 +717,9 @@ class PacketKernel {
   double control_time_ = 0.0;
   std::uint64_t control_seq_ = 0;
   EventKind control_kind_ = EventKind::kBirth;
+  bool has_fault_control_ = false;
+  double fault_time_ = 0.0;
+  std::uint64_t fault_seq_ = 0;
   std::uint64_t next_seq_ = 0;
   KernelStats stats_;
   std::size_t trace_pos_ = 0;

@@ -1,0 +1,156 @@
+#include "fault/fault_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+
+namespace routesim {
+
+FaultPolicy parse_fault_policy(const std::string& name) {
+  if (name == "drop") return FaultPolicy::kDrop;
+  if (name == "skip_dim") return FaultPolicy::kSkipDim;
+  if (name == "deflect") return FaultPolicy::kDeflect;
+  if (name == "twin_detour") return FaultPolicy::kTwinDetour;
+  throw std::invalid_argument("unknown fault policy '" + name +
+                              "' (known: drop, skip_dim, deflect, twin_detour)");
+}
+
+const char* fault_policy_name(FaultPolicy policy) noexcept {
+  switch (policy) {
+    case FaultPolicy::kNone:
+      return "none";
+    case FaultPolicy::kDrop:
+      return "drop";
+    case FaultPolicy::kSkipDim:
+      return "skip_dim";
+    case FaultPolicy::kDeflect:
+      return "deflect";
+    case FaultPolicy::kTwinDetour:
+      return "twin_detour";
+  }
+  return "none";  // unreachable
+}
+
+void FaultModel::set_arc(std::uint32_t arc, bool down) noexcept {
+  auto& word = arc_down_[arc >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (arc & 63u);
+  if (down && (word & bit) == 0) {
+    word |= bit;
+    ++faulty_arcs_;
+  } else if (!down && (word & bit) != 0) {
+    word &= ~bit;
+    --faulty_arcs_;
+  }
+}
+
+void FaultModel::configure(const FaultModelConfig& config,
+                           const IncidentArcs& incident_arcs) {
+  RS_EXPECTS(config.arc_fault_rate >= 0.0 && config.arc_fault_rate <= 1.0);
+  RS_EXPECTS(config.node_fault_rate >= 0.0 && config.node_fault_rate <= 1.0);
+  RS_EXPECTS((config.mtbf > 0.0) == (config.mttr > 0.0));
+  RS_EXPECTS_MSG(config.node_fault_rate == 0.0 || incident_arcs != nullptr,
+                 "node faults need the topology's incident-arc enumeration");
+  config_ = config;
+  num_arcs_ = config.num_arcs;
+  rng_.reseed(derive_stream(config.seed, config.stream_salt));
+
+  arc_down_.assign((config.num_arcs + 63) / 64, 0);
+  node_down_.assign((config.num_nodes + 63) / 64, 0);
+  faulty_arcs_ = 0;
+  faulty_nodes_ = 0;
+  heap_.clear();
+  dynamic_ = config.mtbf > 0.0;
+  active_ = config.arc_fault_rate > 0.0 || config.node_fault_rate > 0.0 ||
+            dynamic_;
+  next_transition_ = std::numeric_limits<double>::infinity();
+  if (!active_) return;
+
+  // Static arc faults, then node faults projected onto incident arcs — in
+  // index order, so the sample depends only on the seed.
+  if (config.arc_fault_rate > 0.0) {
+    for (std::uint32_t arc = 0; arc < config.num_arcs; ++arc) {
+      if (rng_.bernoulli(config.arc_fault_rate)) set_arc(arc, true);
+    }
+  }
+  node_killed_.assign(arc_down_.size(), 0);
+  if (config.node_fault_rate > 0.0) {
+    for (std::uint32_t node = 0; node < config.num_nodes; ++node) {
+      if (!rng_.bernoulli(config.node_fault_rate)) continue;
+      node_down_[node >> 6] |= std::uint64_t{1} << (node & 63u);
+      ++faulty_nodes_;
+      scratch_.clear();
+      incident_arcs(node, scratch_);
+      for (const std::uint32_t arc : scratch_) {
+        set_arc(arc, true);
+        node_killed_[arc >> 6] |= std::uint64_t{1} << (arc & 63u);
+      }
+    }
+  }
+
+  if (dynamic_) {
+    // Every arc gets an exponential first-transition time matched to its
+    // initial state: an up arc fails after ~Exp(1/mtbf), a down arc is
+    // repaired after ~Exp(1/mttr).  Arcs killed by a *node* fault stay
+    // down permanently — the up/down process models link flapping, and a
+    // dead node must not resume forwarding while is_node_faulty() still
+    // reports it dead.
+    heap_.reserve(config.num_arcs);
+    for (std::uint32_t arc = 0; arc < config.num_arcs; ++arc) {
+      if ((node_killed_[arc >> 6] >> (arc & 63u)) & 1u) continue;
+      const double rate = is_faulty(arc) ? 1.0 / config.mttr : 1.0 / config.mtbf;
+      heap_push({sample_exponential(rng_, rate), arc});
+    }
+    next_transition_ = heap_.empty()
+                           ? std::numeric_limits<double>::infinity()
+                           : heap_.front().time;
+  }
+}
+
+void FaultModel::advance_to(double now) {
+  RS_DASSERT(dynamic_);
+  while (!heap_.empty() && heap_.front().time <= now) {
+    Transition t = heap_pop();
+    const bool was_down = is_faulty(t.arc);
+    set_arc(t.arc, !was_down);
+    const double rate = was_down ? 1.0 / config_.mtbf : 1.0 / config_.mttr;
+    heap_push({t.time + sample_exponential(rng_, rate), t.arc});
+  }
+  next_transition_ = heap_.empty() ? std::numeric_limits<double>::infinity()
+                                   : heap_.front().time;
+}
+
+void FaultModel::heap_push(Transition t) {
+  heap_.push_back(t);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (heap_[parent].time <= heap_[i].time) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+FaultModel::Transition FaultModel::heap_pop() {
+  RS_DASSERT(!heap_.empty());
+  const Transition top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    std::size_t child = left;
+    if (left + 1 < n && heap_[left + 1].time < heap_[left].time) child = left + 1;
+    if (heap_[i].time <= heap_[child].time) break;
+    std::swap(heap_[i], heap_[child]);
+    i = child;
+  }
+  return top;
+}
+
+}  // namespace routesim

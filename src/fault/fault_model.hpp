@@ -1,0 +1,190 @@
+#pragma once
+/// \file fault_model.hpp
+/// \brief Fault injection for the routing simulators: static Bernoulli
+///        arc/node fault sets plus a dynamic link up/down process.
+///
+/// The paper analyses greedy routing on pristine networks; this subsystem
+/// asks how the same schemes degrade when arcs and nodes fail (cf. Angel,
+/// Benjamini, Ofek & Wieder, "Routing Complexity of Faulty Networks",
+/// PAPERS.md).  A `FaultModel` answers one question on the hot path —
+/// `is_faulty(arc)` — in O(1) via a bitset over the topology's dense arc
+/// indexing, and is fed from two sources:
+///
+///   - **Static faults.**  At configure() every arc fails independently
+///     with probability `arc_fault_rate` and every node with probability
+///     `node_fault_rate`; a faulty node takes all of its incident arcs
+///     down (the topology supplies the incidence enumeration).  The fault
+///     set is sampled from the model's own RNG stream (derived from the
+///     replication seed), so the traffic process is untouched and every
+///     replication sees an independent fault set.
+///
+///   - **Dynamic faults.**  When `mtbf > 0 && mttr > 0`, every arc
+///     alternates between up and down states with independent exponential
+///     sojourns (mean `mtbf` up, mean `mttr` down), starting from the
+///     static sample.  Arcs killed by a *node* fault are excluded — a
+///     dead node stays dead.  Transitions are kept in a binary heap; the packet
+///     kernel drives them through its control-event slot by asking for
+///     next_transition_time() and calling advance_to(t) when that event
+///     fires, so fault flips interleave with traffic in global time order.
+///
+/// Semantics at the queues: faults gate *admission* — a packet is never
+/// routed onto an arc that is down at enqueue time, but a transmission in
+/// progress completes even if the arc fails under it (the packet is
+/// already in flight).  What happens to a packet whose desired arc is
+/// down is the routing scheme's decision, named by `FaultPolicy`.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace routesim {
+
+/// What a scheme does with a packet whose desired next arc is down.
+/// Schemes support the subset that makes sense for their topology:
+///   - kNone:       fault-unaware (the pristine code path; no model attached)
+///   - kDrop:       drop the packet, counted as a fault drop (baseline);
+///   - kSkipDim:    hypercube family — greedy over the surviving unresolved
+///                  dimensions, falling back to a random *resolved*
+///                  dimension as a detour when every unresolved arc is
+///                  dead, bounded by a TTL;
+///   - kDeflect:    hypercube family — when the greedy arc is dead, take a
+///                  uniformly random surviving out-arc (TTL-bounded);
+///   - kTwinDetour: butterfly — take the level's twin arc (straight for
+///                  vertical and vice versa).  The butterfly has a unique
+///                  path per origin/destination pair, so a detoured packet
+///                  exits at the wrong row and is counted as misrouted —
+///                  the policy measures the capacity cost of deflection in
+///                  a network with no path diversity.
+enum class FaultPolicy : std::uint8_t {
+  kNone,
+  kDrop,
+  kSkipDim,
+  kDeflect,
+  kTwinDetour,
+};
+
+/// Parses "drop" | "skip_dim" | "deflect" | "twin_detour" (the CLI names).
+/// Throws std::invalid_argument listing the valid names otherwise.
+[[nodiscard]] FaultPolicy parse_fault_policy(const std::string& name);
+
+/// The CLI name of a policy (inverse of parse_fault_policy).
+[[nodiscard]] const char* fault_policy_name(FaultPolicy policy) noexcept;
+
+struct FaultModelConfig {
+  std::uint32_t num_arcs = 0;
+  std::uint32_t num_nodes = 0;
+  double arc_fault_rate = 0.0;   ///< P[arc statically down], in [0, 1]
+  double node_fault_rate = 0.0;  ///< P[node down]; kills its incident arcs
+  double mtbf = 0.0;             ///< mean up-time; > 0 with mttr => dynamic
+  double mttr = 0.0;             ///< mean down-time (repair)
+  std::uint64_t seed = 1;        ///< replication seed (stream is derived)
+  std::uint64_t stream_salt = 0xFA17;  ///< keeps fault draws off traffic streams
+};
+
+/// Maps the fault fields every fault-aware scheme config shares
+/// (arc_fault_rate, node_fault_rate, fault_mtbf, fault_mttr, seed) onto a
+/// FaultModelConfig, so the wiring lives in one place.
+template <typename SchemeConfig>
+[[nodiscard]] FaultModelConfig make_fault_model_config(
+    const SchemeConfig& config, std::uint32_t num_arcs,
+    std::uint32_t num_nodes) {
+  FaultModelConfig faults;
+  faults.num_arcs = num_arcs;
+  faults.num_nodes = num_nodes;
+  faults.arc_fault_rate = config.arc_fault_rate;
+  faults.node_fault_rate = config.node_fault_rate;
+  faults.mtbf = config.fault_mtbf;
+  faults.mttr = config.fault_mttr;
+  faults.seed = config.seed;
+  return faults;
+}
+
+class FaultModel {
+ public:
+  /// Enumerates the arcs taken down by a node fault; called once per
+  /// faulty node with the node index and an output vector to append to.
+  using IncidentArcs =
+      std::function<void(std::uint32_t node, std::vector<std::uint32_t>&)>;
+
+  FaultModel() = default;
+
+  /// (Re)samples the fault set.  Storage is reused across replications;
+  /// with all rates zero no RNG is consumed and every query returns false.
+  /// `incident_arcs` is required when node_fault_rate > 0.
+  void configure(const FaultModelConfig& config,
+                 const IncidentArcs& incident_arcs = {});
+
+  /// O(1): is the arc down right now?  With a dynamic process the caller
+  /// (the kernel's fault control event) is responsible for having advanced
+  /// the model to the current time.
+  [[nodiscard]] bool is_faulty(std::uint32_t arc) const noexcept {
+    return (arc_down_[arc >> 6] >> (arc & 63u)) & 1u;
+  }
+
+  /// Convenience form of the query that first advances the dynamic
+  /// process to `now` (O(1) amortised; identical to is_faulty(arc) when
+  /// the process is static or already advanced).
+  [[nodiscard]] bool is_faulty(std::uint32_t arc, double now) {
+    if (dynamic_ && now >= next_transition_) advance_to(now);
+    return is_faulty(arc);
+  }
+
+  [[nodiscard]] bool is_node_faulty(std::uint32_t node) const noexcept {
+    return (node_down_[node >> 6] >> (node & 63u)) & 1u;
+  }
+
+  /// True when any fault source is configured (rates or a dynamic
+  /// process); false means every query is trivially "up".
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// True when the exponential up/down process is running.
+  [[nodiscard]] bool dynamic() const noexcept { return dynamic_; }
+
+  /// Time of the next up/down transition (+infinity when static).
+  [[nodiscard]] double next_transition_time() const noexcept {
+    return next_transition_;
+  }
+
+  /// Processes every transition with time <= now (dynamic mode only).
+  void advance_to(double now);
+
+  /// Number of arcs currently down.
+  [[nodiscard]] std::uint32_t faulty_arc_count() const noexcept {
+    return faulty_arcs_;
+  }
+  [[nodiscard]] std::uint32_t faulty_node_count() const noexcept {
+    return faulty_nodes_;
+  }
+  [[nodiscard]] std::uint32_t num_arcs() const noexcept { return num_arcs_; }
+
+ private:
+  struct Transition {
+    double time = 0.0;
+    std::uint32_t arc = 0;
+  };
+
+  void set_arc(std::uint32_t arc, bool down) noexcept;
+  void heap_push(Transition t);
+  Transition heap_pop();
+
+  FaultModelConfig config_{};
+  Rng rng_;
+  bool active_ = false;
+  bool dynamic_ = false;
+  std::uint32_t num_arcs_ = 0;
+  std::uint32_t faulty_arcs_ = 0;
+  std::uint32_t faulty_nodes_ = 0;
+  std::vector<std::uint64_t> arc_down_;   ///< one bit per arc
+  std::vector<std::uint64_t> node_down_;  ///< one bit per node
+  /// Arcs downed by a node fault: excluded from the dynamic process so a
+  /// dead node never resumes forwarding.
+  std::vector<std::uint64_t> node_killed_;
+  std::vector<Transition> heap_;          ///< min-heap on time (dynamic mode)
+  double next_transition_ = 0.0;          ///< heap top (+inf when static)
+  std::vector<std::uint32_t> scratch_;    ///< incident-arc buffer
+};
+
+}  // namespace routesim

@@ -1,0 +1,66 @@
+#pragma once
+/// \file fault_routing.hpp
+/// \brief The shared skip-dimension reroute machinery for hypercube-family
+///        schemes (greedy hypercube, Valiant mixing).
+///
+/// Both schemes make the same decision when their preferred arc is dead:
+/// under kSkipDim, greedy over the surviving unresolved dimensions in
+/// increasing index order, falling back to a uniformly random surviving
+/// *resolved* dimension as a detour (one step off the greedy path, paid
+/// back later, TTL-bounded by the caller); under kDeflect, a uniformly
+/// random surviving out-arc of any dimension.  Keeping the logic here
+/// means a fix to the detour discipline cannot silently diverge between
+/// the schemes.
+
+#include "fault/fault_model.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace routesim {
+
+/// Uniformly random dimension from `candidates` (bit mask of dims 1..d)
+/// whose out-arc is alive; 0 when none is.  `arc_faulty(dim)` answers
+/// whether the current node's out-arc in that dimension is down.
+template <typename ArcFaultyByDim>
+[[nodiscard]] int random_alive_dimension(NodeId candidates,
+                                         ArcFaultyByDim&& arc_faulty,
+                                         Rng& rng) {
+  int alive[32];
+  int count = 0;
+  for (int dim = lowest_dimension(candidates); dim != 0;
+       dim = next_dimension_after(candidates, dim)) {
+    if (!arc_faulty(dim)) alive[count++] = dim;
+  }
+  if (count == 0) return 0;
+  return alive[rng.uniform_below(static_cast<std::uint64_t>(count))];
+}
+
+/// The policy's reroute once the scheme's preferred arc is known to be
+/// dead: the dimension to take next, or 0 to drop the packet.
+/// `unresolved` is the XOR of the current node with the (phase) target.
+template <typename ArcFaultyByDim>
+[[nodiscard]] int fault_reroute_dimension(FaultPolicy policy, int d,
+                                          NodeId unresolved,
+                                          ArcFaultyByDim&& arc_faulty,
+                                          Rng& rng) {
+  const NodeId all_dims = static_cast<NodeId>((std::uint64_t{1} << d) - 1);
+  switch (policy) {
+    case FaultPolicy::kDrop:
+      return 0;
+    case FaultPolicy::kSkipDim: {
+      for (int dim = lowest_dimension(unresolved); dim != 0;
+           dim = next_dimension_after(unresolved, dim)) {
+        if (!arc_faulty(dim)) return dim;
+      }
+      return random_alive_dimension(all_dims & ~unresolved, arc_faulty, rng);
+    }
+    case FaultPolicy::kDeflect:
+      return random_alive_dimension(all_dims, arc_faulty, rng);
+    case FaultPolicy::kNone:
+    case FaultPolicy::kTwinDetour:
+      break;  // callers exclude these at configure time
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace routesim

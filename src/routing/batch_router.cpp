@@ -75,6 +75,7 @@ void register_batch_greedy_scheme(SchemeRegistry& registry) {
        "at t = 0 (the §2.3 round primitive)",
        [](const Scenario& s) {
          CompiledScenario compiled;
+         (void)s.resolved_fault_policy({});  // no fault support: reject knobs
          compiled.replicate = [s, destinations = s.make_destinations()](
                                   std::uint64_t seed, int) {
            const Hypercube cube(s.d);

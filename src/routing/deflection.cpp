@@ -23,6 +23,39 @@ void DeflectionSim::reset(DeflectionConfig config) {
   for (auto& residents : resident_) residents.clear();
   for (auto& waiting : injection_) waiting.clear();
   productive_ = deflected_ = backlog_ = 0;
+
+  ttl_ = config_.ttl > 0 ? config_.ttl : 64 * config_.d;
+  // Hop counters are 16-bit; a larger TTL could never fire (wraparound).
+  ttl_ = std::min(ttl_, 65535);
+  fault_model_.configure(
+      make_fault_model_config(config_, cube_.num_arcs(), cube_.num_nodes()),
+      [this](std::uint32_t node, std::vector<ArcId>& out) {
+        cube_.append_incident_arcs(node, out);
+      });
+  fault_active_ = fault_model_.active();
+
+  // With a static fault set, per-node port liveness never changes: cache
+  // it once instead of querying every arc every slot.
+  live_ports_.clear();
+  dead_ports_.clear();
+  if (fault_active_ && !fault_model_.dynamic()) {
+    live_ports_.assign(cube_.num_nodes(), 0);
+    dead_ports_.assign(cube_.num_nodes(), 0);
+    for (NodeId node = 0; node < cube_.num_nodes(); ++node) {
+      for (int dim = 1; dim <= config_.d; ++dim) {
+        if (fault_model_.is_faulty(cube_.arc_index(node, dim))) {
+          dead_ports_[node] |= std::uint32_t{1} << (dim - 1);
+        } else {
+          ++live_ports_[node];
+        }
+      }
+    }
+  }
+
+  // Tail metrics (delay_p50/p99) come from the delay histogram.
+  KernelStats::Config stats;
+  enable_delay_tail_tracking(stats, config_.d);
+  stats_.configure(stats);
 }
 
 void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
@@ -37,32 +70,55 @@ void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
 
   for (std::uint64_t slot = 0; slot < num_slots; ++slot) {
     const double now = static_cast<double>(slot);
+    if (fault_active_ && fault_model_.dynamic()) fault_model_.advance_to(now);
 
     // 1. New packets join their origin's injection queue.
     for (NodeId node = 0; node < cube_.num_nodes(); ++node) {
       const std::uint64_t births = sample_poisson(rng_, config_.lambda);
+      const bool node_dead = fault_active_ && fault_model_.is_node_faulty(node);
       for (std::uint64_t b = 0; b < births; ++b) {
         const NodeId dest = config_.destinations.sample(rng_, node);
+        if (node_dead) {
+          // A dead node offers no deliverable traffic; count its load as
+          // fault-dropped so the delivery ratio reflects the offered load.
+          stats_.count_fault_drop(now);
+          continue;
+        }
         if (dest == node) {
           // Delivered in place, delay 0 (consistent with the greedy model).
           stats_.record_delivery(now, now, 0.0);
           continue;
         }
-        injection_.at(node).push_back(Pkt{dest, now, 0});
+        injection_.at(node).push_back(
+            Pkt{dest, now, 0,
+                static_cast<std::uint16_t>(hamming_distance(node, dest))});
       }
     }
 
-    // 2. Admission: a node may hold at most d packets.
+    // 2. Admission: a node may hold at most one packet per live out-port.
     for (NodeId node = 0; node < cube_.num_nodes(); ++node) {
       auto& residents = resident_[node];
       auto& waiting = injection_[node];
-      while (residents.size() < d && !waiting.empty()) {
+      std::size_t capacity = d;
+      if (fault_active_) {
+        if (!live_ports_.empty()) {
+          capacity = live_ports_[node];
+        } else {
+          capacity = 0;
+          for (int dim = 1; dim <= config_.d; ++dim) {
+            if (!fault_model_.is_faulty(cube_.arc_index(node, dim))) ++capacity;
+          }
+        }
+      }
+      while (residents.size() < capacity && !waiting.empty()) {
         residents.push_back(waiting.front());
         waiting.pop_front();
       }
     }
 
-    // 3. Port assignment and synchronous transmission.
+    // 3. Port assignment and synchronous transmission.  A dead arc is a
+    // port that is never free, so the existing productive-then-deflect
+    // rule routes around faults by construction.
     for (NodeId node = 0; node < cube_.num_nodes(); ++node) {
       auto& residents = resident_[node];
       if (residents.empty()) continue;
@@ -70,6 +126,20 @@ void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
       std::stable_sort(residents.begin(), residents.end(),
                        [](const Pkt& a, const Pkt& b) { return a.gen_time < b.gen_time; });
       std::fill(port_used.begin(), port_used.end(), 0);
+      if (fault_active_) {
+        if (!dead_ports_.empty()) {
+          for (std::uint32_t mask = dead_ports_[node]; mask != 0;
+               mask &= mask - 1u) {
+            port_used[lowest_dimension(mask) - 1] = 1;
+          }
+        } else {
+          for (int dim = 1; dim <= config_.d; ++dim) {
+            if (fault_model_.is_faulty(cube_.arc_index(node, dim))) {
+              port_used[dim - 1] = 1;
+            }
+          }
+        }
+      }
       for (auto& packet : residents) {
         const NodeId needed = node ^ packet.dest;
         int chosen = 0;
@@ -88,14 +158,26 @@ void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
             }
           }
         }
-        RS_DASSERT(chosen != 0);  // residents.size() <= d guarantees a port
+        if (chosen == 0) {
+          // Fault-only dead end: more packets than live ports this slot
+          // (a burst arriving over live in-arcs of a nearly cut-off node).
+          RS_DASSERT(fault_active_);
+          stats_.count_fault_drop(packet.gen_time);
+          continue;
+        }
         port_used[chosen - 1] = 1;
         productive ? ++productive_ : ++deflected_;
         ++packet.hops;
         const NodeId next = flip_dimension(node, chosen);
         if (productive && next == packet.dest) {
+          const double stretch =
+              packet.min_hops > 0
+                  ? static_cast<double>(packet.hops) / packet.min_hops
+                  : 0.0;
           stats_.record_delivery(now + 1.0, packet.gen_time,
-                                 static_cast<double>(packet.hops));
+                                 static_cast<double>(packet.hops), stretch);
+        } else if (fault_active_ && packet.hops >= ttl_) {
+          stats_.count_fault_drop(packet.gen_time);
         } else {
           incoming[next].push_back(packet);
         }
@@ -123,17 +205,32 @@ void register_deflection_scheme(SchemeRegistry& registry) {
        [](const Scenario& s) {
          CompiledScenario compiled;
          const Window window = s.resolved_window();
-         compiled.replicate = [s, window, dist = s.make_destinations()](
+         // Deflection is natively fault-aware (dead arcs are permanently
+         // busy ports): any fault_policy is accepted and ignored, but the
+         // knob combination is still validated before the worker fan-out.
+         const FaultPolicy fault_policy = s.resolved_fault_policy(
+             {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect,
+              FaultPolicy::kTwinDetour});
+         compiled.replicate = [s, window, fault_policy,
+                               dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            DeflectionConfig config;
            config.d = s.d;
            config.lambda = s.lambda;
            config.destinations = dist;
            config.seed = seed;
+           if (fault_policy != FaultPolicy::kNone) {
+             config.arc_fault_rate = s.fault_rate;
+             config.node_fault_rate = s.node_fault_rate;
+             config.fault_mtbf = s.fault_mtbf;
+             config.fault_mttr = s.fault_mttr;
+             config.ttl = s.ttl;
+           }
            DeflectionSim& sim = reusable_sim<DeflectionSim>(std::move(config));
            const auto warmup_slots = static_cast<std::uint64_t>(window.warmup);
            const auto num_slots = static_cast<std::uint64_t>(window.horizon);
            sim.run(warmup_slots, num_slots);
+           const KernelStats& stats = sim.kernel_stats();
            return std::vector<double>{
                sim.delay().mean(),
                0.0,
@@ -141,9 +238,16 @@ void register_deflection_scheme(SchemeRegistry& registry) {
                sim.hops().mean(),
                0.0,
                static_cast<double>(sim.injection_backlog()),
-               sim.deflection_fraction()};
+               sim.deflection_fraction(),
+               stats.delivery_ratio(),
+               stats.mean_stretch(),
+               stats.delay_quantile(0.5),
+               stats.delay_quantile(0.99),
+               static_cast<double>(stats.fault_drops_in_window())};
          };
-         compiled.extra_metrics = {"deflection_fraction"};
+         compiled.extra_metrics = {"deflection_fraction", "delivery_ratio",
+                                   "mean_stretch",        "delay_p50",
+                                   "delay_p99",           "fault_drops"};
          return compiled;
        }});
 }

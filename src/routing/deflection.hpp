@@ -35,6 +35,19 @@ struct DeflectionConfig {
   double lambda = 0.05;  ///< per-node generation rate (packets per slot)
   DestinationDistribution destinations = DestinationDistribution::uniform(4);
   std::uint64_t seed = 1;
+
+  // --- fault injection (src/fault/fault_model.hpp) ----------------------
+  // Deflection is *natively* fault-aware: a dead arc is simply a port that
+  // is never free, so resident packets route around it with the existing
+  // productive-then-deflect rule (the skip-dimension machinery of the
+  // greedy scheme, expressed in slots).  Packets are fault-dropped when
+  // their node has no free live port in a slot, when they are generated at
+  // a dead node, or when their hop count exceeds the TTL.
+  double arc_fault_rate = 0.0;
+  double node_fault_rate = 0.0;
+  double fault_mtbf = 0.0;  ///< mean link up-time (> 0 with mttr => dynamic)
+  double fault_mttr = 0.0;  ///< mean link repair time
+  int ttl = 0;              ///< max hops before a packet is dropped; 0 = 64*d
 };
 
 class DeflectionSim {
@@ -70,16 +83,41 @@ class DeflectionSim {
   /// Deliveries per slot over the measurement window.
   [[nodiscard]] double throughput() const noexcept { return stats_.throughput(); }
 
+  /// Packets lost to faults (dead node, no live port, TTL) in the window.
+  [[nodiscard]] std::uint64_t fault_drops_in_window() const noexcept {
+    return stats_.fault_drops_in_window();
+  }
+  [[nodiscard]] double delivery_ratio() const noexcept {
+    return stats_.delivery_ratio();
+  }
+  /// The attached fault model (inactive without fault rates).
+  [[nodiscard]] const FaultModel& fault_model() const noexcept {
+    return fault_model_;
+  }
+  /// The full measurement harvest (delivery ratio, stretch, quantiles, ...).
+  [[nodiscard]] const KernelStats& kernel_stats() const noexcept {
+    return stats_;
+  }
+
  private:
   struct Pkt {
     NodeId dest;
     double gen_time;
     std::uint16_t hops;
+    std::uint16_t min_hops;  ///< Hamming distance at generation (stretch)
   };
 
   DeflectionConfig config_;
   Hypercube cube_{1};  ///< placeholder; reset() installs the real topology
   Rng rng_;
+  FaultModel fault_model_;
+  bool fault_active_ = false;
+  int ttl_ = 0;
+  /// Per-node live-out-port count and dead-port dimension mask, cached in
+  /// reset() when the fault set is static (empty in dynamic mode, where
+  /// liveness is recomputed per slot).
+  std::vector<std::uint8_t> live_ports_;
+  std::vector<std::uint32_t> dead_ports_;
 
   std::vector<std::vector<Pkt>> resident_;           // packets at each node
   std::vector<std::deque<Pkt>> injection_;           // waiting to be admitted
@@ -93,8 +131,11 @@ class DeflectionSim {
 class SchemeRegistry;
 
 /// core/registry.hpp hookup: registers "deflection" ([GrH89] hot-potato
-/// comparator; window interpreted in slots) with extra metric
-/// deflection_fraction.
+/// comparator; window interpreted in slots) with extra metrics
+/// deflection_fraction plus the resilience extras (delivery_ratio,
+/// mean_stretch, delay_p50/p99, fault_drops).  Natively fault-aware:
+/// fault_rate / node_fault_rate / fault_mtbf / fault_mttr apply,
+/// fault_policy does not.
 void register_deflection_scheme(SchemeRegistry& registry);
 
 }  // namespace routesim

@@ -35,6 +35,17 @@ void GreedyButterflySim::configure_kernel() {
                    "slot length must satisfy: 1/slot integer, slot <= 1");
   }
 
+  fault_active_ = config_.fault_policy != FaultPolicy::kNone;
+  RS_EXPECTS_MSG(fault_active_ || (config_.arc_fault_rate == 0.0 &&
+                                   config_.node_fault_rate == 0.0 &&
+                                   config_.fault_mtbf == 0.0 &&
+                                   config_.fault_mttr == 0.0),
+                 "fault rates need a fault_policy");
+  RS_EXPECTS_MSG(config_.fault_policy == FaultPolicy::kNone ||
+                     config_.fault_policy == FaultPolicy::kDrop ||
+                     config_.fault_policy == FaultPolicy::kTwinDetour,
+                 "the butterfly supports fault policies drop and twin_detour");
+
   PacketKernelConfig kernel;
   kernel.num_arcs = bfly_.num_arcs();
   kernel.seed = config_.seed;
@@ -49,6 +60,18 @@ void GreedyButterflySim::configure_kernel() {
   if (config_.track_level_occupancy) {
     kernel.stats.occupancy_trackers = static_cast<std::size_t>(config_.d);
   }
+  if (config_.track_delay_histogram) {
+    enable_delay_tail_tracking(kernel.stats, config_.d);
+  }
+  if (fault_active_) {
+    fault_model_.configure(
+        make_fault_model_config(config_, bfly_.num_arcs(),
+                                static_cast<std::uint32_t>(bfly_.num_nodes())),
+        [this](std::uint32_t node, std::vector<BflyArcId>& out) {
+          bfly_.append_incident_arcs(node, out);
+        });
+    kernel.fault_model = &fault_model_;
+  }
   kernel_.configure(kernel);
 }
 
@@ -56,6 +79,13 @@ void GreedyButterflySim::inject(double now, NodeId origin_row, NodeId dest_row) 
   kernel_.count_arrival(now);
   const std::uint32_t pkt = kernel_.allocate_packet();
   kernel_.packet(pkt) = Pkt{origin_row, dest_row, now, 0, 1};
+  if (fault_active_ &&
+      fault_model_.is_node_faulty(bfly_.node_index(origin_row, 1))) {
+    // A dead entry node offers no deliverable traffic; count its load as
+    // fault-dropped so the delivery ratio reflects the offered load.
+    kernel_.drop_faulty(now, pkt);
+    return;
+  }
   // Every packet crosses exactly d arcs (one per level), even when the rows
   // agree everywhere (all-straight path): the butterfly is a crossbar, and
   // "delivery" means reaching level d+1.
@@ -77,7 +107,25 @@ void GreedyButterflySim::enqueue(double now, std::uint32_t pkt) {
   const auto kind = has_dimension(packet.row ^ packet.dest_row, level)
                         ? Butterfly::ArcKind::kVertical
                         : Butterfly::ArcKind::kStraight;
-  const BflyArcId arc = bfly_.arc_index(packet.row, level, kind);
+  BflyArcId arc = bfly_.arc_index(packet.row, level, kind);
+  if (fault_active_ && kernel_.arc_faulty(arc)) {
+    if (config_.fault_policy == FaultPolicy::kDrop) {
+      kernel_.drop_faulty(now, pkt);
+      return;
+    }
+    // kTwinDetour: cross the level on its other arc.  The row bit of this
+    // level then stays wrong forever (each level is crossed exactly once),
+    // so the packet exits misrouted — on_arc_done counts it as a fault
+    // drop at level d+1.
+    const auto twin = kind == Butterfly::ArcKind::kStraight
+                          ? Butterfly::ArcKind::kVertical
+                          : Butterfly::ArcKind::kStraight;
+    arc = bfly_.arc_index(packet.row, level, twin);
+    if (kernel_.arc_faulty(arc)) {
+      kernel_.drop_faulty(now, pkt);
+      return;
+    }
+  }
   kernel_.enqueue(now, arc, pkt, /*external=*/false,
                   static_cast<std::size_t>(level - 1));
 }
@@ -93,9 +141,16 @@ void GreedyButterflySim::on_arc_done(double now, BflyArcId arc) {
     ++packet.vertical_count;
   }
   if (level == config_.d) {
+    if (fault_active_ && packet.row != packet.dest_row) {
+      // A twin detour misrouted the packet; it exits at the wrong row.
+      kernel_.drop_faulty(now, pkt);
+      return;
+    }
     RS_DASSERT(packet.row == packet.dest_row);
+    // Every delivered packet crossed exactly d arcs (the unique-path
+    // property), so its stretch is identically 1.
     kernel_.deliver(now, pkt, packet.gen_time,
-                    static_cast<double>(packet.vertical_count));
+                    static_cast<double>(packet.vertical_count), 1.0);
     return;
   }
   packet.level = static_cast<std::uint16_t>(level + 1);
@@ -113,9 +168,12 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
        [](const Scenario& s) {
          CompiledScenario compiled;
          const Window window = s.resolved_window();
-         // Built here so a bad workload fails at compile time, not inside a
-         // replication worker thread.
-         compiled.replicate = [s, window, dist = s.make_destinations()](
+         // Validated here so a bad workload or fault combination fails at
+         // compile time, not inside a replication worker thread.
+         const FaultPolicy fault_policy = s.resolved_fault_policy(
+             {FaultPolicy::kDrop, FaultPolicy::kTwinDetour});
+         compiled.replicate = [s, window, fault_policy,
+                               dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            GreedyButterflyConfig config;
            config.d = s.d;
@@ -123,6 +181,15 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
            config.destinations = dist;
            config.seed = seed;
            config.slot = s.tau;
+           // Tail metrics (delay_p50/p99) come from the delay histogram.
+           config.track_delay_histogram = true;
+           if (fault_policy != FaultPolicy::kNone) {
+             config.fault_policy = fault_policy;
+             config.arc_fault_rate = s.fault_rate;
+             config.node_fault_rate = s.node_fault_rate;
+             config.fault_mtbf = s.fault_mtbf;
+             config.fault_mttr = s.fault_mttr;
+           }
            // Thread-local so the cached sim's trace pointer stays valid for
            // the sim's whole lifetime (and the buffers are reused per rep).
            thread_local PacketTrace trace;
@@ -134,13 +201,22 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
            GreedyButterflySim& sim =
                reusable_sim<GreedyButterflySim>(std::move(config));
            sim.run(window.warmup, window.horizon);
+           const KernelStats& stats = sim.kernel_stats();
            return std::vector<double>{
                sim.delay().mean(),          sim.time_avg_population(),
                sim.throughput(),            sim.vertical_hops().mean(),
-               sim.little_check().relative_error(), sim.final_population()};
+               sim.little_check().relative_error(), sim.final_population(),
+               stats.delivery_ratio(),      stats.mean_stretch(),
+               stats.delay_quantile(0.5),   stats.delay_quantile(0.99),
+               static_cast<double>(stats.fault_drops_in_window()),
+               static_cast<double>(stats.drops_in_window())};
          };
+         compiled.extra_metrics = {"delivery_ratio", "mean_stretch",
+                                   "delay_p50",      "delay_p99",
+                                   "fault_drops",    "buffer_drops"};
          // Unstable points (rho >= 1) run fine — only the bracket is gone.
-         if (s.workload != "general") {
+         // Faulty scenarios have no closed-form bracket either.
+         if (s.workload != "general" && !s.faults_active()) {
            const bounds::ButterflyParams params{s.d, s.lambda, s.effective_p()};
            if (bounds::bfly_load_factor(params) < 1.0) {
              compiled.has_bounds = true;

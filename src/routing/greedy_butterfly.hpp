@@ -33,6 +33,21 @@ struct GreedyButterflyConfig {
   double slot = 0.0;                  ///< 0 => continuous; > 0 => slotted (§3.4 analogue)
   const PacketTrace* trace = nullptr; ///< replay instead of generating
   bool track_level_occupancy = false; ///< time-avg packets stored per level
+  /// Collect a delay histogram (bin width 1, range [0, 64*d]) for tails.
+  bool track_delay_histogram = false;
+
+  // --- fault injection (src/fault/fault_model.hpp) ----------------------
+  /// kNone = pristine path.  kDrop drops packets whose required arc is
+  /// dead; kTwinDetour takes the level's other arc instead — the butterfly
+  /// has a *unique* path per origin/destination pair, so a detoured packet
+  /// exits at the wrong row and is counted as misrouted (a fault drop):
+  /// the policy measures what deflection costs in a network with no path
+  /// diversity.
+  FaultPolicy fault_policy = FaultPolicy::kNone;
+  double arc_fault_rate = 0.0;   ///< P[arc statically down]
+  double node_fault_rate = 0.0;  ///< P[node down] (kills incident arcs)
+  double fault_mtbf = 0.0;       ///< mean link up-time (> 0 with mttr => dynamic)
+  double fault_mttr = 0.0;       ///< mean link repair time
 };
 
 class GreedyButterflySim {
@@ -85,6 +100,23 @@ class GreedyButterflySim {
     return kernel_.stats().measurement_window();
   }
 
+  /// Packets lost to faults (dead arc, dead node, or misrouted by a twin
+  /// detour) within the window.
+  [[nodiscard]] std::uint64_t fault_drops_in_window() const noexcept {
+    return kernel_.stats().fault_drops_in_window();
+  }
+  [[nodiscard]] double delivery_ratio() const noexcept {
+    return kernel_.stats().delivery_ratio();
+  }
+  /// The attached fault model (inactive when fault_policy is kNone).
+  [[nodiscard]] const FaultModel& fault_model() const noexcept {
+    return fault_model_;
+  }
+  /// The full measurement harvest (delivery ratio, stretch, quantiles, ...).
+  [[nodiscard]] const KernelStats& kernel_stats() const noexcept {
+    return kernel_.stats();
+  }
+
   // --- kernel hooks (called by PacketKernel::drive) ---
 
   void on_spawn(double now);
@@ -106,13 +138,17 @@ class GreedyButterflySim {
 
   GreedyButterflyConfig config_;
   Butterfly bfly_;
+  FaultModel fault_model_;
+  bool fault_active_ = false;
   PacketKernel<Pkt> kernel_;
 };
 
 class SchemeRegistry;
 
 /// core/registry.hpp hookup: registers "butterfly_greedy" (§4, Props.
-/// 14/17; workloads bit_flip, uniform and trace).
+/// 14/17; workloads bit_flip, uniform and trace; fault injection with
+/// fault_policy drop | twin_detour, reported through the resilience
+/// extras).
 void register_butterfly_greedy_scheme(SchemeRegistry& registry);
 
 }  // namespace routesim

@@ -2,9 +2,11 @@
 
 #include "core/registry.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
+#include "fault/fault_routing.hpp"
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
 
@@ -35,10 +37,31 @@ void GreedyHypercubeSim::configure_kernel() {
                    "slot length must satisfy: 1/slot integer, slot <= 1 (§3.4)");
   }
 
+  fault_active_ = config_.fault_policy != FaultPolicy::kNone;
+  RS_EXPECTS_MSG(fault_active_ || (config_.arc_fault_rate == 0.0 &&
+                                   config_.node_fault_rate == 0.0 &&
+                                   config_.fault_mtbf == 0.0 &&
+                                   config_.fault_mttr == 0.0),
+                 "fault rates need a fault_policy");
+  RS_EXPECTS_MSG(config_.fault_policy != FaultPolicy::kTwinDetour,
+                 "twin_detour is a butterfly policy; the hypercube supports "
+                 "drop, skip_dim and deflect");
+  ttl_ = config_.ttl > 0 ? config_.ttl : 64 * config_.d;
+  // Hop counters are 16-bit; a larger TTL could never fire (wraparound).
+  ttl_ = std::min(ttl_, 65535);
+
   PacketKernelConfig kernel;
   kernel.num_arcs = cube_.num_arcs();
   kernel.seed = config_.seed;
   kernel.stream_salt = 0xC0BE;
+  if (fault_active_) {
+    fault_model_.configure(
+        make_fault_model_config(config_, cube_.num_arcs(), cube_.num_nodes()),
+        [this](std::uint32_t node, std::vector<ArcId>& out) {
+          cube_.append_incident_arcs(node, out);
+        });
+    kernel.fault_model = &fault_model_;
+  }
   kernel.birth_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
   kernel.slot = config_.slot;
   kernel.trace = config_.trace;
@@ -54,10 +77,7 @@ void GreedyHypercubeSim::configure_kernel() {
     kernel.stats.occupancy_trackers = cube_.num_nodes();
   }
   if (config_.track_delay_histogram) {
-    kernel.stats.delay_histogram = true;
-    kernel.stats.histogram_lo = 0.0;
-    kernel.stats.histogram_bin_width = 1.0;
-    kernel.stats.histogram_bins = static_cast<std::size_t>(64) * config_.d;
+    enable_delay_tail_tracking(kernel.stats, config_.d);
   }
   kernel_.configure(kernel);
 }
@@ -65,14 +85,27 @@ void GreedyHypercubeSim::configure_kernel() {
 void GreedyHypercubeSim::inject(double now, NodeId origin, NodeId dest) {
   kernel_.count_arrival(now);
   const std::uint32_t pkt = kernel_.allocate_packet();
-  kernel_.packet(pkt) = Pkt{origin, dest, now, 0};
+  kernel_.packet(pkt) =
+      Pkt{origin, dest, now, 0,
+          static_cast<std::uint16_t>(hamming_distance(origin, dest))};
+  if (fault_active_ && fault_model_.is_node_faulty(origin)) {
+    // A dead node offers no deliverable traffic; its load is counted as
+    // fault-dropped so the delivery ratio reflects the offered load.
+    kernel_.drop_faulty(now, pkt);
+    return;
+  }
   if (origin == dest) {
     // A packet that selects its own origin (probability (1-p)^d) needs no
     // transmission at all; it is delivered instantly with delay 0.
     kernel_.deliver(now, pkt, now, 0.0);
     return;
   }
-  const int dim = next_dimension(kernel_.packet(pkt));
+  const int dim = fault_active_ ? next_dimension_faulty(kernel_.packet(pkt))
+                                : next_dimension(kernel_.packet(pkt));
+  if (dim == 0) {
+    kernel_.drop_faulty(now, pkt);
+    return;
+  }
   kernel_.enqueue(now, cube_.arc_index(origin, dim), pkt, /*external=*/true,
                   origin);
 }
@@ -105,6 +138,21 @@ int GreedyHypercubeSim::next_dimension(const Pkt& packet) {
   return lowest_dimension(remaining);  // unreachable
 }
 
+int GreedyHypercubeSim::next_dimension_faulty(const Pkt& packet) {
+  // The scheme's normal pick first: when its arc is alive — always, at
+  // zero fault rates — routing and RNG consumption are identical to the
+  // pristine path.  Otherwise the shared skip-dimension machinery
+  // (fault/fault_routing.hpp) applies the policy.
+  const int preferred = next_dimension(packet);
+  if (!kernel_.arc_faulty(cube_.arc_index(packet.cur, preferred))) {
+    return preferred;
+  }
+  return fault_reroute_dimension(
+      config_.fault_policy, config_.d, packet.cur ^ packet.dest,
+      [&](int dim) { return kernel_.arc_faulty(cube_.arc_index(packet.cur, dim)); },
+      kernel_.rng());
+}
+
 void GreedyHypercubeSim::on_arc_done(double now, ArcId arc) {
   const std::uint32_t pkt = kernel_.finish_arc(now, arc, cube_.arc_source(arc));
 
@@ -113,8 +161,26 @@ void GreedyHypercubeSim::on_arc_done(double now, ArcId arc) {
   packet.cur = flip_dimension(packet.cur, dim);
   ++packet.hop_count;
   if (packet.cur == packet.dest) {
+    const double stretch =
+        packet.min_hops > 0
+            ? static_cast<double>(packet.hop_count) / packet.min_hops
+            : 0.0;
     kernel_.deliver(now, pkt, packet.gen_time,
-                    static_cast<double>(packet.hop_count));
+                    static_cast<double>(packet.hop_count), stretch);
+    return;
+  }
+  if (fault_active_) {
+    if (packet.hop_count >= ttl_) {
+      kernel_.drop_faulty(now, pkt);
+      return;
+    }
+    const int next_dim = next_dimension_faulty(packet);
+    if (next_dim == 0) {
+      kernel_.drop_faulty(now, pkt);
+      return;
+    }
+    kernel_.enqueue(now, cube_.arc_index(packet.cur, next_dim), pkt,
+                    /*external=*/false, packet.cur);
     return;
   }
   // Under the paper's increasing-index order the next required dimension is
@@ -139,9 +205,12 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
        [](const Scenario& s) {
          CompiledScenario compiled;
          const Window window = s.resolved_window();
-         // Built here so a bad workload fails at compile time, not inside a
-         // replication worker thread.
-         compiled.replicate = [s, window, dist = s.make_destinations()](
+         // Validated here so a bad workload or fault combination fails at
+         // compile time, not inside a replication worker thread.
+         const FaultPolicy fault_policy = s.resolved_fault_policy(
+             {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect});
+         compiled.replicate = [s, window, fault_policy,
+                               dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            GreedyHypercubeConfig config;
            config.d = s.d;
@@ -150,6 +219,16 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
            config.seed = seed;
            config.slot = s.tau;
            config.buffer_capacity = s.buffer_capacity;
+           // Tail metrics (delay_p50/p99) come from the delay histogram.
+           config.track_delay_histogram = true;
+           if (fault_policy != FaultPolicy::kNone) {
+             config.fault_policy = fault_policy;
+             config.arc_fault_rate = s.fault_rate;
+             config.node_fault_rate = s.node_fault_rate;
+             config.fault_mtbf = s.fault_mtbf;
+             config.fault_mttr = s.fault_mttr;
+             config.ttl = s.ttl;
+           }
            // Thread-local so the cached sim's trace pointer stays valid for
            // the sim's whole lifetime (and the buffers are reused per rep).
            thread_local PacketTrace trace;
@@ -161,13 +240,22 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
            GreedyHypercubeSim& sim =
                reusable_sim<GreedyHypercubeSim>(std::move(config));
            sim.run(window.warmup, window.horizon);
+           const KernelStats& stats = sim.kernel_stats();
            return std::vector<double>{
                sim.delay().mean(),          sim.time_avg_population(),
                sim.throughput(),            sim.hops().mean(),
-               sim.little_check().relative_error(), sim.final_population()};
+               sim.little_check().relative_error(), sim.final_population(),
+               stats.delivery_ratio(),      stats.mean_stretch(),
+               stats.delay_quantile(0.5),   stats.delay_quantile(0.99),
+               static_cast<double>(stats.fault_drops_in_window()),
+               static_cast<double>(stats.drops_in_window())};
          };
+         compiled.extra_metrics = {"delivery_ratio", "mean_stretch",
+                                   "delay_p50",      "delay_p99",
+                                   "fault_drops",    "buffer_drops"};
          // Unstable points (rho >= 1) run fine — only the bracket is gone.
-         if (s.workload != "general") {
+         // Faulty scenarios have no closed-form bracket either.
+         if (s.workload != "general" && !s.faults_active()) {
            const bounds::HypercubeParams params{s.d, s.lambda, s.effective_p()};
            if (bounds::load_factor(params) < 1.0) {
              compiled.has_bounds = true;

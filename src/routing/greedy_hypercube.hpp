@@ -66,6 +66,19 @@ struct GreedyHypercubeConfig {
   /// one in service; arriving packets finding a full queue are dropped.
   /// 0 means infinite buffers (the paper's model).
   std::uint32_t buffer_capacity = 0;
+
+  // --- fault injection (src/fault/fault_model.hpp) ----------------------
+  /// kNone = the pristine code path (bit-identical to the paper's model).
+  /// kDrop / kSkipDim / kDeflect attach a FaultModel and route around (or
+  /// drop at) dead arcs; with all fault rates zero the routing decisions
+  /// and RNG consumption are identical to kNone.
+  FaultPolicy fault_policy = FaultPolicy::kNone;
+  double arc_fault_rate = 0.0;   ///< P[arc statically down]
+  double node_fault_rate = 0.0;  ///< P[node down] (kills incident arcs)
+  double fault_mtbf = 0.0;       ///< mean link up-time (> 0 with mttr => dynamic)
+  double fault_mttr = 0.0;       ///< mean link repair time
+  /// Max hops before a detouring packet is dropped; 0 = 64 * d.
+  int ttl = 0;
 };
 
 class GreedyHypercubeSim {
@@ -136,6 +149,32 @@ class GreedyHypercubeSim {
     return kernel_.stats().drops_in_window();
   }
 
+  /// Packets lost to faults (dead arc / dead node / TTL) within the window.
+  [[nodiscard]] std::uint64_t fault_drops_in_window() const noexcept {
+    return kernel_.stats().fault_drops_in_window();
+  }
+
+  /// Windowed delivery ratio (see KernelStats::delivery_ratio).
+  [[nodiscard]] double delivery_ratio() const noexcept {
+    return kernel_.stats().delivery_ratio();
+  }
+
+  /// Mean path stretch, hops / Hamming distance, over delivered packets
+  /// with distinct origin and destination; exactly 1 on a fault-free cube.
+  [[nodiscard]] double mean_stretch() const noexcept {
+    return kernel_.stats().mean_stretch();
+  }
+
+  /// The attached fault model (inactive when fault_policy is kNone).
+  [[nodiscard]] const FaultModel& fault_model() const noexcept {
+    return fault_model_;
+  }
+
+  /// The full measurement harvest (delivery ratio, stretch, quantiles, ...).
+  [[nodiscard]] const KernelStats& kernel_stats() const noexcept {
+    return kernel_.stats();
+  }
+
   [[nodiscard]] const Hypercube& topology() const noexcept { return cube_; }
   [[nodiscard]] double measurement_window() const noexcept {
     return kernel_.stats().measurement_window();
@@ -153,14 +192,22 @@ class GreedyHypercubeSim {
     NodeId dest = 0;
     double gen_time = 0.0;
     std::uint16_t hop_count = 0;
+    std::uint16_t min_hops = 0;  ///< Hamming(origin, dest) — stretch baseline
   };
 
   void configure_kernel();
   void inject(double now, NodeId origin, NodeId dest);
   [[nodiscard]] int next_dimension(const Pkt& packet);
+  /// Fault-aware dimension choice: the scheme's normal pick when its arc
+  /// is alive, the policy's reroute (fault/fault_routing.hpp) otherwise;
+  /// 0 means drop the packet.
+  [[nodiscard]] int next_dimension_faulty(const Pkt& packet);
 
   GreedyHypercubeConfig config_;
   Hypercube cube_;
+  FaultModel fault_model_;
+  bool fault_active_ = false;
+  int ttl_ = 0;
   PacketKernel<Pkt> kernel_;
 };
 
@@ -168,7 +215,11 @@ class SchemeRegistry;
 
 /// core/registry.hpp hookup: registers "hypercube_greedy" (continuous or,
 /// with tau > 0, the slotted variant of §3.4; workloads bit_flip, uniform,
-/// general and trace; finite buffers via buffer_capacity).
+/// general and trace; finite buffers via buffer_capacity; fault injection
+/// via fault_rate / node_fault_rate / fault_mtbf / fault_mttr with
+/// fault_policy drop | skip_dim | deflect, reported through the
+/// delivery_ratio / mean_stretch / delay_p50 / delay_p99 / fault_drops /
+/// buffer_drops extras).
 void register_hypercube_greedy_scheme(SchemeRegistry& registry);
 
 }  // namespace routesim

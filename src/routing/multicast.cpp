@@ -155,6 +155,7 @@ void register_multicast_scheme(SchemeRegistry& registry) {
        "packet (§5; unicast_baseline=1 sends fanout independent unicasts)",
        [](const Scenario& s) {
          CompiledScenario compiled;
+         (void)s.resolved_fault_policy({});  // no fault support: reject knobs
          const Window window = s.resolved_window();
          compiled.replicate = [s, window](std::uint64_t seed, int) {
            MulticastConfig config;

@@ -90,6 +90,7 @@ void register_pipelined_baseline_scheme(SchemeRegistry& registry) {
        "(§2.3; stable only for lambda*R*d < 1)",
        [](const Scenario& s) {
          CompiledScenario compiled;
+         (void)s.resolved_fault_policy({});  // no fault support: reject knobs
          const Window window = s.resolved_window();
          compiled.replicate = [s, window, dist = s.make_destinations()](
                                   std::uint64_t seed, int) {

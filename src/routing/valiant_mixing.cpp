@@ -2,8 +2,10 @@
 
 #include "core/registry.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "fault/fault_routing.hpp"
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
 
@@ -23,6 +25,18 @@ void ValiantMixingSim::reset(ValiantMixingConfig config) {
 void ValiantMixingSim::configure_kernel() {
   RS_EXPECTS(config_.destinations.dimension() == config_.d);
   if (config_.trace == nullptr) RS_EXPECTS(config_.lambda > 0.0);
+  fault_active_ = config_.fault_policy != FaultPolicy::kNone;
+  RS_EXPECTS_MSG(fault_active_ || (config_.arc_fault_rate == 0.0 &&
+                                   config_.node_fault_rate == 0.0 &&
+                                   config_.fault_mtbf == 0.0 &&
+                                   config_.fault_mttr == 0.0),
+                 "fault rates need a fault_policy");
+  RS_EXPECTS_MSG(config_.fault_policy != FaultPolicy::kTwinDetour,
+                 "twin_detour is a butterfly policy; valiant_mixing supports "
+                 "drop, skip_dim and deflect");
+  ttl_ = config_.ttl > 0 ? config_.ttl : 64 * config_.d;
+  // Hop counters are 16-bit; a larger TTL could never fire (wraparound).
+  ttl_ = std::min(ttl_, 65535);
 
   PacketKernelConfig kernel;
   kernel.num_arcs = cube_.num_arcs();
@@ -34,6 +48,17 @@ void ValiantMixingSim::configure_kernel() {
   if (config_.trace == nullptr) {
     kernel.expected_packets =
         static_cast<std::size_t>(kernel.birth_rate * 2.0 * config_.d) + 64;
+  }
+  if (config_.track_delay_histogram) {
+    enable_delay_tail_tracking(kernel.stats, config_.d);
+  }
+  if (fault_active_) {
+    fault_model_.configure(
+        make_fault_model_config(config_, cube_.num_arcs(), cube_.num_nodes()),
+        [this](std::uint32_t node, std::vector<ArcId>& out) {
+          cube_.append_incident_arcs(node, out);
+        });
+    kernel.fault_model = &fault_model_;
   }
   kernel_.configure(kernel);
 }
@@ -52,8 +77,14 @@ void ValiantMixingSim::inject(double now, NodeId origin, NodeId dest) {
   const std::uint32_t id = kernel_.allocate_packet();
   const auto intermediate =
       static_cast<NodeId>(kernel_.rng().uniform_below(cube_.num_nodes()));
-  kernel_.packet(id) = Pkt{origin, intermediate, dest, now, 0, 0};
+  const auto min_hops = static_cast<std::uint16_t>(
+      hamming_distance(origin, intermediate) + hamming_distance(intermediate, dest));
+  kernel_.packet(id) = Pkt{origin, intermediate, dest, now, 0, 0, min_hops};
 
+  if (fault_active_ && fault_model_.is_node_faulty(origin)) {
+    kernel_.drop_faulty(now, id);
+    return;
+  }
   Pkt& packet = kernel_.packet(id);
   if (origin == intermediate) {
     packet.phase = 1;
@@ -66,8 +97,34 @@ void ValiantMixingSim::inject(double now, NodeId origin, NodeId dest) {
   enqueue(now, id);
 }
 
+int ValiantMixingSim::next_dimension_faulty(const Pkt& packet) {
+  // The greedy pick toward the phase target first; at zero fault rates the
+  // chosen arc is always alive and the pristine path is reproduced.
+  // Otherwise the shared skip-dimension machinery
+  // (fault/fault_routing.hpp) applies the policy against the phase target.
+  const NodeId unresolved = packet.cur ^ packet.target;
+  const int preferred = lowest_dimension(unresolved);
+  if (!kernel_.arc_faulty(cube_.arc_index(packet.cur, preferred))) {
+    return preferred;
+  }
+  return fault_reroute_dimension(
+      config_.fault_policy, config_.d, unresolved,
+      [&](int dim) { return kernel_.arc_faulty(cube_.arc_index(packet.cur, dim)); },
+      kernel_.rng());
+}
+
 void ValiantMixingSim::enqueue(double now, std::uint32_t pkt) {
   const Pkt& packet = kernel_.packet(pkt);
+  if (fault_active_) {
+    const int dim = next_dimension_faulty(packet);
+    if (dim == 0) {
+      kernel_.drop_faulty(now, pkt);
+      return;
+    }
+    kernel_.enqueue(now, cube_.arc_index(packet.cur, dim), pkt,
+                    /*external=*/false);
+    return;
+  }
   const int dim = lowest_dimension(packet.cur ^ packet.target);
   RS_DASSERT(dim >= 1);
   kernel_.enqueue(now, cube_.arc_index(packet.cur, dim), pkt, /*external=*/false);
@@ -81,18 +138,30 @@ void ValiantMixingSim::on_arc_done(double now, ArcId arc) {
   ++packet.hop_count;
   if (packet.cur == packet.target) {
     if (packet.phase == 1) {
+      const double stretch =
+          packet.min_hops > 0
+              ? static_cast<double>(packet.hop_count) / packet.min_hops
+              : 0.0;
       kernel_.deliver(now, pkt, packet.gen_time,
-                      static_cast<double>(packet.hop_count));
+                      static_cast<double>(packet.hop_count), stretch);
       return;
     }
     // Reached the random intermediate node: start phase 2 from dimension 1.
     packet.phase = 1;
     packet.target = packet.final_dest;
     if (packet.cur == packet.target) {
+      const double stretch =
+          packet.min_hops > 0
+              ? static_cast<double>(packet.hop_count) / packet.min_hops
+              : 0.0;
       kernel_.deliver(now, pkt, packet.gen_time,
-                      static_cast<double>(packet.hop_count));
+                      static_cast<double>(packet.hop_count), stretch);
       return;
     }
+  }
+  if (fault_active_ && packet.hop_count >= ttl_) {
+    kernel_.drop_faulty(now, pkt);
+    return;
   }
   enqueue(now, pkt);
 }
@@ -109,13 +178,28 @@ void register_valiant_mixing_scheme(SchemeRegistry& registry) {
        [](const Scenario& s) {
          CompiledScenario compiled;
          const Window window = s.resolved_window();
-         compiled.replicate = [s, window, dist = s.make_destinations()](
+         // Validated here so a bad fault combination fails at compile
+         // time, not inside a replication worker thread.
+         const FaultPolicy fault_policy = s.resolved_fault_policy(
+             {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect});
+         compiled.replicate = [s, window, fault_policy,
+                               dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            ValiantMixingConfig config;
            config.d = s.d;
            config.lambda = s.lambda;
            config.destinations = dist;
            config.seed = seed;
+           // Tail metrics (delay_p50/p99) come from the delay histogram.
+           config.track_delay_histogram = true;
+           if (fault_policy != FaultPolicy::kNone) {
+             config.fault_policy = fault_policy;
+             config.arc_fault_rate = s.fault_rate;
+             config.node_fault_rate = s.node_fault_rate;
+             config.fault_mtbf = s.fault_mtbf;
+             config.fault_mttr = s.fault_mttr;
+             config.ttl = s.ttl;
+           }
            // Thread-local so the cached sim's trace pointer stays valid for
            // the sim's whole lifetime (and the buffers are reused per rep).
            thread_local PacketTrace trace;
@@ -127,11 +211,19 @@ void register_valiant_mixing_scheme(SchemeRegistry& registry) {
            ValiantMixingSim& sim =
                reusable_sim<ValiantMixingSim>(std::move(config));
            sim.run(window.warmup, window.horizon);
+           const KernelStats& stats = sim.kernel_stats();
            return std::vector<double>{
                sim.delay().mean(),          sim.time_avg_population(),
                sim.throughput(),            sim.hops().mean(),
-               sim.little_check().relative_error(), sim.final_population()};
+               sim.little_check().relative_error(), sim.final_population(),
+               stats.delivery_ratio(),      stats.mean_stretch(),
+               stats.delay_quantile(0.5),   stats.delay_quantile(0.99),
+               static_cast<double>(stats.fault_drops_in_window()),
+               static_cast<double>(stats.drops_in_window())};
          };
+         compiled.extra_metrics = {"delivery_ratio", "mean_stretch",
+                                   "delay_p50",      "delay_p99",
+                                   "fault_drops",    "buffer_drops"};
          // No closed-form bracket: the mixed network is not levelled, which
          // is the point of the comparison.
          return compiled;

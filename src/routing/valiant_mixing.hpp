@@ -32,6 +32,19 @@ struct ValiantMixingConfig {
   DestinationDistribution destinations = DestinationDistribution::uniform(4);
   std::uint64_t seed = 1;
   const PacketTrace* trace = nullptr;  ///< replay (same workload as greedy runs)
+  /// Collect a delay histogram (bin width 1, range [0, 64*d]) for tails.
+  bool track_delay_histogram = false;
+
+  // --- fault injection (src/fault/fault_model.hpp) ----------------------
+  /// kNone = pristine path; kDrop / kSkipDim / kDeflect reuse the greedy
+  /// hypercube's skip-dimension machinery within the current phase (the
+  /// unresolved set is taken against the phase target).
+  FaultPolicy fault_policy = FaultPolicy::kNone;
+  double arc_fault_rate = 0.0;
+  double node_fault_rate = 0.0;
+  double fault_mtbf = 0.0;
+  double fault_mttr = 0.0;
+  int ttl = 0;  ///< max hops for detouring packets; 0 = 64 * d
 };
 
 class ValiantMixingSim {
@@ -61,6 +74,15 @@ class ValiantMixingSim {
     return kernel_.stats().little_check();
   }
 
+  /// The attached fault model (inactive when fault_policy is kNone).
+  [[nodiscard]] const FaultModel& fault_model() const noexcept {
+    return fault_model_;
+  }
+  /// The full measurement harvest (delivery ratio, stretch, quantiles, ...).
+  [[nodiscard]] const KernelStats& kernel_stats() const noexcept {
+    return kernel_.stats();
+  }
+
   // --- kernel hooks (called by PacketKernel::drive) ---
 
   void on_spawn(double now);
@@ -75,21 +97,32 @@ class ValiantMixingSim {
     double gen_time = 0.0;
     std::uint16_t hop_count = 0;
     std::uint8_t phase = 0;  ///< 0: toward intermediate; 1: toward destination
+    /// Fault-free path length H(origin, intermediate) + H(intermediate,
+    /// dest) — the stretch baseline.
+    std::uint16_t min_hops = 0;
   };
 
   void configure_kernel();
   void inject(double now, NodeId origin, NodeId dest);
   void enqueue(double now, std::uint32_t pkt);
+  /// Fault-aware dimension choice toward the phase target (0 = drop),
+  /// via the shared machinery in fault/fault_routing.hpp.
+  [[nodiscard]] int next_dimension_faulty(const Pkt& packet);
 
   ValiantMixingConfig config_;
   Hypercube cube_;
+  FaultModel fault_model_;
+  bool fault_active_ = false;
+  int ttl_ = 0;
   PacketKernel<Pkt> kernel_;
 };
 
 class SchemeRegistry;
 
 /// core/registry.hpp hookup: registers "valiant_mixing" (§5 two-phase
-/// mixing; workload "trace" couples it to an equal-seed greedy scenario).
+/// mixing; workload "trace" couples it to an equal-seed greedy scenario;
+/// fault injection with fault_policy drop | skip_dim | deflect, reported
+/// through the resilience extras).
 void register_valiant_mixing_scheme(SchemeRegistry& registry);
 
 }  // namespace routesim

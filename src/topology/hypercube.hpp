@@ -74,6 +74,18 @@ class Hypercube {
   /// All d out-neighbours of x, ordered by dimension.
   [[nodiscard]] std::vector<NodeId> neighbours(NodeId x) const;
 
+  /// Appends every arc incident to x — the d out-arcs (x, dim) and the d
+  /// in-arcs (x XOR e_dim, dim) — to `out`, in dimension order.  This is
+  /// the enumeration a node fault uses to take its arcs down
+  /// (fault/fault_model.hpp).
+  void append_incident_arcs(NodeId x, std::vector<ArcId>& out) const {
+    RS_DASSERT(valid_node(x));
+    for (int dim = 1; dim <= d_; ++dim) {
+      out.push_back(arc_index(x, dim));
+      out.push_back(arc_index(flip_dimension(x, dim), dim));
+    }
+  }
+
  private:
   int d_;
   std::uint32_t num_nodes_;

@@ -61,7 +61,47 @@ TEST(Histogram, QuantileRequiresData) {
   EXPECT_THROW((void)h.quantile(0.5), ContractViolation);
   h.add(1.5);
   EXPECT_THROW((void)h.quantile(-0.1), ContractViolation);
+  EXPECT_THROW((void)h.quantile(1.1), ContractViolation);
   EXPECT_NO_THROW((void)h.quantile(1.0));
+}
+
+TEST(Histogram, QuantileAtZeroAndOneBracketTheData) {
+  Histogram h(0.0, 1.0, 8);
+  h.add(2.5);
+  h.add(3.5);
+  h.add(6.5);
+  // q = 0 is the distribution's left edge, q = 1 its right edge; every
+  // intermediate quantile lies inside the data's bin range.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);  // right edge of bin [6, 7)
+  EXPECT_GE(h.quantile(0.5), 2.0);
+  EXPECT_LE(h.quantile(0.5), 4.0);
+}
+
+TEST(Histogram, QuantileWithMassInOverflowBin) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  for (int i = 0; i < 8; ++i) h.add(100.0);  // 80% of the mass overflows
+  // Quantiles inside the overflow mass saturate at the histogram's upper
+  // edge — the estimator never extrapolates beyond its binned support.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  // Low quantiles still resolve within the real bins.
+  EXPECT_LE(h.quantile(0.1), 1.0);
+}
+
+TEST(Histogram, QuantileWithOnlyOverflowAndUnderflowMass) {
+  Histogram all_over(0.0, 1.0, 2);
+  all_over.add(10.0);
+  all_over.add(20.0);
+  EXPECT_DOUBLE_EQ(all_over.quantile(0.5), 2.0);  // upper edge
+
+  Histogram all_under(5.0, 1.0, 2);
+  all_under.add(1.0);
+  all_under.add(2.0);
+  EXPECT_DOUBLE_EQ(all_under.quantile(0.5), 5.0);  // lower edge
+  EXPECT_DOUBLE_EQ(all_under.quantile(1.0), 5.0);
 }
 
 TEST(Histogram, ConstructorValidation) {

@@ -257,6 +257,137 @@ TEST(KernelParity, NetworkQFifoAndPs) {
   }
 }
 
+// The fault-injection subsystem must be invisible at fault_rate = 0: with a
+// fault policy attached but every rate zero, routing goes through the
+// fault-aware code path (FaultModel configured, per-hop liveness checks,
+// TTL guard) yet never sees a dead arc, so results must stay bit-identical
+// to the pristine pins above — same event order, same RNG consumption,
+// same floating-point arithmetic.
+TEST(KernelParity, HypercubeFaultPathAtZeroRateIsBitIdentical) {
+  GreedyHypercubeConfig config;
+  config.d = 6;
+  config.lambda = 1.0;
+  config.destinations = DestinationDistribution::uniform(6);
+  config.seed = 42;
+  config.track_node_occupancy = true;
+  config.track_delay_histogram = true;
+  for (const FaultPolicy policy :
+       {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect}) {
+    config.fault_policy = policy;  // all rates zero: nothing is ever down
+    GreedyHypercubeSim sim(config);
+    sim.run(50.0, 550.0);
+    expect_exact(
+        {sim.delay().mean(), sim.delay().max(), sim.hops().mean(),
+         sim.time_avg_population(), sim.peak_population(),
+         sim.final_population(),
+         static_cast<double>(sim.deliveries_in_window()),
+         static_cast<double>(sim.arrivals_in_window()), sim.throughput(),
+         sim.little_check().relative_error(),
+         static_cast<double>(sim.arc_counters()[3].total_arrivals),
+         static_cast<double>(sim.arc_counters()[3].external_arrivals),
+         sim.node_mean_occupancy()[5], sim.max_node_occupancy(),
+         static_cast<double>(sim.delay_histogram()->bin_count(4)),
+         sim.delay_histogram()->quantile(0.9)},
+        {0x1.0c056af905f04p+2, 0x1.61f6bf533987p+4, 0x1.7ed650aa79378p+1,
+         0x1.0d5c078f36224p+8, 0x1.5p+8, 0x1.2ap+8, 0x1.f11p+14, 0x1.f5b8p+14,
+         0x1.fcfdf3b645a1dp+5, 0x1.95d562f44e424p-10, 0x1.aep+7, 0x1.aep+7,
+         0x1.fe0446a0d94d2p+1, 0x1.ep+3, 0x1.89bp+12, 0x1.bcafeeaded7ap+2});
+    EXPECT_EQ(sim.fault_drops_in_window(), 0u);
+    EXPECT_EQ(sim.delivery_ratio(), 1.0);
+    EXPECT_EQ(sim.mean_stretch(), 1.0);
+  }
+}
+
+TEST(KernelParity, HypercubeSlottedFaultPathAtZeroRateIsBitIdentical) {
+  GreedyHypercubeConfig config;
+  config.d = 5;
+  config.lambda = 0.9;
+  config.destinations = DestinationDistribution::bit_flip(5, 0.4);
+  config.seed = 3;
+  config.slot = 0.5;
+  config.fault_policy = FaultPolicy::kSkipDim;
+  GreedyHypercubeSim sim(config);
+  sim.run(40.0, 540.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), sim.final_population(),
+       static_cast<double>(sim.deliveries_in_window())},
+      {0x1.3c437449e7e1ep+1, 0x1.fdebd231b667p+0, 0x1.1bbe76c8b4396p+6,
+       0x1.c91eb851eb852p+4, 0x1.0cp+6, 0x1.be68p+13});
+}
+
+TEST(KernelParity, ButterflyFaultPathAtZeroRateIsBitIdentical) {
+  GreedyButterflyConfig config;
+  config.d = 5;
+  config.lambda = 0.8;
+  config.destinations = DestinationDistribution::bit_flip(5, 0.4);
+  config.seed = 7;
+  config.track_level_occupancy = true;
+  for (const FaultPolicy policy :
+       {FaultPolicy::kDrop, FaultPolicy::kTwinDetour}) {
+    config.fault_policy = policy;
+    GreedyButterflySim sim(config);
+    sim.run(50.0, 550.0);
+    expect_exact(
+        {sim.delay().mean(), sim.vertical_hops().mean(),
+         sim.time_avg_population(), sim.final_population(),
+         static_cast<double>(sim.deliveries_in_window()),
+         static_cast<double>(sim.arrivals_in_window()), sim.throughput(),
+         sim.little_check().relative_error(),
+         static_cast<double>(sim.arc_counters()[2].total_arrivals),
+         sim.level_mean_occupancy()[1]},
+        {0x1.8a5bd874387e6p+2, 0x1.016f2bb02d3dcp+1, 0x1.365e6a2b5ca5dp+7,
+         0x1.5ap+7, 0x1.83a8p+13, 0x1.891p+13, 0x1.8cf5c28f5c28fp+4,
+         0x1.2a96c18bbda8dp-10, 0x1.c8p+7, 0x1.e9cb4a3f37beep+4});
+    EXPECT_EQ(sim.fault_drops_in_window(), 0u);
+    EXPECT_EQ(sim.delivery_ratio(), 1.0);
+  }
+}
+
+TEST(KernelParity, ValiantMixingFaultPathAtZeroRateIsBitIdentical) {
+  ValiantMixingConfig config;
+  config.d = 6;
+  config.lambda = 0.5;
+  config.destinations = DestinationDistribution::uniform(6);
+  config.seed = 9;
+  for (const FaultPolicy policy :
+       {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect}) {
+    config.fault_policy = policy;
+    ValiantMixingSim sim(config);
+    sim.run(50.0, 550.0);
+    expect_exact(
+        {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+         sim.final_population(), sim.throughput(),
+         static_cast<double>(sim.arrivals_in_window()),
+         sim.little_check().relative_error()},
+        {0x1.0bb28f4c05ce2p+3, 0x1.80255ab1c1d0ep+2, 0x1.0cd62adf2be9ep+8,
+         0x1.15p+8, 0x1.f947ae147ae14p+4, 0x1.f618p+13,
+         0x1.1a89569698a64p-14});
+    EXPECT_EQ(sim.kernel_stats().fault_drops_in_window(), 0u);
+    EXPECT_EQ(sim.kernel_stats().mean_stretch(), 1.0);
+  }
+}
+
+// Deflection with zero fault rates keeps the fault model inactive and its
+// pins unchanged (its fault machinery only engages when an arc is down).
+TEST(KernelParity, DeflectionFaultConfigAtZeroRateIsBitIdentical) {
+  DeflectionConfig config;
+  config.d = 6;
+  config.lambda = 0.05;
+  config.destinations = DestinationDistribution::uniform(6);
+  config.seed = 13;
+  config.ttl = 64 * 6;  // explicit TTL; never reached without faults
+  DeflectionSim sim(config);
+  sim.run(50, 1050);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.deflection_fraction(),
+       static_cast<double>(sim.injection_backlog()),
+       static_cast<double>(sim.deliveries_in_window())},
+      {0x1.81734f0c54203p+1, 0x1.81734f0c54203p+1, 0x1.450c0ff29780ap-9,
+       0x1.4p+2, 0x1.8d2p+11});
+  EXPECT_EQ(sim.fault_drops_in_window(), 0u);
+}
+
 // reset() + rerun must reproduce a fresh construction exactly — this is the
 // contract that lets replication workers reuse kernel storage.
 TEST(KernelParity, ResetReusesStorageWithIdenticalResults) {

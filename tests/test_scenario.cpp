@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "core/simulation.hpp"
 #include "util/assert.hpp"
 
@@ -44,6 +48,102 @@ TEST(Scenario, NonDefaultRoundTripThroughTextualForm) {
   const Scenario parsed = Scenario::parse(args);
   EXPECT_EQ(parsed, original);
   EXPECT_EQ(parsed.to_string(), original.to_string());
+}
+
+TEST(Scenario, FaultKeysRoundTripThroughTextualForm) {
+  Scenario original;
+  original.scheme = "hypercube_greedy";
+  original.d = 6;
+  original.fault_rate = 0.125;
+  original.node_fault_rate = 0.0625;
+  original.fault_mtbf = 100.5;
+  original.fault_mttr = 12.25;
+  original.fault_policy = "skip_dim";
+  original.ttl = 512;
+  EXPECT_TRUE(original.faults_active());
+
+  std::vector<std::string> args{original.scheme};
+  for (const auto& [key, value] : original.to_key_values()) {
+    args.push_back(key + "=" + value);
+  }
+  EXPECT_EQ(Scenario::parse(args), original);
+
+  Scenario scenario;
+  EXPECT_FALSE(scenario.faults_active());
+  EXPECT_THROW(scenario.set("fault_rate", "1.5"), ScenarioError);
+  EXPECT_THROW(scenario.set("node_fault_rate", "-0.1"), ScenarioError);
+  EXPECT_THROW(scenario.set("fault_policy", "teleport"), ScenarioError);
+  EXPECT_THROW(scenario.set("ttl", "-3"), ScenarioError);
+  EXPECT_NO_THROW(scenario.set("fault_policy", "twin_detour"));
+}
+
+TEST(Scenario, UnknownKeySuggestsNearestValidKeys) {
+  Scenario scenario;
+  try {
+    scenario.set("fault_rat", "0.1");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("did you mean"), std::string::npos) << message;
+    EXPECT_NE(message.find("fault_rate"), std::string::npos) << message;
+  }
+  try {
+    scenario.set("lamda", "1.0");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& error) {
+    EXPECT_NE(std::string(error.what()).find("lambda"), std::string::npos);
+  }
+}
+
+TEST(Scenario, MaskPmfParsesInlineAndFromFileWithRoundTrip) {
+  // Inline CSV, unnormalised on purpose: 1,1,1,1 -> 0.25 each.
+  Scenario scenario;
+  scenario.set("d", "2");
+  scenario.set("workload", "general");
+  scenario.set("mask_pmf", "1,1,1,1");
+  ASSERT_EQ(scenario.mask_pmf.size(), 4u);
+  for (const double probability : scenario.mask_pmf) {
+    EXPECT_DOUBLE_EQ(probability, 0.25);
+  }
+
+  // Whitespace/CSV mix from a file via @path.
+  const std::string path = ::testing::TempDir() + "mask_pmf_roundtrip.txt";
+  {
+    std::ofstream out(path);
+    out << "0.5, 0.25\n0.125\t0.125\n";
+  }
+  Scenario from_file;
+  from_file.set("d", "2");
+  from_file.set("workload", "general");
+  from_file.set("mask_pmf", "@" + path);
+  ASSERT_EQ(from_file.mask_pmf.size(), 4u);
+  EXPECT_DOUBLE_EQ(from_file.mask_pmf[0], 0.5);
+  EXPECT_DOUBLE_EQ(from_file.mask_pmf[3], 0.125);
+  EXPECT_EQ(from_file.make_destinations().dimension(), 2);
+
+  // Full textual round trip: to_key_values() emits the inline CSV form.
+  std::vector<std::string> args{from_file.scheme};
+  for (const auto& [key, value] : from_file.to_key_values()) {
+    args.push_back(key + "=" + value);
+  }
+  EXPECT_EQ(Scenario::parse(args), from_file);
+  std::remove(path.c_str());
+}
+
+TEST(Scenario, MaskPmfRejectsMalformedInput) {
+  Scenario scenario;
+  scenario.set("d", "2");
+  // Wrong entry count (needs 2^d = 4).
+  EXPECT_THROW(scenario.set("mask_pmf", "0.5,0.5"), ScenarioError);
+  // Non-numeric entry.
+  EXPECT_THROW(scenario.set("mask_pmf", "0.25,0.25,abc,0.25"), ScenarioError);
+  // Negative entry / zero sum.
+  EXPECT_THROW(scenario.set("mask_pmf", "0.5,0.5,0.5,-0.5"), ScenarioError);
+  EXPECT_THROW(scenario.set("mask_pmf", "0,0,0,0"), ScenarioError);
+  // Missing file.
+  EXPECT_THROW(scenario.set("mask_pmf", "@/no/such/file.txt"), ScenarioError);
+  // Nothing was committed by the failed attempts.
+  EXPECT_TRUE(scenario.mask_pmf.empty());
 }
 
 TEST(Scenario, ParseRejectsMalformedInput) {
