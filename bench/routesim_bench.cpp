@@ -2,6 +2,7 @@
 // parameter point or sweep, straight from the command line.
 //
 //   routesim_bench --list
+//   routesim_bench --list --json catalog.json   (machine-readable catalog)
 //   routesim_bench --scenario hypercube_greedy --set d=8 --set rho=0.6
 //   routesim_bench --scenario hypercube_greedy --sweep rho=0.1:0.9 --json out.json
 //   routesim_bench --scenario butterfly_delay ... --set reps=8 --set seed=99
@@ -12,40 +13,36 @@
 // standard acceptance checks (bracket containment + Little consistency)
 // pass for every row.
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/driver.hpp"
 #include "common/table.hpp"
+#include "core/catalog.hpp"
 #include "core/registry.hpp"
 #include "core/scenario.hpp"
 
 namespace {
 
-int list_schemes() {
-  std::cout << "registered schemes:\n";
-  const auto& registry = routesim::SchemeRegistry::instance();
-  for (const auto& name : registry.names()) {
-    std::cout << "  " << name << "\n      " << registry.find(name)->summary
-              << '\n';
+/// --list: the full scheme/key/workload/permutation/policy catalog,
+/// assembled live from the registry (core/catalog.hpp).  With --json PATH
+/// the same catalog is written as JSON (the input of tools/gen_docs).
+int list_schemes(int argc, char** argv) {
+  const routesim::ScenarioCatalog catalog = routesim::scenario_catalog();
+  const std::string json_path = benchtab::json_path_from_args(argc, argv);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write catalog JSON to " << json_path << '\n';
+      return 1;
+    }
+    out << routesim::catalog_json(catalog);
+    std::cout << "catalog JSON written to " << json_path << '\n';
+    return 0;
   }
-  std::cout << "\nrecognized --set keys:\n ";
-  for (const auto& key : routesim::Scenario::known_set_keys()) {
-    std::cout << ' ' << key;
-  }
-  std::cout << "\n\nworkloads:\n"
-               "  bit_flip   law (1) with parameter p\n"
-               "  uniform    uniform destinations (p = 1/2)\n"
-               "  general    translation-invariant law (set mask_pmf=@path)\n"
-               "  trace      equal-seed scenarios replay the identical trace\n"
-               "\nfault policies (fault_policy=..., active when fault_rate,\n"
-               "node_fault_rate or fault_mtbf/fault_mttr is set):\n"
-               "  drop         drop packets whose next arc is dead (baseline)\n"
-               "  skip_dim     hypercube: greedy over surviving dimensions,\n"
-               "               random resolved-dimension detour, TTL-bounded\n"
-               "  deflect      hypercube: random surviving out-arc\n"
-               "  twin_detour  butterfly: cross the level on its other arc\n";
+  std::cout << routesim::catalog_text(catalog);
   return 0;
 }
 
@@ -54,14 +51,18 @@ int usage(const char* argv0) {
       << "usage: " << argv0
       << " --scenario SCHEME [--set key=value ...] [--sweep key=a:b[:step]]\n"
          "       [--json PATH] [--list]\n\n"
-         "keys: d, lambda, rho, p, tau, discipline (fifo|ps), workload\n"
-         "      (bit_flip|uniform|general|trace), mask_pmf (@path or inline\n"
-         "      CSV), fanout, unicast_baseline, buffers, fault_rate,\n"
-         "      node_fault_rate, fault_mtbf, fault_mttr, fault_policy\n"
-         "      (drop|skip_dim|deflect|twin_detour), ttl, warmup, horizon,\n"
-         "      measure, reps, seed, threads\n"
-         "sweep keys: rho, lambda, p, tau, d, fanout, measure, reps, seed,\n"
-         "      fault_rate, node_fault_rate\n";
+         // Key names come straight from the lists --list documents, so
+         // --help cannot drift from the registry.
+         "keys:";
+  for (const auto& key : routesim::Scenario::known_set_keys()) {
+    std::cout << ' ' << key;
+  }
+  std::cout << "\nsweep keys:";
+  for (const auto& key : routesim::SweepSpec::known_keys()) {
+    std::cout << ' ' << key;
+  }
+  std::cout << "\n(per-key docs, workloads, permutation families and fault\n"
+               "policies: --list)\n";
   return 2;
 }
 
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--list") return list_schemes();
+    if (arg == "--list") return list_schemes(argc, argv);
     if (arg == "--help" || arg == "-h") return usage(argv[0]);
     if (arg == "--scenario" && i + 1 < argc) {
       scheme = argv[++i];

@@ -1,0 +1,177 @@
+// Experiment X20 — adversarial permutations: the worst-case counterpart of
+// the paper's average-case efficiency results.
+//
+// Part 1 (static): per-arc load of the greedy path system for each
+// permutation family.  The checked headline: greedy butterfly max arc
+// congestion under bit_reversal equals the closed form 2^(ceil(d/2)-1)
+// exactly and therefore *doubles* every time N quadruples — Theta(sqrt(N))
+// — while a random permutation stays at O(d).
+//
+// Part 2 (dynamic): the same collapse in simulation, and the §5 remedy.
+// At one rate lambda, greedy under bit_reversal is unstable (rho =
+// lambda * 2^(ceil(d/2)-1) > 1: delay and queues blow up, throughput falls
+// below the offered load), while valiant_mixing under the *same*
+// bit-reversal workload stays within a small constant factor of the
+// random-destination baseline — the two-sided story: greedy is efficient
+// on average, mixing is the insurance against structured worst cases.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/driver.hpp"
+#include "workload/permutation.hpp"
+
+namespace {
+
+routesim::Scenario perm_scenario(const std::string& scheme,
+                                 const std::string& family, int d,
+                                 double lambda) {
+  routesim::Scenario s;
+  s.scheme = scheme;
+  s.d = d;
+  s.lambda = lambda;
+  s.workload = "permutation";
+  s.permutation = family;
+  s.plan = {2, 808, 0};
+  s.measure = 2000.0;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using routesim::Permutation;
+  benchdrive::Suite suite(
+      "tab_permutation_routing",
+      "X20: adversarial permutations — greedy collapse vs Valiant recovery\n"
+      "(static greedy-path congestion, then d = 8, lambda = 0.2 dynamics)",
+      {"delivery_ratio", "delay_p99", "max_queue"});
+
+  // --- Part 1: static congestion of the greedy path system ---------------
+  benchtab::Table congestion({"d", "N", "permutation", "bfly max", "bfly mean",
+                              "closed form", "hcube max"});
+  std::vector<std::uint64_t> bitrev_max;
+  for (const int d : {4, 6, 8, 10}) {
+    for (const auto& family : Permutation::names()) {
+      const Permutation perm = Permutation::by_name(family, d, 0.1, 808);
+      const auto bfly = routesim::butterfly_greedy_congestion(d, perm.table());
+      const auto cube = routesim::hypercube_greedy_congestion(d, perm.table());
+      const bool is_bitrev = family == "bit_reversal";
+      if (is_bitrev) bitrev_max.push_back(bfly.max_load);
+      congestion.add_row(
+          {std::to_string(d), std::to_string(1u << d), family,
+           std::to_string(bfly.max_load), benchtab::fmt(bfly.mean_load, 2),
+           is_bitrev
+               ? std::to_string(routesim::butterfly_bit_reversal_max_congestion(d))
+               : "-",
+           std::to_string(cube.max_load)});
+      if (is_bitrev) {
+        suite.checker().require(
+            bfly.max_load == routesim::butterfly_bit_reversal_max_congestion(d),
+            "d=" + std::to_string(d) +
+                ": butterfly bit-reversal congestion matches the closed form "
+                "2^(ceil(d/2)-1)");
+      }
+    }
+  }
+  congestion.print();
+  suite.report().add_table("static_congestion", congestion);
+
+  // Theta(sqrt(N)): quadrupling N (d -> d+2) doubles the max congestion.
+  for (std::size_t i = 0; i + 1 < bitrev_max.size(); ++i) {
+    suite.checker().require(bitrev_max[i + 1] == 2 * bitrev_max[i],
+                            "bit-reversal congestion doubles from d=" +
+                                std::to_string(4 + 2 * i) + " to d=" +
+                                std::to_string(6 + 2 * i) +
+                                " (Theta(sqrt(N)) growth)");
+  }
+  {
+    // The in-family control: a random permutation's congestion stays far
+    // below sqrt(N) (O(d) with high probability).
+    const auto random10 = routesim::butterfly_greedy_congestion(
+        10, Permutation::random(10, 808).table());
+    suite.checker().require(
+        2 * random10.max_load <= routesim::butterfly_bit_reversal_max_congestion(10),
+        "d=10: random-permutation congestion is at most half the "
+        "bit-reversal congestion");
+  }
+  std::cout << '\n';
+
+  // --- Part 2: dynamic collapse and recovery (d = 8, lambda = 0.2) -------
+  const int d = 8;
+  const double lambda = 0.2;  // uniform rho = 0.1; bit-reversal rho = 1.6
+  const double offered = lambda * 256.0;
+
+  // Stable baselines.
+  routesim::Scenario uniform_greedy;
+  uniform_greedy.scheme = "hypercube_greedy";
+  uniform_greedy.d = d;
+  uniform_greedy.lambda = lambda;
+  uniform_greedy.workload = "uniform";
+  uniform_greedy.plan = {2, 808, 0};
+  uniform_greedy.measure = 2000.0;
+  const routesim::RunResult greedy_uniform = suite.add({"hcube greedy uniform", uniform_greedy});
+
+  routesim::Scenario uniform_valiant = uniform_greedy;
+  uniform_valiant.scheme = "valiant_mixing";
+  const routesim::RunResult valiant_uniform =
+      suite.add({"valiant uniform", uniform_valiant, false, true});
+
+  auto random_perm = perm_scenario("butterfly_greedy", "random_permutation", d,
+                                   lambda);  // rho = 0.8: loaded but stable
+  const routesim::RunResult bfly_random = suite.add({"bfly random_permutation", random_perm});
+
+  // The collapse: unstable, so the window is explicit and the standard
+  // checks are off.
+  auto bfly_bitrev = perm_scenario("butterfly_greedy", "bit_reversal", d, lambda);
+  bfly_bitrev.window = {100.0, 700.0};
+  const routesim::RunResult bfly_rev = suite.add({"bfly bit_reversal", bfly_bitrev, false, false});
+
+  auto hcube_bitrev = perm_scenario("hypercube_greedy", "bit_reversal", d, lambda);
+  hcube_bitrev.window = {100.0, 700.0};
+  const routesim::RunResult hcube_rev =
+      suite.add({"hcube bit_reversal", hcube_bitrev, false, false});
+
+  // The recovery: same adversarial workload through two-phase mixing.
+  const routesim::RunResult valiant_rev = suite.add(
+      {"valiant bit_reversal",
+       perm_scenario("valiant_mixing", "bit_reversal", d, lambda), false, true});
+
+  // Collapse checks: greedy under bit reversal is not just slower — it has
+  // stopped keeping up (throughput below the offered load, queues growing).
+  suite.checker().require(
+      bfly_rev.delay.mean > 5.0 * bfly_random.delay.mean,
+      "butterfly: bit-reversal delay exceeds 5x the random-permutation delay");
+  suite.checker().require(
+      bfly_rev.throughput.mean < 0.8 * offered,
+      "butterfly: bit-reversal throughput falls below 80% of the offered load");
+  suite.checker().require(
+      bfly_rev.extra("max_queue")->mean >
+          5.0 * bfly_random.extra("max_queue")->mean,
+      "butterfly: bit-reversal peak queue occupancy exceeds 5x the "
+      "random-permutation peak");
+  suite.checker().require(hcube_rev.mean_final_backlog > 1000.0,
+                          "hypercube: bit-reversal backlog diverges");
+
+  // Recovery checks: Valiant mixing under the adversarial permutation stays
+  // within a constant factor of the random-destination baselines.
+  suite.checker().require(
+      valiant_rev.delay.mean < 3.0 * greedy_uniform.delay.mean,
+      "valiant mixing under bit reversal stays within 3x the greedy "
+      "random-destination baseline");
+  suite.checker().require(
+      valiant_rev.delay.mean < 1.5 * valiant_uniform.delay.mean,
+      "valiant mixing under bit reversal stays within 1.5x valiant under "
+      "random destinations");
+  suite.checker().require(
+      valiant_rev.throughput.mean > 0.95 * offered,
+      "valiant mixing under bit reversal sustains the offered load");
+
+  std::cout << "\nShape check: greedy routing is efficient for *random*\n"
+               "destinations (the paper's regime) but collapses to\n"
+               "Theta(sqrt(N)) congestion under structured permutations;\n"
+               "Valiant's randomized first phase restores near-random\n"
+               "behaviour at the price of ~2x hops and half the capacity.\n";
+  return suite.finish(argc, argv);
+}

@@ -1,0 +1,77 @@
+// Guided tour of the adversarial permutation workload: static congestion
+// analysis of the greedy path system, then the dynamic collapse-vs-recovery
+// comparison on the hypercube.
+//
+//   build/examples/example_adversarial_permutations
+//
+// See bench/tab_permutation_routing.cpp for the acceptance-checked version
+// and docs/WORKLOADS.md for the closed forms.
+
+#include <cstdio>
+
+#include "core/scenario.hpp"
+#include "workload/permutation.hpp"
+
+int main() {
+  using namespace routesim;
+
+  // 1. Static analysis: how unevenly does the greedy path system load the
+  // butterfly's arcs?  bit_reversal concentrates Theta(sqrt(N)) paths on
+  // one arc; a random permutation stays at O(d).
+  std::printf("static greedy-path congestion on the butterfly:\n");
+  std::printf("%4s %6s %14s %14s %14s\n", "d", "N", "bit_reversal",
+              "closed form", "random perm");
+  for (const int d : {4, 6, 8, 10}) {
+    const auto bitrev =
+        butterfly_greedy_congestion(d, Permutation::bit_reversal(d).table());
+    const auto random =
+        butterfly_greedy_congestion(d, Permutation::random(d, 1).table());
+    std::printf("%4d %6u %14llu %14llu %14llu\n", d, 1u << d,
+                static_cast<unsigned long long>(bitrev.max_load),
+                static_cast<unsigned long long>(
+                    butterfly_bit_reversal_max_congestion(d)),
+                static_cast<unsigned long long>(random.max_load));
+  }
+
+  // 2. Dynamics: the same lambda is comfortable for random destinations,
+  // fatal for greedy-under-bit-reversal, and comfortable again for
+  // valiant_mixing on the identical adversarial workload.
+  const int d = 8;
+  const double lambda = 0.2;
+
+  Scenario base;
+  base.d = d;
+  base.lambda = lambda;
+  base.plan = {2, 99, 0};
+  base.measure = 1500.0;
+
+  Scenario uniform = base;  // the paper's regime
+  uniform.scheme = "hypercube_greedy";
+  uniform.workload = "uniform";
+
+  Scenario greedy_rev = base;  // the adversary
+  greedy_rev.scheme = "hypercube_greedy";
+  greedy_rev.workload = "permutation";
+  greedy_rev.permutation = "bit_reversal";
+  greedy_rev.window = {100.0, 600.0};  // unstable: explicit window
+
+  Scenario valiant_rev = greedy_rev;  // the remedy
+  valiant_rev.scheme = "valiant_mixing";
+  valiant_rev.window = {};  // stable again: automatic window
+
+  std::printf("\nd = %d, lambda = %.2f (offered load %.1f pkts/unit):\n", d,
+              lambda, lambda * 256.0);
+  for (const auto& [label, scenario] :
+       {std::pair<const char*, const Scenario&>{"greedy, uniform", uniform},
+        {"greedy, bit_reversal", greedy_rev},
+        {"valiant, bit_reversal", valiant_rev}}) {
+    const RunResult r = run(scenario);
+    std::printf("  %-22s rho %-5.2f delay %8.2f   throughput %6.1f\n", label,
+                r.rho, r.delay.mean, r.throughput.mean);
+  }
+  std::printf(
+      "\ngreedy collapses on the permutation it cannot average away;\n"
+      "valiant mixing pays ~2x hops and stays within a constant factor\n"
+      "of the random-destination baseline (the paper's §5 remark).\n");
+  return 0;
+}

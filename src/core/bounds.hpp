@@ -15,16 +15,18 @@
 
 namespace routesim::bounds {
 
+/// The hypercube model's parameter triple (d, lambda, p) of §1.1.
 struct HypercubeParams {
-  int d = 4;
-  double lambda = 0.1;
-  double p = 0.5;
+  int d = 4;           ///< cube dimension
+  double lambda = 0.1; ///< per-node Poisson generation rate
+  double p = 0.5;      ///< bit-flip probability of destination law (1)
 };
 
+/// The butterfly model's parameter triple (d, lambda, p) of §4.1.
 struct ButterflyParams {
-  int d = 4;
-  double lambda = 0.1;
-  double p = 0.5;
+  int d = 4;           ///< butterfly dimension (d+1 levels of 2^d rows)
+  double lambda = 0.1; ///< per-(level-1)-node Poisson generation rate
+  double p = 0.5;      ///< bit-flip probability applied to the rows
 };
 
 // ------------------------------------------------------------------ hypercube

@@ -1,0 +1,284 @@
+#include "core/catalog.hpp"
+
+#include <sstream>
+
+#include "core/registry.hpp"
+#include "core/scenario.hpp"
+#include "util/assert.hpp"
+#include "workload/permutation.hpp"
+
+namespace routesim {
+
+namespace {
+
+/// Documentation for every key Scenario::set() accepts.  scenario_catalog()
+/// checks this table against Scenario::known_set_keys() one-to-one and in
+/// order, so adding a key without documenting it here fails immediately.
+const std::vector<KeyEntry>& key_docs() {
+  static const std::vector<KeyEntry> keys{
+      {"d", "int", "cube / butterfly dimension (N = 2^d nodes per level)"},
+      {"lambda", "double", "per-node packet generation rate"},
+      {"rho", "double",
+       "target load factor; solves for the lambda giving that load under "
+       "the current scheme/workload (set p/workload first)"},
+      {"p", "double", "bit-flip probability of destination law (1)"},
+      {"tau", "double", "> 0: slotted-time variant with this slot length (§3.4)"},
+      {"discipline", "string",
+       "service discipline of the equivalent-network schemes: fifo | ps"},
+      {"workload", "string",
+       "destination workload: bit_flip | uniform | general | trace | "
+       "permutation"},
+      {"mask_pmf", "list",
+       "workload=general: inline CSV or @path of 2^d probabilities "
+       "P[dest = origin XOR y], validated and normalised (set d first)"},
+      {"permutation", "string",
+       "workload=permutation: the family name (see the permutation table); "
+       "validated immediately"},
+      {"hotspot_frac", "double",
+       "permutation=hotspot: fraction of sources sending to node 0, "
+       "in [0, 1]"},
+      {"fanout", "int",
+       "multicast destinations per packet / batch_greedy packets per node"},
+      {"unicast_baseline", "int",
+       "multicast: 1 sends fanout independent unicasts instead of a tree"},
+      {"buffers", "int",
+       "per-arc buffer capacity including the packet in service; 0 = "
+       "infinite (the paper's model)"},
+      {"fault_rate", "double", "P[arc statically down], per replication"},
+      {"node_fault_rate", "double",
+       "P[node down]; a dead node takes all its incident arcs down"},
+      {"fault_mtbf", "double",
+       "mean link up-time; > 0 with fault_mttr => dynamic up/down process"},
+      {"fault_mttr", "double", "mean link repair time"},
+      {"fault_policy", "string",
+       "reroute policy at a dead arc: drop | skip_dim | deflect | "
+       "twin_detour (see the fault-policy table)"},
+      {"ttl", "int",
+       "max hops for detouring packets; 0 = scheme default (64*d)"},
+      {"warmup", "double", "measurement-window start (with horizon)"},
+      {"horizon", "double",
+       "simulation end; {warmup=0, horizon=0} derives a window from the "
+       "load"},
+      {"measure", "double", "measurement length used by the automatic window"},
+      {"reps", "int", "independent replications"},
+      {"seed", "uint64",
+       "base seed; replication r runs with derive_stream(seed, r)"},
+      {"threads", "int", "worker threads for the replication fan-out; 0 = auto"},
+  };
+  return keys;
+}
+
+const std::vector<CatalogEntry>& workload_docs() {
+  static const std::vector<CatalogEntry> workloads{
+      {"bit_flip",
+       "law (1) with parameter p: each identity bit of the origin flips "
+       "independently with probability p"},
+      {"uniform", "uniform destinations over all 2^d nodes (p = 1/2)"},
+      {"general",
+       "arbitrary translation-invariant law P[dest = origin XOR y] = "
+       "mask_pmf[y]"},
+      {"trace",
+       "equal-seed scenarios regenerate the identical packet trace — the "
+       "coupled scheme-comparison workload"},
+      {"permutation",
+       "adversarial deterministic per-source destinations pi(x) (see the "
+       "permutation table); greedy has no averaging to hide behind"},
+  };
+  return workloads;
+}
+
+const std::vector<CatalogEntry>& fault_policy_docs() {
+  static const std::vector<CatalogEntry> policies{
+      {"drop", "lose packets whose next arc is dead (all fault-aware schemes)"},
+      {"skip_dim",
+       "hypercube family: greedy over surviving unresolved dimensions, "
+       "random resolved-dimension detour, TTL-bounded"},
+      {"deflect", "hypercube family: uniformly random surviving out-arc"},
+      {"twin_detour",
+       "butterfly: cross the level on its other arc; the packet exits "
+       "misrouted (counted as a fault drop)"},
+  };
+  return policies;
+}
+
+}  // namespace
+
+ScenarioCatalog scenario_catalog() {
+  ScenarioCatalog catalog;
+
+  const auto& registry = SchemeRegistry::instance();
+  for (const auto& name : registry.names()) {
+    catalog.schemes.push_back({name, registry.find(name)->summary});
+  }
+
+  catalog.set_keys = key_docs();
+  const auto& known = Scenario::known_set_keys();
+  RS_EXPECTS_MSG(catalog.set_keys.size() == known.size(),
+                 "catalog key docs out of sync with Scenario::known_set_keys()");
+  for (std::size_t i = 0; i < known.size(); ++i) {
+    RS_EXPECTS_MSG(catalog.set_keys[i].name == known[i],
+                   "catalog key docs out of order with known_set_keys()");
+  }
+
+  catalog.workloads = workload_docs();
+  for (const auto& name : Permutation::names()) {
+    catalog.permutations.push_back({name, Permutation::summary(name)});
+  }
+  catalog.fault_policies = fault_policy_docs();
+  catalog.sweep_keys = SweepSpec::known_keys();
+  return catalog;
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void json_entries(std::ostringstream& os, const char* section,
+                  const std::vector<CatalogEntry>& entries) {
+  os << "  \"" << section << "\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\n    {\"name\": \""
+       << json_escape(entries[i].name) << "\", \"summary\": \""
+       << json_escape(entries[i].summary) << "\"}";
+  }
+  os << (entries.empty() ? "]" : "\n  ]");
+}
+
+}  // namespace
+
+std::string catalog_json(const ScenarioCatalog& catalog) {
+  std::ostringstream os;
+  os << "{\n";
+  json_entries(os, "schemes", catalog.schemes);
+  os << ",\n  \"set_keys\": [";
+  for (std::size_t i = 0; i < catalog.set_keys.size(); ++i) {
+    const KeyEntry& key = catalog.set_keys[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << json_escape(key.name)
+       << "\", \"type\": \"" << json_escape(key.type) << "\", \"doc\": \""
+       << json_escape(key.doc) << "\"}";
+  }
+  os << "\n  ],\n";
+  json_entries(os, "workloads", catalog.workloads);
+  os << ",\n";
+  json_entries(os, "permutations", catalog.permutations);
+  os << ",\n";
+  json_entries(os, "fault_policies", catalog.fault_policies);
+  os << ",\n  \"sweep_keys\": [";
+  for (std::size_t i = 0; i < catalog.sweep_keys.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << '"' << json_escape(catalog.sweep_keys[i])
+       << '"';
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+namespace {
+
+/// Escapes '|' so free-text cells cannot break the table syntax.
+std::string md_cell(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '|') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void markdown_table(std::ostringstream& os, const char* left,
+                    const std::vector<CatalogEntry>& entries) {
+  os << "| " << left << " | description |\n|---|---|\n";
+  for (const auto& entry : entries) {
+    os << "| `" << entry.name << "` | " << md_cell(entry.summary) << " |\n";
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+std::string catalog_markdown(const ScenarioCatalog& catalog) {
+  std::ostringstream os;
+  os << "# Scenario reference\n\n"
+        "<!-- GENERATED FILE — do not edit by hand.\n"
+        "     Regenerate with: build/tools/tool_gen_docs "
+        "docs/SCENARIO_REFERENCE.md\n"
+        "     CI and tests/test_catalog.cpp fail when this file drifts from\n"
+        "     the registry (src/core/catalog.cpp). -->\n\n"
+        "Every experiment is a `routesim::Scenario`: a scheme name plus\n"
+        "`key=value` settings, runnable from C++ (`routesim::run`) or the\n"
+        "CLI (`routesim_bench --scenario SCHEME --set key=value ...`).\n"
+        "This catalog is generated from the live `SchemeRegistry` and\n"
+        "`Scenario::known_set_keys()`.\n\n";
+
+  os << "## Schemes\n\n";
+  markdown_table(os, "scheme", catalog.schemes);
+
+  os << "## `--set` keys\n\n| key | type | description |\n|---|---|---|\n";
+  for (const auto& key : catalog.set_keys) {
+    os << "| `" << key.name << "` | " << key.type << " | " << md_cell(key.doc)
+       << " |\n";
+  }
+  os << '\n';
+
+  os << "## Workloads (`workload=`)\n\n";
+  markdown_table(os, "workload", catalog.workloads);
+
+  os << "## Permutation families (`permutation=`, with "
+        "`workload=permutation`)\n\n";
+  markdown_table(os, "permutation", catalog.permutations);
+
+  os << "## Fault policies (`fault_policy=`)\n\n";
+  markdown_table(os, "policy", catalog.fault_policies);
+
+  os << "## Sweep keys (`--sweep key=start:stop[:step]`)\n\n";
+  for (std::size_t i = 0; i < catalog.sweep_keys.size(); ++i) {
+    os << (i == 0 ? "`" : ", `") << catalog.sweep_keys[i] << '`';
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string catalog_text(const ScenarioCatalog& catalog) {
+  std::ostringstream os;
+  os << "registered schemes:\n";
+  for (const auto& scheme : catalog.schemes) {
+    os << "  " << scheme.name << "\n      " << scheme.summary << '\n';
+  }
+  os << "\nrecognized --set keys:\n";
+  for (const auto& key : catalog.set_keys) {
+    os << "  " << key.name << " (" << key.type << "): " << key.doc << '\n';
+  }
+  os << "\nworkloads:\n";
+  for (const auto& workload : catalog.workloads) {
+    os << "  " << workload.name << ": " << workload.summary << '\n';
+  }
+  os << "\npermutation families (workload=permutation, permutation=...):\n";
+  for (const auto& perm : catalog.permutations) {
+    os << "  " << perm.name << ": " << perm.summary << '\n';
+  }
+  os << "\nfault policies (fault_policy=..., active when fault_rate,\n"
+        "node_fault_rate or fault_mtbf/fault_mttr is set):\n";
+  for (const auto& policy : catalog.fault_policies) {
+    os << "  " << policy.name << ": " << policy.summary << '\n';
+  }
+  os << "\nsweep keys:";
+  for (const auto& key : catalog.sweep_keys) os << ' ' << key;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace routesim

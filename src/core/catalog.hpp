@@ -1,0 +1,64 @@
+#pragma once
+/// \file catalog.hpp
+/// \brief The self-describing scenario catalog: every scheme, `--set` key,
+///        workload, permutation family, fault policy and sweep key, with
+///        one-line documentation, assembled *from the live registry* so
+///        generated docs can never drift from the code.
+///
+/// Three renderers share one data source:
+///   - `routesim_bench --list` prints the human-readable form;
+///   - `routesim_bench --list --json PATH` writes catalog_json();
+///   - `tools/gen_docs` writes catalog_markdown() to
+///     docs/SCENARIO_REFERENCE.md (the CI docs job and
+///     tests/test_catalog.cpp fail when the committed copy differs).
+///
+/// scenario_catalog() cross-checks itself against
+/// Scenario::known_set_keys(): a key added to set() without a catalog
+/// entry (or vice versa) is a contract violation, so the documentation is
+/// forced complete at the first --list or test run.
+
+#include <string>
+#include <vector>
+
+namespace routesim {
+
+/// One documented name (a scheme, workload, permutation or policy).
+struct CatalogEntry {
+  std::string name;
+  std::string summary;  ///< one line, no trailing period required
+};
+
+/// One documented `--set` key.
+struct KeyEntry {
+  std::string name;
+  std::string type;  ///< "int", "double", "string", "list", "uint64"
+  std::string doc;   ///< one line
+};
+
+/// The full catalog; see scenario_catalog().
+struct ScenarioCatalog {
+  std::vector<CatalogEntry> schemes;         ///< from SchemeRegistry (live)
+  std::vector<KeyEntry> set_keys;            ///< Scenario::known_set_keys() order
+  std::vector<CatalogEntry> workloads;       ///< workload= values
+  std::vector<CatalogEntry> permutations;    ///< permutation= values (live)
+  std::vector<CatalogEntry> fault_policies;  ///< fault_policy= values
+  std::vector<std::string> sweep_keys;       ///< --sweep keys
+};
+
+/// Assembles the catalog from the live registry, Scenario::known_set_keys()
+/// and Permutation::names().  Postcondition (enforced): set_keys covers
+/// known_set_keys() exactly, in order.
+[[nodiscard]] ScenarioCatalog scenario_catalog();
+
+/// The catalog as a JSON document (schemes/keys/workloads/permutations/
+/// fault_policies/sweep_keys arrays of {name, ...} objects).
+[[nodiscard]] std::string catalog_json(const ScenarioCatalog& catalog);
+
+/// The catalog as the Markdown scenario reference
+/// (docs/SCENARIO_REFERENCE.md) — regenerate with tools/gen_docs.
+[[nodiscard]] std::string catalog_markdown(const ScenarioCatalog& catalog);
+
+/// The human-readable --list text.
+[[nodiscard]] std::string catalog_text(const ScenarioCatalog& catalog);
+
+}  // namespace routesim

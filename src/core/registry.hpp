@@ -70,8 +70,13 @@ template <typename Sim, typename Config>
   return *sim;
 }
 
+/// The process-wide name -> scheme map behind run(): each entry compiles a
+/// `Scenario` into a replication body, and optionally overrides the load
+/// factor rule Scenario::rho() applies.
 class SchemeRegistry {
  public:
+  /// One registered scheme: its name, --list summary, compile hook, and
+  /// optional load-factor rule.
   struct SchemeInfo {
     std::string name;
     std::string summary;  ///< one line for --list and error messages

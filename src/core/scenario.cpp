@@ -9,6 +9,7 @@
 #include "core/registry.hpp"
 #include "fault/fault_model.hpp"
 #include "util/assert.hpp"
+#include "workload/permutation.hpp"
 
 namespace routesim {
 
@@ -41,6 +42,18 @@ void check_mask_pmf_matches_d(const std::vector<double>& mask_pmf, int d) {
 double Scenario::rho() const {
   const auto* info = SchemeRegistry::instance().find(scheme);
   if (info != nullptr && info->load_factor) return info->load_factor(*this);
+  return default_rho();
+}
+
+double Scenario::default_rho() const {
+  if (workload == "permutation") {
+    // Every packet of source x follows the fixed greedy path to pi(x), so
+    // the heaviest arc carries lambda * max_load — the exact utilisation
+    // for hypercube_greedy and a worst-case proxy for the other schemes.
+    const auto table = permutation_table();
+    return lambda * static_cast<double>(
+                        hypercube_greedy_congestion(d, table).max_load);
+  }
   if (workload == "general" && !mask_pmf.empty()) {
     check_mask_pmf_matches_d(mask_pmf, d);
     return bounds::load_factor_general(mask_pmf, d, lambda);
@@ -60,8 +73,34 @@ DestinationDistribution Scenario::make_destinations() const {
     check_mask_pmf_matches_d(mask_pmf, d);
     return DestinationDistribution::general(d, mask_pmf);
   }
+  if (workload == "permutation") {
+    // Placeholder law: per-source destinations come from the fixed table
+    // (permutation_table()), which schemes consume through the packet
+    // kernel's fixed-destination mode.
+    return DestinationDistribution::uniform(d);
+  }
   throw ScenarioError("unknown workload '" + workload +
-                      "' (known: bit_flip, uniform, general, trace)");
+                      "' (known: bit_flip, uniform, general, trace, "
+                      "permutation)");
+}
+
+std::vector<NodeId> Scenario::permutation_table() const {
+  if (workload != "permutation") {
+    throw ScenarioError("permutation_table() requires workload=permutation "
+                        "(current workload: '" + workload + "')");
+  }
+  try {
+    return Permutation::by_name(permutation, d, hotspot_frac, plan.base_seed)
+        .table();
+  } catch (const std::invalid_argument& error) {
+    throw ScenarioError(error.what());
+  }
+}
+
+std::shared_ptr<const std::vector<NodeId>> Scenario::shared_permutation_table()
+    const {
+  if (workload != "permutation") return nullptr;
+  return std::make_shared<const std::vector<NodeId>>(permutation_table());
 }
 
 FaultPolicy Scenario::resolved_fault_policy(
@@ -204,6 +243,21 @@ void Scenario::set(const std::string& key, const std::string& value) {
     }
   } else if (key == "workload") {
     workload = value;
+  } else if (key == "permutation") {
+    // Validate the family name immediately (the table itself is built at
+    // scenario-compile time, when d is final).
+    try {
+      (void)Permutation::summary(value);
+    } catch (const std::invalid_argument& error) {
+      throw ScenarioError(error.what());
+    }
+    permutation = value;
+  } else if (key == "hotspot_frac") {
+    const double parsed = parse_double(key, value);
+    if (!(parsed >= 0.0 && parsed <= 1.0)) {
+      throw ScenarioError("hotspot_frac must be in [0, 1], got '" + value + "'");
+    }
+    hotspot_frac = parsed;
   } else if (key == "fanout") {
     fanout = parse_int(key, value);
   } else if (key == "unicast_baseline") {
@@ -334,6 +388,7 @@ const std::vector<std::string>& Scenario::known_set_keys() {
   static const std::vector<std::string> keys{
       "d",          "lambda",         "rho",        "p",
       "tau",        "discipline",     "workload",   "mask_pmf",
+      "permutation", "hotspot_frac",
       "fanout",     "unicast_baseline", "buffers",
       "fault_rate", "node_fault_rate", "fault_mtbf", "fault_mttr",
       "fault_policy", "ttl",
@@ -362,6 +417,8 @@ std::vector<std::pair<std::string, std::string>> Scenario::to_key_values() const
     pairs.emplace_back("mask_pmf", std::move(csv));
   }
   const std::vector<std::pair<std::string, std::string>> rest{
+      {"permutation", permutation},
+      {"hotspot_frac", fmt_double(hotspot_frac)},
       {"fanout", std::to_string(fanout)},
       {"unicast_baseline", unicast_baseline ? "1" : "0"},
       {"buffers", std::to_string(buffer_capacity)},
@@ -497,6 +554,14 @@ std::vector<double> SweepSpec::values() const {
     out.push_back(std::min(v, stop));
   }
   return out;
+}
+
+const std::vector<std::string>& SweepSpec::known_keys() {
+  static const std::vector<std::string> keys{
+      "rho",  "lambda",  "p",    "tau",        "d",
+      "fanout", "measure", "reps", "seed",
+      "fault_rate", "node_fault_rate"};
+  return keys;
 }
 
 void apply_sweep_value(Scenario& scenario, const std::string& key, double value) {

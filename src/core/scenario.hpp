@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -75,13 +76,22 @@ struct Scenario {
 
   // --- workload ---------------------------------------------------------
   /// "bit_flip" (law (1) with parameter p), "uniform" (p = 1/2),
-  /// "general" (translation-invariant law mask_pmf), or "trace"
+  /// "general" (translation-invariant law mask_pmf), "trace"
   /// (pre-generated packet trace shared by equal-seed scenarios, the
-  /// coupled-comparison workload).
+  /// coupled-comparison workload), or "permutation" (adversarial
+  /// deterministic per-source destinations — see the `permutation` key and
+  /// workload/permutation.hpp).
   std::string workload = "bit_flip";
   /// For workload == "general": P[dest = origin XOR y] for each mask y
   /// (2^d entries).  Not representable on the CLI.
   std::vector<double> mask_pmf;
+  /// For workload == "permutation": the family name (bit_reversal,
+  /// transpose, bit_complement, shuffle, tornado, random_permutation,
+  /// hotspot — Permutation::names()).  Ignored by the other workloads.
+  std::string permutation = "bit_reversal";
+  /// For permutation == "hotspot": fraction of sources sending to the hot
+  /// node (node 0); must be in [0, 1].
+  double hotspot_frac = 0.1;
 
   // --- scheme-specific knobs -------------------------------------------
   int fanout = 4;                 ///< multicast destinations / batch packets per node
@@ -132,11 +142,18 @@ struct Scenario {
   [[nodiscard]] FaultPolicy resolved_fault_policy(
       std::initializer_list<FaultPolicy> supported) const;
 
-  /// Scheme-aware load factor.  Schemes may install their own rule in the
-  /// registry (the butterfly uses lambda*max{p,1-p}); the default is
-  /// lambda*max_j P[B_j] over the destination law (= lambda*p for the
-  /// bit-flip law).
+  /// Scheme-aware load factor: the scheme's registry load_factor rule when
+  /// one is installed (the butterfly uses lambda*max{p,1-p}), default_rho()
+  /// otherwise.
   [[nodiscard]] double rho() const;
+
+  /// The engine's default load-factor rule: lambda*max_j P[B_j] over the
+  /// destination law (= lambda*p for the bit-flip law); for workload
+  /// "permutation", lambda * (max arc congestion of the greedy hypercube
+  /// path system) — exact for hypercube_greedy, a worst-case proxy
+  /// otherwise.  Registry load-factor hooks call this as their fallback so
+  /// future default-rule changes apply to them too.
+  [[nodiscard]] double default_rho() const;
 
   [[nodiscard]] bounds::HypercubeParams hypercube_params() const {
     return {d, lambda, p};
@@ -145,8 +162,29 @@ struct Scenario {
     return {d, lambda, p};
   }
 
-  /// Builds the destination law this scenario describes.
+  /// Builds the destination law this scenario describes.  For workload
+  /// "permutation" the law is a uniform placeholder satisfying the schemes'
+  /// config preconditions: the per-source table from permutation_table()
+  /// governs destinations, and schemes consume it through the packet
+  /// kernel's fixed-destination mode.
   [[nodiscard]] DestinationDistribution make_destinations() const;
+
+  /// For workload == "permutation": builds the per-source destination
+  /// table (2^d entries; entry x is the fixed destination of every packet
+  /// generated at source x).  Registry compile hooks call this *before*
+  /// fanning replications out, so an unknown permutation name or an
+  /// out-of-range hotspot_frac surfaces as a catchable ScenarioError.
+  /// random_permutation derives from plan.base_seed, so the table is the
+  /// same for every replication of the scenario.  Throws ScenarioError
+  /// when the workload is not "permutation".
+  [[nodiscard]] std::vector<NodeId> permutation_table() const;
+
+  /// The compile-hook form of permutation_table(): the table wrapped for
+  /// capture by the replication lambda (whose config points at it), or
+  /// null when this scenario's workload is not "permutation".  Every
+  /// scheme supporting the fixed-destination mode calls this one helper.
+  [[nodiscard]] std::shared_ptr<const std::vector<NodeId>>
+  shared_permutation_table() const;
 
   /// The window actually simulated: `window` if set (horizon must exceed
   /// warmup), otherwise Window::for_load(d, rho(), measure) — which needs
@@ -161,10 +199,12 @@ struct Scenario {
   /// scheme/workload — set p/workload first), p, tau, discipline (fifo|ps),
   /// workload, mask_pmf (inline comma/whitespace list of 2^d probabilities
   /// or `@path` to load them from a file — set d and workload=general
-  /// first), fanout, unicast_baseline, buffers, fault_rate,
-  /// node_fault_rate, fault_mtbf, fault_mttr, fault_policy, ttl, warmup,
-  /// horizon, measure, reps, seed, threads.  Throws ScenarioError on an
-  /// unknown key (suggesting the nearest valid ones) or unparsable value.
+  /// first), permutation (a Permutation::names() family, validated
+  /// immediately), hotspot_frac (in [0, 1]), fanout, unicast_baseline,
+  /// buffers, fault_rate, node_fault_rate, fault_mtbf, fault_mttr,
+  /// fault_policy, ttl, warmup, horizon, measure, reps, seed, threads.
+  /// Throws ScenarioError on an unknown key (suggesting the nearest valid
+  /// ones) or unparsable value.
   void set(const std::string& key, const std::string& value);
 
   /// Every key accepted by set(), in the order set() documents them.
@@ -221,8 +261,7 @@ struct RunResult {
 // ----------------------------------------------------------------- sweeps
 
 /// A swept parameter: "rho=0.1:0.9" or "rho=0.1:0.9:0.05" (default step
-/// 0.1).  Keys: rho, lambda, p, tau, d, fanout, measure, reps, seed,
-/// fault_rate, node_fault_rate.
+/// 0.1).  Keys: see known_keys().
 struct SweepSpec {
   std::string key;
   double start = 0.0;
@@ -231,6 +270,10 @@ struct SweepSpec {
 
   static SweepSpec parse(const std::string& text);
   [[nodiscard]] std::vector<double> values() const;
+
+  /// The numeric keys meaningful to sweep (the catalog and --help render
+  /// this list, so it cannot drift from the docs).
+  [[nodiscard]] static const std::vector<std::string>& known_keys();
 };
 
 /// Applies one swept value to a scenario (rho adjusts lambda; d, fanout and

@@ -76,7 +76,10 @@ void register_batch_greedy_scheme(SchemeRegistry& registry) {
        [](const Scenario& s) {
          CompiledScenario compiled;
          (void)s.resolved_fault_policy({});  // no fault support: reject knobs
-         compiled.replicate = [s, destinations = s.make_destinations()](
+         // Permutation workload: all fanout packets of source x target
+         // pi(x) — one synchronous greedy round of the permutation.
+         const auto perm = s.shared_permutation_table();
+         compiled.replicate = [s, perm, destinations = s.make_destinations()](
                                   std::uint64_t seed, int) {
            const Hypercube cube(s.d);
            Rng rng(seed);
@@ -85,7 +88,9 @@ void register_batch_greedy_scheme(SchemeRegistry& registry) {
            double hops_total = 0.0;
            for (NodeId origin = 0; origin < cube.num_nodes(); ++origin) {
              for (int k = 0; k < s.fanout; ++k) {
-               const NodeId dest = destinations.sample(rng, origin);
+               const NodeId dest = perm != nullptr
+                                       ? (*perm)[origin]
+                                       : destinations.sample(rng, origin);
                batch.push_back({origin, dest});
                hops_total += static_cast<double>(hamming_distance(origin, dest));
              }

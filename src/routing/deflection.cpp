@@ -17,6 +17,9 @@ void DeflectionSim::reset(DeflectionConfig config) {
   RS_EXPECTS(config_.lambda > 0.0);
   RS_EXPECTS(config_.destinations.dimension() == config_.d);
   cube_ = Hypercube(config_.d);
+  RS_EXPECTS_MSG(config_.fixed_destinations == nullptr ||
+                     config_.fixed_destinations->size() == cube_.num_nodes(),
+                 "fixed-destination table must have 2^d entries");
   rng_.reseed(derive_stream(config_.seed, 0xDEF1));
   resident_.resize(cube_.num_nodes());
   injection_.resize(cube_.num_nodes());
@@ -77,7 +80,9 @@ void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
       const std::uint64_t births = sample_poisson(rng_, config_.lambda);
       const bool node_dead = fault_active_ && fault_model_.is_node_faulty(node);
       for (std::uint64_t b = 0; b < births; ++b) {
-        const NodeId dest = config_.destinations.sample(rng_, node);
+        const NodeId dest = config_.fixed_destinations != nullptr
+                                ? (*config_.fixed_destinations)[node]
+                                : config_.destinations.sample(rng_, node);
         if (node_dead) {
           // A dead node offers no deliverable traffic; count its load as
           // fault-dropped so the delivery ratio reflects the offered load.
@@ -204,6 +209,8 @@ void register_deflection_scheme(SchemeRegistry& registry) {
        "slots, lambda in packets per node per slot)",
        [](const Scenario& s) {
          CompiledScenario compiled;
+         // Validated before the worker fan-out (see below for faults).
+         const auto perm = s.shared_permutation_table();
          const Window window = s.resolved_window();
          // Deflection is natively fault-aware (dead arcs are permanently
          // busy ports): any fault_policy is accepted and ignored, but the
@@ -211,13 +218,14 @@ void register_deflection_scheme(SchemeRegistry& registry) {
          const FaultPolicy fault_policy = s.resolved_fault_policy(
              {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect,
               FaultPolicy::kTwinDetour});
-         compiled.replicate = [s, window, fault_policy,
+         compiled.replicate = [s, window, fault_policy, perm,
                                dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            DeflectionConfig config;
            config.d = s.d;
            config.lambda = s.lambda;
            config.destinations = dist;
+           config.fixed_destinations = perm ? perm.get() : nullptr;
            config.seed = seed;
            if (fault_policy != FaultPolicy::kNone) {
              config.arc_fault_rate = s.fault_rate;

@@ -34,6 +34,9 @@ struct DeflectionConfig {
   int d = 4;
   double lambda = 0.05;  ///< per-node generation rate (packets per slot)
   DestinationDistribution destinations = DestinationDistribution::uniform(4);
+  /// Per-source fixed destinations (workload = permutation); non-owning,
+  /// 2^d entries, null = sample from `destinations`.
+  const std::vector<NodeId>* fixed_destinations = nullptr;
   std::uint64_t seed = 1;
 
   // --- fault injection (src/fault/fault_model.hpp) ----------------------

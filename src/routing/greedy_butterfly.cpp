@@ -7,6 +7,7 @@
 
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
+#include "workload/permutation.hpp"
 
 namespace routesim {
 
@@ -50,9 +51,14 @@ void GreedyButterflySim::configure_kernel() {
   kernel.num_arcs = bfly_.num_arcs();
   kernel.seed = config_.seed;
   kernel.stream_salt = 0xBF17;
+  if (config_.fixed_destinations != nullptr) {
+    RS_EXPECTS_MSG(config_.fixed_destinations->size() == bfly_.rows(),
+                   "fixed-destination table must have 2^d entries");
+  }
   kernel.birth_rate = config_.lambda * static_cast<double>(bfly_.rows());
   kernel.slot = config_.slot;
   kernel.trace = config_.trace;
+  kernel.fixed_destinations = config_.fixed_destinations;
   if (config_.trace == nullptr) {
     kernel.expected_packets =
         static_cast<std::size_t>(kernel.birth_rate * config_.d) + 64;
@@ -93,8 +99,9 @@ void GreedyButterflySim::inject(double now, NodeId origin_row, NodeId dest_row) 
 }
 
 void GreedyButterflySim::on_spawn(double now) {
-  const auto origin = static_cast<NodeId>(kernel_.rng().uniform_below(bfly_.rows()));
-  inject(now, origin, config_.destinations.sample(kernel_.rng(), origin));
+  const auto [origin, dest] =
+      kernel_.sample_spawn(bfly_.rows(), config_.destinations);
+  inject(now, origin, dest);
 }
 
 void GreedyButterflySim::on_traced(double now, NodeId origin_row, NodeId dest_row) {
@@ -167,12 +174,14 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
        "greedy routing on the d-dimensional butterfly (§4; Props. 14/17)",
        [](const Scenario& s) {
          CompiledScenario compiled;
+         // Validated here so a bad workload, permutation or fault
+         // combination fails at compile time, not inside a replication
+         // worker thread.
+         const auto perm = s.shared_permutation_table();
          const Window window = s.resolved_window();
-         // Validated here so a bad workload or fault combination fails at
-         // compile time, not inside a replication worker thread.
          const FaultPolicy fault_policy = s.resolved_fault_policy(
              {FaultPolicy::kDrop, FaultPolicy::kTwinDetour});
-         compiled.replicate = [s, window, fault_policy,
+         compiled.replicate = [s, window, fault_policy, perm,
                                dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            GreedyButterflyConfig config;
@@ -181,6 +190,10 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
            config.destinations = dist;
            config.seed = seed;
            config.slot = s.tau;
+           config.fixed_destinations = perm ? perm.get() : nullptr;
+           // Permutation runs track per-level occupancy for the max_queue
+           // extra (the congestion collapse is visible in queue peaks).
+           config.track_level_occupancy = perm != nullptr;
            // Tail metrics (delay_p50/p99) come from the delay histogram.
            config.track_delay_histogram = true;
            if (fault_policy != FaultPolicy::kNone) {
@@ -202,7 +215,7 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
                reusable_sim<GreedyButterflySim>(std::move(config));
            sim.run(window.warmup, window.horizon);
            const KernelStats& stats = sim.kernel_stats();
-           return std::vector<double>{
+           std::vector<double> metrics{
                sim.delay().mean(),          sim.time_avg_population(),
                sim.throughput(),            sim.vertical_hops().mean(),
                sim.little_check().relative_error(), sim.final_population(),
@@ -210,13 +223,18 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
                stats.delay_quantile(0.5),   stats.delay_quantile(0.99),
                static_cast<double>(stats.fault_drops_in_window()),
                static_cast<double>(stats.drops_in_window())};
+           if (perm) metrics.push_back(stats.max_occupancy());
+           return metrics;
          };
          compiled.extra_metrics = {"delivery_ratio", "mean_stretch",
                                    "delay_p50",      "delay_p99",
                                    "fault_drops",    "buffer_drops"};
+         if (perm) compiled.extra_metrics.emplace_back("max_queue");
          // Unstable points (rho >= 1) run fine — only the bracket is gone.
-         // Faulty scenarios have no closed-form bracket either.
-         if (s.workload != "general" && !s.faults_active()) {
+         // Faulty, general-law and permutation scenarios have no
+         // closed-form bracket.
+         if (s.workload != "general" && s.workload != "permutation" &&
+             !s.faults_active()) {
            const bounds::ButterflyParams params{s.d, s.lambda, s.effective_p()};
            if (bounds::bfly_load_factor(params) < 1.0) {
              compiled.has_bounds = true;
@@ -228,6 +246,14 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
          return compiled;
        },
        [](const Scenario& s) {
+         if (s.workload == "permutation") {
+           // Exact: every source row emits rate lambda down one fixed
+           // path, so the heaviest arc carries lambda * max_load.
+           const auto table = s.permutation_table();
+           return s.lambda *
+                  static_cast<double>(
+                      butterfly_greedy_congestion(s.d, table).max_load);
+         }
          return bounds::bfly_load_factor({s.d, s.lambda, s.effective_p()});
        }});
 }

@@ -32,6 +32,10 @@ struct GreedyButterflyConfig {
   std::uint64_t seed = 1;
   double slot = 0.0;                  ///< 0 => continuous; > 0 => slotted (§3.4 analogue)
   const PacketTrace* trace = nullptr; ///< replay instead of generating
+  /// Per-source fixed destination rows (workload = permutation): entry x
+  /// is the destination row of every packet entering at level-1 row x.
+  /// Non-owning; 2^d entries; null = sample from `destinations`.
+  const std::vector<NodeId>* fixed_destinations = nullptr;
   bool track_level_occupancy = false; ///< time-avg packets stored per level
   /// Collect a delay histogram (bin width 1, range [0, 64*d]) for tails.
   bool track_delay_histogram = false;
@@ -146,9 +150,10 @@ class GreedyButterflySim {
 class SchemeRegistry;
 
 /// core/registry.hpp hookup: registers "butterfly_greedy" (§4, Props.
-/// 14/17; workloads bit_flip, uniform and trace; fault injection with
-/// fault_policy drop | twin_detour, reported through the resilience
-/// extras).
+/// 14/17; workloads bit_flip, uniform, trace and permutation — the latter
+/// adds a max_queue extra and an exact lambda*max_congestion load factor;
+/// fault injection with fault_policy drop | twin_detour, reported through
+/// the resilience extras).
 void register_butterfly_greedy_scheme(SchemeRegistry& registry);
 
 }  // namespace routesim

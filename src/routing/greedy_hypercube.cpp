@@ -62,9 +62,14 @@ void GreedyHypercubeSim::configure_kernel() {
         });
     kernel.fault_model = &fault_model_;
   }
+  if (config_.fixed_destinations != nullptr) {
+    RS_EXPECTS_MSG(config_.fixed_destinations->size() == cube_.num_nodes(),
+                   "fixed-destination table must have 2^d entries");
+  }
   kernel.birth_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
   kernel.slot = config_.slot;
   kernel.trace = config_.trace;
+  kernel.fixed_destinations = config_.fixed_destinations;
   kernel.service_order = config_.arc_service_order;
   kernel.buffer_capacity = config_.buffer_capacity;
   // In-flight packets ~ (aggregate rate) x (delay ~ O(d)) at moderate load;
@@ -111,8 +116,8 @@ void GreedyHypercubeSim::inject(double now, NodeId origin, NodeId dest) {
 }
 
 void GreedyHypercubeSim::on_spawn(double now) {
-  const auto origin = static_cast<NodeId>(kernel_.rng().uniform_below(cube_.num_nodes()));
-  const NodeId dest = config_.destinations.sample(kernel_.rng(), origin);
+  const auto [origin, dest] =
+      kernel_.sample_spawn(cube_.num_nodes(), config_.destinations);
   inject(now, origin, dest);
 }
 
@@ -204,12 +209,14 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
        "slotted §3.4 when tau > 0)",
        [](const Scenario& s) {
          CompiledScenario compiled;
+         // Validated here so a bad workload, permutation or fault
+         // combination fails at compile time, not inside a replication
+         // worker thread.
+         const auto perm = s.shared_permutation_table();
          const Window window = s.resolved_window();
-         // Validated here so a bad workload or fault combination fails at
-         // compile time, not inside a replication worker thread.
          const FaultPolicy fault_policy = s.resolved_fault_policy(
              {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect});
-         compiled.replicate = [s, window, fault_policy,
+         compiled.replicate = [s, window, fault_policy, perm,
                                dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            GreedyHypercubeConfig config;
@@ -219,6 +226,10 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
            config.seed = seed;
            config.slot = s.tau;
            config.buffer_capacity = s.buffer_capacity;
+           config.fixed_destinations = perm ? perm.get() : nullptr;
+           // Permutation runs track per-node occupancy for the max_queue
+           // extra (the congestion collapse is visible in queue peaks).
+           config.track_node_occupancy = perm != nullptr;
            // Tail metrics (delay_p50/p99) come from the delay histogram.
            config.track_delay_histogram = true;
            if (fault_policy != FaultPolicy::kNone) {
@@ -241,7 +252,7 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
                reusable_sim<GreedyHypercubeSim>(std::move(config));
            sim.run(window.warmup, window.horizon);
            const KernelStats& stats = sim.kernel_stats();
-           return std::vector<double>{
+           std::vector<double> metrics{
                sim.delay().mean(),          sim.time_avg_population(),
                sim.throughput(),            sim.hops().mean(),
                sim.little_check().relative_error(), sim.final_population(),
@@ -249,13 +260,18 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
                stats.delay_quantile(0.5),   stats.delay_quantile(0.99),
                static_cast<double>(stats.fault_drops_in_window()),
                static_cast<double>(stats.drops_in_window())};
+           if (perm) metrics.push_back(stats.max_occupancy());
+           return metrics;
          };
          compiled.extra_metrics = {"delivery_ratio", "mean_stretch",
                                    "delay_p50",      "delay_p99",
                                    "fault_drops",    "buffer_drops"};
+         if (perm) compiled.extra_metrics.emplace_back("max_queue");
          // Unstable points (rho >= 1) run fine — only the bracket is gone.
-         // Faulty scenarios have no closed-form bracket either.
-         if (s.workload != "general" && !s.faults_active()) {
+         // Faulty, general-law and permutation scenarios have no
+         // closed-form bracket.
+         if (s.workload != "general" && s.workload != "permutation" &&
+             !s.faults_active()) {
            const bounds::HypercubeParams params{s.d, s.lambda, s.effective_p()};
            if (bounds::load_factor(params) < 1.0) {
              compiled.has_bounds = true;

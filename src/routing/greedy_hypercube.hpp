@@ -54,6 +54,11 @@ struct GreedyHypercubeConfig {
   double slot = 0.0;
   /// Replay this trace instead of generating traffic (lambda/slot ignored).
   const PacketTrace* trace = nullptr;
+  /// Per-source fixed destinations (workload = permutation): entry x is
+  /// the destination of every packet generated at node x; `destinations`
+  /// is then only a placeholder.  Non-owning; 2^d entries; null = sample
+  /// from `destinations`.
+  const std::vector<NodeId>* fixed_destinations = nullptr;
   /// Track a time-weighted occupancy per node (2^d trackers).
   bool track_node_occupancy = false;
   /// Collect a delay histogram (bin width 1, range [0, 64*d]).
@@ -215,7 +220,8 @@ class SchemeRegistry;
 
 /// core/registry.hpp hookup: registers "hypercube_greedy" (continuous or,
 /// with tau > 0, the slotted variant of §3.4; workloads bit_flip, uniform,
-/// general and trace; finite buffers via buffer_capacity; fault injection
+/// general, trace and permutation — the latter adds a max_queue extra;
+/// finite buffers via buffer_capacity; fault injection
 /// via fault_rate / node_fault_rate / fault_mtbf / fault_mttr with
 /// fault_policy drop | skip_dim | deflect, reported through the
 /// delivery_ratio / mean_stretch / delay_p50 / delay_p99 / fault_drops /

@@ -26,6 +26,9 @@ void GreedyMulticastSim::configure_kernel() {
   RS_EXPECTS_MSG(config_.fanout >= 1 &&
                      static_cast<std::uint64_t>(config_.fanout) <= cube_.num_nodes(),
                  "fanout must be between 1 and 2^d");
+  RS_EXPECTS_MSG(config_.fixed_destinations == nullptr ||
+                     config_.fixed_destinations->size() == cube_.num_nodes(),
+                 "fixed-destination table must have 2^d entries");
 
   PacketKernelConfig kernel;
   kernel.num_arcs = cube_.num_arcs();
@@ -47,21 +50,34 @@ void GreedyMulticastSim::inject(double now) {
   Rng& rng = kernel_.rng();
   const auto origin = static_cast<NodeId>(rng.uniform_below(cube_.num_nodes()));
 
-  // Sample `fanout` distinct uniform destinations by rejection (fanout is
-  // small relative to 2^d in all experiments).
   std::vector<NodeId> dests;
   dests.reserve(static_cast<std::size_t>(config_.fanout));
-  while (dests.size() < static_cast<std::size_t>(config_.fanout)) {
-    const auto candidate = static_cast<NodeId>(rng.uniform_below(cube_.num_nodes()));
-    if (std::find(dests.begin(), dests.end(), candidate) == dests.end()) {
-      dests.push_back(candidate);
+  if (config_.fixed_destinations != nullptr) {
+    // Permutation workload: the destination set is the forward orbit of
+    // the map — deterministic per source, distinct by construction, and
+    // truncated early when the orbit closes.
+    NodeId cur = origin;
+    for (int k = 0; k < config_.fanout; ++k) {
+      cur = (*config_.fixed_destinations)[cur];
+      if (std::find(dests.begin(), dests.end(), cur) != dests.end()) break;
+      dests.push_back(cur);
+    }
+  } else {
+    // Sample `fanout` distinct uniform destinations by rejection (fanout
+    // is small relative to 2^d in all experiments).
+    while (dests.size() < static_cast<std::size_t>(config_.fanout)) {
+      const auto candidate =
+          static_cast<NodeId>(rng.uniform_below(cube_.num_nodes()));
+      if (std::find(dests.begin(), dests.end(), candidate) == dests.end()) {
+        dests.push_back(candidate);
+      }
     }
   }
 
   const std::uint32_t packet = packet_pool_.allocate();
   const double warmup = kernel_.stats().warmup();
-  packet_pool_[packet] =
-      PacketState{now, config_.fanout, 0, now, now >= warmup};
+  packet_pool_[packet] = PacketState{now, static_cast<int>(dests.size()), 0, now,
+                                     now >= warmup};
   if (now >= warmup) ++packets_window_;
 
   const auto make_copy = [&](std::vector<NodeId> subset) {
@@ -156,14 +172,16 @@ void register_multicast_scheme(SchemeRegistry& registry) {
        [](const Scenario& s) {
          CompiledScenario compiled;
          (void)s.resolved_fault_policy({});  // no fault support: reject knobs
+         const auto perm = s.shared_permutation_table();
          const Window window = s.resolved_window();
-         compiled.replicate = [s, window](std::uint64_t seed, int) {
+         compiled.replicate = [s, window, perm](std::uint64_t seed, int) {
            MulticastConfig config;
            config.d = s.d;
            config.lambda = s.lambda;
            config.fanout = s.fanout;
            config.seed = seed;
            config.unicast_baseline = s.unicast_baseline;
+           config.fixed_destinations = perm ? perm.get() : nullptr;
            GreedyMulticastSim& sim = reusable_sim<GreedyMulticastSim>(config);
            sim.run(window.warmup, window.horizon);
            const double window_length = window.horizon - window.warmup;

@@ -38,6 +38,13 @@ struct MulticastConfig {
   /// When true, disable tree sharing: send k independent unicast copies
   /// (the baseline the tree is compared against).
   bool unicast_baseline = false;
+  /// Per-source fixed-destination mode (workload = permutation): the
+  /// destination set of a packet generated at x is the first `fanout`
+  /// distinct nodes of the forward orbit pi(x), pi(pi(x)), ... (fewer when
+  /// the orbit closes first), so the multicast tree itself is
+  /// deterministic per source.  Non-owning; 2^d entries; null = sample
+  /// distinct uniform destinations.
+  const std::vector<NodeId>* fixed_destinations = nullptr;
 };
 
 class GreedyMulticastSim {

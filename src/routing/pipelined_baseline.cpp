@@ -17,6 +17,9 @@ void PipelinedBaselineSim::reset(PipelinedBaselineConfig config) {
   RS_EXPECTS(config_.lambda > 0.0);
   RS_EXPECTS(config_.destinations.dimension() == config_.d);
   cube_ = Hypercube(config_.d);
+  RS_EXPECTS_MSG(config_.fixed_destinations == nullptr ||
+                     config_.fixed_destinations->size() == cube_.num_nodes(),
+                 "fixed-destination table must have 2^d entries");
   rng_.reseed(derive_stream(config_.seed, 0xBA5E));
   node_queue_.resize(cube_.num_nodes());
   for (auto& queue : node_queue_) queue.clear();
@@ -30,8 +33,10 @@ void PipelinedBaselineSim::generate_until(double t) {
   const double total_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
   while (next_birth_ <= t) {
     const auto origin = static_cast<NodeId>(rng_.uniform_below(cube_.num_nodes()));
-    node_queue_[origin].push_back(
-        Waiting{next_birth_, config_.destinations.sample(rng_, origin)});
+    const NodeId dest = config_.fixed_destinations != nullptr
+                            ? (*config_.fixed_destinations)[origin]
+                            : config_.destinations.sample(rng_, origin);
+    node_queue_[origin].push_back(Waiting{next_birth_, dest});
     next_birth_ += sample_exponential(rng_, total_rate);
   }
 }
@@ -91,13 +96,15 @@ void register_pipelined_baseline_scheme(SchemeRegistry& registry) {
        [](const Scenario& s) {
          CompiledScenario compiled;
          (void)s.resolved_fault_policy({});  // no fault support: reject knobs
+         const auto perm = s.shared_permutation_table();
          const Window window = s.resolved_window();
-         compiled.replicate = [s, window, dist = s.make_destinations()](
+         compiled.replicate = [s, window, perm, dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            PipelinedBaselineConfig config;
            config.d = s.d;
            config.lambda = s.lambda;
            config.destinations = dist;
+           config.fixed_destinations = perm ? perm.get() : nullptr;
            config.seed = seed;
            PipelinedBaselineSim& sim =
                reusable_sim<PipelinedBaselineSim>(std::move(config));

@@ -8,6 +8,7 @@
 #include "fault/fault_routing.hpp"
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
+#include "workload/permutation.hpp"
 
 namespace routesim {
 
@@ -42,8 +43,13 @@ void ValiantMixingSim::configure_kernel() {
   kernel.num_arcs = cube_.num_arcs();
   kernel.seed = config_.seed;
   kernel.stream_salt = 0x3A1A;
+  if (config_.fixed_destinations != nullptr) {
+    RS_EXPECTS_MSG(config_.fixed_destinations->size() == cube_.num_nodes(),
+                   "fixed-destination table must have 2^d entries");
+  }
   kernel.birth_rate = config_.lambda * static_cast<double>(cube_.num_nodes());
   kernel.trace = config_.trace;
+  kernel.fixed_destinations = config_.fixed_destinations;
   // Mixing doubles the path length, so roughly twice the packets in flight.
   if (config_.trace == nullptr) {
     kernel.expected_packets =
@@ -64,8 +70,9 @@ void ValiantMixingSim::configure_kernel() {
 }
 
 void ValiantMixingSim::on_spawn(double now) {
-  const auto origin = static_cast<NodeId>(kernel_.rng().uniform_below(cube_.num_nodes()));
-  inject(now, origin, config_.destinations.sample(kernel_.rng(), origin));
+  const auto [origin, dest] =
+      kernel_.sample_spawn(cube_.num_nodes(), config_.destinations);
+  inject(now, origin, dest);
 }
 
 void ValiantMixingSim::on_traced(double now, NodeId origin, NodeId dest) {
@@ -177,12 +184,13 @@ void register_valiant_mixing_scheme(SchemeRegistry& registry) {
        "greedy to the destination (§5)",
        [](const Scenario& s) {
          CompiledScenario compiled;
+         // Validated here so a bad permutation or fault combination fails
+         // at compile time, not inside a replication worker thread.
+         const auto perm = s.shared_permutation_table();
          const Window window = s.resolved_window();
-         // Validated here so a bad fault combination fails at compile
-         // time, not inside a replication worker thread.
          const FaultPolicy fault_policy = s.resolved_fault_policy(
              {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect});
-         compiled.replicate = [s, window, fault_policy,
+         compiled.replicate = [s, window, fault_policy, perm,
                                dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            ValiantMixingConfig config;
@@ -190,6 +198,7 @@ void register_valiant_mixing_scheme(SchemeRegistry& registry) {
            config.lambda = s.lambda;
            config.destinations = dist;
            config.seed = seed;
+           config.fixed_destinations = perm ? perm.get() : nullptr;
            // Tail metrics (delay_p50/p99) come from the delay histogram.
            config.track_delay_histogram = true;
            if (fault_policy != FaultPolicy::kNone) {
@@ -227,6 +236,21 @@ void register_valiant_mixing_scheme(SchemeRegistry& registry) {
          // No closed-form bracket: the mixed network is not levelled, which
          // is the point of the comparison.
          return compiled;
+       },
+       [](const Scenario& s) {
+         if (s.workload == "permutation") {
+           // Mixing spreads any bijection uniformly: both phases load
+           // every arc at ~lambda/2, so rho ~ lambda.  A non-bijective
+           // map (hotspot) keeps its inherent fan-in bottleneck — the
+           // hot node's d in-arcs must carry lambda * max_fan_in.  The
+           // table comes from permutation_table() so bad knobs surface
+           // as the same catchable ScenarioError every scheme throws.
+           const double fan_in =
+               static_cast<double>(max_fan_in(s.permutation_table()));
+           return s.lambda * std::max(1.0, fan_in / static_cast<double>(s.d));
+         }
+         // Other workloads keep the engine's default rule.
+         return s.default_rho();
        }});
 }
 

@@ -32,6 +32,11 @@ struct ValiantMixingConfig {
   DestinationDistribution destinations = DestinationDistribution::uniform(4);
   std::uint64_t seed = 1;
   const PacketTrace* trace = nullptr;  ///< replay (same workload as greedy runs)
+  /// Per-source fixed destinations (workload = permutation): entry x is
+  /// the final destination of every packet generated at node x — exactly
+  /// the adversarial pattern the random intermediate phase neutralises.
+  /// Non-owning; 2^d entries; null = sample from `destinations`.
+  const std::vector<NodeId>* fixed_destinations = nullptr;
   /// Collect a delay histogram (bin width 1, range [0, 64*d]) for tails.
   bool track_delay_histogram = false;
 
@@ -121,8 +126,11 @@ class SchemeRegistry;
 
 /// core/registry.hpp hookup: registers "valiant_mixing" (§5 two-phase
 /// mixing; workload "trace" couples it to an equal-seed greedy scenario;
-/// fault injection with fault_policy drop | skip_dim | deflect, reported
-/// through the resilience extras).
+/// workload "permutation" is the scheme's raison d'etre — mixing keeps
+/// rho ~ lambda where greedy collapses to lambda * Theta(sqrt(N)), and the
+/// scheme installs a matching load-factor rule; fault injection with
+/// fault_policy drop | skip_dim | deflect, reported through the resilience
+/// extras).
 void register_valiant_mixing_scheme(SchemeRegistry& registry);
 
 }  // namespace routesim

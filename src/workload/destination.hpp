@@ -16,6 +16,11 @@
 
 namespace routesim {
 
+/// A random destination law on the 2^d node identities: the paper's
+/// bit-flip law (1), its uniform special case, or an arbitrary
+/// translation-invariant mask law.  Deterministic per-source destinations
+/// (the adversarial counterpart these laws are averaged over) live in
+/// workload/permutation.hpp instead and bypass sampling entirely.
 class DestinationDistribution {
  public:
   /// The paper's bit-flip law with parameter p in [0, 1].

@@ -15,12 +15,16 @@
 
 namespace routesim {
 
+/// One recorded packet: generation time, origin and destination identity
+/// (a destination *row* for butterfly traces).
 struct TracedPacket {
   double time = 0.0;
   NodeId origin = 0;
   NodeId destination = 0;
 };
 
+/// A time-sorted packet trace plus the model parameters it was generated
+/// with; replaying it fixes the exogenous randomness of an experiment.
 struct PacketTrace {
   int dimension = 0;         ///< cube dimension d (or butterfly d)
   double rate_per_node = 0;  ///< lambda used to generate the trace

@@ -1,0 +1,94 @@
+// Scenario-catalog tests: the catalog must cover the live registry and key
+// list exactly, render to valid JSON/Markdown, and the committed
+// docs/SCENARIO_REFERENCE.md must match the generated text byte for byte
+// (the same drift guard the CI docs job applies via tools/gen_docs).
+
+#include "core/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/registry.hpp"
+#include "core/scenario.hpp"
+#include "workload/permutation.hpp"
+
+namespace routesim {
+namespace {
+
+TEST(Catalog, CoversRegistryAndKeysExactly) {
+  const ScenarioCatalog catalog = scenario_catalog();
+
+  const auto names = SchemeRegistry::instance().names();
+  ASSERT_EQ(catalog.schemes.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(catalog.schemes[i].name, names[i]);
+    EXPECT_FALSE(catalog.schemes[i].summary.empty());
+  }
+
+  const auto& keys = Scenario::known_set_keys();
+  ASSERT_EQ(catalog.set_keys.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(catalog.set_keys[i].name, keys[i]);
+    EXPECT_FALSE(catalog.set_keys[i].doc.empty()) << keys[i];
+    EXPECT_FALSE(catalog.set_keys[i].type.empty()) << keys[i];
+  }
+
+  ASSERT_EQ(catalog.permutations.size(), Permutation::names().size());
+  for (std::size_t i = 0; i < catalog.permutations.size(); ++i) {
+    EXPECT_EQ(catalog.permutations[i].name, Permutation::names()[i]);
+  }
+
+  // Every documented workload parses: set(workload, ...) accepts anything,
+  // so the real check is that make_destinations()/permutation_table() knows
+  // each name (trace and permutation excepted from the law check).
+  std::set<std::string> workloads;
+  for (const auto& workload : catalog.workloads) workloads.insert(workload.name);
+  EXPECT_EQ(workloads, (std::set<std::string>{"bit_flip", "uniform", "general",
+                                              "trace", "permutation"}));
+}
+
+TEST(Catalog, RenderersEmitAllSections) {
+  const ScenarioCatalog catalog = scenario_catalog();
+
+  const std::string json = catalog_json(catalog);
+  for (const auto* needle :
+       {"\"schemes\"", "\"set_keys\"", "\"workloads\"", "\"permutations\"",
+        "\"fault_policies\"", "\"sweep_keys\"", "\"hypercube_greedy\"",
+        "\"bit_reversal\"", "\"hotspot_frac\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+
+  const std::string markdown = catalog_markdown(catalog);
+  for (const auto* needle :
+       {"# Scenario reference", "## Schemes", "## `--set` keys",
+        "## Workloads", "## Permutation families", "## Fault policies",
+        "## Sweep keys", "`valiant_mixing`", "`random_permutation`"}) {
+    EXPECT_NE(markdown.find(needle), std::string::npos) << needle;
+  }
+
+  const std::string text = catalog_text(catalog);
+  EXPECT_NE(text.find("registered schemes:"), std::string::npos);
+  EXPECT_NE(text.find("permutation families"), std::string::npos);
+}
+
+TEST(Catalog, CommittedScenarioReferenceMatchesGenerated) {
+#ifndef ROUTESIM_SOURCE_DIR
+  GTEST_SKIP() << "ROUTESIM_SOURCE_DIR not defined";
+#else
+  const std::string path =
+      std::string(ROUTESIM_SOURCE_DIR) + "/docs/SCENARIO_REFERENCE.md";
+  std::ifstream file(path);
+  ASSERT_TRUE(file) << "missing " << path;
+  std::ostringstream committed;
+  committed << file.rdbuf();
+  EXPECT_EQ(committed.str(), catalog_markdown(scenario_catalog()))
+      << "docs/SCENARIO_REFERENCE.md drifted from the registry — regenerate "
+         "with build/tools/tool_gen_docs docs/SCENARIO_REFERENCE.md";
+#endif
+}
+
+}  // namespace
+}  // namespace routesim

@@ -20,6 +20,7 @@
 #include "routing/multicast.hpp"
 #include "routing/pipelined_baseline.hpp"
 #include "routing/valiant_mixing.hpp"
+#include "workload/permutation.hpp"
 #include "workload/trace.hpp"
 
 namespace routesim {
@@ -426,6 +427,71 @@ TEST(KernelParity, ResetReusesStorageWithIdenticalResults) {
   EXPECT_EQ(sim.time_avg_population(), fresh.time_avg_population());
   EXPECT_EQ(static_cast<double>(sim.deliveries_in_window()),
             static_cast<double>(fresh.deliveries_in_window()));
+}
+
+// --- per-source fixed-destination (permutation workload) pins ------------
+//
+// The arrival refactor routed every sampled workload through
+// PacketKernel::sample_spawn; the suites *above* prove that path is
+// bit-identical to the pre-kernel simulators.  The pins below (captured by
+// tools/capture_parity when the mode was introduced) freeze the new fixed
+// destination path: the kernel must consume *no* destination randomness
+// and route every packet of source x to pi(x).
+
+TEST(KernelParity, HypercubeFixedDestinationsBitReversal) {
+  const Permutation perm = Permutation::bit_reversal(6);
+  GreedyHypercubeConfig config;
+  config.d = 6;
+  config.lambda = 0.3;  // rho = 1.2: deliberately past the collapse point
+  config.destinations = DestinationDistribution::uniform(6);
+  config.fixed_destinations = &perm.table();
+  config.seed = 42;
+  config.track_node_occupancy = true;
+  GreedyHypercubeSim sim(config);
+  sim.run(50.0, 550.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), sim.max_node_occupancy(),
+       static_cast<double>(sim.deliveries_in_window())},
+      {0x1.b8932ec7fb9b6p+4, 0x1.746084ef5a8b2p+1, 0x1.261fd2de4d4b4p+9,
+       0x1.160c49ba5e354p+4, 0x1.5p+7, 0x1.0f88p+13});
+}
+
+TEST(KernelParity, ButterflyFixedDestinationsBitReversal) {
+  const Permutation perm = Permutation::bit_reversal(6);
+  GreedyButterflyConfig config;
+  config.d = 6;
+  config.lambda = 0.1;
+  config.destinations = DestinationDistribution::uniform(6);
+  config.fixed_destinations = &perm.table();
+  config.seed = 42;
+  config.track_level_occupancy = true;
+  GreedyButterflySim sim(config);
+  sim.run(50.0, 550.0);
+  expect_exact(
+      {sim.delay().mean(), sim.vertical_hops().mean(),
+       sim.time_avg_population(), sim.throughput(),
+       static_cast<double>(sim.deliveries_in_window())},
+      {0x1.94dd748417b6bp+2, 0x1.814fa6d7aeb56p+1, 0x1.40fb2c6858ec9p+5,
+       0x1.8fdf3b645a1cbp+2, 0x1.868p+11});
+}
+
+TEST(KernelParity, ValiantFixedDestinationsTranspose) {
+  const Permutation perm = Permutation::transpose(6);
+  ValiantMixingConfig config;
+  config.d = 6;
+  config.lambda = 0.2;
+  config.destinations = DestinationDistribution::uniform(6);
+  config.fixed_destinations = &perm.table();
+  config.seed = 42;
+  ValiantMixingSim sim(config);
+  sim.run(50.0, 550.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(),
+       static_cast<double>(sim.kernel_stats().deliveries_in_window())},
+      {0x1.a1f9d7e969129p+2, 0x1.7f610817b7919p+2, 0x1.523db35e03eecp+6,
+       0x1.98f5c28f5c28fp+3, 0x1.8f6p+12});
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "routing/multicast.hpp"
 #include "routing/pipelined_baseline.hpp"
 #include "routing/valiant_mixing.hpp"
+#include "workload/permutation.hpp"
 #include "workload/trace.hpp"
 
 using namespace routesim;
@@ -198,6 +199,56 @@ int main() {
          {sim.delay().mean(), sim.round_length().mean(),
           sim.backlog_at_rounds().mean(), static_cast<double>(sim.backlog()),
           static_cast<double>(sim.deliveries_in_window())});
+  }
+  {
+    // Per-source fixed-destination (permutation workload) pins, captured
+    // when the mode was introduced: the kernel consumes no destination
+    // randomness, so these values regress any change to the fixed path.
+    const Permutation perm = Permutation::bit_reversal(6);
+    GreedyHypercubeConfig c;
+    c.d = 6;
+    c.lambda = 0.3;
+    c.destinations = DestinationDistribution::uniform(6);
+    c.fixed_destinations = &perm.table();
+    c.seed = 42;
+    c.track_node_occupancy = true;
+    GreedyHypercubeSim sim(c);
+    sim.run(50.0, 550.0);
+    emit("hypercube_bit_reversal",
+         {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+          sim.throughput(), sim.max_node_occupancy(),
+          static_cast<double>(sim.deliveries_in_window())});
+  }
+  {
+    const Permutation perm = Permutation::bit_reversal(6);
+    GreedyButterflyConfig c;
+    c.d = 6;
+    c.lambda = 0.1;
+    c.destinations = DestinationDistribution::uniform(6);
+    c.fixed_destinations = &perm.table();
+    c.seed = 42;
+    c.track_level_occupancy = true;
+    GreedyButterflySim sim(c);
+    sim.run(50.0, 550.0);
+    emit("butterfly_bit_reversal",
+         {sim.delay().mean(), sim.vertical_hops().mean(),
+          sim.time_avg_population(), sim.throughput(),
+          static_cast<double>(sim.deliveries_in_window())});
+  }
+  {
+    const Permutation perm = Permutation::transpose(6);
+    ValiantMixingConfig c;
+    c.d = 6;
+    c.lambda = 0.2;
+    c.destinations = DestinationDistribution::uniform(6);
+    c.fixed_destinations = &perm.table();
+    c.seed = 42;
+    ValiantMixingSim sim(c);
+    sim.run(50.0, 550.0);
+    emit("valiant_transpose",
+         {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+          sim.throughput(),
+          static_cast<double>(sim.kernel_stats().deliveries_in_window())});
   }
   for (const auto discipline : {Discipline::kFifo, Discipline::kPs}) {
     auto config = make_hypercube_network_q(5, 1.0, 0.5, discipline, 19);

@@ -1,0 +1,36 @@
+// Maintenance tool (build target: tool_gen_docs): renders the live
+// scenario catalog (core/catalog.hpp — schemes, --set keys, workloads,
+// permutation families, fault policies, sweep keys) to the Markdown
+// scenario reference.  docs/SCENARIO_REFERENCE.md is a committed copy of
+// this output; the CI docs job and tests/test_catalog.cpp regenerate it
+// and fail on any difference, so the reference can never drift from the
+// registry.
+//
+//   tool_gen_docs [PATH]     write the reference to PATH
+//   tool_gen_docs -          write it to stdout
+//
+// Default PATH: docs/SCENARIO_REFERENCE.md (relative to the working
+// directory — run from the repository root).
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/catalog.hpp"
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "docs/SCENARIO_REFERENCE.md";
+  const std::string markdown =
+      routesim::catalog_markdown(routesim::scenario_catalog());
+  if (path == "-") {
+    std::cout << markdown;
+    return 0;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << '\n';
+    return 1;
+  }
+  out << markdown;
+  std::cout << "wrote " << path << '\n';
+  return 0;
+}
