@@ -4,20 +4,27 @@
 ///        is a table of named `Scenario`s plus its experiment-specific
 ///        checks.
 ///
-/// Each added case is run through routesim::run(); the driver prints one
-/// aligned row per case (simulated delay between the paper's bounds, plus
-/// any scheme-specific extra metrics), applies the two standard acceptance
-/// checks uniformly (bracket containment and Little's-law consistency),
-/// and handles the shared CLI surface (`--json PATH` reports).  Custom
-/// shape checks go through checker()/outcomes().
+/// Each added case runs on the process-wide campaign engine
+/// (core/campaign.hpp) behind shared_engine(): one result cache per
+/// binary, so a cell repeated across cases or suites is never recomputed,
+/// and whole grids (add_campaign) schedule every replication onto one
+/// shared worker pool instead of draining a pool per cell.  The driver
+/// prints one aligned row per case (simulated delay between the paper's
+/// bounds, plus any scheme-specific extra metrics), applies the two
+/// standard acceptance checks uniformly (bracket containment and
+/// Little's-law consistency), and handles the shared CLI surface
+/// (`--json PATH` reports).  Custom shape checks go through
+/// checker()/outcomes().
 ///
 /// Header-only, like table.hpp: build/bench holds only executables.
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/table.hpp"
+#include "core/campaign.hpp"
 #include "core/scenario.hpp"
 
 namespace benchdrive {
@@ -38,6 +45,15 @@ struct Outcome {
   routesim::RunResult result;
 };
 
+/// The campaign engine every suite in this binary shares: one in-process
+/// result cache, so equal cells across cases (and suites) are free.
+inline routesim::Engine& shared_engine() {
+  static routesim::ResultCache cache;
+  static routesim::Engine engine{
+      routesim::EngineOptions{/*threads=*/0, &cache, /*sinks=*/{}}};
+  return engine;
+}
+
 class Suite {
  public:
   /// `extra_columns` names scheme extra metrics shown as table columns
@@ -51,9 +67,35 @@ class Suite {
     std::cout << title << "\n\n";
   }
 
-  /// Runs the case now and records its row + standard checks.
+  /// Runs the case now (a one-cell campaign on the shared engine, so the
+  /// binary-wide cache applies) and records its row + standard checks.
   const routesim::RunResult& add(Case spec) {
-    routesim::RunResult result = routesim::run(spec.scenario);
+    routesim::RunResult result = shared_engine().run_one(spec.scenario);
+    return record(std::move(spec), std::move(result));
+  }
+
+  /// Runs every cell of `campaign` on the shared scheduler — replications
+  /// from all cells on one worker pool, extra `sinks` streamed as cells
+  /// finish — then records one row per cell *in cell order*.  `tune`
+  /// (optional) adjusts the default checks per case before they apply.
+  std::vector<routesim::CellResult> add_campaign(
+      const routesim::Campaign& campaign,
+      const std::function<void(Case&)>& tune = {},
+      const std::vector<routesim::ResultSink*>& sinks = {}) {
+    routesim::EngineOptions options = shared_engine().options();
+    options.sinks.insert(options.sinks.end(), sinks.begin(), sinks.end());
+    const routesim::Engine engine(std::move(options));
+    std::vector<routesim::CellResult> cells = engine.run(campaign);
+    for (const auto& cell : cells) {
+      Case spec{cell.label, cell.scenario};
+      if (tune) tune(spec);
+      record(std::move(spec), cell.result);
+    }
+    return cells;
+  }
+
+  /// Records an already-computed result: table row + standard checks.
+  const routesim::RunResult& record(Case spec, routesim::RunResult result) {
     outcomes_.push_back({std::move(spec), std::move(result)});
     const Case& c = outcomes_.back().spec;
     const routesim::RunResult& r = outcomes_.back().result;

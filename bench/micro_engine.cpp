@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "core/campaign.hpp"
 #include "core/equivalence.hpp"
 #include "des/event_queue.hpp"
 #include "queueing/levelled_network.hpp"
@@ -123,6 +126,59 @@ void BM_KernelHypercubeStorageReuse(benchmark::State& state) {
   state.SetLabel("packets");
 }
 BENCHMARK(BM_KernelHypercubeStorageReuse);
+
+// Campaign scheduler vs the serial per-cell run() loop on a 12-cell grid
+// (rho in {0.2,...,0.8} x d in {4,6,8}), reps=2 per cell so the serial
+// baseline is pool-starved exactly like the historic bench loops (each
+// run() can use at most `reps` workers, the campaign uses all cores across
+// cell boundaries).  The serial loop is timed once up front; the counters
+// report both absolute times and speedup_vs_serial — the perf-trajectory
+// headline for the batch layer.  On a single-core host the two are
+// necessarily equal (speedup ~ 1); the gap opens with hardware
+// concurrency.
+void BM_CampaignVsSerial(benchmark::State& state) {
+  using clock = std::chrono::steady_clock;
+  Scenario base;
+  base.scheme = "hypercube_greedy";
+  base.plan = {2, 9, 0};
+  base.measure = 300.0;
+  Campaign campaign("micro_campaign_vs_serial");
+  campaign.grid(base, {SweepSpec::parse("rho=0.2:0.8:0.2"),
+                       SweepSpec::parse("d=4:8:2")});
+
+  // One untimed warm-up pass so the serial baseline is not charged for
+  // first-touch allocation of the per-thread simulator storage.
+  for (const auto& cell : campaign.cells()) {
+    benchmark::DoNotOptimize(run(cell.scenario));
+  }
+
+  // Time both sides once per iteration and report min-of-N for both, so a
+  // single noisy sample cannot bias the speedup in either direction.
+  double best_serial_s = 1e300;
+  double best_campaign_s = 1e300;
+  for (auto _ : state) {
+    const auto serial_start = clock::now();
+    for (const auto& cell : campaign.cells()) {
+      benchmark::DoNotOptimize(run(cell.scenario));
+    }
+    const double serial_elapsed =
+        std::chrono::duration<double>(clock::now() - serial_start).count();
+    best_serial_s = std::min(best_serial_s, serial_elapsed);
+
+    const Engine engine;  // no cache: measure scheduling, not memoisation
+    const auto campaign_start = clock::now();
+    const auto results = engine.run(campaign);
+    const double campaign_elapsed =
+        std::chrono::duration<double>(clock::now() - campaign_start).count();
+    benchmark::DoNotOptimize(results.data());
+    best_campaign_s = std::min(best_campaign_s, campaign_elapsed);
+  }
+  state.counters["cells"] = static_cast<double>(campaign.size());
+  state.counters["serial_s"] = best_serial_s;
+  state.counters["campaign_s"] = best_campaign_s;
+  state.counters["speedup_vs_serial"] = best_serial_s / best_campaign_s;
+}
+BENCHMARK(BM_CampaignVsSerial)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 void BM_LevelledNetworkQ(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));

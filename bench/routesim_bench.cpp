@@ -1,13 +1,20 @@
 // routesim_bench — the generic scenario runner: any registered scheme, any
-// parameter point or sweep, straight from the command line.
+// parameter point, sweep, or multi-axis campaign grid, straight from the
+// command line.
 //
 //   routesim_bench --list
 //   routesim_bench --list --json catalog.json   (machine-readable catalog)
 //   routesim_bench --scenario hypercube_greedy --set d=8 --set rho=0.6
 //   routesim_bench --scenario hypercube_greedy --sweep rho=0.1:0.9 --json out.json
-//   routesim_bench --scenario butterfly_delay ... --set reps=8 --set seed=99
+//   routesim_bench --scenario hypercube_greedy
+//       --grid rho=0.2:0.8:0.2 --grid d=4:8:2 --jsonl out.jsonl
+//   routesim_bench --scenario hypercube_greedy --grid d=4:8:2 --cells
 //
-// Every row is one run(): simulated delay with a 95% CI between the
+// Repeatable --grid (and --sweep, its one-axis alias) axes cross-multiply
+// into a routesim::Campaign whose replications are scheduled onto one
+// shared worker pool (core/campaign.hpp); --cells previews the grid
+// without running it, and --jsonl streams one JSON line per finished cell.
+// Every row is one cell: simulated delay with a 95% CI between the
 // paper's bounds (when the scheme has them), throughput, the Little's-law
 // self check, and any scheme-specific extra metrics.  Exit code 0 iff the
 // standard acceptance checks (bracket containment + Little consistency)
@@ -20,13 +27,14 @@
 
 #include "common/driver.hpp"
 #include "common/table.hpp"
+#include "core/campaign.hpp"
 #include "core/catalog.hpp"
 #include "core/registry.hpp"
 #include "core/scenario.hpp"
 
 namespace {
 
-/// --list: the full scheme/key/workload/permutation/policy catalog,
+/// --list: the full scheme/key/workload/permutation/policy/CLI catalog,
 /// assembled live from the registry (core/catalog.hpp).  With --json PATH
 /// the same catalog is written as JSON (the input of tools/gen_docs).
 int list_schemes(int argc, char** argv) {
@@ -49,19 +57,23 @@ int list_schemes(int argc, char** argv) {
 int usage(const char* argv0) {
   std::cout
       << "usage: " << argv0
-      << " --scenario SCHEME [--set key=value ...] [--sweep key=a:b[:step]]\n"
-         "       [--json PATH] [--list]\n\n"
+      << " --scenario SCHEME [--set key=value ...]\n"
+         "       [--grid key=a:b[:step] ...] [--sweep key=a:b[:step] ...]\n"
+         "       [--cells] [--jsonl PATH] [--json PATH] [--list]\n\n"
          // Key names come straight from the lists --list documents, so
          // --help cannot drift from the registry.
          "keys:";
   for (const auto& key : routesim::Scenario::known_set_keys()) {
     std::cout << ' ' << key;
   }
-  std::cout << "\nsweep keys:";
+  std::cout << "\ngrid/sweep keys:";
   for (const auto& key : routesim::SweepSpec::known_keys()) {
     std::cout << ' ' << key;
   }
-  std::cout << "\n(per-key docs, workloads, permutation families and fault\n"
+  std::cout << "\nrepeatable --grid axes cross-multiply into a campaign grid\n"
+               "run on one shared worker pool; --cells previews it, --jsonl\n"
+               "streams one JSON line per finished cell.\n"
+               "(per-key docs, workloads, permutation families and fault\n"
                "policies: --list)\n";
   return 2;
 }
@@ -71,7 +83,9 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string scheme;
   std::vector<std::string> settings;
-  std::string sweep_text;
+  std::vector<std::string> axis_texts;
+  std::string jsonl_path;
+  bool preview_cells = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -81,8 +95,12 @@ int main(int argc, char** argv) {
       scheme = argv[++i];
     } else if (arg == "--set" && i + 1 < argc) {
       settings.emplace_back(argv[++i]);
-    } else if (arg == "--sweep" && i + 1 < argc) {
-      sweep_text = argv[++i];
+    } else if ((arg == "--grid" || arg == "--sweep") && i + 1 < argc) {
+      axis_texts.emplace_back(argv[++i]);
+    } else if (arg == "--jsonl" && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (arg == "--cells") {
+      preview_cells = true;
     } else if (arg == "--json" && i + 1 < argc) {
       ++i;  // consumed by Suite::finish
     } else if (arg.rfind("--json=", 0) == 0) {
@@ -102,25 +120,48 @@ int main(int argc, char** argv) {
     scenario_args.insert(scenario_args.end(), settings.begin(), settings.end());
     const routesim::Scenario base = routesim::Scenario::parse(scenario_args);
 
-    benchdrive::Suite suite("routesim_bench", "routesim_bench: " + base.to_string(),
+    std::vector<routesim::SweepSpec> axes;
+    axes.reserve(axis_texts.size());
+    for (const auto& text : axis_texts) {
+      axes.push_back(routesim::SweepSpec::parse(text));
+    }
+    routesim::Campaign campaign("routesim_bench");
+    campaign.grid(base, axes);  // no axes => the single base cell
+
+    if (preview_cells) {
+      for (const auto& cell : campaign.cells()) {
+        std::cout << "cell " << (&cell - campaign.cells().data()) << ": "
+                  << cell.label << " — "
+                  << cell.scenario.resolved().to_string() << '\n';
+      }
+      std::cout << campaign.size() << " cells\n";
+      return 0;
+    }
+
+    std::ofstream jsonl_file;
+    std::vector<routesim::ResultSink*> sinks;
+    routesim::JsonlSink jsonl(jsonl_file);
+    if (!jsonl_path.empty()) {
+      jsonl_file.open(jsonl_path);
+      if (!jsonl_file) {
+        std::cerr << "cannot write JSONL to " << jsonl_path << '\n';
+        return 1;
+      }
+      sinks.push_back(&jsonl);
+    }
+
+    benchdrive::Suite suite("routesim_bench",
+                            "routesim_bench: " + base.to_string(),
                             {"delivery_ratio", "mean_stretch", "delay_p99"});
     // The Little's-law self check compares the sojourn of *delivered*
     // packets against the rate of *all* arrivals, so it only applies when
     // nothing is dropped by faults.
-    if (sweep_text.empty()) {
-      benchdrive::Case spec{base.scheme, base};
-      spec.check_little = !base.faults_active();
-      suite.add(spec);
-    } else {
-      const auto sweep = routesim::SweepSpec::parse(sweep_text);
-      for (const double value : sweep.values()) {
-        routesim::Scenario point = base;
-        routesim::apply_sweep_value(point, sweep.key, value);
-        benchdrive::Case spec{sweep.key + "=" + benchtab::fmt(value, 3), point};
-        spec.check_little = !point.faults_active();
-        suite.add(spec);
-      }
-    }
+    suite.add_campaign(
+        campaign,
+        [](benchdrive::Case& spec) {
+          spec.check_little = !spec.scenario.faults_active();
+        },
+        sinks);
     return suite.finish(argc, argv);
   } catch (const std::exception& error) {
     // ScenarioError for bad input; contract violations from invalid

@@ -1,0 +1,400 @@
+#include "core/campaign.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/experiment.hpp"
+#include "core/registry.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace routesim {
+
+Campaign& Campaign::add(Scenario scenario) {
+  std::string label = scenario.scheme;
+  return add(std::move(label), std::move(scenario));
+}
+
+Campaign& Campaign::add(std::string label, Scenario scenario) {
+  cells_.push_back({std::move(label), std::move(scenario)});
+  return *this;
+}
+
+namespace {
+
+/// Display form for grid labels: short %g, so an index-generated
+/// 0.6000000000000001 reads "0.6" (the cell's *scenario* keeps the exact
+/// value — labels are presentation only).
+std::string label_value(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+Campaign& Campaign::grid(const Scenario& base,
+                         const std::vector<SweepSpec>& axes) {
+  if (axes.empty()) return add(base);
+  // rho and lambda set the same underlying quantity (rho is a deferred
+  // lambda solve), so axes over both would silently cancel each other —
+  // whichever applies last per cell wins and one whole axis becomes a
+  // no-op of duplicate cells.  Reject the combination, and duplicate axes
+  // over any single key for the same reason.
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    for (std::size_t b = a + 1; b < axes.size(); ++b) {
+      const bool same_key = axes[a].key == axes[b].key;
+      const bool load_clash =
+          (axes[a].key == "rho" && axes[b].key == "lambda") ||
+          (axes[a].key == "lambda" && axes[b].key == "rho");
+      if (same_key || load_clash) {
+        throw ScenarioError("conflicting grid axes '" + axes[a].key +
+                            "' and '" + axes[b].key +
+                            "' set the same quantity — one would silently "
+                            "overwrite the other");
+      }
+    }
+  }
+  std::vector<std::vector<double>> values;
+  values.reserve(axes.size());
+  for (const SweepSpec& axis : axes) values.push_back(axis.values());
+
+  // Odometer over the axes, last axis fastest (first slowest-varying).
+  std::vector<std::size_t> index(axes.size(), 0);
+  for (bool done = false; !done;) {
+    Scenario cell = base;
+    std::string label;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      apply_sweep_value(cell, axes[a].key, values[a][index[a]]);
+      if (!label.empty()) label += ' ';
+      label += axes[a].key + "=" + label_value(values[a][index[a]]);
+    }
+    add(std::move(label), std::move(cell));
+    done = true;
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      if (++index[a] < values[a].size()) {
+        done = false;
+        break;
+      }
+      index[a] = 0;
+    }
+  }
+  return *this;
+}
+
+// ------------------------------------------------------------------- cache
+
+std::string ResultCache::key(const Scenario& scenario) {
+  Scenario canonical = scenario.resolved();
+  canonical.plan.threads = 0;  // thread count never changes results
+  return canonical.to_string();
+}
+
+bool ResultCache::lookup(const std::string& key, RunResult* out) const {
+  RS_EXPECTS(out != nullptr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *out = it->second;
+  return true;
+}
+
+void ResultCache::insert(const std::string& key, const RunResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.insert_or_assign(key, result);
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+// -------------------------------------------------------------- JSONL sink
+
+namespace {
+
+/// JSON has no NaN/Inf literals; emit null for them.
+void json_number(std::ostringstream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+  } else {
+    os << fmt_shortest(value);
+  }
+}
+
+void json_interval(std::ostringstream& os, const char* name,
+                   const ConfidenceInterval& interval) {
+  os << "\"" << name << "_mean\":";
+  json_number(os, interval.mean);
+  os << ",\"" << name << "_half_width\":";
+  json_number(os, interval.half_width);
+}
+
+}  // namespace
+
+void JsonlSink::on_begin(const Campaign& campaign) {
+  campaign_ = campaign.name();
+}
+
+void JsonlSink::on_cell(const CellResult& cell) {
+  out_ << to_json(campaign_, cell) << '\n';
+  out_.flush();  // the point of JSONL is incremental consumption
+}
+
+std::string JsonlSink::to_json(const std::string& campaign,
+                               const CellResult& cell) {
+  const RunResult& r = cell.result;
+  std::ostringstream os;
+  os << "{\"campaign\":\"" << json_escape(campaign) << "\",\"cell\":"
+     << cell.index << ",\"label\":\"" << json_escape(cell.label)
+     << "\",\"scenario\":\"" << json_escape(cell.scenario.to_string())
+     << "\",\"from_cache\":" << (cell.from_cache ? "true" : "false")
+     << ",\"rho\":";
+  json_number(os, r.rho);
+  os << ',';
+  json_interval(os, "delay", r.delay);
+  os << ',';
+  json_interval(os, "population", r.population);
+  os << ',';
+  json_interval(os, "throughput", r.throughput);
+  os << ",\"mean_hops\":";
+  json_number(os, r.mean_hops);
+  os << ",\"max_little_error\":";
+  json_number(os, r.max_little_error);
+  os << ",\"mean_final_backlog\":";
+  json_number(os, r.mean_final_backlog);
+  os << ",\"has_bounds\":" << (r.has_bounds ? "true" : "false");
+  if (r.has_bounds) {
+    os << ",\"lower_bound\":";
+    json_number(os, r.lower_bound);
+    os << ",\"upper_bound\":";
+    json_number(os, r.upper_bound);
+  }
+  os << ",\"extras\":{";
+  for (std::size_t i = 0; i < r.extras.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\"" << json_escape(r.extras[i].first)
+       << "\":{\"mean\":";
+    json_number(os, r.extras[i].second.mean);
+    os << ",\"half_width\":";
+    json_number(os, r.extras[i].second.half_width);
+    os << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+// ------------------------------------------------------------------ engine
+
+namespace {
+
+/// One unit of compute: every cell sharing a cache key funnels into one
+/// job, whose replication rows are filled by the shared pool and
+/// aggregated exactly once.
+struct CellJob {
+  std::vector<std::size_t> cell_indices;  ///< front() computed, rest copies
+  Scenario scenario;                      ///< resolved form
+  std::string key;
+  CompiledScenario compiled;
+  std::vector<std::vector<double>> rows;
+  std::atomic<int> remaining{0};
+};
+
+/// run()'s aggregation, replication order, one code path for the serial
+/// and the campaign-scheduled case — hence bit-identical results.
+RunResult assemble(const Scenario& resolved, const CompiledScenario& compiled,
+                   const std::vector<std::vector<double>>& rows) {
+  const std::size_t metrics = rows.front().size();
+  for (const auto& row : rows) {
+    RS_ENSURES(row.size() == metrics);
+  }
+  const auto intervals = replication_intervals(rows);
+  const auto summaries = summarize_replications(rows);
+  RS_ENSURES(intervals.size() == metric::kCount + compiled.extra_metrics.size());
+
+  RunResult result;
+  result.delay = intervals[metric::kDelay];
+  result.population = intervals[metric::kPopulation];
+  result.throughput = intervals[metric::kThroughput];
+  result.mean_hops = summaries[metric::kHops].mean();
+  result.max_little_error = summaries[metric::kLittle].max();
+  result.mean_final_backlog = summaries[metric::kBacklog].mean();
+  result.has_bounds = compiled.has_bounds;
+  result.lower_bound = compiled.lower_bound;
+  result.upper_bound = compiled.upper_bound;
+  for (std::size_t i = 0; i < compiled.extra_metrics.size(); ++i) {
+    result.extras.emplace_back(compiled.extra_metrics[i],
+                               intervals[metric::kCount + i]);
+  }
+  result.rho = resolved.rho();
+  return result;
+}
+
+const SchemeRegistry::SchemeInfo& find_scheme_or_throw(
+    const std::string& name) {
+  const auto* info = SchemeRegistry::instance().find(name);
+  if (info == nullptr) {
+    std::string known;
+    for (const auto& candidate : SchemeRegistry::instance().names()) {
+      known += known.empty() ? candidate : ", " + candidate;
+    }
+    throw ScenarioError("unknown scheme '" + name + "' (known: " + known + ")");
+  }
+  return *info;
+}
+
+}  // namespace
+
+std::vector<CellResult> Engine::run(const Campaign& campaign) const {
+  for (ResultSink* sink : options_.sinks) {
+    if (sink != nullptr) sink->on_begin(campaign);
+  }
+
+  std::vector<CellResult> out(campaign.size());
+  enum class Slot : std::uint8_t { kCached, kDuplicate, kScheduled };
+  std::vector<Slot> status(campaign.size(), Slot::kScheduled);
+
+  // Phase 1 (this thread): resolve + compile every cell, so any
+  // ScenarioError surfaces before a single worker starts; serve cache hits
+  // and coalesce in-campaign duplicates into one job per distinct key.
+  std::vector<std::unique_ptr<CellJob>> jobs;
+  std::unordered_map<std::string, CellJob*> job_by_key;
+  for (std::size_t i = 0; i < campaign.size(); ++i) {
+    const CampaignCell& cell = campaign.cells()[i];
+    Scenario resolved = cell.scenario.resolved();
+    const std::string key = ResultCache::key(resolved);
+    out[i].index = i;
+    out[i].label = cell.label;
+    out[i].scenario = resolved;
+
+    if (options_.cache != nullptr && options_.cache->lookup(key, &out[i].result)) {
+      out[i].from_cache = true;
+      status[i] = Slot::kCached;
+      continue;
+    }
+    if (const auto it = job_by_key.find(key); it != job_by_key.end()) {
+      it->second->cell_indices.push_back(i);
+      out[i].from_cache = true;  // shares another cell's computation
+      status[i] = Slot::kDuplicate;
+      continue;
+    }
+    const auto& info = find_scheme_or_throw(resolved.scheme);
+    RS_EXPECTS(resolved.plan.replications >= 1);
+    auto job = std::make_unique<CellJob>();
+    job->cell_indices = {i};
+    job->scenario = std::move(resolved);
+    job->key = key;
+    job->compiled = info.compile(job->scenario);
+    job->rows.resize(static_cast<std::size_t>(job->scenario.plan.replications));
+    job->remaining.store(job->scenario.plan.replications,
+                         std::memory_order_relaxed);
+    job_by_key.emplace(job->key, job.get());
+    jobs.push_back(std::move(job));
+  }
+
+  // Cache hits are final already: emit them up front, in cell order (no
+  // worker is running yet, so no lock is needed).
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (status[i] != Slot::kCached) continue;
+    for (ResultSink* sink : options_.sinks) {
+      if (sink != nullptr) sink->on_cell(out[i]);
+    }
+  }
+
+  // Phase 2: one flat (job, rep) task list for all remaining cells — the
+  // shared pool crosses cell boundaries instead of draining per cell.
+  struct Task {
+    CellJob* job;
+    int rep;
+  };
+  std::vector<Task> tasks;
+  for (const auto& job : jobs) {
+    for (int rep = 0; rep < job->scenario.plan.replications; ++rep) {
+      tasks.push_back({job.get(), rep});
+    }
+  }
+
+  std::mutex sink_mutex;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::atomic<bool> abort{false};
+  std::atomic<std::size_t> next{0};
+
+  const auto finish_job = [&](CellJob& job) {
+    // Last replication of this job: aggregate once (replication order),
+    // publish to the cache, then fan out to every cell sharing the key.
+    RunResult result = assemble(job.scenario, job.compiled, job.rows);
+    if (options_.cache != nullptr) options_.cache->insert(job.key, result);
+    std::lock_guard<std::mutex> lock(sink_mutex);
+    for (const std::size_t cell_index : job.cell_indices) {
+      out[cell_index].result = result;
+      for (ResultSink* sink : options_.sinks) {
+        if (sink != nullptr) sink->on_cell(out[cell_index]);
+      }
+    }
+  };
+
+  const auto work = [&]() {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= tasks.size()) return;
+      CellJob& job = *tasks[t].job;
+      const int rep = tasks[t].rep;
+      try {
+        job.rows[static_cast<std::size_t>(rep)] = job.compiled.replicate(
+            derive_stream(job.scenario.plan.base_seed,
+                          static_cast<std::uint64_t>(rep)),
+            rep);
+        // acq_rel: the final decrement observes every worker's row writes.
+        if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          finish_job(job);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const int requested = options_.threads > 0
+                            ? options_.threads
+                            : static_cast<int>(std::thread::hardware_concurrency());
+  const int workers = std::max(
+      1, std::min<int>(requested, static_cast<int>(tasks.size())));
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (ResultSink* sink : options_.sinks) {
+    if (sink != nullptr) sink->on_end(campaign);
+  }
+  return out;
+}
+
+RunResult Engine::run_one(const Scenario& scenario) const {
+  EngineOptions options = options_;
+  if (options.threads == 0) options.threads = scenario.plan.threads;
+  Campaign single("run");
+  single.add(scenario);
+  auto results = Engine(std::move(options)).run(single);
+  RS_ENSURES(results.size() == 1);
+  return std::move(results.front().result);
+}
+
+}  // namespace routesim

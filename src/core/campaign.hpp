@@ -1,0 +1,217 @@
+#pragma once
+/// \file campaign.hpp
+/// \brief The batch execution API: a `Campaign` is a named set of cells
+///        (labelled `Scenario`s, built one by one or as sweep-grid cross
+///        products), executed by an `Engine` that schedules *replications*
+///        from every cell onto one shared worker pool.
+///
+/// The paper's results are tables and curves — dozens of (scheme, d, rho,
+/// workload) cells — and the single-shot `run(Scenario)` loop re-spins a
+/// worker pool per cell, draining it at every cell boundary.  The Engine
+/// instead flattens all cells into one replication-level task list, so
+/// every core stays busy until the whole campaign's tail.  Per-cell
+/// results stay bit-identical to `run()`: each cell still aggregates its
+/// own `derive_stream(base_seed, rep)` replications in replication order,
+/// regardless of which worker ran which replication (pinned by
+/// tests/test_campaign.cpp).
+///
+/// Long campaigns report incrementally through `ResultSink`s (a progress
+/// callback, a JSONL stream, an in-memory collector), and an optional
+/// in-process `ResultCache` — keyed by the canonical textual form of the
+/// resolved scenario — makes repeated cells free, within a campaign and
+/// across campaigns sharing the cache.  `run(Scenario)` itself is a
+/// one-cell campaign, so every existing bench binary and the legacy shim
+/// get this scheduler without source changes.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace routesim {
+
+/// One cell of a campaign: a labelled experiment point.
+struct CampaignCell {
+  std::string label;
+  Scenario scenario;
+};
+
+/// A named, ordered set of cells.  Build with add() (one cell at a time)
+/// and/or grid() (the cross product of sweep axes over a base scenario);
+/// execute with Engine::run().
+class Campaign {
+ public:
+  explicit Campaign(std::string name = "campaign") : name_(std::move(name)) {}
+
+  /// Appends one cell; the label defaults to the scheme name.
+  Campaign& add(Scenario scenario);
+  Campaign& add(std::string label, Scenario scenario);
+
+  /// Appends the full cross product of the axes' values applied to `base`
+  /// (first axis slowest-varying, so rows group naturally in tables).
+  /// Labels are "key=value key=value ..."; values are applied through
+  /// apply_sweep_value(), so rho axes defer to compile-time lambda
+  /// resolution like `--set rho=` does.  An empty axis list adds `base`
+  /// itself as a single cell.  Throws ScenarioError on conflicting axes
+  /// (two axes over one key, or rho with lambda) — they would silently
+  /// overwrite each other per cell.
+  Campaign& grid(const Scenario& base, const std::vector<SweepSpec>& axes);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<CampaignCell>& cells() const noexcept {
+    return cells_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<CampaignCell> cells_;
+};
+
+/// One finished cell: its index/label, the *resolved* scenario actually
+/// executed (pending rho targets solved to lambda), its RunResult, and
+/// whether it was served without computing (result cache, or a duplicate
+/// of another cell in the same campaign).
+struct CellResult {
+  std::size_t index = 0;
+  std::string label;
+  Scenario scenario;
+  RunResult result;
+  bool from_cache = false;
+};
+
+/// Streaming consumer of campaign progress.  The engine serialises all
+/// sink calls (one mutex across every registered sink), so implementations
+/// need no locking of their own.  on_cell() fires in *completion* order,
+/// which is nondeterministic under parallel scheduling — use
+/// CellResult::index to reorder; the vector Engine::run() returns is
+/// always in cell order.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void on_begin(const Campaign& campaign) { (void)campaign; }
+  virtual void on_cell(const CellResult& cell) = 0;
+  virtual void on_end(const Campaign& campaign) { (void)campaign; }
+};
+
+/// Adapts a plain callback (progress bars, log lines) to the sink API.
+class ProgressSink final : public ResultSink {
+ public:
+  explicit ProgressSink(std::function<void(const CellResult&)> callback)
+      : callback_(std::move(callback)) {}
+  void on_cell(const CellResult& cell) override { callback_(cell); }
+
+ private:
+  std::function<void(const CellResult&)> callback_;
+};
+
+/// Collects every CellResult as it completes (completion order).
+class MemorySink final : public ResultSink {
+ public:
+  void on_cell(const CellResult& cell) override { results_.push_back(cell); }
+  [[nodiscard]] const std::vector<CellResult>& results() const noexcept {
+    return results_;
+  }
+
+ private:
+  std::vector<CellResult> results_;
+};
+
+/// Streams one self-contained JSON object per finished cell — the
+/// machine-readable incremental form behind `routesim_bench --jsonl PATH`.
+/// Schema (tests/test_campaign.cpp round-trips it): campaign, cell, label,
+/// scenario (Scenario::parse-able one-liner), from_cache, rho, the three
+/// interval metrics as *_mean/*_half_width, mean_hops, max_little_error,
+/// mean_final_backlog, has_bounds (+ lower_bound/upper_bound), and an
+/// extras object of {mean, half_width} per scheme-specific metric.
+/// Non-finite numbers are emitted as null.
+class JsonlSink final : public ResultSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  void on_begin(const Campaign& campaign) override;
+  void on_cell(const CellResult& cell) override;
+
+  /// One cell as a single JSON line (no trailing newline).
+  [[nodiscard]] static std::string to_json(const std::string& campaign,
+                                           const CellResult& cell);
+
+ private:
+  std::ostream& out_;
+  std::string campaign_ = "campaign";
+};
+
+/// In-process result memoisation, shared across campaigns (and across
+/// Suite instances in a bench binary).  Thread-safe.  The key is the
+/// canonical textual form of the resolved scenario with the worker-thread
+/// count normalised out — thread count never changes results, so
+/// threads=1 and threads=8 runs share an entry; seeds and replication
+/// counts stay in the key because they *do* change results.
+class ResultCache {
+ public:
+  [[nodiscard]] static std::string key(const Scenario& scenario);
+
+  /// Copies the entry for `key` into `*out` and counts a hit; returns
+  /// false (counting a miss) when absent.
+  [[nodiscard]] bool lookup(const std::string& key, RunResult* out) const;
+  void insert(const std::string& key, const RunResult& result);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, RunResult> entries_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+struct EngineOptions {
+  /// Width of the shared worker pool for a whole campaign; 0 = hardware
+  /// concurrency.  (Per-cell `plan.threads` is ignored inside a campaign —
+  /// the pool is shared — except by run_one(), which honours it when this
+  /// is 0, preserving `run(Scenario)` semantics.)
+  int threads = 0;
+  ResultCache* cache = nullptr;        ///< optional, not owned
+  std::vector<ResultSink*> sinks{};    ///< optional, not owned
+};
+
+/// The campaign executor.  Scheduling never changes numbers: results are
+/// bit-identical to a serial `run()` per cell for equal seeds and plans,
+/// for any thread count.
+class Engine {
+ public:
+  Engine() = default;
+  explicit Engine(EngineOptions options) : options_(std::move(options)) {}
+
+  /// Resolves and compiles every cell (ScenarioError surfaces here, before
+  /// any worker starts), serves cache hits and in-campaign duplicates
+  /// without recomputation, then runs all remaining replications on one
+  /// shared pool.  Returns the results in cell order.
+  [[nodiscard]] std::vector<CellResult> run(const Campaign& campaign) const;
+
+  /// One scenario as a one-cell campaign — the engine behind
+  /// routesim::run().  When options().threads is 0 the scenario's own
+  /// plan.threads picks the pool width, exactly as run() always has.
+  [[nodiscard]] RunResult run_one(const Scenario& scenario) const;
+
+  [[nodiscard]] const EngineOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  EngineOptions options_{};
+};
+
+}  // namespace routesim

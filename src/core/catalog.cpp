@@ -5,6 +5,7 @@
 #include "core/registry.hpp"
 #include "core/scenario.hpp"
 #include "util/assert.hpp"
+#include "util/json.hpp"
 #include "workload/permutation.hpp"
 
 namespace routesim {
@@ -87,6 +88,33 @@ const std::vector<CatalogEntry>& workload_docs() {
   return workloads;
 }
 
+/// The routesim_bench CLI surface, one line per flag.  Unlike set_keys and
+/// sweep_keys (sourced from the live lists), this table is maintained by
+/// hand: keep it in sync with the argument parser in
+/// bench/routesim_bench.cpp when adding or renaming a flag.
+const std::vector<CatalogEntry>& cli_flag_docs() {
+  static const std::vector<CatalogEntry> flags{
+      {"--scenario SCHEME", "the base scenario: any registered scheme name"},
+      {"--set key=value",
+       "apply one scenario setting to the base (repeatable; see the --set "
+       "key table)"},
+      {"--grid key=a:b[:s]",
+       "one campaign axis (repeatable); all axes cross-multiply into a "
+       "cell grid run on the shared scheduler"},
+      {"--sweep key=a:b[:s]",
+       "alias of --grid, kept for the historic one-axis sweep form"},
+      {"--cells",
+       "preview the campaign (index, label, scenario per cell) without "
+       "running it"},
+      {"--jsonl PATH",
+       "stream one JSON line per finished cell (incremental results for "
+       "long campaigns)"},
+      {"--json PATH", "write the final table + acceptance checks as JSON"},
+      {"--list", "print this catalog (--list --json PATH: machine-readable)"},
+  };
+  return flags;
+}
+
 const std::vector<CatalogEntry>& fault_policy_docs() {
   static const std::vector<CatalogEntry> policies{
       {"drop", "lose packets whose next arc is dead (all fault-aware schemes)"},
@@ -126,26 +154,11 @@ ScenarioCatalog scenario_catalog() {
   }
   catalog.fault_policies = fault_policy_docs();
   catalog.sweep_keys = SweepSpec::known_keys();
+  catalog.cli_flags = cli_flag_docs();
   return catalog;
 }
 
 namespace {
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
 
 void json_entries(std::ostringstream& os, const char* section,
                   const std::vector<CatalogEntry>& entries) {
@@ -182,7 +195,9 @@ std::string catalog_json(const ScenarioCatalog& catalog) {
     os << (i == 0 ? "" : ", ") << '"' << json_escape(catalog.sweep_keys[i])
        << '"';
   }
-  os << "]\n}\n";
+  os << "],\n";
+  json_entries(os, "cli_flags", catalog.cli_flags);
+  os << "\n}\n";
   return os.str();
 }
 
@@ -244,11 +259,17 @@ std::string catalog_markdown(const ScenarioCatalog& catalog) {
   os << "## Fault policies (`fault_policy=`)\n\n";
   markdown_table(os, "policy", catalog.fault_policies);
 
-  os << "## Sweep keys (`--sweep key=start:stop[:step]`)\n\n";
+  os << "## Sweep keys (`--grid` / `--sweep key=start:stop[:step]`)\n\n";
   for (std::size_t i = 0; i < catalog.sweep_keys.size(); ++i) {
     os << (i == 0 ? "`" : ", `") << catalog.sweep_keys[i] << '`';
   }
-  os << "\n";
+  os << "\n\n";
+
+  os << "## Campaign CLI (`routesim_bench`)\n\n"
+        "Repeatable `--grid` axes cross-multiply into a cell grid — a\n"
+        "`routesim::Campaign` — whose replications are scheduled onto one\n"
+        "shared worker pool (see docs/CAMPAIGNS.md for the C++ API).\n\n";
+  markdown_table(os, "flag", catalog.cli_flags);
   return os.str();
 }
 
@@ -275,9 +296,13 @@ std::string catalog_text(const ScenarioCatalog& catalog) {
   for (const auto& policy : catalog.fault_policies) {
     os << "  " << policy.name << ": " << policy.summary << '\n';
   }
-  os << "\nsweep keys:";
+  os << "\nsweep keys (--grid / --sweep):";
   for (const auto& key : catalog.sweep_keys) os << ' ' << key;
   os << '\n';
+  os << "\nroutesim_bench flags:\n";
+  for (const auto& flag : catalog.cli_flags) {
+    os << "  " << flag.name << ": " << flag.summary << '\n';
+  }
   return os.str();
 }
 

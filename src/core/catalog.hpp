@@ -42,7 +42,8 @@ struct ScenarioCatalog {
   std::vector<CatalogEntry> workloads;       ///< workload= values
   std::vector<CatalogEntry> permutations;    ///< permutation= values (live)
   std::vector<CatalogEntry> fault_policies;  ///< fault_policy= values
-  std::vector<std::string> sweep_keys;       ///< --sweep keys
+  std::vector<std::string> sweep_keys;       ///< --sweep / --grid keys
+  std::vector<CatalogEntry> cli_flags;       ///< routesim_bench flags
 };
 
 /// Assembles the catalog from the live registry, Scenario::known_set_keys()

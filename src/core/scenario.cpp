@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/campaign.hpp"
 #include "core/registry.hpp"
 #include "fault/fault_model.hpp"
 #include "util/assert.hpp"
@@ -40,9 +41,28 @@ void check_mask_pmf_matches_d(const std::vector<double>& mask_pmf, int d) {
 }  // namespace
 
 double Scenario::rho() const {
+  if (rho_target.has_value()) return resolved().rho();
   const auto* info = SchemeRegistry::instance().find(scheme);
   if (info != nullptr && info->load_factor) return info->load_factor(*this);
   return default_rho();
+}
+
+Scenario Scenario::resolved() const {
+  if (!rho_target.has_value()) return *this;
+  Scenario out = *this;
+  out.rho_target.reset();
+  // Every load factor is linear in lambda, so probe it at lambda = 1 and
+  // solve; this stays correct for any registry load-factor rule.
+  Scenario probe = out;
+  probe.lambda = 1.0;
+  const double per_unit_lambda = probe.rho();
+  if (per_unit_lambda <= 0.0) {
+    throw ScenarioError(
+        "cannot resolve rho=" + std::to_string(*rho_target) +
+        " while the load factor is zero (p=0 or a degenerate workload?)");
+  }
+  out.lambda = *rho_target / per_unit_lambda;
+  return out;
 }
 
 double Scenario::default_rho() const {
@@ -195,8 +215,9 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
   return row[b.size()];
 }
 
-/// Shortest decimal form that round-trips through stod.
-std::string fmt_double(double value) {
+}  // namespace
+
+std::string fmt_shortest(double value) {
   char buffer[32];
   std::snprintf(buffer, sizeof buffer, "%.17g", value);
   double parsed = 0.0;
@@ -210,25 +231,21 @@ std::string fmt_double(double value) {
   return buffer;
 }
 
-}  // namespace
-
 void Scenario::set(const std::string& key, const std::string& value) {
   if (key == "d") {
     d = parse_int(key, value);
   } else if (key == "lambda") {
     lambda = parse_double(key, value);
+    rho_target.reset();  // an explicit lambda overrides any pending target
   } else if (key == "rho") {
     const double target = parse_double(key, value);
-    // Every load factor is linear in lambda, so probe it at lambda = 1 and
-    // solve; this stays correct for any registry load-factor rule.
-    Scenario probe = *this;
-    probe.lambda = 1.0;
-    const double per_unit_lambda = probe.rho();
-    if (per_unit_lambda <= 0.0) {
-      throw ScenarioError(
-          "cannot set rho while the load factor is zero (set p/workload first)");
+    if (target < 0.0) {
+      throw ScenarioError("rho must be >= 0, got '" + value + "'");
     }
-    lambda = target / per_unit_lambda;
+    // Deferred: resolved() solves target -> lambda once every other knob
+    // (p, workload, d, scheme) is final, so `--set rho=0.6 --set p=0.7`
+    // and the reverse order agree.
+    rho_target = target;
   } else if (key == "p") {
     p = parse_double(key, value);
   } else if (key == "tau") {
@@ -400,37 +417,43 @@ const std::vector<std::string>& Scenario::known_set_keys() {
 std::vector<std::pair<std::string, std::string>> Scenario::to_key_values() const {
   std::vector<std::pair<std::string, std::string>> pairs{
       {"d", std::to_string(d)},
-      {"lambda", fmt_double(lambda)},
-      {"p", fmt_double(p)},
-      {"tau", fmt_double(tau)},
+      {"lambda", fmt_shortest(lambda)},
+      {"p", fmt_shortest(p)},
+      {"tau", fmt_shortest(tau)},
       {"discipline", discipline == Discipline::kPs ? "ps" : "fifo"},
       {"workload", workload},
   };
+  if (rho_target.has_value()) {
+    // After lambda, so parse() replays set("lambda") (clearing any stale
+    // target) before set("rho") re-arms the deferred target — the pair
+    // round-trips exactly.
+    pairs.insert(pairs.begin() + 2, {"rho", fmt_shortest(*rho_target)});
+  }
   if (!mask_pmf.empty()) {
     // Inline CSV form; the entries are already normalised, so the round
     // trip through set() is exact.
     std::string csv;
     for (const double probability : mask_pmf) {
       if (!csv.empty()) csv += ',';
-      csv += fmt_double(probability);
+      csv += fmt_shortest(probability);
     }
     pairs.emplace_back("mask_pmf", std::move(csv));
   }
   const std::vector<std::pair<std::string, std::string>> rest{
       {"permutation", permutation},
-      {"hotspot_frac", fmt_double(hotspot_frac)},
+      {"hotspot_frac", fmt_shortest(hotspot_frac)},
       {"fanout", std::to_string(fanout)},
       {"unicast_baseline", unicast_baseline ? "1" : "0"},
       {"buffers", std::to_string(buffer_capacity)},
-      {"fault_rate", fmt_double(fault_rate)},
-      {"node_fault_rate", fmt_double(node_fault_rate)},
-      {"fault_mtbf", fmt_double(fault_mtbf)},
-      {"fault_mttr", fmt_double(fault_mttr)},
+      {"fault_rate", fmt_shortest(fault_rate)},
+      {"node_fault_rate", fmt_shortest(node_fault_rate)},
+      {"fault_mtbf", fmt_shortest(fault_mtbf)},
+      {"fault_mttr", fmt_shortest(fault_mttr)},
       {"fault_policy", fault_policy},
       {"ttl", std::to_string(ttl)},
-      {"warmup", fmt_double(window.warmup)},
-      {"horizon", fmt_double(window.horizon)},
-      {"measure", fmt_double(measure)},
+      {"warmup", fmt_shortest(window.warmup)},
+      {"horizon", fmt_shortest(window.horizon)},
+      {"measure", fmt_shortest(measure)},
       {"reps", std::to_string(plan.replications)},
       {"seed", std::to_string(plan.base_seed)},
       {"threads", std::to_string(plan.threads)},
@@ -478,37 +501,9 @@ bool RunResult::within_bracket(double slack) const {
 }
 
 RunResult run(const Scenario& scenario) {
-  const auto* info = SchemeRegistry::instance().find(scenario.scheme);
-  if (info == nullptr) {
-    std::string known;
-    for (const auto& name : SchemeRegistry::instance().names()) {
-      known += known.empty() ? name : ", " + name;
-    }
-    throw ScenarioError("unknown scheme '" + scenario.scheme + "' (known: " +
-                        known + ")");
-  }
-  const CompiledScenario compiled = info->compile(scenario);
-  const auto rows = run_replications(scenario.plan, compiled.replicate);
-  const auto intervals = replication_intervals(rows);
-  const auto summaries = summarize_replications(rows);
-  RS_ENSURES(intervals.size() == metric::kCount + compiled.extra_metrics.size());
-
-  RunResult result;
-  result.delay = intervals[metric::kDelay];
-  result.population = intervals[metric::kPopulation];
-  result.throughput = intervals[metric::kThroughput];
-  result.mean_hops = summaries[metric::kHops].mean();
-  result.max_little_error = summaries[metric::kLittle].max();
-  result.mean_final_backlog = summaries[metric::kBacklog].mean();
-  result.has_bounds = compiled.has_bounds;
-  result.lower_bound = compiled.lower_bound;
-  result.upper_bound = compiled.upper_bound;
-  for (std::size_t i = 0; i < compiled.extra_metrics.size(); ++i) {
-    result.extras.emplace_back(compiled.extra_metrics[i],
-                               intervals[metric::kCount + i]);
-  }
-  result.rho = scenario.rho();
-  return result;
+  // A one-cell campaign: same compile -> replicate -> intervals -> bounds
+  // pipeline, now scheduled by the shared engine (core/campaign.hpp).
+  return Engine().run_one(scenario);
 }
 
 SweepSpec SweepSpec::parse(const std::string& text) {
@@ -548,10 +543,22 @@ SweepSpec SweepSpec::parse(const std::string& text) {
 }
 
 std::vector<double> SweepSpec::values() const {
+  // Same validation as parse(), for directly-constructed specs: a bad spec
+  // must throw, never degenerate into an empty or endless sweep.
+  if (!std::isfinite(start) || !std::isfinite(stop) || !std::isfinite(step)) {
+    throw ScenarioError("sweep start/stop/step must be finite");
+  }
+  if (step <= 0.0) throw ScenarioError("sweep step must be positive");
+  if (stop < start) throw ScenarioError("sweep stop must be >= start");
+  // Generate by index (start + i*step), not accumulation, so later points
+  // carry no summed rounding error; include stop within a half-step
+  // tolerance and clamp any overshoot onto it.
+  const auto last =
+      static_cast<long long>(std::floor((stop - start) / step + 0.5));
   std::vector<double> out;
-  // Half-step tolerance so 0.1:0.9:0.1 includes 0.9 despite rounding.
-  for (double v = start; v <= stop + step / 2.0; v += step) {
-    out.push_back(std::min(v, stop));
+  out.reserve(static_cast<std::size_t>(last) + 1);
+  for (long long i = 0; i <= last; ++i) {
+    out.push_back(std::min(start + static_cast<double>(i) * step, stop));
   }
   return out;
 }
@@ -568,7 +575,7 @@ void apply_sweep_value(Scenario& scenario, const std::string& key, double value)
   if (key == "d" || key == "fanout" || key == "reps" || key == "seed") {
     scenario.set(key, std::to_string(std::llround(value)));
   } else {
-    scenario.set(key, fmt_double(value));
+    scenario.set(key, fmt_shortest(value));
   }
 }
 

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -68,6 +69,11 @@ struct Scenario {
   // --- model parameters -------------------------------------------------
   int d = 4;            ///< cube / butterfly dimension
   double lambda = 0.1;  ///< per-node generation rate
+  /// A pending `--set rho=` target: resolved() solves it for lambda when
+  /// every other knob (p, workload, d, scheme) is final, so the setting
+  /// order cannot change the result.  Empty = lambda is authoritative;
+  /// set("lambda") clears it.
+  std::optional<double> rho_target;
   double p = 0.5;       ///< bit-flip probability of the destination law
   double tau = 0.0;     ///< > 0: slotted-time variant (§3.4)
   /// Service discipline for the equivalent-network schemes: network Q
@@ -142,9 +148,18 @@ struct Scenario {
   [[nodiscard]] FaultPolicy resolved_fault_policy(
       std::initializer_list<FaultPolicy> supported) const;
 
+  /// This scenario with any pending rho target solved: lambda is set so
+  /// the load factor under the *final* scheme/workload/p equals the target
+  /// (every load rule is linear in lambda), and rho_target is cleared.
+  /// Identity when no target is pending.  The engine resolves each cell
+  /// before compiling it; call this yourself before reading `lambda` from
+  /// a scenario configured via set("rho", ...).  Throws ScenarioError when
+  /// the load factor is zero (the linear solve has no solution).
+  [[nodiscard]] Scenario resolved() const;
+
   /// Scheme-aware load factor: the scheme's registry load_factor rule when
   /// one is installed (the butterfly uses lambda*max{p,1-p}), default_rho()
-  /// otherwise.
+  /// otherwise.  A pending rho target is solved first.
   [[nodiscard]] double rho() const;
 
   /// The engine's default load-factor rule: lambda*max_j P[B_j] over the
@@ -195,8 +210,9 @@ struct Scenario {
   // --- textual form (CLI round trip) -----------------------------------
 
   /// Applies one `key=value` setting.  Keys (see known_set_keys()): d,
-  /// lambda, rho (solves for the lambda giving that load under the current
-  /// scheme/workload — set p/workload first), p, tau, discipline (fifo|ps),
+  /// lambda, rho (records a load-factor target; resolved() solves it for
+  /// lambda once every other knob is final, so setting order is
+  /// irrelevant), p, tau, discipline (fifo|ps),
   /// workload, mask_pmf (inline comma/whitespace list of 2^d probabilities
   /// or `@path` to load them from a file — set d and workload=general
   /// first), permutation (a Permutation::names() family, validated
@@ -253,10 +269,18 @@ struct RunResult {
   [[nodiscard]] bool within_bracket(double slack = 0.0) const;
 };
 
-/// The engine: looks the scheme up in the registry, compiles the scenario,
-/// runs the replication plan, and assembles intervals + bounds uniformly.
-/// Throws ScenarioError for an unknown scheme.
+/// The single-shot entry point — now a one-cell campaign on the shared
+/// scheduler (core/campaign.hpp): resolves the scenario, looks the scheme
+/// up in the registry, compiles it, runs the replication plan, and
+/// assembles intervals + bounds uniformly.  Bit-identical to the historic
+/// per-run pool for equal seeds and plans.  Throws ScenarioError for an
+/// unknown scheme.
 [[nodiscard]] RunResult run(const Scenario& scenario);
+
+/// Shortest decimal form of `value` that round-trips through stod — the
+/// formatting used by the textual scenario forms, campaign cell labels and
+/// the JSONL sink.
+[[nodiscard]] std::string fmt_shortest(double value);
 
 // ----------------------------------------------------------------- sweeps
 
@@ -269,6 +293,12 @@ struct SweepSpec {
   double step = 0.1;
 
   static SweepSpec parse(const std::string& text);
+
+  /// The swept values, generated by index (`start + i*step`, no
+  /// accumulated rounding); `stop` is always included within a half-step
+  /// tolerance (overshoot is clamped to `stop`).  Throws ScenarioError on
+  /// a non-positive or non-finite spec (parse() already rejects those, but
+  /// directly-constructed specs go through the same checks).
   [[nodiscard]] std::vector<double> values() const;
 
   /// The numeric keys meaningful to sweep (the catalog and --help render

@@ -16,6 +16,7 @@
 /// for explorative use.
 
 #include "core/bounds.hpp"           // every proposition as a function
+#include "core/campaign.hpp"         // batched campaigns: Engine, sinks, cache
 #include "core/equivalence.hpp"      // networks Q, R, G builders
 #include "core/experiment.hpp"       // parallel replication runner
 #include "core/registry.hpp"         // scheme name -> factory registry

@@ -1,0 +1,39 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal JSON string escaping, shared by every hand-rolled JSON
+///        emitter (core/catalog.cpp, the campaign JSONL sink).
+
+#include <cstdio>
+#include <string>
+
+namespace routesim {
+
+/// Escapes `text` for inclusion inside a JSON string literal: quotes,
+/// backslashes, and *all* control characters below 0x20 (strict parsers
+/// reject raw control bytes, not just unescaped newlines).
+inline std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace routesim

@@ -56,8 +56,9 @@ TEST(Catalog, RenderersEmitAllSections) {
   const std::string json = catalog_json(catalog);
   for (const auto* needle :
        {"\"schemes\"", "\"set_keys\"", "\"workloads\"", "\"permutations\"",
-        "\"fault_policies\"", "\"sweep_keys\"", "\"hypercube_greedy\"",
-        "\"bit_reversal\"", "\"hotspot_frac\""}) {
+        "\"fault_policies\"", "\"sweep_keys\"", "\"cli_flags\"",
+        "\"hypercube_greedy\"", "\"bit_reversal\"", "\"hotspot_frac\"",
+        "\"--grid key=a:b[:s]\"", "\"--jsonl PATH\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
 
@@ -65,13 +66,16 @@ TEST(Catalog, RenderersEmitAllSections) {
   for (const auto* needle :
        {"# Scenario reference", "## Schemes", "## `--set` keys",
         "## Workloads", "## Permutation families", "## Fault policies",
-        "## Sweep keys", "`valiant_mixing`", "`random_permutation`"}) {
+        "## Sweep keys", "## Campaign CLI", "`valiant_mixing`",
+        "`random_permutation`", "`--grid key=a:b[:s]`", "`--cells`"}) {
     EXPECT_NE(markdown.find(needle), std::string::npos) << needle;
   }
 
   const std::string text = catalog_text(catalog);
   EXPECT_NE(text.find("registered schemes:"), std::string::npos);
   EXPECT_NE(text.find("permutation families"), std::string::npos);
+  EXPECT_NE(text.find("routesim_bench flags:"), std::string::npos);
+  EXPECT_FALSE(catalog.cli_flags.empty());
 }
 
 TEST(Catalog, CommittedScenarioReferenceMatchesGenerated) {

@@ -178,7 +178,7 @@ TEST(PermutationScenario, TableAndLoadFactor) {
   scenario.lambda = 0.1;
   EXPECT_DOUBLE_EQ(scenario.rho(), 0.4);
   scenario.set("rho", "0.5");
-  EXPECT_DOUBLE_EQ(scenario.lambda, 0.125);
+  EXPECT_DOUBLE_EQ(scenario.resolved().lambda, 0.125);
 
   // An unknown family set directly (bypassing set()) still fails as a
   // catchable ScenarioError at compile time, not deep in a worker.

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "core/simulation.hpp"
@@ -169,7 +170,8 @@ TEST(Scenario, UniformWorkloadOverridesPEverywhere) {
   EXPECT_DOUBLE_EQ(scenario.effective_p(), 0.5);
   EXPECT_DOUBLE_EQ(scenario.rho(), 0.6);
   scenario.set("rho", "0.5");
-  EXPECT_DOUBLE_EQ(scenario.lambda, 1.0);
+  EXPECT_DOUBLE_EQ(scenario.rho(), 0.5);
+  EXPECT_DOUBLE_EQ(scenario.resolved().lambda, 1.0);
 }
 
 TEST(Scenario, SeedRoundTripsFull64Bits) {
@@ -192,19 +194,71 @@ TEST(Scenario, ResolvedWindowRejectsInvalidWindows) {
   EXPECT_NO_THROW((void)unstable.resolved_window());
 }
 
-TEST(Scenario, RhoKeySetsLambdaFromCurrentP) {
+TEST(Scenario, RhoKeyResolvesLambdaAtResolveTime) {
   Scenario scenario;
   scenario.set("p", "0.25");
   scenario.set("rho", "0.5");
-  EXPECT_DOUBLE_EQ(scenario.lambda, 2.0);
+  EXPECT_DOUBLE_EQ(scenario.resolved().lambda, 2.0);
   EXPECT_DOUBLE_EQ(scenario.rho(), 0.5);
 
   Scenario butterfly;
   butterfly.scheme = "butterfly_greedy";
   butterfly.set("p", "0.3");
   butterfly.set("rho", "0.7");
-  EXPECT_DOUBLE_EQ(butterfly.lambda, 1.0);  // rho = lambda * max{p, 1-p}
+  // rho = lambda * max{p, 1-p}
+  EXPECT_DOUBLE_EQ(butterfly.resolved().lambda, 1.0);
   EXPECT_DOUBLE_EQ(butterfly.rho(), 0.7);
+
+  // resolved() is the identity when no target is pending.
+  Scenario plain;
+  plain.lambda = 1.25;
+  EXPECT_EQ(plain.resolved(), plain);
+}
+
+// The order-dependence fix: rho is a deferred target, so `--set rho=0.6
+// --set p=0.7` and the reverse order give the same scenario — today and
+// across d/workload/scheme changes applied after rho.
+TEST(Scenario, RhoKeyIsOrderIndependent) {
+  Scenario rho_first;
+  rho_first.set("rho", "0.6");
+  rho_first.set("p", "0.7");
+  Scenario p_first;
+  p_first.set("p", "0.7");
+  p_first.set("rho", "0.6");
+  EXPECT_EQ(rho_first, p_first);
+  EXPECT_EQ(rho_first.resolved(), p_first.resolved());
+  EXPECT_DOUBLE_EQ(rho_first.resolved().lambda, 0.6 / 0.7);
+  EXPECT_DOUBLE_EQ(rho_first.rho(), 0.6);
+
+  // Workload changes after rho also participate in the deferred solve.
+  Scenario uniform_later;
+  uniform_later.set("rho", "0.5");
+  uniform_later.set("p", "0.9");
+  uniform_later.set("workload", "uniform");  // effective p = 0.5
+  EXPECT_DOUBLE_EQ(uniform_later.resolved().lambda, 1.0);
+
+  // An explicit lambda after rho wins (and clears the target).
+  Scenario lambda_wins;
+  lambda_wins.set("rho", "0.5");
+  lambda_wins.set("lambda", "2.0");
+  EXPECT_FALSE(lambda_wins.rho_target.has_value());
+  EXPECT_DOUBLE_EQ(lambda_wins.lambda, 2.0);
+
+  // The pending target round-trips through the textual form.
+  Scenario pending;
+  pending.set("rho", "0.35");
+  std::vector<std::string> args{pending.scheme};
+  for (const auto& [key, value] : pending.to_key_values()) {
+    args.push_back(key + "=" + value);
+  }
+  EXPECT_EQ(Scenario::parse(args), pending);
+
+  // A degenerate load factor surfaces at resolve time, catchably.
+  Scenario degenerate;
+  degenerate.set("rho", "0.5");
+  degenerate.set("p", "0");
+  EXPECT_THROW((void)degenerate.resolved(), ScenarioError);
+  EXPECT_THROW(degenerate.set("rho", "-0.1"), ScenarioError);
 }
 
 TEST(Scenario, ResolvedWindowDerivesFromLoadWhenAuto) {
@@ -297,7 +351,38 @@ TEST(SweepSpec, ApplySweepValueRoundsIntegerKeys) {
   apply_sweep_value(scenario, "d", 8.0);
   EXPECT_EQ(scenario.d, 8);
   apply_sweep_value(scenario, "rho", 0.6);
-  EXPECT_DOUBLE_EQ(scenario.lambda, 1.2);
+  EXPECT_DOUBLE_EQ(scenario.resolved().lambda, 1.2);
+}
+
+// values() generates by index (start + i*step), so later points carry no
+// accumulated rounding error.
+TEST(SweepSpec, ValuesGeneratedByIndexNotAccumulation) {
+  const auto sweep = SweepSpec::parse("rho=0.1:0.7:0.2");
+  const auto values = sweep.values();
+  ASSERT_EQ(values.size(), 4u);
+  // Accumulation gives 0.1 + 0.2 + 0.2 = 0.5000000000000001; the index
+  // form 0.1 + 2*0.2 hits 0.5 exactly.
+  EXPECT_DOUBLE_EQ(values[2], 0.5);
+  EXPECT_DOUBLE_EQ(values[3], 0.7);
+
+  // Direct construction goes through the same validation as parse().
+  SweepSpec negative{"rho", 0.1, 0.9, -0.1};
+  EXPECT_THROW((void)negative.values(), ScenarioError);
+  SweepSpec zero_step{"rho", 0.1, 0.9, 0.0};
+  EXPECT_THROW((void)zero_step.values(), ScenarioError);
+  SweepSpec backwards{"rho", 0.9, 0.1, 0.1};
+  EXPECT_THROW((void)backwards.values(), ScenarioError);
+  SweepSpec non_finite{"rho", 0.0, 1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)non_finite.values(), ScenarioError);
+
+  // start == stop is a one-point sweep even when constructed directly.
+  SweepSpec point{"rho", 0.5, 0.5, 0.1};
+  ASSERT_EQ(point.values().size(), 1u);
+  EXPECT_DOUBLE_EQ(point.values().front(), 0.5);
+  // A step larger than the whole range still yields the start point.
+  SweepSpec coarse{"rho", 0.2, 0.4, 5.0};
+  ASSERT_EQ(coarse.values().size(), 1u);
+  EXPECT_DOUBLE_EQ(coarse.values().front(), 0.2);
 }
 
 TEST(RunResult, BracketAndExtraLookup) {
