@@ -18,6 +18,8 @@
 ///
 /// Header-only, like table.hpp: build/bench holds only executables.
 
+#include <atomic>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <utility>
@@ -26,6 +28,7 @@
 #include "common/table.hpp"
 #include "core/campaign.hpp"
 #include "core/scenario.hpp"
+#include "store/result_store.hpp"
 
 namespace benchdrive {
 
@@ -45,12 +48,54 @@ struct Outcome {
   routesim::RunResult result;
 };
 
+/// The durable tier the shared engine will use, settable *before* the
+/// first shared_engine() call (routesim_bench --store PATH does this).
+/// Falls back to the ROUTESIM_STORE environment variable, so *any* bench
+/// binary gains persistent, cross-process result reuse without flags.
+inline routesim::ResultBackend*& shared_store_slot() {
+  static routesim::ResultBackend* store = nullptr;
+  return store;
+}
+
+/// Cooperative-stop token for the shared engine, settable before the
+/// first shared_engine() call (routesim_bench's SIGINT/SIGTERM handler).
+inline const std::atomic<bool>*& shared_stop_slot() {
+  static const std::atomic<bool>* stop = nullptr;
+  return stop;
+}
+
+/// Installs the durable store behind the binary-wide engine.  Call before
+/// the first add()/add_campaign() — the engine snapshots its options once.
+inline void attach_store(routesim::ResultBackend* store) {
+  shared_store_slot() = store;
+}
+
+/// Installs the stop token checked between replications by the shared
+/// engine's workers.  Call before the first add()/add_campaign().
+inline void attach_stop(const std::atomic<bool>* stop) {
+  shared_stop_slot() = stop;
+}
+
 /// The campaign engine every suite in this binary shares: one in-process
-/// result cache, so equal cells across cases (and suites) are free.
+/// result cache — so equal cells across cases (and suites) are free —
+/// plus the optional durable store and stop token attached above.
 inline routesim::Engine& shared_engine() {
   static routesim::ResultCache cache;
-  static routesim::Engine engine{
-      routesim::EngineOptions{/*threads=*/0, &cache, /*sinks=*/{}}};
+  static routesim::Engine engine = [] {
+    if (shared_store_slot() == nullptr) {
+      if (const char* env_path = std::getenv("ROUTESIM_STORE");
+          env_path != nullptr && *env_path != '\0') {
+        static routesim::ResultStore env_store{std::string(env_path)};
+        if (env_store.ok()) shared_store_slot() = &env_store;
+      }
+    }
+    routesim::EngineOptions options;
+    options.threads = 0;
+    options.cache = &cache;
+    options.store = shared_store_slot();
+    options.stop = shared_stop_slot();
+    return routesim::Engine(std::move(options));
+  }();
   return engine;
 }
 
@@ -78,6 +123,10 @@ class Suite {
   /// from all cells on one worker pool, extra `sinks` streamed as cells
   /// finish — then records one row per cell *in cell order*.  `tune`
   /// (optional) adjusts the default checks per case before they apply.
+  /// Cells cancelled by a cooperative stop (attach_stop) come back with
+  /// completed == false and are *not* recorded — their default-constructed
+  /// results would fail every check; the caller counts them for the
+  /// "N cells checkpointed" report.
   std::vector<routesim::CellResult> add_campaign(
       const routesim::Campaign& campaign,
       const std::function<void(Case&)>& tune = {},
@@ -87,6 +136,7 @@ class Suite {
     const routesim::Engine engine(std::move(options));
     std::vector<routesim::CellResult> cells = engine.run(campaign);
     for (const auto& cell : cells) {
+      if (!cell.completed) continue;
       Case spec{cell.label, cell.scenario};
       if (tune) tune(spec);
       record(std::move(spec), cell.result);

@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "util/atomic_file.hpp"
+
 namespace benchtab {
 
 /// Formats a double with fixed precision, trimming to a compact width.
@@ -178,15 +180,14 @@ class JsonReport {
     return os.str();
   }
 
-  /// Writes the report; complains on stderr (but does not fail the bench)
-  /// when the file cannot be opened.
+  /// Writes the report atomically (temp sibling + rename, so a killed
+  /// process never leaves a half-written file that still parses);
+  /// complains on stderr (but does not fail the bench) on I/O error.
   void write(const std::string& path, const Checker& checker) const {
-    std::ofstream out(path);
-    if (!out) {
+    if (!routesim::write_file_atomic(path, str(checker))) {
       std::cerr << "cannot write JSON report to " << path << '\n';
       return;
     }
-    out << str(checker);
     std::cout << "JSON report written to " << path << '\n';
   }
 

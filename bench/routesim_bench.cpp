@@ -9,6 +9,7 @@
 //   routesim_bench --scenario hypercube_greedy
 //       --grid rho=0.2:0.8:0.2 --grid d=4:8:2 --jsonl out.jsonl
 //   routesim_bench --scenario hypercube_greedy --grid d=4:8:2 --cells
+//   routesim_bench --scenario hypercube_greedy --grid d=4:8:2 --store results.jsonl
 //
 // Repeatable --grid (and --sweep, its one-axis alias) axes cross-multiply
 // into a routesim::Campaign whose replications are scheduled onto one
@@ -19,9 +20,21 @@
 // self check, and any scheme-specific extra metrics.  Exit code 0 iff the
 // standard acceptance checks (bracket containment + Little consistency)
 // pass for every row.
+//
+// Production mode (docs/SERVE.md): --store PATH keeps a durable result
+// store — every finished cell is appended + fsync'd, and cells already in
+// the store are served without recomputation, so rerunning an interrupted
+// campaign *resumes* it.  SIGINT/SIGTERM stop admitting replications,
+// drain in-flight work, flush the store, and exit 130 with a
+// "N cells checkpointed" report.  --resume PATH replays a prior --jsonl
+// stream (or store file) into the in-process cache for the same effect
+// without a writable store.
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,8 +44,17 @@
 #include "core/catalog.hpp"
 #include "core/registry.hpp"
 #include "core/scenario.hpp"
+#include "store/result_store.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
+
+/// Set by SIGINT/SIGTERM; the engine's workers poll it between
+/// replications (EngineOptions::stop), so a signal checkpoints instead of
+/// killing jthreads mid-cell.
+std::atomic<bool> g_stop_requested{false};
+
+extern "C" void handle_stop_signal(int) { g_stop_requested.store(true); }
 
 /// --list: the full scheme/key/workload/permutation/policy/CLI catalog,
 /// assembled live from the registry (core/catalog.hpp).  With --json PATH
@@ -41,12 +63,12 @@ int list_schemes(int argc, char** argv) {
   const routesim::ScenarioCatalog catalog = routesim::scenario_catalog();
   const std::string json_path = benchtab::json_path_from_args(argc, argv);
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out) {
+    // Atomic whole-file replacement: a kill mid-write must never leave a
+    // half catalog that still parses.
+    if (!routesim::write_file_atomic(json_path, routesim::catalog_json(catalog))) {
       std::cerr << "cannot write catalog JSON to " << json_path << '\n';
       return 1;
     }
-    out << routesim::catalog_json(catalog);
     std::cout << "catalog JSON written to " << json_path << '\n';
     return 0;
   }
@@ -59,7 +81,8 @@ int usage(const char* argv0) {
       << "usage: " << argv0
       << " --scenario SCHEME [--set key=value ...]\n"
          "       [--grid key=a:b[:step] ...] [--sweep key=a:b[:step] ...]\n"
-         "       [--cells] [--jsonl PATH] [--json PATH] [--list]\n\n"
+         "       [--cells] [--jsonl PATH [--append]] [--json PATH]\n"
+         "       [--store PATH] [--resume PATH] [--list]\n\n"
          // Key names come straight from the lists --list documents, so
          // --help cannot drift from the registry.
          "keys:";
@@ -72,7 +95,10 @@ int usage(const char* argv0) {
   }
   std::cout << "\nrepeatable --grid axes cross-multiply into a campaign grid\n"
                "run on one shared worker pool; --cells previews it, --jsonl\n"
-               "streams one JSON line per finished cell.\n"
+               "streams one JSON line per finished cell (--append keeps an\n"
+               "existing stream).  --store PATH makes results durable and\n"
+               "reruns resume instead of recompute; SIGINT checkpoints.\n"
+               "--resume PATH replays a prior --jsonl/store file.\n"
                "(per-key docs, workloads, permutation families and fault\n"
                "policies: --list)\n";
   return 2;
@@ -85,6 +111,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> settings;
   std::vector<std::string> axis_texts;
   std::string jsonl_path;
+  std::string store_path;
+  std::string resume_path;
+  bool append_jsonl = false;
   bool preview_cells = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -99,6 +128,12 @@ int main(int argc, char** argv) {
       axis_texts.emplace_back(argv[++i]);
     } else if (arg == "--jsonl" && i + 1 < argc) {
       jsonl_path = argv[++i];
+    } else if (arg == "--store" && i + 1 < argc) {
+      store_path = argv[++i];
+    } else if (arg == "--resume" && i + 1 < argc) {
+      resume_path = argv[++i];
+    } else if (arg == "--append") {
+      append_jsonl = true;
     } else if (arg == "--cells") {
       preview_cells = true;
     } else if (arg == "--json" && i + 1 < argc) {
@@ -138,16 +173,57 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    std::ofstream jsonl_file;
+    // Production wiring, all before the first shared_engine() use (the
+    // engine snapshots its options once): durable store, stop token for
+    // SIGINT/SIGTERM checkpointing, and any --resume replay.
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    benchdrive::attach_stop(&g_stop_requested);
+
+    std::unique_ptr<routesim::ResultStore> store;
+    if (!store_path.empty()) {
+      store = std::make_unique<routesim::ResultStore>(store_path);
+      if (!store->ok()) {
+        std::cerr << "error: " << store->error() << '\n';
+        return 1;
+      }
+      benchdrive::attach_store(store.get());
+      if (store->size() > 0) {
+        std::cout << "store '" << store_path << "': " << store->size()
+                  << " finished cells on disk will be reused\n";
+      }
+    }
+    if (!resume_path.empty()) {
+      {
+        std::ifstream probe(resume_path);
+        if (!probe) {
+          std::cerr << "error: cannot read --resume file " << resume_path
+                    << '\n';
+          return 1;
+        }
+      }
+      // Replay a prior run's --jsonl stream (or a store file) into the
+      // in-process cache; cells it covers are served without recomputing.
+      routesim::ResultCache* cache = benchdrive::shared_engine().options().cache;
+      const std::size_t replayed = routesim::replay_results(
+          resume_path, [&](const std::string& key, const routesim::Scenario&,
+                           const routesim::RunResult& result) {
+            cache->insert(key, result);
+          });
+      std::cout << "resumed " << replayed << " finished cells from "
+                << resume_path << '\n';
+    }
+
     std::vector<routesim::ResultSink*> sinks;
-    routesim::JsonlSink jsonl(jsonl_file);
+    std::unique_ptr<routesim::JsonlSink> jsonl;
     if (!jsonl_path.empty()) {
-      jsonl_file.open(jsonl_path);
-      if (!jsonl_file) {
+      jsonl = std::make_unique<routesim::JsonlSink>(
+          jsonl_path, routesim::JsonlSink::FileOptions{append_jsonl, true});
+      if (!jsonl->ok()) {
         std::cerr << "cannot write JSONL to " << jsonl_path << '\n';
         return 1;
       }
-      sinks.push_back(&jsonl);
+      sinks.push_back(jsonl.get());
     }
 
     benchdrive::Suite suite("routesim_bench",
@@ -156,12 +232,32 @@ int main(int argc, char** argv) {
     // The Little's-law self check compares the sojourn of *delivered*
     // packets against the rate of *all* arrivals, so it only applies when
     // nothing is dropped by faults.
-    suite.add_campaign(
+    const std::vector<routesim::CellResult> cells = suite.add_campaign(
         campaign,
         [](benchdrive::Case& spec) {
           spec.check_little = !spec.scenario.faults_active();
         },
         sinks);
+
+    std::size_t finished = 0;
+    for (const auto& cell : cells) finished += cell.completed ? 1 : 0;
+    if (finished < cells.size()) {
+      // Interrupted: every *finished* cell is already durable (store
+      // fsync'd per record, JSONL flushed per line); report how to pick
+      // the campaign back up and exit with the conventional SIGINT code.
+      std::cout << "\ninterrupted: " << finished << " of " << cells.size()
+                << " cells checkpointed";
+      if (!store_path.empty()) {
+        std::cout << ", resume with --store " << store_path;
+      } else if (!jsonl_path.empty()) {
+        std::cout << ", resume with --resume " << jsonl_path;
+      } else {
+        std::cout << " (in-memory only: rerun with --store PATH to make "
+                     "checkpoints durable)";
+      }
+      std::cout << '\n';
+      return 130;
+    }
     return suite.finish(argc, argv);
   } catch (const std::exception& error) {
     // ScenarioError for bad input; contract violations from invalid

@@ -1,5 +1,7 @@
 #include "core/campaign.hpp"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <exception>
@@ -142,13 +144,31 @@ void json_interval(std::ostringstream& os, const char* name,
 
 }  // namespace
 
+JsonlSink::JsonlSink(const std::string& path, FileOptions options)
+    : file_(std::fopen(path.c_str(), options.append ? "ab" : "wb")),
+      file_options_(options) {}
+
+JsonlSink::~JsonlSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
 void JsonlSink::on_begin(const Campaign& campaign) {
   campaign_ = campaign.name();
 }
 
 void JsonlSink::on_cell(const CellResult& cell) {
-  out_ << to_json(campaign_, cell) << '\n';
-  out_.flush();  // the point of JSONL is incremental consumption
+  const std::string line = to_json(campaign_, cell);
+  if (file_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+    // Durability, not just visibility: a record either survives a kill
+    // entirely or is a truncated tail the store loader tolerates.
+    if (file_options_.fsync_each) ::fsync(fileno(file_));
+    return;
+  }
+  *out_ << line << '\n';
+  out_->flush();  // the point of JSONL is incremental consumption
 }
 
 std::string JsonlSink::to_json(const std::string& campaign,
@@ -159,6 +179,7 @@ std::string JsonlSink::to_json(const std::string& campaign,
      << cell.index << ",\"label\":\"" << json_escape(cell.label)
      << "\",\"scenario\":\"" << json_escape(cell.scenario.to_string())
      << "\",\"from_cache\":" << (cell.from_cache ? "true" : "false")
+     << ",\"from_store\":" << (cell.from_store ? "true" : "false")
      << ",\"rho\":";
   json_number(os, r.rho);
   os << ',';
@@ -264,8 +285,10 @@ std::vector<CellResult> Engine::run(const Campaign& campaign) const {
   std::vector<Slot> status(campaign.size(), Slot::kScheduled);
 
   // Phase 1 (this thread): resolve + compile every cell, so any
-  // ScenarioError surfaces before a single worker starts; serve cache hits
-  // and coalesce in-campaign duplicates into one job per distinct key.
+  // ScenarioError surfaces before a single worker starts; serve cache and
+  // persistent-store hits and coalesce in-campaign duplicates into one job
+  // per distinct key.  The store lookup is what makes a rerun of an
+  // interrupted campaign a *resume*: finished cells never reschedule.
   std::vector<std::unique_ptr<CellJob>> jobs;
   std::unordered_map<std::string, CellJob*> job_by_key;
   for (std::size_t i = 0; i < campaign.size(); ++i) {
@@ -279,6 +302,15 @@ std::vector<CellResult> Engine::run(const Campaign& campaign) const {
     if (options_.cache != nullptr && options_.cache->lookup(key, &out[i].result)) {
       out[i].from_cache = true;
       status[i] = Slot::kCached;
+      continue;
+    }
+    if (options_.store != nullptr && options_.store->fetch(key, &out[i].result)) {
+      out[i].from_cache = true;
+      out[i].from_store = true;
+      status[i] = Slot::kCached;
+      // Promote into the in-process cache so repeated lookups in this
+      // process skip the store's mutex.
+      if (options_.cache != nullptr) options_.cache->insert(key, out[i].result);
       continue;
     }
     if (const auto it = job_by_key.find(key); it != job_by_key.end()) {
@@ -331,8 +363,13 @@ std::vector<CellResult> Engine::run(const Campaign& campaign) const {
 
   const auto finish_job = [&](CellJob& job) {
     // Last replication of this job: aggregate once (replication order),
-    // publish to the cache, then fan out to every cell sharing the key.
+    // publish durably (store first, so no sink ever reports a cell the
+    // store could lose), then to the cache, then fan out to every cell
+    // sharing the key.
     RunResult result = assemble(job.scenario, job.compiled, job.rows);
+    if (options_.store != nullptr) {
+      options_.store->persist(job.key, job.scenario, result);
+    }
     if (options_.cache != nullptr) options_.cache->insert(job.key, result);
     std::lock_guard<std::mutex> lock(sink_mutex);
     for (const std::size_t cell_index : job.cell_indices) {
@@ -346,6 +383,13 @@ std::vector<CellResult> Engine::run(const Campaign& campaign) const {
   const auto work = [&]() {
     for (;;) {
       if (abort.load(std::memory_order_relaxed)) return;
+      // Cooperative stop: cease *admitting* replications (the one in
+      // flight was allowed to finish), so every job either completes —
+      // and flushes durably — or stays wholly pending for a resume.
+      if (options_.stop != nullptr &&
+          options_.stop->load(std::memory_order_relaxed)) {
+        return;
+      }
       const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
       if (t >= tasks.size()) return;
       CellJob& job = *tasks[t].job;
@@ -380,6 +424,17 @@ std::vector<CellResult> Engine::run(const Campaign& campaign) const {
     for (int w = 0; w < workers; ++w) pool.emplace_back(work);
   }
   if (first_error) std::rethrow_exception(first_error);
+
+  // A cooperative stop leaves jobs with unadmitted replications; their
+  // cells (including duplicates funnelled into them) report
+  // completed == false so callers can count checkpointed vs pending work.
+  for (const auto& job : jobs) {
+    if (job->remaining.load(std::memory_order_acquire) == 0) continue;
+    for (const std::size_t cell_index : job->cell_indices) {
+      out[cell_index].completed = false;
+      out[cell_index].from_cache = false;
+    }
+  }
 
   for (ResultSink* sink : options_.sinks) {
     if (sink != nullptr) sink->on_end(campaign);

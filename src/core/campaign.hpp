@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <mutex>
 #include <ostream>
@@ -77,14 +78,22 @@ class Campaign {
 
 /// One finished cell: its index/label, the *resolved* scenario actually
 /// executed (pending rho targets solved to lambda), its RunResult, and
-/// whether it was served without computing (result cache, or a duplicate
-/// of another cell in the same campaign).
+/// whether it was served without computing (result cache, persistent
+/// store, or a duplicate of another cell in the same campaign).
 struct CellResult {
   std::size_t index = 0;
   std::string label;
   Scenario scenario;
   RunResult result;
+  /// True when the cell was served without recomputation: an in-process
+  /// cache hit, a persistent-store hit, or an in-campaign duplicate.
   bool from_cache = false;
+  /// True when the serving tier was specifically the persistent store.
+  bool from_store = false;
+  /// False when a cooperative stop (EngineOptions::stop) cancelled this
+  /// cell before all its replications ran — `result` is then default and
+  /// no sink saw the cell; rerunning the campaign resumes it.
+  bool completed = true;
 };
 
 /// Streaming consumer of campaign progress.  The engine serialises all
@@ -127,14 +136,32 @@ class MemorySink final : public ResultSink {
 /// Streams one self-contained JSON object per finished cell — the
 /// machine-readable incremental form behind `routesim_bench --jsonl PATH`.
 /// Schema (tests/test_campaign.cpp round-trips it): campaign, cell, label,
-/// scenario (Scenario::parse-able one-liner), from_cache, rho, the three
-/// interval metrics as *_mean/*_half_width, mean_hops, max_little_error,
-/// mean_final_backlog, has_bounds (+ lower_bound/upper_bound), and an
-/// extras object of {mean, half_width} per scheme-specific metric.
-/// Non-finite numbers are emitted as null.
+/// scenario (Scenario::parse-able one-liner), from_cache, from_store, rho,
+/// the three interval metrics as *_mean/*_half_width, mean_hops,
+/// max_little_error, mean_final_backlog, has_bounds (+ lower_bound/
+/// upper_bound), and an extras object of {mean, half_width} per
+/// scheme-specific metric.  Non-finite numbers are emitted as null.
+///
+/// Two construction modes: an ostream (caller owns buffering/lifetime,
+/// flushed per record), or a file path with durability options — append
+/// instead of truncate, and fsync after every record so a killed process
+/// always leaves a valid resumable prefix (`--resume` replays it).
 class JsonlSink final : public ResultSink {
  public:
-  explicit JsonlSink(std::ostream& out) : out_(out) {}
+  struct FileOptions {
+    bool append = false;      ///< open O_APPEND instead of truncating
+    bool fsync_each = true;   ///< fsync(2) after every record
+  };
+
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  JsonlSink(const std::string& path, FileOptions options);
+  JsonlSink(const JsonlSink&) = delete;
+  JsonlSink& operator=(const JsonlSink&) = delete;
+  ~JsonlSink() override;
+
+  /// False when the file-path constructor could not open its target.
+  [[nodiscard]] bool ok() const noexcept { return out_ != nullptr || file_ != nullptr; }
+
   void on_begin(const Campaign& campaign) override;
   void on_cell(const CellResult& cell) override;
 
@@ -143,7 +170,9 @@ class JsonlSink final : public ResultSink {
                                            const CellResult& cell);
 
  private:
-  std::ostream& out_;
+  std::ostream* out_ = nullptr;   ///< ostream mode (not owned)
+  std::FILE* file_ = nullptr;     ///< file mode (owned)
+  FileOptions file_options_{};
   std::string campaign_ = "campaign";
 };
 
@@ -177,6 +206,23 @@ class ResultCache {
   mutable std::atomic<std::uint64_t> misses_{0};
 };
 
+/// Durable key->result tier behind the in-process ResultCache: the engine
+/// consults it (after the cache) before scheduling a cell and persists
+/// every newly computed cell into it.  The disk implementation is
+/// store/result_store.hpp's ResultStore; this seam keeps the core layer
+/// free of file formats.  Implementations must be thread-safe — persist()
+/// is called from worker threads.
+class ResultBackend {
+ public:
+  virtual ~ResultBackend() = default;
+  /// Copies the stored result for `key` into `*out`; false when absent.
+  [[nodiscard]] virtual bool fetch(const std::string& key, RunResult* out) = 0;
+  /// Durably records `result` under `key` (scenario is the resolved form,
+  /// kept alongside for human/tooling consumption of the store file).
+  virtual void persist(const std::string& key, const Scenario& scenario,
+                       const RunResult& result) = 0;
+};
+
 struct EngineOptions {
   /// Width of the shared worker pool for a whole campaign; 0 = hardware
   /// concurrency.  (Per-cell `plan.threads` is ignored inside a campaign —
@@ -184,7 +230,14 @@ struct EngineOptions {
   /// is 0, preserving `run(Scenario)` semantics.)
   int threads = 0;
   ResultCache* cache = nullptr;        ///< optional, not owned
+  ResultBackend* store = nullptr;      ///< optional durable tier, not owned
   std::vector<ResultSink*> sinks{};    ///< optional, not owned
+  /// Cooperative cancellation: when set and it becomes true, workers stop
+  /// *admitting* replications but drain the one in flight, finished cells
+  /// flush to sinks/cache/store as usual, and unfinished cells come back
+  /// with CellResult::completed == false — the checkpoint/resume
+  /// contract behind `routesim_bench`'s SIGINT handling.
+  const std::atomic<bool>* stop = nullptr;  ///< optional, not owned
 };
 
 /// The campaign executor.  Scheduling never changes numbers: results are

@@ -108,9 +108,36 @@ const std::vector<CatalogEntry>& cli_flag_docs() {
        "running it"},
       {"--jsonl PATH",
        "stream one JSON line per finished cell (incremental results for "
-       "long campaigns)"},
+       "long campaigns); fsync'd per record, so a killed run leaves a "
+       "valid --resume prefix"},
+      {"--append", "open the --jsonl stream in append mode instead of truncating"},
+      {"--store PATH",
+       "durable result store (JSONL): finished cells are appended + "
+       "fsync'd, already-stored cells are served without recomputation, "
+       "and SIGINT/SIGTERM checkpoint the campaign for a later rerun"},
+      {"--resume PATH",
+       "replay a prior --jsonl stream or store file into the in-process "
+       "cache before scheduling, so finished cells never recompute"},
       {"--json PATH", "write the final table + acceptance checks as JSON"},
       {"--list", "print this catalog (--list --json PATH: machine-readable)"},
+  };
+  return flags;
+}
+
+/// The routesim_serve daemon CLI surface (tools/routesim_serve.cpp) —
+/// hand-maintained like cli_flag_docs; docs/SERVE.md documents the wire
+/// protocol itself.
+const std::vector<CatalogEntry>& serve_flag_docs() {
+  static const std::vector<CatalogEntry> flags{
+      {"--store PATH",
+       "persistent result store shared with routesim_bench --store; "
+       "answers survive daemon restarts"},
+      {"--socket PATH", "serve a Unix-domain socket instead of stdin/stdout"},
+      {"--port N",
+       "serve TCP on 127.0.0.1:N (0 = pick a free port, printed on stderr)"},
+      {"--threads N", "engine worker-pool width per computation (0 = auto)"},
+      {"--compact",
+       "fold duplicate store records (append-only history) before serving"},
   };
   return flags;
 }
@@ -155,6 +182,7 @@ ScenarioCatalog scenario_catalog() {
   catalog.fault_policies = fault_policy_docs();
   catalog.sweep_keys = SweepSpec::known_keys();
   catalog.cli_flags = cli_flag_docs();
+  catalog.serve_flags = serve_flag_docs();
   return catalog;
 }
 
@@ -197,6 +225,8 @@ std::string catalog_json(const ScenarioCatalog& catalog) {
   }
   os << "],\n";
   json_entries(os, "cli_flags", catalog.cli_flags);
+  os << ",\n";
+  json_entries(os, "serve_flags", catalog.serve_flags);
   os << "\n}\n";
   return os.str();
 }
@@ -270,6 +300,13 @@ std::string catalog_markdown(const ScenarioCatalog& catalog) {
         "`routesim::Campaign` — whose replications are scheduled onto one\n"
         "shared worker pool (see docs/CAMPAIGNS.md for the C++ API).\n\n";
   markdown_table(os, "flag", catalog.cli_flags);
+
+  os << "## Service daemon (`routesim_serve`)\n\n"
+        "The long-running scenario-answering daemon: line-delimited JSON\n"
+        "over stdio, a Unix socket, or loopback TCP, answering from the\n"
+        "persistent store when it can and scheduling engine runs when it\n"
+        "cannot (see docs/SERVE.md for the protocol and the store format).\n\n";
+  markdown_table(os, "flag", catalog.serve_flags);
   return os.str();
 }
 
@@ -301,6 +338,10 @@ std::string catalog_text(const ScenarioCatalog& catalog) {
   os << '\n';
   os << "\nroutesim_bench flags:\n";
   for (const auto& flag : catalog.cli_flags) {
+    os << "  " << flag.name << ": " << flag.summary << '\n';
+  }
+  os << "\nroutesim_serve flags (daemon; protocol in docs/SERVE.md):\n";
+  for (const auto& flag : catalog.serve_flags) {
     os << "  " << flag.name << ": " << flag.summary << '\n';
   }
   return os.str();

@@ -44,6 +44,7 @@ struct ScenarioCatalog {
   std::vector<CatalogEntry> fault_policies;  ///< fault_policy= values
   std::vector<std::string> sweep_keys;       ///< --sweep / --grid keys
   std::vector<CatalogEntry> cli_flags;       ///< routesim_bench flags
+  std::vector<CatalogEntry> serve_flags;     ///< routesim_serve daemon flags
 };
 
 /// Assembles the catalog from the live registry, Scenario::known_set_keys()

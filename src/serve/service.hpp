@@ -1,0 +1,112 @@
+#pragma once
+/// \file service.hpp
+/// \brief The query service behind the `routesim_serve` daemon: many
+///        concurrent clients against one warm engine, with a three-tier
+///        answer path (in-process cache -> persistent store -> compute)
+///        and in-flight deduplication so identical concurrent queries
+///        fund exactly one computation.
+///
+/// This is the "millions of users" story of the ROADMAP made concrete:
+/// the daemon process stays warm, the `ResultStore` makes its answers
+/// durable across restarts, and `QueryService::query()` is safe to call
+/// from any number of transport threads (stdio, Unix socket, TCP — see
+/// tools/routesim_serve.cpp).  The wire protocol is line-delimited JSON;
+/// handle_request() implements it transport-agnostically so tests can
+/// drive the protocol without a socket (tests/test_serve.cpp) and the
+/// production harness can drive it black-box (tools/production_test.py).
+///
+/// Protocol (one JSON object per line, documented in docs/SERVE.md):
+///   {"op":"query","scenario":"hypercube_greedy d=6 ...","id":1}
+///   {"op":"grid","scenario":"<base>","axes":["rho=0.1:0.9:0.2"],"id":2}
+///   {"op":"stats"} | {"op":"ping"} | {"op":"shutdown"}
+/// Responses echo `id` and carry ok/source/result; grid streams one
+/// "cell" line per finished cell before its summary line.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/campaign.hpp"
+#include "core/scenario.hpp"
+#include "store/result_store.hpp"
+
+namespace routesim::serve {
+
+struct ServiceOptions {
+  /// Worker-pool width per computation; 0 = scenario plan / hardware.
+  int threads = 0;
+  /// Durable tier, shared with other processes via its file; optional.
+  ResultStore* store = nullptr;
+};
+
+/// Thread-safe scenario-query front end over the campaign engine.
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options) : options_(options) {}
+
+  struct QueryResult {
+    bool ok = false;
+    std::string error;        ///< set when !ok
+    /// Which tier answered: "cache" (in-process), "store" (persistent,
+    /// incl. records another process wrote), "computed" (this call ran
+    /// the engine), "inflight" (coalesced onto a concurrent identical
+    /// computation).
+    std::string source;
+    std::string key;          ///< canonical threads-normalized store key
+    Scenario scenario;        ///< resolved form actually answered
+    RunResult result;
+  };
+
+  /// Answers one scenario; never throws (errors come back in the result).
+  [[nodiscard]] QueryResult query(const Scenario& scenario);
+  /// Same, from the textual "scheme key=value ..." form.
+  [[nodiscard]] QueryResult query_text(const std::string& scenario_text);
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t store_hits = 0;
+    std::uint64_t computed = 0;
+    std::uint64_t coalesced = 0;  ///< waited on another client's computation
+    std::uint64_t errors = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+  /// Engine options wired to this service's cache + store, for campaign
+  /// (grid) requests that bypass the single-query path.
+  [[nodiscard]] EngineOptions engine_options();
+
+ private:
+  struct Inflight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    std::string error;
+    RunResult result;
+  };
+
+  ServiceOptions options_;
+  ResultCache cache_;
+  mutable std::mutex stats_mutex_;
+  Stats stats_{};
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+};
+
+/// Executes one protocol line against `service`, emitting zero or more
+/// response lines (without trailing newline) through `emit`.  Returns
+/// false exactly when the request was a valid "shutdown" — the transport
+/// should stop its loop.  Malformed requests produce one ok:false
+/// response and return true.
+bool handle_request(QueryService& service, const std::string& line,
+                    const std::function<void(const std::string&)>& emit);
+
+}  // namespace routesim::serve

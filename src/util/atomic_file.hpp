@@ -1,0 +1,44 @@
+#pragma once
+/// \file atomic_file.hpp
+/// \brief Crash-safe whole-file replacement: write to a temporary sibling,
+///        fsync, then rename over the destination.
+///
+/// Whole-file outputs (`--list --json` catalogs, `--json` bench reports,
+/// regenerated docs) were written in place, so a process killed mid-write
+/// left a half file that later *parses* — the worst failure mode for
+/// anything feeding the result store or CI assertions.  rename(2) on the
+/// same filesystem is atomic: readers see either the old complete file or
+/// the new complete file, never a prefix.
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+namespace routesim {
+
+/// Replaces `path` with `content` atomically (temp sibling + fsync +
+/// rename).  Returns false — leaving any previous file untouched — when
+/// the temporary cannot be written or the rename fails.
+inline bool write_file_atomic(const std::string& path,
+                              const std::string& content) {
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool written =
+      content.empty() ||
+      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  const bool flushed = std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (!(written && flushed && closed)) {
+    std::remove(temp.c_str());
+    return false;
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace routesim

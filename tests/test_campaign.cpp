@@ -1,17 +1,21 @@
 // Campaign engine tests: grid construction, bit-identical parity between
 // the shared-pool scheduler and per-cell run(), thread-count independence,
-// in-campaign deduplication, the result cache, and the JSONL sink's
-// textual round trip.
+// in-campaign deduplication, the result cache, the JSONL sink's textual
+// round trip, and the production checkpoint/resume contract (durable
+// store tier, cooperative stop, resume-equals-cold bit-identity).
 
 #include "core/campaign.hpp"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "store/result_store.hpp"
 
 namespace routesim {
 namespace {
@@ -175,7 +179,7 @@ TEST(Engine, SinksStreamEveryCellAndRunOneMatchesRun) {
   Campaign campaign("sinks");
   campaign.add(tiny("hypercube_greedy", 4, 0.5, 51));
   campaign.add(tiny("hypercube_greedy", 4, 0.3, 52));
-  const auto cells = Engine(EngineOptions{0, nullptr, sinks}).run(campaign);
+  const auto cells = Engine(EngineOptions{.sinks = sinks}).run(campaign);
   EXPECT_EQ(calls, 2);
   ASSERT_EQ(memory.results().size(), 2u);
 
@@ -242,7 +246,7 @@ TEST(JsonlSink, SchemaRoundTripsThroughScenarioParse) {
   Campaign campaign("jsonl_campaign");
   campaign.add("cell a", tiny("hypercube_greedy", 4, 0.5, 61));
   campaign.add("cell b", tiny("butterfly_greedy", 4, 0.4, 62));
-  const auto cells = Engine(EngineOptions{0, nullptr, sinks}).run(campaign);
+  const auto cells = Engine(EngineOptions{.sinks = sinks}).run(campaign);
 
   std::istringstream in(out.str());
   std::string line;
@@ -281,6 +285,163 @@ TEST(JsonlSink, SchemaRoundTripsThroughScenarioParse) {
     ++lines;
   }
   EXPECT_EQ(lines, campaign.size());
+}
+
+// ------------------------------------------------- checkpoint / resume
+
+/// Two schemes with extras (one fault-injected) — the resume-equals-cold
+/// pin must cover scheme-specific metric vectors, not just the core ones.
+Campaign production_campaign() {
+  Campaign campaign("production");
+  campaign.add("hc rho=0.3", tiny("hypercube_greedy", 4, 0.3, 71));
+  campaign.add("hc rho=0.5", tiny("hypercube_greedy", 4, 0.5, 71));
+  Scenario faulty = tiny("hypercube_greedy", 4, 0.4, 72);
+  faulty.set("fault_rate", "0.02");
+  campaign.add("faulty", faulty);
+  campaign.add("bf", tiny("butterfly_greedy", 4, 0.4, 73));
+  return campaign;
+}
+
+std::string temp_store_path(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "campaign_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(Engine, StoreTierServesAcrossEngineInstancesBitIdentically) {
+  const std::string path = temp_store_path("store_tier.jsonl");
+  const Campaign campaign = production_campaign();
+
+  std::vector<CellResult> cold;
+  {
+    ResultStore store(path);
+    ASSERT_TRUE(store.ok()) << store.error();
+    ResultCache cache;
+    cold = Engine(EngineOptions{.cache = &cache, .store = &store})
+               .run(campaign);
+    EXPECT_EQ(store.size(), campaign.size());
+  }
+
+  // A fresh process: empty cache, reopened store.  Every cell must come
+  // back from disk — no recomputation — bit-identical to the cold run.
+  ResultStore store(path);
+  ASSERT_TRUE(store.ok());
+  ResultCache cache;
+  const auto resumed =
+      Engine(EngineOptions{.cache = &cache, .store = &store}).run(campaign);
+  ASSERT_EQ(resumed.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    SCOPED_TRACE(cold[i].label);
+    EXPECT_FALSE(cold[i].from_store);
+    EXPECT_TRUE(resumed[i].from_store);
+    EXPECT_TRUE(resumed[i].from_cache);
+    EXPECT_TRUE(resumed[i].completed);
+    expect_identical(resumed[i].result, cold[i].result);
+    // Byte-level pin on top of the field compare: the serialised records
+    // are what a restarted process actually reads.
+    EXPECT_EQ(result_to_json(resumed[i].result),
+              result_to_json(cold[i].result));
+  }
+}
+
+TEST(Engine, StopTokenCheckpointsWholeCellsOnly) {
+  const std::string path = temp_store_path("stop.jsonl");
+  const Campaign campaign = production_campaign();
+  const auto cold = Engine().run(campaign);
+
+  std::atomic<bool> stop{false};
+  ProgressSink brake([&](const CellResult&) { stop.store(true); });
+  std::vector<ResultSink*> sinks{&brake};
+  std::size_t sink_cells = 0;
+  ProgressSink counter([&](const CellResult&) { ++sink_cells; });
+  sinks.push_back(&counter);
+
+  ResultStore store(path);
+  ResultCache cache;
+  // threads=1 makes the interruption point deterministic: the stop is
+  // requested while the first cell's sink call runs, so exactly one cell
+  // finishes before admission ceases.
+  const auto interrupted =
+      Engine(EngineOptions{.threads = 1,
+                           .cache = &cache,
+                           .store = &store,
+                           .sinks = sinks,
+                           .stop = &stop})
+          .run(campaign);
+  ASSERT_EQ(interrupted.size(), campaign.size());
+  std::size_t finished = 0;
+  for (const auto& cell : interrupted) {
+    SCOPED_TRACE(cell.label);
+    if (cell.completed) {
+      ++finished;
+      expect_identical(cell.result, cold[cell.index].result);
+    } else {
+      // Cancelled cells never reached a sink and carry no partial result.
+      EXPECT_FALSE(cell.from_cache);
+    }
+  }
+  EXPECT_EQ(finished, 1u);
+  EXPECT_EQ(sink_cells, finished);     // sinks saw finished cells only
+  EXPECT_EQ(store.size(), finished);   // ...and so did the durable tier
+
+  // Resume: same store, fresh cache, stop released.  Finished cells come
+  // from disk, pending ones compute, and the union is bit-identical to
+  // the uninterrupted cold run — the checkpoint changed nothing.
+  stop.store(false);
+  ResultCache fresh;
+  const auto resumed =
+      Engine(EngineOptions{.cache = &fresh, .store = &store}).run(campaign);
+  std::size_t from_store = 0;
+  for (const auto& cell : resumed) {
+    SCOPED_TRACE(cell.label);
+    EXPECT_TRUE(cell.completed);
+    from_store += cell.from_store ? 1 : 0;
+    expect_identical(cell.result, cold[cell.index].result);
+  }
+  EXPECT_EQ(from_store, finished);
+  EXPECT_EQ(store.size(), campaign.size());
+}
+
+TEST(Engine, StopBeforeAnyWorkLeavesEverythingPending) {
+  std::atomic<bool> stop{true};
+  const auto cells =
+      Engine(EngineOptions{.threads = 1, .stop = &stop})
+          .run(production_campaign());
+  for (const auto& cell : cells) {
+    EXPECT_FALSE(cell.completed);
+    EXPECT_FALSE(cell.from_cache);
+  }
+}
+
+TEST(Engine, ReplayedJsonlStreamResumesBitIdentically) {
+  // A completed campaign streamed to --jsonl, replayed into a fresh
+  // cache: the rerun must serve every cell from the replay, exactly.
+  const std::string path = temp_store_path("replayed.jsonl");
+  const Campaign campaign = production_campaign();
+  std::vector<CellResult> cold;
+  {
+    JsonlSink jsonl(path, {});
+    ASSERT_TRUE(jsonl.ok());
+    std::vector<ResultSink*> sinks{&jsonl};
+    cold = Engine(EngineOptions{.sinks = sinks}).run(campaign);
+  }
+
+  ResultCache cache;
+  std::size_t replayed = 0;
+  replay_results(path, [&](const std::string& key, const Scenario&,
+                           const RunResult& result) {
+    cache.insert(key, result);
+    ++replayed;
+  });
+  EXPECT_EQ(replayed, campaign.size());
+
+  const auto resumed =
+      Engine(EngineOptions{.cache = &cache}).run(campaign);
+  for (const auto& cell : resumed) {
+    SCOPED_TRACE(cell.label);
+    EXPECT_TRUE(cell.from_cache);
+    expect_identical(cell.result, cold[cell.index].result);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,107 @@
+// Strict-JSON reader tests: the grammar the store/serve record formats
+// rely on — exact double round-trip of fmt_shortest() emissions, escape
+// and surrogate-pair decoding, insertion order with last-wins duplicate
+// lookup, and hard rejection of the malformed shapes the crash-tolerant
+// loaders classify as garbage.
+
+#include "util/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace routesim {
+namespace {
+
+json::Value parsed(const std::string& text) {
+  json::Value value;
+  std::string error;
+  EXPECT_TRUE(json::parse(text, &value, &error)) << text << ": " << error;
+  return value;
+}
+
+void expect_rejected(const std::string& text) {
+  json::Value value;
+  std::string error;
+  EXPECT_FALSE(json::parse(text, &value, &error)) << text;
+  EXPECT_NE(error.find("offset"), std::string::npos) << error;
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parsed("null").is_null());
+  EXPECT_TRUE(parsed("true").boolean);
+  EXPECT_FALSE(parsed("false").boolean);
+  EXPECT_DOUBLE_EQ(parsed("-12.5e-2").number, -0.125);
+  EXPECT_EQ(parsed("\"plain\"").string, "plain");
+  EXPECT_TRUE(parsed("  {}  ").is_object());
+  EXPECT_TRUE(parsed("[]").array.empty());
+}
+
+TEST(JsonParse, FmtShortestEmissionsRoundTripBitExactly) {
+  for (const double value :
+       {1.0 / 3.0, 2.0000000000000004, 1e-308, 1.7976931348623157e308,
+        -0.0, 6.851, 5e-324}) {
+    const std::string text = fmt_shortest(value);
+    const json::Value number = parsed(text);
+    ASSERT_TRUE(number.is_number()) << text;
+    // Bit equality, not EXPECT_DOUBLE_EQ: the store's resume-equals-cold
+    // guarantee needs the exact same double back.
+    EXPECT_EQ(number.number, value) << text;
+  }
+}
+
+TEST(JsonParse, StringEscapesAndSurrogatePairs) {
+  EXPECT_EQ(parsed(R"("a\"b\\c\/d\n\t\r\f\b")").string, "a\"b\\c/d\n\t\r\f\b");
+  EXPECT_EQ(parsed(R"("Aé")").string, "A\xc3\xa9");
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(parsed(R"("😀")").string, "\xf0\x9f\x98\x80");
+  expect_rejected(R"("\ud83d")");   // lone high surrogate
+  expect_rejected(R"("\uZZZZ")");   // non-hex digits
+  expect_rejected("\"raw\ncontrol\"");
+}
+
+TEST(JsonParse, ObjectsPreserveOrderAndFindIsLastWins) {
+  const json::Value value =
+      parsed(R"({"a":1,"b":{"nested":[1,2,3]},"a":2})");
+  ASSERT_EQ(value.object.size(), 3u);
+  EXPECT_EQ(value.object[0].first, "a");
+  EXPECT_EQ(value.object[1].first, "b");
+  // Duplicate keys keep both entries; lookup resolves to the last, the
+  // same rule the append-only store applies across records.
+  EXPECT_DOUBLE_EQ(value.find("a")->number, 2.0);
+  const json::Value* nested = value.find("b")->find("nested");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_EQ(nested->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(nested->array[2].number, 3.0);
+  EXPECT_EQ(value.find("missing"), nullptr);
+  EXPECT_EQ(nested->find("not an object"), nullptr);
+}
+
+TEST(JsonParse, RejectsTheGarbageShapesTheLoaderSkips) {
+  expect_rejected("");
+  expect_rejected("{\"cut\":1");          // truncated record tail
+  expect_rejected("{\"v\":1}trailing");   // junk after the document
+  expect_rejected("{'single':1}");
+  expect_rejected("[1,2,]");
+  expect_rejected("{\"a\" 1}");
+  expect_rejected("nan");                 // JSON has no non-finite literals
+  expect_rejected("+1");
+  expect_rejected("01");
+}
+
+TEST(JsonParse, DepthIsBoundedAgainstMaliciousNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  expect_rejected(deep);
+  // Reasonable nesting (well under the cap) still parses.
+  std::string shallow;
+  for (int i = 0; i < 32; ++i) shallow += '[';
+  for (int i = 0; i < 32; ++i) shallow += ']';
+  EXPECT_TRUE(parsed(shallow).is_array());
+}
+
+}  // namespace
+}  // namespace routesim

@@ -1,0 +1,328 @@
+// Persistent result store tests: exact round-trip serialisation (finite
+// and non-finite doubles), restart survival, the crash-consistency
+// contract (truncated tail, interleaved garbage, duplicate keys,
+// version mismatch), compaction, and replay_results over both on-disk
+// formats (store records and campaign --jsonl sink lines).
+
+#include "store/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/scenario.hpp"
+
+namespace routesim {
+namespace {
+
+/// A fresh path under the test temp dir (removed up-front so reruns in a
+/// persistent temp dir start clean).
+std::string temp_store(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "result_store_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+/// A synthetic result exercising every field, including values JSON
+/// cannot spell (NaN/Inf) and a fraction with no finite decimal form.
+RunResult sample_result() {
+  RunResult result;
+  result.rho = 0.6;
+  result.delay = {1.0 / 3.0, 0.015625};
+  result.population = {12.75, std::nan("")};
+  result.throughput = {std::numeric_limits<double>::infinity(), 0.0};
+  result.mean_hops = 2.0000000000000004;  // off-by-one-ulp survives
+  result.max_little_error = 1e-9;
+  result.mean_final_backlog = -std::numeric_limits<double>::infinity();
+  result.has_bounds = true;
+  result.lower_bound = 3.0625;
+  result.upper_bound = 3.75;
+  result.extras.emplace_back("delivery_ratio", ConfidenceInterval{1.0, 0.0});
+  result.extras.emplace_back("delay_p99", ConfidenceInterval{6.851, 0.25});
+  return result;
+}
+
+Scenario sample_scenario(std::uint64_t seed = 7) {
+  Scenario scenario;
+  scenario.scheme = "hypercube_greedy";
+  scenario.d = 4;
+  scenario.set("rho", "0.5");
+  scenario.measure = 100.0;
+  scenario.plan = {2, seed, 0};
+  return scenario.resolved();
+}
+
+TEST(ResultJson, RoundTripsBitIdentically) {
+  const RunResult original = sample_result();
+  const std::string text = result_to_json(original);
+
+  json::Value value;
+  ASSERT_TRUE(json::parse(text, &value));
+  RunResult restored;
+  ASSERT_TRUE(result_from_json(value, &restored));
+
+  // Bit-identity is byte-identity of the canonical serialisation —
+  // including the NaN/Inf spellings a plain double compare cannot check.
+  EXPECT_EQ(result_to_json(restored), text);
+  EXPECT_TRUE(std::isnan(restored.population.half_width));
+  EXPECT_TRUE(std::isinf(restored.throughput.mean));
+  EXPECT_EQ(restored.mean_hops, original.mean_hops);
+  ASSERT_EQ(restored.extras.size(), 2u);
+  EXPECT_EQ(restored.extras[1].first, "delay_p99");
+}
+
+TEST(ResultJson, AcceptsSinkStyleNullAsNaN) {
+  json::Value value;
+  ASSERT_TRUE(json::parse(
+      R"({"rho":0.5,"delay_mean":null,"delay_half_width":0.1,)"
+      R"("population_mean":1,"population_half_width":0,)"
+      R"("throughput_mean":2,"throughput_half_width":0,)"
+      R"("mean_hops":2,"max_little_error":0,"mean_final_backlog":0,)"
+      R"("has_bounds":false})",
+      &value));
+  RunResult restored;
+  ASSERT_TRUE(result_from_json(value, &restored));
+  EXPECT_TRUE(std::isnan(restored.delay.mean));
+  EXPECT_FALSE(restored.has_bounds);
+}
+
+TEST(ResultJson, RejectsMissingCoreMetrics) {
+  json::Value value;
+  ASSERT_TRUE(json::parse(R"({"rho":0.5,"delay_mean":1})", &value));
+  RunResult restored;
+  EXPECT_FALSE(result_from_json(value, &restored));
+}
+
+TEST(ResultStore, SurvivesRestartBitIdentically) {
+  const std::string path = temp_store("restart.jsonl");
+  const RunResult result = sample_result();
+  const Scenario scenario = sample_scenario();
+  const std::string key = ResultCache::key(scenario);
+
+  {
+    ResultStore store(path);
+    ASSERT_TRUE(store.ok()) << store.error();
+    EXPECT_EQ(store.size(), 0u);
+    store.put(scenario, result);
+    store.put(sample_scenario(8), result);
+    EXPECT_EQ(store.size(), 2u);
+  }  // closed: everything must already be on disk
+
+  ResultStore reopened(path);
+  ASSERT_TRUE(reopened.ok()) << reopened.error();
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_EQ(reopened.load_stats().records_loaded, 2u);
+  EXPECT_EQ(reopened.load_stats().duplicate_keys, 0u);
+
+  RunResult fetched;
+  ASSERT_TRUE(reopened.fetch(key, &fetched));
+  EXPECT_EQ(result_to_json(fetched), result_to_json(result));
+  EXPECT_EQ(reopened.hits(), 1u);
+  EXPECT_FALSE(reopened.fetch("no such key", &fetched));
+  EXPECT_EQ(reopened.misses(), 1u);
+
+  // First-seen key order is the file order.
+  const std::vector<std::string> keys = reopened.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], key);
+}
+
+TEST(ResultStore, DropsTruncatedFinalRecord) {
+  const std::string path = temp_store("truncated.jsonl");
+  {
+    ResultStore store(path);
+    store.put(sample_scenario(1), sample_result());
+    store.put(sample_scenario(2), sample_result());
+  }
+  // Kill mid-append: the last record is cut before its newline.
+  std::string content = read_file(path);
+  ASSERT_GT(content.size(), 40u);
+  content.resize(content.size() - 40);
+  write_file(path, content);
+
+  ResultStore store(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.load_stats().truncated_tail);
+  EXPECT_EQ(store.load_stats().skipped_garbage, 0u);
+
+  // The store stays writable after the repair: opening terminated the
+  // damaged fragment, so the next append starts on a fresh line instead
+  // of merging into it.  A reload sees both surviving records, with the
+  // fragment reclassified as one (terminated) garbage line.
+  store.put(sample_scenario(3), sample_result());
+  ResultStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 2u);
+  EXPECT_FALSE(reloaded.load_stats().truncated_tail);
+  EXPECT_EQ(reloaded.load_stats().skipped_garbage, 1u);
+}
+
+TEST(ResultStore, SkipsInterleavedGarbageLines) {
+  const std::string path = temp_store("garbage.jsonl");
+  const std::string record =
+      store_record_json(ResultCache::key(sample_scenario()), sample_scenario(),
+                        sample_result());
+  write_file(path, record + "\nthis is not json\n{\"also\":\"not a record\"}\n" +
+                       store_record_json("other key", sample_scenario(9),
+                                         sample_result()) +
+                       "\n");
+  ResultStore store(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.load_stats().skipped_garbage, 2u);
+  EXPECT_FALSE(store.load_stats().truncated_tail);
+}
+
+TEST(ResultStore, DuplicateKeysResolveLastWins) {
+  const std::string path = temp_store("dup.jsonl");
+  const Scenario scenario = sample_scenario();
+  const std::string key = ResultCache::key(scenario);
+  RunResult first = sample_result();
+  RunResult second = sample_result();
+  second.delay.mean = 99.5;
+
+  {
+    ResultStore store(path);
+    store.persist(key, scenario, first);
+    store.persist(key, scenario, second);
+    EXPECT_EQ(store.size(), 1u);
+  }
+  ResultStore store(path);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.load_stats().duplicate_keys, 1u);
+  RunResult fetched;
+  ASSERT_TRUE(store.fetch(key, &fetched));
+  EXPECT_DOUBLE_EQ(fetched.delay.mean, 99.5);
+}
+
+TEST(ResultStore, SkipsVersionMismatchedRecords) {
+  const std::string path = temp_store("version.jsonl");
+  std::string future = store_record_json("future key", sample_scenario(),
+                                         sample_result());
+  // {"v":1,... -> {"v":999,...
+  future.replace(future.find("\"v\":1") + 4, 1, "999");
+  write_file(path, future + "\n" +
+                       store_record_json("current key", sample_scenario(),
+                                         sample_result()) +
+                       "\n");
+  ResultStore store(path);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.load_stats().skipped_version, 1u);
+  // A version mismatch is a well-formed record we must not interpret —
+  // not garbage.
+  EXPECT_EQ(store.load_stats().skipped_garbage, 0u);
+  EXPECT_TRUE(store.contains("current key"));
+  EXPECT_FALSE(store.contains("future key"));
+}
+
+TEST(ResultStore, CompactFoldsHistoryToOneRecordPerKey) {
+  const std::string path = temp_store("compact.jsonl");
+  ResultStore store(path);
+  RunResult result = sample_result();
+  for (int round = 0; round < 3; ++round) {
+    result.delay.mean = static_cast<double>(round);
+    store.persist("key a", sample_scenario(1), result);
+    store.persist("key b", sample_scenario(2), result);
+  }
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_TRUE(store.compact());
+
+  // Exactly one line per key on disk, current values, still appendable.
+  const std::string content = read_file(path);
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 2);
+  store.persist("key c", sample_scenario(3), result);
+
+  ResultStore reloaded(path);
+  EXPECT_EQ(reloaded.size(), 3u);
+  EXPECT_EQ(reloaded.load_stats().duplicate_keys, 0u);
+  RunResult fetched;
+  ASSERT_TRUE(reloaded.fetch("key a", &fetched));
+  EXPECT_DOUBLE_EQ(fetched.delay.mean, 2.0);  // last write won, then survived
+}
+
+TEST(ResultStore, UnopenablePathDegradesToInMemoryTier) {
+  ResultStore store("/no/such/directory/store.jsonl");
+  EXPECT_FALSE(store.ok());
+  EXPECT_FALSE(store.error().empty());
+  // Still a working in-memory map: persist/fetch function, nothing durable.
+  store.persist("key", sample_scenario(), sample_result());
+  RunResult fetched;
+  EXPECT_TRUE(store.fetch("key", &fetched));
+}
+
+// ------------------------------------------------------------------ replay
+
+TEST(ReplayResults, ReadsStoreRecordsInFileOrder) {
+  const std::string path = temp_store("replay_store.jsonl");
+  {
+    ResultStore store(path);
+    store.put(sample_scenario(1), sample_result());
+    store.put(sample_scenario(2), sample_result());
+  }
+  std::vector<std::string> keys;
+  const std::size_t consumed = replay_results(
+      path, [&](const std::string& key, const Scenario& scenario,
+                const RunResult& result) {
+        keys.push_back(key);
+        EXPECT_EQ(ResultCache::key(scenario), key);
+        EXPECT_EQ(result_to_json(result), result_to_json(sample_result()));
+      });
+  EXPECT_EQ(consumed, 2u);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], ResultCache::key(sample_scenario(1)));
+  EXPECT_EQ(keys[1], ResultCache::key(sample_scenario(2)));
+}
+
+TEST(ReplayResults, ReadsCampaignSinkLinesAndRederivesKeys) {
+  const std::string path = temp_store("replay_sink.jsonl");
+  CellResult cell;
+  cell.index = 0;
+  cell.label = "cell a";
+  cell.scenario = sample_scenario(5);
+  cell.result = sample_result();
+  cell.result.population.half_width = 0.5;  // finite: sink JSON is lossless
+  cell.result.throughput.mean = 2.25;
+  cell.result.mean_final_backlog = 0.0;
+  write_file(path, JsonlSink::to_json("replay", cell) + "\nnot json\n");
+
+  std::size_t consumed = 0;
+  replay_results(path, [&](const std::string& key, const Scenario&,
+                           const RunResult& result) {
+    EXPECT_EQ(key, ResultCache::key(cell.scenario));
+    EXPECT_EQ(result_to_json(result), result_to_json(cell.result));
+    ++consumed;
+  });
+  EXPECT_EQ(consumed, 1u);
+}
+
+TEST(ReplayResults, MissingFileConsumesNothing) {
+  std::size_t consumed = 0;
+  EXPECT_EQ(replay_results(temp_store("never_written.jsonl"),
+                           [&](const std::string&, const Scenario&,
+                               const RunResult&) { ++consumed; }),
+            0u);
+  EXPECT_EQ(consumed, 0u);
+}
+
+}  // namespace
+}  // namespace routesim

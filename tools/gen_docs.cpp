@@ -11,11 +11,11 @@
 //
 // Default PATH: docs/SCENARIO_REFERENCE.md (relative to the working
 // directory — run from the repository root).
-#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/catalog.hpp"
+#include "util/atomic_file.hpp"
 
 int main(int argc, char** argv) {
   const std::string path = argc > 1 ? argv[1] : "docs/SCENARIO_REFERENCE.md";
@@ -25,12 +25,12 @@ int main(int argc, char** argv) {
     std::cout << markdown;
     return 0;
   }
-  std::ofstream out(path);
-  if (!out) {
+  // Atomic replacement: the docs drift guard diffs this file, so a killed
+  // regeneration must not leave a half-written reference behind.
+  if (!routesim::write_file_atomic(path, markdown)) {
     std::cerr << "cannot write " << path << '\n';
     return 1;
   }
-  out << markdown;
   std::cout << "wrote " << path << '\n';
   return 0;
 }
