@@ -127,6 +127,88 @@ void BM_KernelHypercubeStorageReuse(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelHypercubeStorageReuse);
 
+// The heavy-traffic workload on the soa_batch backend: slotted time (the
+// backend's requirement), same d=10 / rho=0.9 / seed as the scalar headline
+// above, so packets-per-second is directly comparable across backends.
+void BM_KernelSoaHeavyTraffic(benchmark::State& state) {
+  GreedyHypercubeConfig config;
+  config.d = 10;
+  config.lambda = 1.8;  // rho = 0.9
+  config.destinations = DestinationDistribution::uniform(10);
+  config.seed = 6;
+  config.slot = 1.0;
+  config.backend = KernelBackend::kSoaBatch;
+  GreedyHypercubeSim sim(config);
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    sim.reset(config);
+    sim.run(0.0, 300.0);
+    delivered += sim.deliveries_in_window();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.SetLabel("packets");
+}
+BENCHMARK(BM_KernelSoaHeavyTraffic);
+
+// Scalar vs soa_batch on the *same* slotted heavy-traffic scenario — the
+// perf-trajectory headline for the backend seam.  Both sides run the
+// identical simulation (they are pinned bit-identical by the parity suite),
+// so speedup_vs_scalar is a pure execution-engine ratio.  Min-of-N on both
+// sides, per the BM_CampaignVsSerial pattern, so one noisy sample cannot
+// bias the ratio in either direction.
+void BM_BackendSpeedup(benchmark::State& state) {
+  using clock = std::chrono::steady_clock;
+  GreedyHypercubeConfig config;
+  config.d = 10;
+  config.lambda = 1.8;  // rho = 0.9
+  config.destinations = DestinationDistribution::uniform(10);
+  config.seed = 6;
+  config.slot = 1.0;
+
+  config.backend = KernelBackend::kScalar;
+  GreedyHypercubeSim scalar_sim(config);
+  config.backend = KernelBackend::kSoaBatch;
+  GreedyHypercubeSim soa_sim(config);
+
+  // One untimed warm-up pass per backend so neither side is charged for
+  // first-touch allocation of kernel storage.
+  config.backend = KernelBackend::kScalar;
+  scalar_sim.reset(config);
+  scalar_sim.run(0.0, 300.0);
+  config.backend = KernelBackend::kSoaBatch;
+  soa_sim.reset(config);
+  soa_sim.run(0.0, 300.0);
+
+  double best_scalar_s = 1e300;
+  double best_soa_s = 1e300;
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    config.backend = KernelBackend::kScalar;
+    scalar_sim.reset(config);
+    const auto scalar_start = clock::now();
+    scalar_sim.run(0.0, 300.0);
+    const double scalar_elapsed =
+        std::chrono::duration<double>(clock::now() - scalar_start).count();
+    best_scalar_s = std::min(best_scalar_s, scalar_elapsed);
+
+    config.backend = KernelBackend::kSoaBatch;
+    soa_sim.reset(config);
+    const auto soa_start = clock::now();
+    soa_sim.run(0.0, 300.0);
+    const double soa_elapsed =
+        std::chrono::duration<double>(clock::now() - soa_start).count();
+    best_soa_s = std::min(best_soa_s, soa_elapsed);
+
+    delivered += soa_sim.deliveries_in_window();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.SetLabel("packets");
+  state.counters["scalar_s"] = best_scalar_s;
+  state.counters["soa_s"] = best_soa_s;
+  state.counters["speedup_vs_scalar"] = best_scalar_s / best_soa_s;
+}
+BENCHMARK(BM_BackendSpeedup)->Unit(benchmark::kMillisecond)->Iterations(3);
+
 // Campaign scheduler vs the serial per-cell run() loop on a 12-cell grid
 // (rho in {0.2,...,0.8} x d in {4,6,8}), reps=2 per cell so the serial
 // baseline is pool-starved exactly like the historic bench loops (each

@@ -95,6 +95,11 @@ Campaign& Campaign::grid(const Scenario& base,
 std::string ResultCache::key(const Scenario& scenario) {
   Scenario canonical = scenario.resolved();
   canonical.plan.threads = 0;  // thread count never changes results
+  // The kernel backend is normalized out too: soa_batch is pinned
+  // bit-identical to the scalar oracle (tests/test_kernel_parity.cpp,
+  // tests/test_kernel_backend.cpp), so equal-scenario runs on different
+  // backends share one cache entry.
+  canonical.backend = "scalar";
   return canonical.to_string();
 }
 

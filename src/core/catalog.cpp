@@ -65,6 +65,8 @@ const std::vector<KeyEntry>& key_docs() {
       {"seed", "uint64",
        "base seed; replication r runs with derive_stream(seed, r)"},
       {"threads", "int", "worker threads for the replication fan-out; 0 = auto"},
+      {"backend", "string",
+       "kernel execution engine: scalar | soa_batch (see the backend table)"},
   };
   return keys;
 }
@@ -142,6 +144,21 @@ const std::vector<CatalogEntry>& serve_flag_docs() {
   return flags;
 }
 
+const std::vector<CatalogEntry>& backend_docs() {
+  static const std::vector<CatalogEntry> backends{
+      {"scalar",
+       "event-driven scalar kernel — the default and the bit-exactness "
+       "oracle; every scheme supports it"},
+      {"soa_batch",
+       "structure-of-arrays batch kernel for slotted-time scenarios "
+       "(tau > 0): advances every busy arc per tick with vectorizable "
+       "updates, bit-identical to scalar on adopting schemes "
+       "(hypercube_greedy, butterfly_greedy, deflection); needs FIFO "
+       "service and a static fault set, other schemes reject it"},
+  };
+  return backends;
+}
+
 const std::vector<CatalogEntry>& fault_policy_docs() {
   static const std::vector<CatalogEntry> policies{
       {"drop", "lose packets whose next arc is dead (all fault-aware schemes)"},
@@ -180,6 +197,7 @@ ScenarioCatalog scenario_catalog() {
     catalog.permutations.push_back({name, Permutation::summary(name)});
   }
   catalog.fault_policies = fault_policy_docs();
+  catalog.backends = backend_docs();
   catalog.sweep_keys = SweepSpec::known_keys();
   catalog.cli_flags = cli_flag_docs();
   catalog.serve_flags = serve_flag_docs();
@@ -218,6 +236,8 @@ std::string catalog_json(const ScenarioCatalog& catalog) {
   json_entries(os, "permutations", catalog.permutations);
   os << ",\n";
   json_entries(os, "fault_policies", catalog.fault_policies);
+  os << ",\n";
+  json_entries(os, "backends", catalog.backends);
   os << ",\n  \"sweep_keys\": [";
   for (std::size_t i = 0; i < catalog.sweep_keys.size(); ++i) {
     os << (i == 0 ? "" : ", ") << '"' << json_escape(catalog.sweep_keys[i])
@@ -289,6 +309,9 @@ std::string catalog_markdown(const ScenarioCatalog& catalog) {
   os << "## Fault policies (`fault_policy=`)\n\n";
   markdown_table(os, "policy", catalog.fault_policies);
 
+  os << "## Kernel backends (`backend=`)\n\n";
+  markdown_table(os, "backend", catalog.backends);
+
   os << "## Sweep keys (`--grid` / `--sweep key=start:stop[:step]`)\n\n";
   for (std::size_t i = 0; i < catalog.sweep_keys.size(); ++i) {
     os << (i == 0 ? "`" : ", `") << catalog.sweep_keys[i] << '`';
@@ -332,6 +355,10 @@ std::string catalog_text(const ScenarioCatalog& catalog) {
         "node_fault_rate or fault_mtbf/fault_mttr is set):\n";
   for (const auto& policy : catalog.fault_policies) {
     os << "  " << policy.name << ": " << policy.summary << '\n';
+  }
+  os << "\nkernel backends (backend=...):\n";
+  for (const auto& backend : catalog.backends) {
+    os << "  " << backend.name << ": " << backend.summary << '\n';
   }
   os << "\nsweep keys (--grid / --sweep):";
   for (const auto& key : catalog.sweep_keys) os << ' ' << key;

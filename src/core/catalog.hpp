@@ -42,6 +42,7 @@ struct ScenarioCatalog {
   std::vector<CatalogEntry> workloads;       ///< workload= values
   std::vector<CatalogEntry> permutations;    ///< permutation= values (live)
   std::vector<CatalogEntry> fault_policies;  ///< fault_policy= values
+  std::vector<CatalogEntry> backends;        ///< backend= values
   std::vector<std::string> sweep_keys;       ///< --sweep / --grid keys
   std::vector<CatalogEntry> cli_flags;       ///< routesim_bench flags
   std::vector<CatalogEntry> serve_flags;     ///< routesim_serve daemon flags

@@ -8,6 +8,7 @@
 
 #include "core/campaign.hpp"
 #include "core/registry.hpp"
+#include "des/kernel_backend.hpp"
 #include "fault/fault_model.hpp"
 #include "util/assert.hpp"
 #include "workload/permutation.hpp"
@@ -154,6 +155,30 @@ FaultPolicy Scenario::resolved_fault_policy(
   throw ScenarioError("fault_policy '" + fault_policy +
                       "' is not supported by scheme '" + scheme +
                       "' (supported: " + names + ")");
+}
+
+KernelBackend Scenario::resolved_backend(
+    std::initializer_list<KernelBackend> supported) const {
+  KernelBackend parsed = KernelBackend::kScalar;
+  try {
+    parsed = parse_kernel_backend(backend);
+  } catch (const std::invalid_argument& error) {
+    throw ScenarioError(error.what());
+  }
+  // The scalar kernel is every scheme's oracle; only alternatives need to be
+  // in the scheme's supported list.
+  if (parsed == KernelBackend::kScalar) return parsed;
+  for (const KernelBackend candidate : supported) {
+    if (candidate == parsed) return parsed;
+  }
+  std::string names = "scalar";
+  for (const KernelBackend candidate : supported) {
+    if (candidate == KernelBackend::kScalar) continue;
+    names += ", ";
+    names += kernel_backend_name(candidate);
+  }
+  throw ScenarioError("scheme '" + scheme + "' does not support backend '" +
+                      backend + "' (supported: " + names + ")");
 }
 
 Window Scenario::resolved_window() const {
@@ -304,6 +329,13 @@ void Scenario::set(const std::string& key, const std::string& value) {
     }
   } else if (key == "threads") {
     plan.threads = parse_int(key, value);
+  } else if (key == "backend") {
+    try {
+      (void)parse_kernel_backend(value);
+    } catch (const std::invalid_argument& error) {
+      throw ScenarioError(error.what());
+    }
+    backend = value;
   } else if (key == "fault_rate") {
     fault_rate = parse_double(key, value);
     if (fault_rate < 0.0 || fault_rate > 1.0) {
@@ -410,7 +442,7 @@ const std::vector<std::string>& Scenario::known_set_keys() {
       "fault_rate", "node_fault_rate", "fault_mtbf", "fault_mttr",
       "fault_policy", "ttl",
       "warmup",     "horizon",        "measure",    "reps",
-      "seed",       "threads"};
+      "seed",       "threads",        "backend"};
   return keys;
 }
 
@@ -457,6 +489,7 @@ std::vector<std::pair<std::string, std::string>> Scenario::to_key_values() const
       {"reps", std::to_string(plan.replications)},
       {"seed", std::to_string(plan.base_seed)},
       {"threads", std::to_string(plan.threads)},
+      {"backend", backend},
   };
   pairs.insert(pairs.end(), rest.begin(), rest.end());
   return pairs;

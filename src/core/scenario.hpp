@@ -32,7 +32,8 @@
 
 namespace routesim {
 
-enum class FaultPolicy : std::uint8_t;  // fault/fault_model.hpp
+enum class FaultPolicy : std::uint8_t;     // fault/fault_model.hpp
+enum class KernelBackend : std::uint8_t;   // des/kernel_backend.hpp
 
 /// Thrown on malformed scenario text or an unknown scheme/key/value.
 struct ScenarioError : std::runtime_error {
@@ -119,6 +120,10 @@ struct Scenario {
   Window window{};          ///< {0,0} => auto window from load
   double measure = 4000.0;  ///< measurement length used by the auto window
   ReplicationPlan plan{};
+  /// Kernel execution engine: "scalar" (event-driven oracle, every scheme)
+  /// or "soa_batch" (SoA batch slotted stepping — adopting schemes only,
+  /// bit-identical to scalar; see des/kernel_backend.hpp and docs/KERNEL.md).
+  std::string backend = "scalar";
 
   // --- derived ----------------------------------------------------------
 
@@ -147,6 +152,15 @@ struct Scenario {
   /// rejected rather than silently simulating a pristine network.
   [[nodiscard]] FaultPolicy resolved_fault_policy(
       std::initializer_list<FaultPolicy> supported) const;
+
+  /// Validates the backend knob against a scheme's supported backends and
+  /// returns the parsed value.  "scalar" is every scheme's oracle and is
+  /// always accepted, so a scheme with no alternative backend passes `{}`.
+  /// Registry compile hooks call this before fanning replications out, so
+  /// an unsupported backend surfaces as a catchable ScenarioError naming
+  /// the backends the scheme does support.
+  [[nodiscard]] KernelBackend resolved_backend(
+      std::initializer_list<KernelBackend> supported) const;
 
   /// This scenario with any pending rho target solved: lambda is set so
   /// the load factor under the *final* scheme/workload/p equals the target
@@ -218,9 +232,10 @@ struct Scenario {
   /// first), permutation (a Permutation::names() family, validated
   /// immediately), hotspot_frac (in [0, 1]), fanout, unicast_baseline,
   /// buffers, fault_rate, node_fault_rate, fault_mtbf, fault_mttr,
-  /// fault_policy, ttl, warmup, horizon, measure, reps, seed, threads.
-  /// Throws ScenarioError on an unknown key (suggesting the nearest valid
-  /// ones) or unparsable value.
+  /// fault_policy, ttl, warmup, horizon, measure, reps, seed, threads,
+  /// backend (scalar|soa_batch, validated immediately).  Throws
+  /// ScenarioError on an unknown key (suggesting the nearest valid ones) or
+  /// unparsable value.
   void set(const std::string& key, const std::string& value);
 
   /// Every key accepted by set(), in the order set() documents them.

@@ -1,0 +1,67 @@
+#pragma once
+/// \file kernel_backend.hpp
+/// \brief The kernel-backend seam: which execution engine advances a
+///        scheme's packets.
+///
+/// Every scheme runs on the scalar event-driven kernel
+/// (des/packet_kernel.hpp) by default — it is the bit-exactness oracle the
+/// parity suite pins.  Schemes with slotted-time structure additionally
+/// accept the `soa_batch` backend (des/slotted_batch.hpp): a
+/// structure-of-arrays packet store advanced arc-batch by arc-batch, proven
+/// bit-identical to the scalar oracle (tests/test_kernel_parity.cpp,
+/// tests/test_kernel_backend.cpp) and substantially faster on heavy slotted
+/// traffic (bench/micro_engine.cpp, BM_BackendSpeedup).
+///
+/// Backend selection is a first-class Scenario knob (`--set
+/// backend=scalar|soa_batch`); schemes without a batch implementation
+/// reject everything but `scalar` through Scenario::resolved_backend().  A
+/// future GPU or partitioned-PDES engine is one more enumerator here plus
+/// one more implementation behind the same seam (docs/KERNEL.md has the
+/// add-a-backend recipe).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace routesim {
+
+/// The available kernel execution engines.
+enum class KernelBackend : std::uint8_t {
+  kScalar,    ///< event-driven scalar kernel (default; the parity oracle)
+  kSoaBatch,  ///< SoA packet store + per-arc batch slotted stepping
+};
+
+/// Every backend's CLI name, in enumerator order (the catalog renders this).
+[[nodiscard]] inline const std::vector<std::string>& kernel_backend_names() {
+  static const std::vector<std::string> names{"scalar", "soa_batch"};
+  return names;
+}
+
+/// The CLI name of a backend (inverse of parse_kernel_backend).
+[[nodiscard]] inline const char* kernel_backend_name(
+    KernelBackend backend) noexcept {
+  switch (backend) {
+    case KernelBackend::kScalar: return "scalar";
+    case KernelBackend::kSoaBatch: return "soa_batch";
+  }
+  return "scalar";  // unreachable
+}
+
+/// Parses a backend name; throws std::invalid_argument listing the valid
+/// backends (Scenario::set wraps this into a ScenarioError, so `--set
+/// backend=soabatch` suggests the spelling it wanted).
+[[nodiscard]] inline KernelBackend parse_kernel_backend(
+    const std::string& name) {
+  if (name == "scalar") return KernelBackend::kScalar;
+  if (name == "soa_batch") return KernelBackend::kSoaBatch;
+  std::string known;
+  for (const auto& candidate : kernel_backend_names()) {
+    if (!known.empty()) known += ", ";
+    known += candidate;
+  }
+  throw std::invalid_argument("unknown kernel backend '" + name +
+                              "' (valid backends: " + known + ")");
+}
+
+}  // namespace routesim

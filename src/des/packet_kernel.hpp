@@ -283,6 +283,12 @@ class KernelStats {
     if (!occupancy_.empty()) occupancy_[tracker].add(now, delta);
   }
 
+  /// Whether occupancy trackers are configured — lets batch loops hoist the
+  /// occupancy_add() no-op check out of their per-event path.
+  [[nodiscard]] bool occupancy_enabled() const noexcept {
+    return !occupancy_.empty();
+  }
+
   /// Direct accumulator access for scheme-specific bookkeeping.
   [[nodiscard]] Summary& delay() noexcept { return delay_; }
   [[nodiscard]] const Summary& delay() const noexcept { return delay_; }
@@ -484,6 +490,13 @@ class PacketKernel {
   [[nodiscard]] std::uint32_t allocate_packet() { return pool_.allocate(); }
 
   [[nodiscard]] const std::vector<ArcCounters>& arc_counters() const noexcept {
+    return arc_counters_;
+  }
+
+  /// Mutable arc counters: the borrow seam for the soa_batch backend
+  /// (des/slotted_batch.hpp), which drives the kernel's own RNG, stats and
+  /// counters so its results are bit-identical to this kernel's.
+  [[nodiscard]] std::vector<ArcCounters>& arc_counters_mutable() noexcept {
     return arc_counters_;
   }
 

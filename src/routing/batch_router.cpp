@@ -76,6 +76,7 @@ void register_batch_greedy_scheme(SchemeRegistry& registry) {
        [](const Scenario& s) {
          CompiledScenario compiled;
          (void)s.resolved_fault_policy({});  // no fault support: reject knobs
+         (void)s.resolved_backend({});       // scalar-only: reject soa_batch
          // Permutation workload: all fanout packets of source x target
          // pi(x) — one synchronous greedy round of the permutation.
          const auto perm = s.shared_permutation_table();

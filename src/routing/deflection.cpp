@@ -25,6 +25,11 @@ void DeflectionSim::reset(DeflectionConfig config) {
   injection_.resize(cube_.num_nodes());
   for (auto& residents : resident_) residents.clear();
   for (auto& waiting : injection_) waiting.clear();
+  soa_store_.clear();
+  resident_ids_.resize(cube_.num_nodes());
+  injection_ids_.resize(cube_.num_nodes());
+  for (auto& residents : resident_ids_) residents.clear();
+  for (auto& waiting : injection_ids_) waiting.clear();
   productive_ = deflected_ = backlog_ = 0;
 
   ttl_ = config_.ttl > 0 ? config_.ttl : 64 * config_.d;
@@ -62,6 +67,15 @@ void DeflectionSim::reset(DeflectionConfig config) {
 }
 
 void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
+  if (config_.backend == KernelBackend::kSoaBatch) {
+    run_soa(warmup_slots, num_slots);
+    return;
+  }
+  run_scalar(warmup_slots, num_slots);
+}
+
+void DeflectionSim::run_scalar(std::uint64_t warmup_slots,
+                               std::uint64_t num_slots) {
   RS_EXPECTS(warmup_slots <= num_slots);
   const auto d = static_cast<std::size_t>(config_.d);
   const double warmup_time = static_cast<double>(warmup_slots);
@@ -202,6 +216,159 @@ void DeflectionSim::run(std::uint64_t warmup_slots, std::uint64_t num_slots) {
   for (const auto& residents : resident_) backlog_ += residents.size();
 }
 
+void DeflectionSim::run_soa(std::uint64_t warmup_slots,
+                            std::uint64_t num_slots) {
+  RS_EXPECTS(warmup_slots <= num_slots);
+  const auto d = static_cast<std::size_t>(config_.d);
+  const double warmup_time = static_cast<double>(warmup_slots);
+  stats_.begin(warmup_time, static_cast<double>(num_slots));
+  soa_store_.reserve(static_cast<std::size_t>(
+      config_.lambda * static_cast<double>(cube_.num_nodes()) *
+          static_cast<double>(config_.d) +
+      64.0));
+
+  // Next-slot buffers, reused across slots.
+  std::vector<std::vector<std::uint32_t>> incoming(cube_.num_nodes());
+  std::vector<int> port_used(d);
+
+  for (std::uint64_t slot = 0; slot < num_slots; ++slot) {
+    const double now = static_cast<double>(slot);
+    if (fault_active_ && fault_model_.dynamic()) fault_model_.advance_to(now);
+
+    // 1. New packets join their origin's injection queue (draws and stats
+    // calls in the exact scalar order).
+    for (NodeId node = 0; node < cube_.num_nodes(); ++node) {
+      const std::uint64_t births = sample_poisson(rng_, config_.lambda);
+      const bool node_dead = fault_active_ && fault_model_.is_node_faulty(node);
+      for (std::uint64_t b = 0; b < births; ++b) {
+        const NodeId dest = config_.fixed_destinations != nullptr
+                                ? (*config_.fixed_destinations)[node]
+                                : config_.destinations.sample(rng_, node);
+        if (node_dead) {
+          stats_.count_fault_drop(now);
+          continue;
+        }
+        if (dest == node) {
+          stats_.record_delivery(now, now, 0.0);
+          continue;
+        }
+        const std::uint32_t pkt = soa_store_.allocate();
+        soa_store_.node[pkt] = node;
+        soa_store_.dest[pkt] = dest;
+        soa_store_.gen_time[pkt] = now;
+        soa_store_.hops[pkt] = 0;
+        soa_store_.aux[pkt] =
+            static_cast<std::uint16_t>(hamming_distance(node, dest));
+        injection_ids_.at(node).push_back(pkt);
+      }
+    }
+
+    // 2. Admission: a node may hold at most one packet per live out-port.
+    for (NodeId node = 0; node < cube_.num_nodes(); ++node) {
+      auto& residents = resident_ids_[node];
+      auto& waiting = injection_ids_[node];
+      std::size_t capacity = d;
+      if (fault_active_) {
+        if (!live_ports_.empty()) {
+          capacity = live_ports_[node];
+        } else {
+          capacity = 0;
+          for (int dim = 1; dim <= config_.d; ++dim) {
+            if (!fault_model_.is_faulty(cube_.arc_index(node, dim))) ++capacity;
+          }
+        }
+      }
+      while (residents.size() < capacity && !waiting.empty()) {
+        residents.push_back(waiting.front());
+        waiting.pop_front();
+      }
+    }
+
+    // 3. Port assignment and synchronous transmission.
+    for (NodeId node = 0; node < cube_.num_nodes(); ++node) {
+      auto& residents = resident_ids_[node];
+      if (residents.empty()) continue;
+      // Oldest packets pick first: a stable sort on ids keyed by gen_time
+      // gives the same permutation as the scalar stable sort on values.
+      std::stable_sort(residents.begin(), residents.end(),
+                       [this](std::uint32_t a, std::uint32_t b) {
+                         return soa_store_.gen_time[a] < soa_store_.gen_time[b];
+                       });
+      std::fill(port_used.begin(), port_used.end(), 0);
+      if (fault_active_) {
+        if (!dead_ports_.empty()) {
+          for (std::uint32_t mask = dead_ports_[node]; mask != 0;
+               mask &= mask - 1u) {
+            port_used[lowest_dimension(mask) - 1] = 1;
+          }
+        } else {
+          for (int dim = 1; dim <= config_.d; ++dim) {
+            if (fault_model_.is_faulty(cube_.arc_index(node, dim))) {
+              port_used[dim - 1] = 1;
+            }
+          }
+        }
+      }
+      for (const std::uint32_t pkt : residents) {
+        const NodeId needed = node ^ soa_store_.dest[pkt];
+        int chosen = 0;
+        for (int dim = 1; dim <= config_.d; ++dim) {
+          if (has_dimension(needed, dim) && port_used[dim - 1] == 0) {
+            chosen = dim;
+            break;
+          }
+        }
+        bool productive = chosen != 0;
+        if (!productive) {
+          for (int dim = 1; dim <= config_.d; ++dim) {
+            if (port_used[dim - 1] == 0) {
+              chosen = dim;
+              break;
+            }
+          }
+        }
+        if (chosen == 0) {
+          RS_DASSERT(fault_active_);
+          stats_.count_fault_drop(soa_store_.gen_time[pkt]);
+          soa_store_.release(pkt);
+          continue;
+        }
+        port_used[chosen - 1] = 1;
+        productive ? ++productive_ : ++deflected_;
+        soa_store_.hops[pkt] = static_cast<std::uint16_t>(soa_store_.hops[pkt] + 1);
+        const NodeId next = flip_dimension(node, chosen);
+        if (productive && next == soa_store_.dest[pkt]) {
+          const std::uint16_t min_hops = soa_store_.aux[pkt];
+          const double stretch =
+              min_hops > 0
+                  ? static_cast<double>(soa_store_.hops[pkt]) / min_hops
+                  : 0.0;
+          stats_.record_delivery(now + 1.0, soa_store_.gen_time[pkt],
+                                 static_cast<double>(soa_store_.hops[pkt]),
+                                 stretch);
+          soa_store_.release(pkt);
+        } else if (fault_active_ && soa_store_.hops[pkt] >= ttl_) {
+          stats_.count_fault_drop(soa_store_.gen_time[pkt]);
+          soa_store_.release(pkt);
+        } else {
+          incoming[next].push_back(pkt);
+        }
+      }
+      residents.clear();
+    }
+    for (NodeId node = 0; node < cube_.num_nodes(); ++node) {
+      resident_ids_[node].swap(incoming[node]);
+      incoming[node].clear();
+    }
+  }
+
+  stats_.finalize(warmup_time, static_cast<double>(num_slots),
+                  /*pending_reset=*/false);
+  backlog_ = 0;
+  for (const auto& queue : injection_ids_) backlog_ += queue.size();
+  for (const auto& residents : resident_ids_) backlog_ += residents.size();
+}
+
 void register_deflection_scheme(SchemeRegistry& registry) {
   registry.add(
       {"deflection",
@@ -218,7 +385,10 @@ void register_deflection_scheme(SchemeRegistry& registry) {
          const FaultPolicy fault_policy = s.resolved_fault_policy(
              {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect,
               FaultPolicy::kTwinDetour});
-         compiled.replicate = [s, window, fault_policy, perm,
+         // Natively slotted, so soa_batch has no extra restrictions here.
+         const KernelBackend backend = s.resolved_backend(
+             {KernelBackend::kScalar, KernelBackend::kSoaBatch});
+         compiled.replicate = [s, window, fault_policy, perm, backend,
                                dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            DeflectionConfig config;
@@ -227,6 +397,7 @@ void register_deflection_scheme(SchemeRegistry& registry) {
            config.destinations = dist;
            config.fixed_destinations = perm ? perm.get() : nullptr;
            config.seed = seed;
+           config.backend = backend;
            if (fault_policy != FaultPolicy::kNone) {
              config.arc_fault_rate = s.fault_rate;
              config.node_fault_rate = s.node_fault_rate;

@@ -22,7 +22,9 @@
 #include <deque>
 #include <vector>
 
+#include "des/kernel_backend.hpp"
 #include "des/packet_kernel.hpp"
+#include "des/soa_store.hpp"
 #include "stats/summary.hpp"
 #include "topology/hypercube.hpp"
 #include "util/rng.hpp"
@@ -51,6 +53,12 @@ struct DeflectionConfig {
   double fault_mtbf = 0.0;  ///< mean link up-time (> 0 with mttr => dynamic)
   double fault_mttr = 0.0;  ///< mean link repair time
   int ttl = 0;              ///< max hops before a packet is dropped; 0 = 64*d
+
+  /// Execution engine.  Deflection is natively slotted, so kSoaBatch is
+  /// accepted unconditionally: the same slot loop over a structure-of-
+  /// arrays packet store (ids in the per-node containers, fields in
+  /// SoaPacketStore) — bit-identical draws, sorts and statistics.
+  KernelBackend backend = KernelBackend::kScalar;
 };
 
 class DeflectionSim {
@@ -110,6 +118,14 @@ class DeflectionSim {
     std::uint16_t min_hops;  ///< Hamming distance at generation (stretch)
   };
 
+  void run_scalar(std::uint64_t warmup_slots, std::uint64_t num_slots);
+  /// The backend == kSoaBatch variant of the slot loop: packet ids flow
+  /// through the per-node containers while the fields live in soa_store_
+  /// (dest/gen_time/hops/aux = min_hops).  The stable sort on ids by
+  /// gen_time yields the same permutation as the scalar sort on values, so
+  /// draws, transmissions and statistics are bit-identical.
+  void run_soa(std::uint64_t warmup_slots, std::uint64_t num_slots);
+
   DeflectionConfig config_;
   Hypercube cube_{1};  ///< placeholder; reset() installs the real topology
   Rng rng_;
@@ -124,6 +140,11 @@ class DeflectionSim {
 
   std::vector<std::vector<Pkt>> resident_;           // packets at each node
   std::vector<std::deque<Pkt>> injection_;           // waiting to be admitted
+
+  // --- soa_batch backend state (unused by kScalar) ----------------------
+  SoaPacketStore soa_store_;
+  std::vector<std::vector<std::uint32_t>> resident_ids_;
+  std::vector<std::deque<std::uint32_t>> injection_ids_;
 
   KernelStats stats_;
   std::uint64_t productive_ = 0;

@@ -79,6 +79,27 @@ void GreedyButterflySim::configure_kernel() {
     kernel.fault_model = &fault_model_;
   }
   kernel_.configure(kernel);
+
+  if (config_.backend == KernelBackend::kSoaBatch) {
+    RS_EXPECTS_MSG(config_.slot > 0.0,
+                   "the soa_batch backend needs slotted time (tau > 0)");
+    RS_EXPECTS_MSG(config_.trace == nullptr,
+                   "the soa_batch backend cannot replay traces");
+    RS_EXPECTS_MSG(config_.fault_mtbf == 0.0 && config_.fault_mttr == 0.0,
+                   "the soa_batch backend needs a static fault set");
+    SlottedBatchContext ctx;
+    ctx.num_arcs = bfly_.num_arcs();
+    ctx.birth_rate = kernel.birth_rate;
+    ctx.slot = config_.slot;
+    ctx.expected_packets = kernel.expected_packets;
+    ctx.fixed_destinations = config_.fixed_destinations;
+    // Borrow the kernel's RNG, stats and counters so every draw and every
+    // accumulator update matches the scalar path bit for bit.
+    ctx.rng = &kernel_.rng();
+    ctx.stats = &kernel_.stats();
+    ctx.arc_counters = &kernel_.arc_counters_mutable();
+    batch_.configure(ctx);
+  }
 }
 
 void GreedyButterflySim::inject(double now, NodeId origin_row, NodeId dest_row) {
@@ -164,7 +185,149 @@ void GreedyButterflySim::on_arc_done(double now, BflyArcId arc) {
   enqueue(now, pkt);
 }
 
+/// The level-by-level butterfly path over the SoA store.  No per-packet
+/// level field is needed: the completed arc's id encodes its level, and
+/// packets enter at level 1 — so route_batch derives everything from the
+/// arc id and the node/dest rows.
+struct GreedyButterflySim::BatchPolicy {
+  GreedyButterflySim& sim;
+
+  /// Mirror of on_spawn + inject for the batch store.
+  void spawn(double now) {
+    SlottedBatchDriver& batch = sim.batch_;
+    const auto [origin, dest] =
+        batch.sample_spawn(sim.bfly_.rows(), sim.config_.destinations);
+    batch.count_arrival(now);
+    SoaPacketStore& store = batch.store();
+    const std::uint32_t pkt = store.allocate();
+    store.node[pkt] = origin;
+    store.dest[pkt] = dest;
+    store.gen_time[pkt] = now;
+    store.hops[pkt] = 0;  // vertical arcs crossed
+    store.aux[pkt] = 0;   // unused: butterfly stretch is identically 1
+    if (sim.fault_active_ &&
+        sim.fault_model_.is_node_faulty(sim.bfly_.node_index(origin, 1))) {
+      batch.drop_faulty(now, pkt);
+      return;
+    }
+    const std::uint32_t arc = next_arc(origin, dest, 1);
+    if (arc == SlottedBatchDriver::kDropFault) {
+      batch.drop_faulty(now, pkt);
+      return;
+    }
+    batch.enqueue(now, arc, pkt, /*external=*/false, /*tracker=*/0);
+  }
+
+  /// Phase A: cross the completed arc (flip the row on a vertical) and
+  /// pick the next level's arc.  The pristine loop is branch-light masked
+  /// arithmetic over node/dest/hops — the auto-vectorizable hot path; the
+  /// fault loop stays sequential and reuses the twin-detour logic.
+  void route_batch(double /*now*/, const std::uint32_t* arcs,
+                   const std::uint32_t* pkts, std::uint32_t* next,
+                   std::size_t n) {
+    SoaPacketStore& store = sim.batch_.store();
+    const int d = sim.config_.d;
+    const std::uint32_t straight = static_cast<std::uint32_t>(d) << d;
+    if (!sim.fault_active_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t arc = arcs[i];
+        const std::uint32_t pkt = pkts[i];
+        const std::uint32_t vertical = arc >= straight ? 1u : 0u;
+        const std::uint32_t within = arc - vertical * straight;
+        const std::uint32_t lvl0 = within >> d;  // completed level - 1
+        const std::uint32_t row = store.node[pkt] ^ (vertical << lvl0);
+        store.node[pkt] = row;
+        store.hops[pkt] = static_cast<std::uint16_t>(store.hops[pkt] + vertical);
+        const std::uint32_t vert2 =
+            ((row ^ store.dest[pkt]) >> (lvl0 + 1)) & 1u;
+        const std::uint32_t advance =
+            vert2 * straight + ((lvl0 + 1) << d) + row;
+        next[i] = lvl0 + 1 == static_cast<std::uint32_t>(d)
+                      ? SlottedBatchDriver::kDeliver
+                      : advance;
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t arc = arcs[i];
+      const std::uint32_t pkt = pkts[i];
+      const int level = sim.bfly_.arc_level(arc);
+      if (sim.bfly_.arc_kind(arc) == Butterfly::ArcKind::kVertical) {
+        store.node[pkt] = flip_dimension(store.node[pkt], level);
+        store.hops[pkt] = static_cast<std::uint16_t>(store.hops[pkt] + 1);
+      }
+      if (level == d) {
+        // A twin detour leaves the packet at the wrong exit row: misrouted.
+        next[i] = store.node[pkt] != store.dest[pkt]
+                      ? SlottedBatchDriver::kDropFault
+                      : SlottedBatchDriver::kDeliver;
+        continue;
+      }
+      next[i] = next_arc(store.node[pkt], store.dest[pkt], level + 1);
+    }
+  }
+
+  /// Mirror of the scalar enqueue()'s arc choice: the unique-path arc at
+  /// `level`, the twin when it is dead under kTwinDetour, kDropFault when
+  /// the packet is lost.
+  [[nodiscard]] std::uint32_t next_arc(NodeId row, NodeId dest_row,
+                                       int level) const {
+    const auto kind = has_dimension(row ^ dest_row, level)
+                          ? Butterfly::ArcKind::kVertical
+                          : Butterfly::ArcKind::kStraight;
+    BflyArcId arc = sim.bfly_.arc_index(row, level, kind);
+    if (sim.fault_active_ && sim.fault_model_.is_faulty(arc)) {
+      if (sim.config_.fault_policy == FaultPolicy::kDrop) {
+        return SlottedBatchDriver::kDropFault;
+      }
+      const auto twin = kind == Butterfly::ArcKind::kStraight
+                            ? Butterfly::ArcKind::kVertical
+                            : Butterfly::ArcKind::kStraight;
+      arc = sim.bfly_.arc_index(row, level, twin);
+      if (sim.fault_model_.is_faulty(arc)) {
+        return SlottedBatchDriver::kDropFault;
+      }
+    }
+    return arc;
+  }
+
+  /// Phase B tail: deliver at the exit level, drop misrouted/faulted
+  /// packets, or enqueue at the next level.
+  void complete(double now, std::uint32_t pkt, std::uint32_t next) {
+    SlottedBatchDriver& batch = sim.batch_;
+    SoaPacketStore& store = batch.store();
+    if (next == SlottedBatchDriver::kDeliver) {
+      batch.deliver(now, pkt, store.gen_time[pkt],
+                    static_cast<double>(store.hops[pkt]), 1.0);
+      return;
+    }
+    if (next == SlottedBatchDriver::kDropFault) {
+      batch.drop_faulty(now, pkt);
+      return;
+    }
+    batch.enqueue(now, next, pkt, /*external=*/false, level_tracker(next));
+  }
+
+  /// Occupancy tracker of an arc: its level - 1 (levels are the butterfly's
+  /// tracked unit, as in the scalar finish_arc/enqueue calls).
+  [[nodiscard]] std::size_t level_tracker(std::uint32_t arc) const {
+    const std::uint32_t straight =
+        static_cast<std::uint32_t>(sim.config_.d) << sim.config_.d;
+    const std::uint32_t within = arc < straight ? arc : arc - straight;
+    return static_cast<std::size_t>(within >> sim.config_.d);
+  }
+
+  [[nodiscard]] std::size_t finish_tracker(std::uint32_t arc) const {
+    return level_tracker(arc);
+  }
+};
+
 void GreedyButterflySim::run(double warmup, double horizon) {
+  if (config_.backend == KernelBackend::kSoaBatch) {
+    BatchPolicy policy{*this};
+    batch_.drive(policy, warmup, horizon);
+    return;
+  }
   kernel_.drive(*this, warmup, horizon);
 }
 
@@ -181,7 +344,24 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
          const Window window = s.resolved_window();
          const FaultPolicy fault_policy = s.resolved_fault_policy(
              {FaultPolicy::kDrop, FaultPolicy::kTwinDetour});
-         compiled.replicate = [s, window, fault_policy, perm,
+         const KernelBackend backend = s.resolved_backend(
+             {KernelBackend::kScalar, KernelBackend::kSoaBatch});
+         if (backend == KernelBackend::kSoaBatch) {
+           if (s.tau <= 0.0) {
+             throw ScenarioError(
+                 "backend=soa_batch needs slotted time: set tau > 0");
+           }
+           if (s.workload == "trace") {
+             throw ScenarioError(
+                 "backend=soa_batch cannot replay traces (use backend=scalar)");
+           }
+           if (s.fault_mtbf > 0.0 || s.fault_mttr > 0.0) {
+             throw ScenarioError(
+                 "backend=soa_batch needs a static fault set (clear "
+                 "fault_mtbf/fault_mttr or use backend=scalar)");
+           }
+         }
+         compiled.replicate = [s, window, fault_policy, perm, backend,
                                dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            GreedyButterflyConfig config;
@@ -190,6 +370,7 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
            config.destinations = dist;
            config.seed = seed;
            config.slot = s.tau;
+           config.backend = backend;
            config.fixed_destinations = perm ? perm.get() : nullptr;
            // Permutation runs track per-level occupancy for the max_queue
            // extra (the congestion collapse is visible in queue peaks).

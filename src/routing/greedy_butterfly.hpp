@@ -16,7 +16,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "des/kernel_backend.hpp"
 #include "des/packet_kernel.hpp"
+#include "des/slotted_batch.hpp"
 #include "stats/little.hpp"
 #include "stats/summary.hpp"
 #include "topology/butterfly.hpp"
@@ -52,6 +54,11 @@ struct GreedyButterflyConfig {
   double node_fault_rate = 0.0;  ///< P[node down] (kills incident arcs)
   double fault_mtbf = 0.0;       ///< mean link up-time (> 0 with mttr => dynamic)
   double fault_mttr = 0.0;       ///< mean link repair time
+
+  /// Execution engine.  kSoaBatch requires slotted time (slot > 0), no
+  /// trace and a static fault set; its results are bit-identical to
+  /// kScalar (pinned by tests/test_kernel_parity.cpp).
+  KernelBackend backend = KernelBackend::kScalar;
 };
 
 class GreedyButterflySim {
@@ -136,6 +143,11 @@ class GreedyButterflySim {
     std::uint16_t level = 1;  ///< level of the next arc to cross
   };
 
+  /// The soa_batch policy (routing/greedy_butterfly.cpp): the level-by-
+  /// level path over the SoA store, driven by SlottedBatchDriver against
+  /// the kernel's own RNG/stats — bit-identical to the scalar path.
+  struct BatchPolicy;
+
   void configure_kernel();
   void inject(double now, NodeId origin_row, NodeId dest_row);
   void enqueue(double now, std::uint32_t pkt);
@@ -145,6 +157,7 @@ class GreedyButterflySim {
   FaultModel fault_model_;
   bool fault_active_ = false;
   PacketKernel<Pkt> kernel_;
+  SlottedBatchDriver batch_;  ///< engaged when backend == kSoaBatch
 };
 
 class SchemeRegistry;

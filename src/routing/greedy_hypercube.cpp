@@ -3,6 +3,7 @@
 #include "core/registry.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <utility>
 
@@ -85,6 +86,37 @@ void GreedyHypercubeSim::configure_kernel() {
     enable_delay_tail_tracking(kernel.stats, config_.d);
   }
   kernel_.configure(kernel);
+
+  if (config_.backend == KernelBackend::kSoaBatch) {
+    // The batch backend advances whole service batches per tick; that needs
+    // the slotted structure (every event time a multiple of the slot) and
+    // the paper's canonical discipline — the ablation orders and dynamic
+    // faults stay on the scalar oracle.
+    RS_EXPECTS_MSG(config_.slot > 0.0,
+                   "the soa_batch backend needs slotted time (tau > 0)");
+    RS_EXPECTS_MSG(config_.trace == nullptr,
+                   "the soa_batch backend cannot replay traces");
+    RS_EXPECTS_MSG(config_.arc_service_order == ArcServiceOrder::kFifo,
+                   "the soa_batch backend needs FIFO arc service");
+    RS_EXPECTS_MSG(config_.dimension_order == DimensionOrder::kIncreasing,
+                   "the soa_batch backend needs increasing dimension order");
+    RS_EXPECTS_MSG(config_.fault_mtbf == 0.0 && config_.fault_mttr == 0.0,
+                   "the soa_batch backend needs a static fault set");
+    SlottedBatchContext ctx;
+    ctx.num_arcs = cube_.num_arcs();
+    ctx.birth_rate = kernel.birth_rate;
+    ctx.slot = config_.slot;
+    ctx.buffer_capacity = config_.buffer_capacity;
+    ctx.expected_packets = kernel.expected_packets;
+    ctx.fixed_destinations = config_.fixed_destinations;
+    // Borrow the kernel's RNG, stats and counters: every draw and every
+    // accumulator update goes through the same objects in the same order,
+    // which is what makes the backends bit-identical.
+    ctx.rng = &kernel_.rng();
+    ctx.stats = &kernel_.stats();
+    ctx.arc_counters = &kernel_.arc_counters_mutable();
+    batch_.configure(ctx);
+  }
 }
 
 void GreedyHypercubeSim::inject(double now, NodeId origin, NodeId dest) {
@@ -198,7 +230,137 @@ void GreedyHypercubeSim::on_arc_done(double now, ArcId arc) {
                   /*external=*/false, packet.cur);
 }
 
+/// The greedy routing decision over the SoA store.  route_batch is Phase A
+/// of SlottedBatchDriver::process_batch; spawn/complete replay the scalar
+/// inject/on_arc_done bookkeeping against the batch driver's mirrors.
+struct GreedyHypercubeSim::BatchPolicy {
+  GreedyHypercubeSim& sim;
+
+  /// Mirror of on_spawn + inject for the batch store.
+  void spawn(double now) {
+    SlottedBatchDriver& batch = sim.batch_;
+    const auto [origin, dest] = batch.sample_spawn(
+        sim.cube_.num_nodes(), sim.config_.destinations);
+    batch.count_arrival(now);
+    SoaPacketStore& store = batch.store();
+    const std::uint32_t pkt = store.allocate();
+    store.node[pkt] = origin;
+    store.dest[pkt] = dest;
+    store.gen_time[pkt] = now;
+    store.hops[pkt] = 0;
+    store.aux[pkt] =
+        static_cast<std::uint16_t>(hamming_distance(origin, dest));
+    if (sim.fault_active_ && sim.fault_model_.is_node_faulty(origin)) {
+      batch.drop_faulty(now, pkt);
+      return;
+    }
+    if (origin == dest) {
+      batch.deliver(now, pkt, now, 0.0);
+      return;
+    }
+    int dim = lowest_dimension(origin ^ dest);
+    if (sim.fault_active_) {
+      dim = faulty_dimension(origin, origin ^ dest, dim);
+      if (dim == 0) {
+        batch.drop_faulty(now, pkt);
+        return;
+      }
+    }
+    batch.enqueue(now, sim.cube_.arc_index(origin, dim), pkt,
+                  /*external=*/true, origin);
+  }
+
+  /// Phase A: advance every packet one hop and pick its next arc.  The
+  /// pristine loop is pure same-shape array arithmetic over node/dest/hops
+  /// — the auto-vectorizable hot path; the fault loop stays sequential so
+  /// reroute RNG draws keep the scalar order.
+  void route_batch(double /*now*/, const std::uint32_t* arcs,
+                   const std::uint32_t* pkts, std::uint32_t* next,
+                   std::size_t n) {
+    SoaPacketStore& store = sim.batch_.store();
+    const int d = sim.config_.d;
+    if (!sim.fault_active_) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t arc = arcs[i];
+        const std::uint32_t pkt = pkts[i];
+        const std::uint32_t cur = store.node[pkt] ^ (1u << (arc >> d));
+        store.node[pkt] = cur;
+        store.hops[pkt] = static_cast<std::uint16_t>(store.hops[pkt] + 1);
+        const std::uint32_t rem = cur ^ store.dest[pkt];
+        const std::uint32_t advance =
+            (static_cast<std::uint32_t>(std::countr_zero(rem)) << d) + cur;
+        next[i] = rem == 0 ? SlottedBatchDriver::kDeliver : advance;
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t arc = arcs[i];
+      const std::uint32_t pkt = pkts[i];
+      const std::uint32_t cur = store.node[pkt] ^ (1u << (arc >> d));
+      store.node[pkt] = cur;
+      store.hops[pkt] = static_cast<std::uint16_t>(store.hops[pkt] + 1);
+      const std::uint32_t rem = cur ^ store.dest[pkt];
+      if (rem == 0) {
+        next[i] = SlottedBatchDriver::kDeliver;
+        continue;
+      }
+      if (store.hops[pkt] >= sim.ttl_) {
+        next[i] = SlottedBatchDriver::kDropFault;
+        continue;
+      }
+      const int dim = faulty_dimension(cur, rem, lowest_dimension(rem));
+      next[i] = dim == 0 ? SlottedBatchDriver::kDropFault
+                         : sim.cube_.arc_index(cur, dim);
+    }
+  }
+
+  /// Mirror of next_dimension_faulty (increasing order only): the normal
+  /// pick when its arc is alive, the shared reroute machinery otherwise.
+  [[nodiscard]] int faulty_dimension(NodeId cur, NodeId rem, int preferred) {
+    if (!sim.fault_model_.is_faulty(sim.cube_.arc_index(cur, preferred))) {
+      return preferred;
+    }
+    return fault_reroute_dimension(
+        sim.config_.fault_policy, sim.config_.d, rem,
+        [&](int dim) {
+          return sim.fault_model_.is_faulty(sim.cube_.arc_index(cur, dim));
+        },
+        sim.batch_.rng());
+  }
+
+  /// Phase B tail: the scalar on_arc_done outcome for one routed packet.
+  void complete(double now, std::uint32_t pkt, std::uint32_t next) {
+    SlottedBatchDriver& batch = sim.batch_;
+    SoaPacketStore& store = batch.store();
+    if (next == SlottedBatchDriver::kDeliver) {
+      const std::uint16_t hops = store.hops[pkt];
+      const std::uint16_t min_hops = store.aux[pkt];
+      const double stretch =
+          min_hops > 0 ? static_cast<double>(hops) / min_hops : 0.0;
+      batch.deliver(now, pkt, store.gen_time[pkt],
+                    static_cast<double>(hops), stretch);
+      return;
+    }
+    if (next == SlottedBatchDriver::kDropFault) {
+      batch.drop_faulty(now, pkt);
+      return;
+    }
+    batch.enqueue(now, next, pkt, /*external=*/false, store.node[pkt]);
+  }
+
+  /// Occupancy tracker decremented when a service at `arc` completes —
+  /// the arc's source node, as in the scalar finish_arc call.
+  [[nodiscard]] std::size_t finish_tracker(std::uint32_t arc) const {
+    return sim.cube_.arc_source(arc);
+  }
+};
+
 void GreedyHypercubeSim::run(double warmup, double horizon) {
+  if (config_.backend == KernelBackend::kSoaBatch) {
+    BatchPolicy policy{*this};
+    batch_.drive(policy, warmup, horizon);
+    return;
+  }
   kernel_.drive(*this, warmup, horizon);
 }
 
@@ -216,7 +378,24 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
          const Window window = s.resolved_window();
          const FaultPolicy fault_policy = s.resolved_fault_policy(
              {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect});
-         compiled.replicate = [s, window, fault_policy, perm,
+         const KernelBackend backend = s.resolved_backend(
+             {KernelBackend::kScalar, KernelBackend::kSoaBatch});
+         if (backend == KernelBackend::kSoaBatch) {
+           if (s.tau <= 0.0) {
+             throw ScenarioError(
+                 "backend=soa_batch needs slotted time: set tau > 0");
+           }
+           if (s.workload == "trace") {
+             throw ScenarioError(
+                 "backend=soa_batch cannot replay traces (use backend=scalar)");
+           }
+           if (s.fault_mtbf > 0.0 || s.fault_mttr > 0.0) {
+             throw ScenarioError(
+                 "backend=soa_batch needs a static fault set (clear "
+                 "fault_mtbf/fault_mttr or use backend=scalar)");
+           }
+         }
+         compiled.replicate = [s, window, fault_policy, perm, backend,
                                dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            GreedyHypercubeConfig config;
@@ -225,6 +404,7 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
            config.destinations = dist;
            config.seed = seed;
            config.slot = s.tau;
+           config.backend = backend;
            config.buffer_capacity = s.buffer_capacity;
            config.fixed_destinations = perm ? perm.get() : nullptr;
            // Permutation runs track per-node occupancy for the max_queue

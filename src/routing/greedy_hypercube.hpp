@@ -26,7 +26,9 @@
 #include <optional>
 #include <vector>
 
+#include "des/kernel_backend.hpp"
 #include "des/packet_kernel.hpp"
+#include "des/slotted_batch.hpp"
 #include "stats/histogram.hpp"
 #include "stats/little.hpp"
 #include "stats/summary.hpp"
@@ -84,6 +86,12 @@ struct GreedyHypercubeConfig {
   double fault_mttr = 0.0;       ///< mean link repair time
   /// Max hops before a detouring packet is dropped; 0 = 64 * d.
   int ttl = 0;
+
+  /// Execution engine.  kSoaBatch requires slotted time (slot > 0), no
+  /// trace, FIFO arc service, increasing dimension order and a static
+  /// fault set; its results are bit-identical to kScalar (pinned by
+  /// tests/test_kernel_parity.cpp).
+  KernelBackend backend = KernelBackend::kScalar;
 };
 
 class GreedyHypercubeSim {
@@ -200,6 +208,11 @@ class GreedyHypercubeSim {
     std::uint16_t min_hops = 0;  ///< Hamming(origin, dest) — stretch baseline
   };
 
+  /// The soa_batch policy (routing/greedy_hypercube.cpp): the greedy
+  /// decision over the SoA store, driven by SlottedBatchDriver against the
+  /// kernel's own RNG/stats, so results match the scalar path bit for bit.
+  struct BatchPolicy;
+
   void configure_kernel();
   void inject(double now, NodeId origin, NodeId dest);
   [[nodiscard]] int next_dimension(const Pkt& packet);
@@ -214,6 +227,7 @@ class GreedyHypercubeSim {
   bool fault_active_ = false;
   int ttl_ = 0;
   PacketKernel<Pkt> kernel_;
+  SlottedBatchDriver batch_;  ///< engaged when backend == kSoaBatch
 };
 
 class SchemeRegistry;

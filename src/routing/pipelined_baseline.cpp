@@ -96,6 +96,7 @@ void register_pipelined_baseline_scheme(SchemeRegistry& registry) {
        [](const Scenario& s) {
          CompiledScenario compiled;
          (void)s.resolved_fault_policy({});  // no fault support: reject knobs
+         (void)s.resolved_backend({});       // scalar-only: reject soa_batch
          const auto perm = s.shared_permutation_table();
          const Window window = s.resolved_window();
          compiled.replicate = [s, window, perm, dist = s.make_destinations()](

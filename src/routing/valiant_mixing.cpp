@@ -190,6 +190,7 @@ void register_valiant_mixing_scheme(SchemeRegistry& registry) {
          const Window window = s.resolved_window();
          const FaultPolicy fault_policy = s.resolved_fault_policy(
              {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect});
+         (void)s.resolved_backend({});  // scalar-only: reject soa_batch
          compiled.replicate = [s, window, fault_policy, perm,
                                dist = s.make_destinations()](
                                   std::uint64_t seed, int) {

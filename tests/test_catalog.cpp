@@ -56,7 +56,7 @@ TEST(Catalog, RenderersEmitAllSections) {
   const std::string json = catalog_json(catalog);
   for (const auto* needle :
        {"\"schemes\"", "\"set_keys\"", "\"workloads\"", "\"permutations\"",
-        "\"fault_policies\"", "\"sweep_keys\"", "\"cli_flags\"",
+        "\"fault_policies\"", "\"backends\"", "\"sweep_keys\"", "\"cli_flags\"",
         "\"hypercube_greedy\"", "\"bit_reversal\"", "\"hotspot_frac\"",
         "\"--grid key=a:b[:s]\"", "\"--jsonl PATH\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
@@ -66,6 +66,7 @@ TEST(Catalog, RenderersEmitAllSections) {
   for (const auto* needle :
        {"# Scenario reference", "## Schemes", "## `--set` keys",
         "## Workloads", "## Permutation families", "## Fault policies",
+        "## Kernel backends", "`soa_batch`",
         "## Sweep keys", "## Campaign CLI", "`valiant_mixing`",
         "`random_permutation`", "`--grid key=a:b[:s]`", "`--cells`"}) {
     EXPECT_NE(markdown.find(needle), std::string::npos) << needle;

@@ -494,5 +494,89 @@ TEST(KernelParity, ValiantFixedDestinationsTranspose) {
        0x1.98f5c28f5c28fp+3, 0x1.8f6p+12});
 }
 
+// --- soa_batch backend pins ----------------------------------------------
+//
+// The batch backend replays the slotted suites above against the *same*
+// hexfloat pins: same event order, same RNG consumption, same floating-
+// point arithmetic, different execution engine.  A batch-order bug that
+// slips past the cross-backend equality tests (tests/test_kernel_backend)
+// would still have to reproduce these frozen constants bit for bit.
+
+TEST(KernelParity, HypercubeSlottedSoaBatch) {
+  GreedyHypercubeConfig config;
+  config.d = 5;
+  config.lambda = 0.9;
+  config.destinations = DestinationDistribution::bit_flip(5, 0.4);
+  config.seed = 3;
+  config.slot = 0.5;
+  config.backend = KernelBackend::kSoaBatch;
+  GreedyHypercubeSim sim(config);
+  sim.run(40.0, 540.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), sim.final_population(),
+       static_cast<double>(sim.deliveries_in_window())},
+      {0x1.3c437449e7e1ep+1, 0x1.fdebd231b667p+0, 0x1.1bbe76c8b4396p+6,
+       0x1.c91eb851eb852p+4, 0x1.0cp+6, 0x1.be68p+13});
+}
+
+TEST(KernelParity, ButterflySlottedSoaBatch) {
+  GreedyButterflyConfig config;
+  config.d = 4;
+  config.lambda = 0.7;
+  config.destinations = DestinationDistribution::uniform(4);
+  config.seed = 5;
+  config.slot = 1.0;
+  config.backend = KernelBackend::kSoaBatch;
+  GreedyButterflySim sim(config);
+  sim.run(20.0, 520.0);
+  expect_exact(
+      {sim.delay().mean(), sim.vertical_hops().mean(), sim.time_avg_population(),
+       sim.throughput(), static_cast<double>(sim.deliveries_in_window())},
+      {0x1.2e75dcc147709p+2, 0x1.01415fb12c26fp+1, 0x1.9bc6a7ef9db23p+5,
+       0x1.59db22d0e5604p+3, 0x1.51cp+12});
+}
+
+// The fault-aware routing path (policy attached, all rates zero) must stay
+// invisible under the batch backend too.
+TEST(KernelParity, HypercubeSlottedSoaBatchFaultPathAtZeroRateIsBitIdentical) {
+  GreedyHypercubeConfig config;
+  config.d = 5;
+  config.lambda = 0.9;
+  config.destinations = DestinationDistribution::bit_flip(5, 0.4);
+  config.seed = 3;
+  config.slot = 0.5;
+  config.fault_policy = FaultPolicy::kSkipDim;
+  config.backend = KernelBackend::kSoaBatch;
+  GreedyHypercubeSim sim(config);
+  sim.run(40.0, 540.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), sim.final_population(),
+       static_cast<double>(sim.deliveries_in_window())},
+      {0x1.3c437449e7e1ep+1, 0x1.fdebd231b667p+0, 0x1.1bbe76c8b4396p+6,
+       0x1.c91eb851eb852p+4, 0x1.0cp+6, 0x1.be68p+13});
+  EXPECT_EQ(sim.fault_drops_in_window(), 0u);
+}
+
+// Deflection is slotted by construction (unit-time hops on an integer
+// clock), so the batch backend adopts it without a tau knob.
+TEST(KernelParity, DeflectionSoaBatch) {
+  DeflectionConfig config;
+  config.d = 6;
+  config.lambda = 0.05;
+  config.destinations = DestinationDistribution::uniform(6);
+  config.seed = 13;
+  config.backend = KernelBackend::kSoaBatch;
+  DeflectionSim sim(config);
+  sim.run(50, 1050);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.deflection_fraction(),
+       static_cast<double>(sim.injection_backlog()),
+       static_cast<double>(sim.deliveries_in_window())},
+      {0x1.81734f0c54203p+1, 0x1.81734f0c54203p+1, 0x1.450c0ff29780ap-9,
+       0x1.4p+2, 0x1.8d2p+11});
+}
+
 }  // namespace
 }  // namespace routesim
