@@ -28,6 +28,7 @@
 #include "common/table.hpp"
 #include "core/campaign.hpp"
 #include "core/scenario.hpp"
+#include "obs/trace.hpp"
 #include "store/result_store.hpp"
 
 namespace benchdrive {
@@ -64,6 +65,13 @@ inline const std::atomic<bool>*& shared_stop_slot() {
   return stop;
 }
 
+/// Execution-trace session for the shared engine, settable before the
+/// first shared_engine() call (routesim_bench --trace PATH).
+inline routesim::obs::TraceSession*& shared_trace_slot() {
+  static routesim::obs::TraceSession* trace = nullptr;
+  return trace;
+}
+
 /// Installs the durable store behind the binary-wide engine.  Call before
 /// the first add()/add_campaign() — the engine snapshots its options once.
 inline void attach_store(routesim::ResultBackend* store) {
@@ -74,6 +82,14 @@ inline void attach_store(routesim::ResultBackend* store) {
 /// engine's workers.  Call before the first add()/add_campaign().
 inline void attach_stop(const std::atomic<bool>* stop) {
   shared_stop_slot() = stop;
+}
+
+/// Installs the execution tracer the shared engine records spans into
+/// (obs/trace.hpp).  Call before the first add()/add_campaign(); the
+/// caller owns the session and exports it (TraceSession::write_file)
+/// after the work quiesces.
+inline void attach_trace(routesim::obs::TraceSession* trace) {
+  shared_trace_slot() = trace;
 }
 
 /// The campaign engine every suite in this binary shares: one in-process
@@ -94,6 +110,7 @@ inline routesim::Engine& shared_engine() {
     options.cache = &cache;
     options.store = shared_store_slot();
     options.stop = shared_stop_slot();
+    options.trace = shared_trace_slot();
     return routesim::Engine(std::move(options));
   }();
   return engine;

@@ -29,6 +29,13 @@
 // "N cells checkpointed" report.  --resume PATH replays a prior --jsonl
 // stream (or store file) into the in-process cache for the same effect
 // without a writable store.
+//
+// Observability (docs/OBSERVABILITY.md): --trace PATH records the run as
+// Chrome trace-event JSON (campaign/replication/kernel spans; load in
+// Perfetto), written on normal exit *and* after a SIGINT checkpoint.
+// --progress prints a rate-limited stderr heartbeat (cells done/total,
+// worker utilization, ETA) when stderr is a TTY; --progress=force prints
+// it unconditionally, one line per beat.  Neither perturbs results.
 
 #include <atomic>
 #include <csignal>
@@ -44,6 +51,8 @@
 #include "core/catalog.hpp"
 #include "core/registry.hpp"
 #include "core/scenario.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "store/result_store.hpp"
 #include "util/atomic_file.hpp"
 
@@ -82,7 +91,8 @@ int usage(const char* argv0) {
       << " --scenario SCHEME [--set key=value ...]\n"
          "       [--grid key=a:b[:step] ...] [--sweep key=a:b[:step] ...]\n"
          "       [--cells] [--jsonl PATH [--append]] [--json PATH]\n"
-         "       [--store PATH] [--resume PATH] [--list]\n\n"
+         "       [--store PATH] [--resume PATH] [--trace PATH]\n"
+         "       [--progress[=force]] [--list]\n\n"
          // Key names come straight from the lists --list documents, so
          // --help cannot drift from the registry.
          "keys:";
@@ -99,6 +109,9 @@ int usage(const char* argv0) {
                "existing stream).  --store PATH makes results durable and\n"
                "reruns resume instead of recompute; SIGINT checkpoints.\n"
                "--resume PATH replays a prior --jsonl/store file.\n"
+               "--trace PATH records Chrome trace-event JSON (Perfetto);\n"
+               "--progress prints a stderr heartbeat (TTY only; =force\n"
+               "always).  Neither changes results.\n"
                "(per-key docs, workloads, permutation families and fault\n"
                "policies: --list)\n";
   return 2;
@@ -113,8 +126,11 @@ int main(int argc, char** argv) {
   std::string jsonl_path;
   std::string store_path;
   std::string resume_path;
+  std::string trace_path;
   bool append_jsonl = false;
   bool preview_cells = false;
+  bool progress_requested = false;
+  bool progress_forced = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -132,6 +148,13 @@ int main(int argc, char** argv) {
       store_path = argv[++i];
     } else if (arg == "--resume" && i + 1 < argc) {
       resume_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--progress") {
+      progress_requested = true;
+    } else if (arg == "--progress=force") {
+      progress_requested = true;
+      progress_forced = true;
     } else if (arg == "--append") {
       append_jsonl = true;
     } else if (arg == "--cells") {
@@ -180,6 +203,24 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, handle_stop_signal);
     benchdrive::attach_stop(&g_stop_requested);
 
+    std::unique_ptr<routesim::obs::TraceSession> trace;
+    if (!trace_path.empty()) {
+      trace = std::make_unique<routesim::obs::TraceSession>();
+      benchdrive::attach_trace(trace.get());
+    }
+    // Exported once the campaign quiesced — after a SIGINT checkpoint too,
+    // so an interrupted run still leaves a loadable trace.
+    const auto write_trace = [&]() -> bool {
+      if (trace == nullptr) return true;
+      if (!trace->write_file(trace_path)) {
+        std::cerr << "cannot write trace to " << trace_path << '\n';
+        return false;
+      }
+      std::cout << "trace written to " << trace_path << " ("
+                << trace->event_count() << " events)\n";
+      return true;
+    };
+
     std::unique_ptr<routesim::ResultStore> store;
     if (!store_path.empty()) {
       store = std::make_unique<routesim::ResultStore>(store_path);
@@ -225,6 +266,14 @@ int main(int argc, char** argv) {
       }
       sinks.push_back(jsonl.get());
     }
+    std::unique_ptr<routesim::obs::ProgressMeter> progress;
+    if (progress_requested) {
+      progress = std::make_unique<routesim::obs::ProgressMeter>(
+          routesim::obs::ProgressMeter::Options{progress_forced, 0.5});
+      // Inactive (stderr not a TTY, no =force) meters are not registered
+      // at all, so piped runs stay byte-clean.
+      if (progress->active()) sinks.push_back(progress.get());
+    }
 
     benchdrive::Suite suite("routesim_bench",
                             "routesim_bench: " + base.to_string(),
@@ -256,9 +305,12 @@ int main(int argc, char** argv) {
                      "checkpoints durable)";
       }
       std::cout << '\n';
+      (void)write_trace();
       return 130;
     }
-    return suite.finish(argc, argv);
+    const int exit_code = suite.finish(argc, argv);
+    if (!write_trace() && exit_code == 0) return 1;
+    return exit_code;
   } catch (const std::exception& error) {
     // ScenarioError for bad input; contract violations from invalid
     // parameter combinations also surface here instead of terminating.

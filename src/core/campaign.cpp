@@ -2,16 +2,20 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <utility>
 
 #include "core/experiment.hpp"
 #include "core/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -185,7 +189,9 @@ std::string JsonlSink::to_json(const std::string& campaign,
      << "\",\"scenario\":\"" << json_escape(cell.scenario.to_string())
      << "\",\"from_cache\":" << (cell.from_cache ? "true" : "false")
      << ",\"from_store\":" << (cell.from_store ? "true" : "false")
-     << ",\"rho\":";
+     << ",\"tier\":\"" << cell.tier() << "\",\"wall_time_s\":";
+  json_number(os, cell.wall_time_s);
+  os << ",\"rho\":";
   json_number(os, r.rho);
   os << ',';
   json_interval(os, "delay", r.delay);
@@ -233,7 +239,43 @@ struct CellJob {
   CompiledScenario compiled;
   std::vector<std::vector<double>> rows;
   std::atomic<int> remaining{0};
+  /// Summed wall time of this job's replication tasks (telemetry only —
+  /// reported as CellResult::wall_time_s, never part of the result).
+  std::atomic<double> compute_seconds{0.0};
 };
+
+/// Handles into the process-wide registry, resolved once — engine
+/// increments are then single relaxed RMWs on pre-registered metrics.
+struct EngineMetrics {
+  obs::Counter& cells_cache;
+  obs::Counter& cells_store;
+  obs::Counter& cells_computed;
+  obs::Counter& tasks;
+  obs::Counter& task_seconds;
+  obs::Counter& worker_seconds;
+  obs::Gauge& busy_workers;
+  obs::Gauge& pool_workers;
+
+  static EngineMetrics& get() {
+    auto& registry = obs::global_metrics();
+    static EngineMetrics metrics{
+        registry.counter("routesim_engine_cells_cache_total"),
+        registry.counter("routesim_engine_cells_store_total"),
+        registry.counter("routesim_engine_cells_computed_total"),
+        registry.counter("routesim_engine_tasks_total"),
+        registry.counter("routesim_engine_task_seconds_total"),
+        registry.counter("routesim_engine_worker_seconds_total"),
+        registry.gauge("routesim_engine_busy_workers"),
+        registry.gauge("routesim_engine_pool_workers")};
+    return metrics;
+  }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
 
 /// run()'s aggregation, replication order, one code path for the serial
 /// and the campaign-scheduled case — hence bit-identical results.
@@ -281,6 +323,14 @@ const SchemeRegistry::SchemeInfo& find_scheme_or_throw(
 }  // namespace
 
 std::vector<CellResult> Engine::run(const Campaign& campaign) const {
+  obs::TraceSession* const trace = options_.trace;
+  EngineMetrics& metrics = EngineMetrics::get();
+  obs::ThreadTraceScope run_trace_scope(trace);
+  obs::TraceSpan campaign_span(
+      trace, "campaign.run", "engine",
+      "{\"campaign\":\"" + json_escape(campaign.name()) +
+          "\",\"cells\":" + std::to_string(campaign.size()) + "}");
+
   for (ResultSink* sink : options_.sinks) {
     if (sink != nullptr) sink->on_begin(campaign);
   }
@@ -296,6 +346,8 @@ std::vector<CellResult> Engine::run(const Campaign& campaign) const {
   // interrupted campaign a *resume*: finished cells never reschedule.
   std::vector<std::unique_ptr<CellJob>> jobs;
   std::unordered_map<std::string, CellJob*> job_by_key;
+  std::optional<obs::TraceSpan> compile_span(std::in_place, trace,
+                                             "campaign.compile", "engine");
   for (std::size_t i = 0; i < campaign.size(); ++i) {
     const CampaignCell& cell = campaign.cells()[i];
     Scenario resolved = cell.scenario.resolved();
@@ -307,12 +359,22 @@ std::vector<CellResult> Engine::run(const Campaign& campaign) const {
     if (options_.cache != nullptr && options_.cache->lookup(key, &out[i].result)) {
       out[i].from_cache = true;
       status[i] = Slot::kCached;
+      metrics.cells_cache.add();
+      if (trace != nullptr) {
+        trace->instant("cache.hit", "engine",
+                       "{\"cell\":" + std::to_string(i) + "}");
+      }
       continue;
     }
     if (options_.store != nullptr && options_.store->fetch(key, &out[i].result)) {
       out[i].from_cache = true;
       out[i].from_store = true;
       status[i] = Slot::kCached;
+      metrics.cells_store.add();
+      if (trace != nullptr) {
+        trace->instant("store.hit", "engine",
+                       "{\"cell\":" + std::to_string(i) + "}");
+      }
       // Promote into the in-process cache so repeated lookups in this
       // process skip the store's mutex.
       if (options_.cache != nullptr) options_.cache->insert(key, out[i].result);
@@ -337,6 +399,8 @@ std::vector<CellResult> Engine::run(const Campaign& campaign) const {
     job_by_key.emplace(job->key, job.get());
     jobs.push_back(std::move(job));
   }
+
+  compile_span.reset();
 
   // Cache hits are final already: emit them up front, in cell order (no
   // worker is running yet, so no lock is needed).
@@ -371,14 +435,26 @@ std::vector<CellResult> Engine::run(const Campaign& campaign) const {
     // publish durably (store first, so no sink ever reports a cell the
     // store could lose), then to the cache, then fan out to every cell
     // sharing the key.
-    RunResult result = assemble(job.scenario, job.compiled, job.rows);
+    RunResult result;
+    {
+      obs::TraceSpan assemble_span(
+          obs::thread_trace(), "cell.assemble", "engine",
+          "{\"cell\":" + std::to_string(job.cell_indices.front()) + "}");
+      result = assemble(job.scenario, job.compiled, job.rows);
+    }
     if (options_.store != nullptr) {
+      obs::TraceSpan persist_span(obs::thread_trace(), "store.persist",
+                                  "engine");
       options_.store->persist(job.key, job.scenario, result);
     }
     if (options_.cache != nullptr) options_.cache->insert(job.key, result);
+    metrics.cells_computed.add(static_cast<double>(job.cell_indices.size()));
+    const double wall = job.compute_seconds.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(sink_mutex);
+    obs::TraceSpan flush_span(obs::thread_trace(), "sink.flush", "engine");
     for (const std::size_t cell_index : job.cell_indices) {
       out[cell_index].result = result;
+      out[cell_index].wall_time_s = wall;
       for (ResultSink* sink : options_.sinks) {
         if (sink != nullptr) sink->on_cell(out[cell_index]);
       }
@@ -386,34 +462,55 @@ std::vector<CellResult> Engine::run(const Campaign& campaign) const {
   };
 
   const auto work = [&]() {
+    // Workers get the campaign's trace session as their ambient
+    // thread_trace(), so replication spans and the kernel's drive spans
+    // land in the same per-thread buffers.
+    obs::ThreadTraceScope worker_trace_scope(trace);
+    obs::TraceSpan worker_span(trace, "worker", "engine");
+    const auto worker_start = std::chrono::steady_clock::now();
     for (;;) {
-      if (abort.load(std::memory_order_relaxed)) return;
+      if (abort.load(std::memory_order_relaxed)) break;
       // Cooperative stop: cease *admitting* replications (the one in
       // flight was allowed to finish), so every job either completes —
       // and flushes durably — or stays wholly pending for a resume.
       if (options_.stop != nullptr &&
           options_.stop->load(std::memory_order_relaxed)) {
-        return;
+        break;
       }
       const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
-      if (t >= tasks.size()) return;
+      if (t >= tasks.size()) break;
       CellJob& job = *tasks[t].job;
       const int rep = tasks[t].rep;
+      metrics.busy_workers.add(1.0);
+      const auto task_start = std::chrono::steady_clock::now();
       try {
-        job.rows[static_cast<std::size_t>(rep)] = job.compiled.replicate(
-            derive_stream(job.scenario.plan.base_seed,
-                          static_cast<std::uint64_t>(rep)),
-            rep);
+        {
+          obs::TraceSpan replication_span(
+              trace, "replication", "engine",
+              "{\"cell\":" + std::to_string(job.cell_indices.front()) +
+                  ",\"rep\":" + std::to_string(rep) + "}");
+          job.rows[static_cast<std::size_t>(rep)] = job.compiled.replicate(
+              derive_stream(job.scenario.plan.base_seed,
+                            static_cast<std::uint64_t>(rep)),
+              rep);
+        }
+        const double task_seconds = seconds_since(task_start);
+        obs::atomic_add(job.compute_seconds, task_seconds);
+        metrics.tasks.add();
+        metrics.task_seconds.add(task_seconds);
+        metrics.busy_workers.add(-1.0);
         // acq_rel: the final decrement observes every worker's row writes.
         if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           finish_job(job);
         }
       } catch (...) {
+        metrics.busy_workers.add(-1.0);
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
         abort.store(true, std::memory_order_relaxed);
       }
     }
+    metrics.worker_seconds.add(seconds_since(worker_start));
   };
 
   const int requested = options_.threads > 0
@@ -421,6 +518,7 @@ std::vector<CellResult> Engine::run(const Campaign& campaign) const {
                             : static_cast<int>(std::thread::hardware_concurrency());
   const int workers = std::max(
       1, std::min<int>(requested, static_cast<int>(tasks.size())));
+  metrics.pool_workers.set(static_cast<double>(workers));
   if (workers <= 1) {
     work();
   } else {

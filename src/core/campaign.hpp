@@ -38,6 +38,10 @@
 
 namespace routesim {
 
+namespace obs {
+class TraceSession;  // obs/trace.hpp — EngineOptions::trace
+}
+
 /// One cell of a campaign: a labelled experiment point.
 struct CampaignCell {
   std::string label;
@@ -94,6 +98,18 @@ struct CellResult {
   /// cell before all its replications ran — `result` is then default and
   /// no sink saw the cell; rerunning the campaign resumes it.
   bool completed = true;
+  /// Wall-clock compute cost of this cell in seconds: the summed wall
+  /// time of its replication tasks (across however many workers ran
+  /// them).  0 for cells served from the cache or store — their cost was
+  /// paid by an earlier run; in-campaign duplicates repeat the shared
+  /// job's cost.  Telemetry only: never part of RunResult, the cache key,
+  /// or store records, which stay bit-identical across runs.
+  double wall_time_s = 0.0;
+  /// Which tier served the cell: "store" (persistent), "cache"
+  /// (in-process hit or in-campaign duplicate), or "computed".
+  [[nodiscard]] const char* tier() const noexcept {
+    return from_store ? "store" : from_cache ? "cache" : "computed";
+  }
 };
 
 /// Streaming consumer of campaign progress.  The engine serialises all
@@ -136,7 +152,9 @@ class MemorySink final : public ResultSink {
 /// Streams one self-contained JSON object per finished cell — the
 /// machine-readable incremental form behind `routesim_bench --jsonl PATH`.
 /// Schema (tests/test_campaign.cpp round-trips it): campaign, cell, label,
-/// scenario (Scenario::parse-able one-liner), from_cache, from_store, rho,
+/// scenario (Scenario::parse-able one-liner), from_cache, from_store,
+/// tier ("cache"/"store"/"computed"), wall_time_s (per-cell compute cost;
+/// both absent from v1 records, which readers tolerate), rho,
 /// the three interval metrics as *_mean/*_half_width, mean_hops,
 /// max_little_error, mean_final_backlog, has_bounds (+ lower_bound/
 /// upper_bound), and an extras object of {mean, half_width} per
@@ -240,6 +258,13 @@ struct EngineOptions {
   /// with CellResult::completed == false — the checkpoint/resume
   /// contract behind `routesim_bench`'s SIGINT handling.
   const std::atomic<bool>* stop = nullptr;  ///< optional, not owned
+  /// Optional execution tracer (obs/trace.hpp): the engine records
+  /// campaign/replication/assemble/sink spans and cache/store instants
+  /// into it, and installs it as the ambient thread_trace() on every
+  /// worker so kernel-level spans land in the same file.  Tracing never
+  /// perturbs results (no RNG, no reordering) — `routesim_bench --trace
+  /// PATH` exports the session as Chrome trace-event JSON.
+  obs::TraceSession* trace = nullptr;  ///< optional, not owned
 };
 
 /// The campaign executor.  Scheduling never changes numbers: results are

@@ -120,6 +120,16 @@ const std::vector<CatalogEntry>& cli_flag_docs() {
       {"--resume PATH",
        "replay a prior --jsonl stream or store file into the in-process "
        "cache before scheduling, so finished cells never recompute"},
+      {"--trace PATH",
+       "record the run as Chrome trace-event JSON (campaign, replication "
+       "and kernel spans; load in Perfetto) — written on normal exit and "
+       "after a SIGINT checkpoint; never changes results "
+       "(docs/OBSERVABILITY.md)"},
+      {"--progress",
+       "rate-limited stderr heartbeat for long campaigns: cells "
+       "done/total, worker utilization, ETA from completed-cell wall "
+       "times; active only when stderr is a TTY (--progress=force: "
+       "always, one line per beat)"},
       {"--json PATH", "write the final table + acceptance checks as JSON"},
       {"--list", "print this catalog (--list --json PATH: machine-readable)"},
   };

@@ -38,6 +38,12 @@
 #include <vector>
 
 #include "fault/fault_model.hpp"
+#include "obs/trace.hpp"
+#if defined(ROUTESIM_KERNEL_TRACE)
+#include <string>
+
+#include "obs/metrics.hpp"
+#endif
 #include "stats/histogram.hpp"
 #include "stats/little.hpp"
 #include "stats/summary.hpp"
@@ -630,6 +636,19 @@ class PacketKernel {
   void drive(Scheme& scheme, double warmup, double horizon) {
     RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
     stats_.begin(warmup, horizon);
+    // Observability (docs/OBSERVABILITY.md): one span per drive() call on
+    // the ambient session — a single thread-local load plus branch when
+    // tracing is off (BM_TraceOverhead pins the cost) — and per-event
+    // counters only when the build opts into ROUTESIM_KERNEL_TRACE, so
+    // the default dispatch loop is untouched.  Nothing here draws RNG or
+    // reorders events; results stay bit-identical with tracing on
+    // (tests/test_kernel_parity.cpp runs every pin under a live session).
+    obs::TraceSpan drive_span(obs::thread_trace(), "kernel.drive", "kernel");
+    RS_KERNEL_TRACE_ONLY(
+        std::uint64_t ktrace_events = 0; std::uint64_t ktrace_service = 0;
+        std::uint64_t ktrace_slot_ticks = 0;
+        std::uint64_t ktrace_slot_packets = 0;
+        std::uint64_t ktrace_slot_batch_max = 0;)
 
     if (config_.trace != nullptr) {
       trace_pos_ = 0;
@@ -674,12 +693,14 @@ class PacketKernel {
         }
       }
       if (!found || t > horizon) break;
+      RS_KERNEL_TRACE_ONLY(++ktrace_events;)
       if (!stats_reset && t >= warmup) {
         stats_.reset_at_warmup(warmup);
         stats_reset = true;
       }
 
       if (source == Source::kService) {
+        RS_KERNEL_TRACE_ONLY(++ktrace_service;)
         const std::uint32_t arc = service_events_.pop_front().arc;
         scheme.on_arc_done(t, arc);
         continue;
@@ -714,12 +735,33 @@ class PacketKernel {
       } else {  // kSlot
         const std::uint64_t batch =
             sample_poisson(rng_, config_.birth_rate * config_.slot);
+        RS_KERNEL_TRACE_ONLY(
+            ++ktrace_slot_ticks; ktrace_slot_packets += batch;
+            if (batch > ktrace_slot_batch_max) ktrace_slot_batch_max = batch;)
         for (std::uint64_t i = 0; i < batch; ++i) scheme.on_spawn(t);
         schedule_control(t + config_.slot, EventKind::kSlot);
       }
     }
 
     stats_.finalize(warmup, horizon, !stats_reset);
+    RS_KERNEL_TRACE_ONLY({
+      if (obs::TraceSession* session = obs::thread_trace();
+          session != nullptr) {
+        session->instant(
+            "kernel.summary", "kernel",
+            "{\"events\":" + std::to_string(ktrace_events) +
+                ",\"service\":" + std::to_string(ktrace_service) +
+                ",\"slot_ticks\":" + std::to_string(ktrace_slot_ticks) +
+                ",\"slot_packets\":" + std::to_string(ktrace_slot_packets) +
+                ",\"slot_batch_max\":" +
+                std::to_string(ktrace_slot_batch_max) + "}");
+      }
+      auto& registry = obs::global_metrics();
+      registry.counter("routesim_kernel_events_total")
+          .add(static_cast<double>(ktrace_events));
+      registry.counter("routesim_kernel_slot_ticks_total")
+          .add(static_cast<double>(ktrace_slot_ticks));
+    });
   }
 
  private:

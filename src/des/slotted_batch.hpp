@@ -178,6 +178,15 @@ class SlottedBatchDriver {
   void drive(Policy& policy, double warmup, double horizon) {
     RS_EXPECTS(warmup >= 0.0 && warmup <= horizon);
     ctx_.stats->begin(warmup, horizon);
+    // Same observability contract as PacketKernel::drive: one ambient
+    // span per drive() call, per-tick counters only under
+    // ROUTESIM_KERNEL_TRACE, nothing that draws RNG or reorders events.
+    obs::TraceSpan drive_span(obs::thread_trace(), "kernel.batch_drive",
+                              "kernel");
+    RS_KERNEL_TRACE_ONLY(
+        std::uint64_t ktrace_wheel_ticks = 0;
+        std::uint64_t ktrace_batch_events = 0;
+        std::uint64_t ktrace_batch_max = 0;)
     // Hoisted occupancy_add() no-op check (the tracker vector is sized by
     // begin(), so the flag is only valid from here on).
     occupancy_on_ = ctx_.stats->occupancy_enabled();
@@ -193,6 +202,12 @@ class SlottedBatchDriver {
           ctx_.stats->reset_at_warmup(warmup);
           stats_reset = true;
         }
+        RS_KERNEL_TRACE_ONLY(
+            ++ktrace_wheel_ticks;
+            const std::uint64_t ktrace_batch = wheel_[wheel_head_].items.size();
+            ktrace_batch_events += ktrace_batch;
+            if (ktrace_batch > ktrace_batch_max) ktrace_batch_max =
+                ktrace_batch;)
         process_batch(policy, t);
         continue;
       }
@@ -207,6 +222,21 @@ class SlottedBatchDriver {
       slot_time += ctx_.slot;
     }
     ctx_.stats->finalize(warmup, horizon, !stats_reset);
+    RS_KERNEL_TRACE_ONLY({
+      if (obs::TraceSession* session = obs::thread_trace();
+          session != nullptr) {
+        session->instant(
+            "kernel.batch_summary", "kernel",
+            "{\"wheel_ticks\":" + std::to_string(ktrace_wheel_ticks) +
+                ",\"batch_events\":" + std::to_string(ktrace_batch_events) +
+                ",\"batch_max\":" + std::to_string(ktrace_batch_max) + "}");
+      }
+      auto& registry = obs::global_metrics();
+      registry.counter("routesim_kernel_events_total")
+          .add(static_cast<double>(ktrace_batch_events));
+      registry.counter("routesim_kernel_wheel_ticks_total")
+          .add(static_cast<double>(ktrace_wheel_ticks));
+    });
   }
 
  private:

@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace routesim::obs {
+
+namespace detail {
+
+std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return mine;
+}
+
+}  // namespace detail
+
+// ------------------------------------------------------------- histogram
+
+HistogramMetric::HistogramMetric(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(kMetricShards * (bounds_.size() + 1)) {}
+
+void HistogramMetric::observe(double value) noexcept {
+  std::size_t bucket = 0;
+  while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+  const std::size_t shard = detail::shard_index();
+  counts_[shard * (bounds_.size() + 1) + bucket].fetch_add(
+      1, std::memory_order_relaxed);
+  atomic_add(sums_[shard].value, value);
+}
+
+HistogramMetric::Totals HistogramMetric::totals() const {
+  Totals totals;
+  const std::size_t buckets = bounds_.size() + 1;
+  totals.bucket_counts.assign(buckets, 0);
+  for (std::size_t shard = 0; shard < kMetricShards; ++shard) {
+    for (std::size_t bucket = 0; bucket < buckets; ++bucket) {
+      totals.bucket_counts[bucket] +=
+          counts_[shard * buckets + bucket].load(std::memory_order_relaxed);
+    }
+    totals.sum += sums_[shard].value.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t count : totals.bucket_counts) {
+    totals.count += count;
+  }
+  return totals;
+}
+
+std::vector<double> default_latency_bounds() {
+  return {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0,
+          30.0, 100.0};
+}
+
+// -------------------------------------------------------------- snapshot
+
+const MetricsSnapshot::Item* MetricsSnapshot::find(
+    const std::string& name) const noexcept {
+  for (const Item& item : items) {
+    if (item.name == name) return &item;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Prometheus accepts any float literal; integral values render without a
+/// fractional part so counters read naturally, everything else as %.17g
+/// (round-trip exact).
+std::string prom_number(double value) {
+  char buffer[64];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::prometheus_text() const {
+  std::string out;
+  for (const Item& item : items) {
+    switch (item.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + item.name + " counter\n";
+        out += item.name + " " + prom_number(item.value) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + item.name + " gauge\n";
+        out += item.name + " " + prom_number(item.value) + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + item.name + " histogram\n";
+        for (std::size_t b = 0; b < item.cumulative.size(); ++b) {
+          const std::string le = b < item.bounds.size()
+                                     ? prom_number(item.bounds[b])
+                                     : std::string("+Inf");
+          char line[160];
+          std::snprintf(line, sizeof line, "%s_bucket{le=\"%s\"} %" PRIu64 "\n",
+                        item.name.c_str(), le.c_str(), item.cumulative[b]);
+          out += line;
+        }
+        out += item.name + "_sum " + prom_number(item.sum) + "\n";
+        char count_line[128];
+        std::snprintf(count_line, sizeof count_line, "%s_count %" PRIu64 "\n",
+                      item.name.c_str(), item.count);
+        out += count_line;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- registry
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    if (upper_bounds.empty()) upper_bounds = default_latency_bounds();
+    slot = std::make_unique<HistogramMetric>(std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  // std::map iteration gives the per-kind name order; merge the three
+  // kinds into one name-sorted list.
+  for (const auto& [name, counter] : counters_) {
+    MetricsSnapshot::Item item;
+    item.name = name;
+    item.kind = MetricsSnapshot::Kind::kCounter;
+    item.value = counter->value();
+    snapshot.items.push_back(std::move(item));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricsSnapshot::Item item;
+    item.name = name;
+    item.kind = MetricsSnapshot::Kind::kGauge;
+    item.value = gauge->value();
+    snapshot.items.push_back(std::move(item));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::Item item;
+    item.name = name;
+    item.kind = MetricsSnapshot::Kind::kHistogram;
+    item.bounds = histogram->bounds();
+    const HistogramMetric::Totals totals = histogram->totals();
+    item.cumulative.reserve(totals.bucket_counts.size());
+    std::uint64_t running = 0;
+    for (const std::uint64_t count : totals.bucket_counts) {
+      running += count;
+      item.cumulative.push_back(running);
+    }
+    item.sum = totals.sum;
+    item.count = totals.count;
+    snapshot.items.push_back(std::move(item));
+  }
+  std::sort(snapshot.items.begin(), snapshot.items.end(),
+            [](const MetricsSnapshot::Item& a, const MetricsSnapshot::Item& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace routesim::obs

@@ -1,0 +1,187 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Lock-cheap process-wide metrics: named counters, gauges, and
+///        histograms with sharded atomic storage, a coherent snapshot
+///        API, and Prometheus text exposition (the serve daemon's
+///        `metrics` op).
+///
+/// The hot-path contract is "an increment is one relaxed atomic RMW on a
+/// thread-striped cache line": `Counter`/`HistogramMetric` stripe their
+/// storage across `kMetricShards` cache-line-aligned shards, and each
+/// thread picks a shard once (round-robin at first touch) so concurrent
+/// workers rarely contend.  Registration (`MetricsRegistry::counter()`
+/// etc.) takes a mutex and is meant for cold paths — call sites cache the
+/// returned reference (function-local static) and the reference stays
+/// valid for the registry's lifetime.
+///
+/// Reading is snapshot-based: `MetricsRegistry::snapshot()` sums the
+/// shards into a plain `MetricsSnapshot` that can be inspected
+/// (`find()`) or rendered as Prometheus text exposition
+/// (`prometheus_text()`).  Individual reads are relaxed, so a snapshot
+/// taken concurrently with writers is per-metric accurate but not a
+/// cross-metric atomic cut — exactly the Prometheus scrape model.
+///
+/// Observability must never perturb results (docs/OBSERVABILITY.md):
+/// nothing in this file draws randomness, takes a lock on the increment
+/// path, or changes any scheduling decision.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace routesim::obs {
+
+/// Shard count for striped metrics.  A power of two a little above
+/// typical worker-pool widths: enough stripes that a pool of hardware
+/// threads rarely shares a cache line, small enough that summing a
+/// snapshot stays trivial.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Relaxed atomic add for doubles via CAS — portable (works on toolchains
+/// without std::atomic<double>::fetch_add) and exact: metric values are
+/// sums, and each shard applies its own adds sequentially.
+inline void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+namespace detail {
+/// This thread's shard index, assigned round-robin at first use.
+[[nodiscard]] std::size_t shard_index() noexcept;
+
+struct alignas(64) PaddedAtomicDouble {
+  std::atomic<double> value{0.0};
+};
+}  // namespace detail
+
+/// Monotone sum.  add() is one relaxed RMW on this thread's shard.
+class Counter {
+ public:
+  void add(double delta = 1.0) noexcept {
+    atomic_add(shards_[detail::shard_index()].value, delta);
+  }
+  [[nodiscard]] double value() const noexcept {
+    double total = 0.0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<detail::PaddedAtomicDouble, kMetricShards> shards_{};
+};
+
+/// Last-writer-wins level (pool width, in-flight work).  Unsharded: a
+/// gauge is set/adjusted, not accumulated per thread.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept { atomic_add(value_, delta); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Prometheus-style histogram: fixed upper bounds chosen at registration,
+/// one implicit +Inf overflow bucket, per-shard bucket counts and sums.
+/// observe() is two relaxed RMWs (bucket count + sum) on this thread's
+/// shard after a short linear bound scan.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> upper_bounds);
+  HistogramMetric(const HistogramMetric&) = delete;
+  HistogramMetric& operator=(const HistogramMetric&) = delete;
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket (non-cumulative) counts, bounds().size() + 1 entries (the
+  /// last is the +Inf overflow bucket), plus total sum and count.
+  struct Totals {
+    std::vector<std::uint64_t> bucket_counts;
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+ private:
+  std::vector<double> bounds_;  ///< sorted ascending upper bounds
+  /// kMetricShards x (bounds + 1) bucket counters, shard-major.
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::array<detail::PaddedAtomicDouble, kMetricShards> sums_{};
+};
+
+/// The latency bucket ladder used when a histogram is registered without
+/// explicit bounds: 100 us .. ~100 s in half-decade steps.
+[[nodiscard]] std::vector<double> default_latency_bounds();
+
+/// A coherent, plain-data read of every registered metric, sorted by
+/// name.  Histogram counts are cumulative (Prometheus `le` semantics);
+/// the last entry is the +Inf bucket and equals `count`.
+struct MetricsSnapshot {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Item {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    double value = 0.0;                       ///< counter / gauge
+    std::vector<double> bounds;               ///< histogram upper bounds
+    std::vector<std::uint64_t> cumulative;    ///< bounds + 1 entries
+    double sum = 0.0;                         ///< histogram sum
+    std::uint64_t count = 0;                  ///< histogram count
+  };
+  std::vector<Item> items;
+
+  [[nodiscard]] const Item* find(const std::string& name) const noexcept;
+  /// Prometheus text exposition format (# TYPE lines, `_bucket{le=...}` /
+  /// `_sum` / `_count` expansion for histograms).
+  [[nodiscard]] std::string prometheus_text() const;
+};
+
+/// Named metric directory.  Registration is mutex-guarded and idempotent
+/// (same name returns the same instance); returned references stay valid
+/// for the registry's lifetime.  One process-wide instance behind
+/// global_metrics() serves the engine, the kernel guard, and the serve
+/// daemon; tests may build private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  /// `upper_bounds` empty means default_latency_bounds(); bounds are fixed
+  /// by the first registration of `name`.
+  [[nodiscard]] HistogramMetric& histogram(
+      const std::string& name, std::vector<double> upper_bounds = {});
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// The process-wide registry every instrumented layer reports into.
+[[nodiscard]] MetricsRegistry& global_metrics();
+
+}  // namespace routesim::obs

@@ -1,0 +1,100 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+#include "util/atomic_file.hpp"
+#include "util/json.hpp"
+
+namespace routesim::obs {
+
+TraceSession*& thread_trace() noexcept {
+  thread_local TraceSession* session = nullptr;
+  return session;
+}
+
+namespace {
+
+std::uint64_t next_session_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TraceSession::TraceSession()
+    : id_(next_session_id()), origin_(std::chrono::steady_clock::now()) {}
+
+TraceSession::ThreadBuffer& TraceSession::local() {
+  // Cache keyed by session id, not pointer: a new session can reuse a
+  // destroyed one's address, and the id comparison makes that safe.
+  thread_local struct {
+    std::uint64_t session_id = 0;
+    ThreadBuffer* buffer = nullptr;
+  } cache;
+  if (cache.session_id == id_) return *cache.buffer;
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  buffers_.back()->tid = next_tid_++;
+  cache = {id_, buffers_.back().get()};
+  return *cache.buffer;
+}
+
+void TraceSession::begin(const char* name, const char* cat, std::string args) {
+  local().events.push_back({name, cat, 'B', now_us(), std::move(args)});
+}
+
+void TraceSession::end(const char* name, const char* cat) {
+  local().events.push_back({name, cat, 'E', now_us(), {}});
+}
+
+void TraceSession::instant(const char* name, const char* cat,
+                           std::string args) {
+  local().events.push_back({name, cat, 'i', now_us(), std::move(args)});
+}
+
+std::string TraceSession::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char ts[48];
+  for (const auto& buffer : buffers_) {
+    for (const Event& event : buffer->events) {
+      if (!first) out += ',';
+      first = false;
+      std::snprintf(ts, sizeof ts, "%.3f", event.ts_us);
+      out += "{\"name\":\"";
+      out += json_escape(event.name);
+      out += "\",\"cat\":\"";
+      out += json_escape(event.cat);
+      out += "\",\"ph\":\"";
+      out += event.ph;
+      out += "\",\"ts\":";
+      out += ts;
+      out += ",\"pid\":1,\"tid\":";
+      out += std::to_string(buffer->tid);
+      if (!event.args.empty()) {
+        out += ",\"args\":";
+        out += event.args;
+      }
+      // Instants need a scope; 't' (thread) matches the per-thread story.
+      if (event.ph == 'i') out += ",\"s\":\"t\"";
+      out += '}';
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool TraceSession::write_file(const std::string& path) const {
+  return write_file_atomic(path, to_json());
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& buffer : buffers_) count += buffer->events.size();
+  return count;
+}
+
+}  // namespace routesim::obs

@@ -1,15 +1,49 @@
 #include "serve/service.hpp"
 
+#include <chrono>
 #include <exception>
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/json.hpp"
 #include "util/json_parse.hpp"
 
 namespace routesim::serve {
 
 namespace {
+
+/// Handles into the process-wide registry (obs/metrics.hpp), resolved
+/// once.  Touching get() registers every serve metric, so a `metrics`
+/// scrape shows all tiers (zero-valued) even before the first query.
+struct ServeMetrics {
+  obs::Counter& queries;
+  obs::Counter& cache_hits;
+  obs::Counter& store_hits;
+  obs::Counter& computed;
+  obs::Counter& coalesced;
+  obs::Counter& errors;
+  obs::HistogramMetric& cache_seconds;
+  obs::HistogramMetric& store_seconds;
+  obs::HistogramMetric& computed_seconds;
+  obs::HistogramMetric& inflight_seconds;
+
+  static ServeMetrics& get() {
+    auto& registry = obs::global_metrics();
+    static ServeMetrics metrics{
+        registry.counter("routesim_serve_queries_total"),
+        registry.counter("routesim_serve_cache_hits_total"),
+        registry.counter("routesim_serve_store_hits_total"),
+        registry.counter("routesim_serve_computed_total"),
+        registry.counter("routesim_serve_coalesced_total"),
+        registry.counter("routesim_serve_errors_total"),
+        registry.histogram("routesim_serve_query_seconds_cache"),
+        registry.histogram("routesim_serve_query_seconds_store"),
+        registry.histogram("routesim_serve_query_seconds_computed"),
+        registry.histogram("routesim_serve_query_seconds_inflight")};
+    return metrics;
+  }
+};
 
 Scenario scenario_from_text_or_throw(const std::string& text) {
   std::istringstream words(text);
@@ -34,6 +68,9 @@ QueryService::QueryResult QueryService::query_text(
   try {
     return query(scenario_from_text_or_throw(scenario_text));
   } catch (const std::exception& error) {
+    ServeMetrics& metrics = ServeMetrics::get();
+    metrics.queries.add();
+    metrics.errors.add();
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.queries;
     ++stats_.errors;
@@ -44,6 +81,32 @@ QueryService::QueryResult QueryService::query_text(
 }
 
 QueryService::QueryResult QueryService::query(const Scenario& scenario) {
+  ServeMetrics& metrics = ServeMetrics::get();
+  const auto start = std::chrono::steady_clock::now();
+  QueryResult qr = query_impl(scenario);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  metrics.queries.add();
+  if (!qr.ok) {
+    metrics.errors.add();
+  } else if (qr.source == "cache") {
+    metrics.cache_hits.add();
+    metrics.cache_seconds.observe(seconds);
+  } else if (qr.source == "store") {
+    metrics.store_hits.add();
+    metrics.store_seconds.observe(seconds);
+  } else if (qr.source == "inflight") {
+    metrics.coalesced.add();
+    metrics.inflight_seconds.observe(seconds);
+  } else {
+    metrics.computed.add();
+    metrics.computed_seconds.observe(seconds);
+  }
+  return qr;
+}
+
+QueryService::QueryResult QueryService::query_impl(const Scenario& scenario) {
   QueryResult qr;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -278,6 +341,18 @@ bool handle_request(QueryService& service, const std::string& line,
     emit(os.str());
     return true;
   }
+  if (op->string == "metrics") {
+    // Prometheus text exposition of the process-wide registry, JSON-
+    // escaped into one field — a scraper unescapes "metrics" and has the
+    // standard format.  Touching the handles first guarantees every serve
+    // metric (all tiers) is present even on a fresh daemon.
+    ServeMetrics::get();
+    const std::string text = obs::global_metrics().snapshot().prometheus_text();
+    emit("{\"op\":\"metrics\"" + id +
+         ",\"ok\":true,\"format\":\"prometheus\",\"metrics\":\"" +
+         json_escape(text) + "\"}");
+    return true;
+  }
   if (op->string == "query") {
     const json::Value* scenario_text = request.find("scenario");
     if (scenario_text == nullptr || !scenario_text->is_string()) {
@@ -292,8 +367,9 @@ bool handle_request(QueryService& service, const std::string& line,
     handle_grid(service, request, id, emit);
     return true;
   }
-  emit(error_response(op->string, id,
-                      "unknown op (known: query, grid, stats, ping, shutdown)"));
+  emit(error_response(
+      op->string, id,
+      "unknown op (known: query, grid, stats, metrics, ping, shutdown)"));
   return true;
 }
 

@@ -18,9 +18,13 @@
 /// Protocol (one JSON object per line, documented in docs/SERVE.md):
 ///   {"op":"query","scenario":"hypercube_greedy d=6 ...","id":1}
 ///   {"op":"grid","scenario":"<base>","axes":["rho=0.1:0.9:0.2"],"id":2}
-///   {"op":"stats"} | {"op":"ping"} | {"op":"shutdown"}
+///   {"op":"stats"} | {"op":"metrics"} | {"op":"ping"} | {"op":"shutdown"}
 /// Responses echo `id` and carry ok/source/result; grid streams one
-/// "cell" line per finished cell before its summary line.
+/// "cell" line per finished cell before its summary line.  "metrics"
+/// returns the process-wide registry (obs/metrics.hpp) as Prometheus text
+/// exposition — per-tier query counters and latency histograms
+/// (routesim_serve_*) plus the engine/kernel metrics; docs/OBSERVABILITY.md
+/// catalogs the names.
 
 #include <condition_variable>
 #include <cstdint>
@@ -62,6 +66,8 @@ class QueryService {
   };
 
   /// Answers one scenario; never throws (errors come back in the result).
+  /// Also feeds the serve metrics (routesim_serve_* counters and the
+  /// per-tier latency histogram matching QueryResult::source).
   [[nodiscard]] QueryResult query(const Scenario& scenario);
   /// Same, from the textual "scheme key=value ..." form.
   [[nodiscard]] QueryResult query_text(const std::string& scenario_text);
@@ -84,6 +90,10 @@ class QueryService {
   [[nodiscard]] EngineOptions engine_options();
 
  private:
+  /// The tier-resolution path, shared by query() (which wraps it with
+  /// timing + metrics).
+  [[nodiscard]] QueryResult query_impl(const Scenario& scenario);
+
   struct Inflight {
     std::mutex mutex;
     std::condition_variable cv;

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/atomic_file.hpp"
 #include "util/json.hpp"
@@ -266,21 +267,44 @@ ResultStore::LoadStats ResultStore::load_stats() const {
   return stats_;
 }
 
+namespace {
+
+/// Process-wide store telemetry (obs/metrics.hpp), resolved once.
+struct StoreMetrics {
+  obs::Counter& fetch_hits;
+  obs::Counter& fetch_misses;
+  obs::Counter& persists;
+
+  static StoreMetrics& get() {
+    auto& registry = obs::global_metrics();
+    static StoreMetrics metrics{
+        registry.counter("routesim_store_fetch_hits_total"),
+        registry.counter("routesim_store_fetch_misses_total"),
+        registry.counter("routesim_store_persist_total")};
+    return metrics;
+  }
+};
+
+}  // namespace
+
 bool ResultStore::fetch(const std::string& key, RunResult* out) {
   RS_EXPECTS(out != nullptr);
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
+    StoreMetrics::get().fetch_misses.add();
     return false;
   }
   ++hits_;
+  StoreMetrics::get().fetch_hits.add();
   *out = it->second.result;
   return true;
 }
 
 void ResultStore::persist(const std::string& key, const Scenario& scenario,
                           const RunResult& result) {
+  StoreMetrics::get().persists.add();
   const std::string line = store_record_json(key, scenario, result) + "\n";
   std::lock_guard<std::mutex> lock(mutex_);
   if (index_.find(key) == index_.end()) order_.push_back(key);

@@ -20,11 +20,20 @@
 #include "routing/multicast.hpp"
 #include "routing/pipelined_baseline.hpp"
 #include "routing/valiant_mixing.hpp"
+#include "obs/trace.hpp"
 #include "workload/permutation.hpp"
 #include "workload/trace.hpp"
 
 namespace routesim {
 namespace {
+
+// Every pinned case in this file replays with execution tracing active:
+// a file-scope session installed as the ambient thread_trace() means the
+// kernels record their drive spans while the hexfloat comparisons below
+// stay exact — the observability layer's never-perturb-results contract,
+// enforced at the strictest point in the test suite.
+obs::TraceSession g_parity_trace_session;
+obs::ThreadTraceScope g_parity_trace_scope(&g_parity_trace_session);
 
 void expect_exact(const std::vector<double>& actual,
                   const std::vector<double>& pinned) {

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by `routesim_bench
+--trace PATH` (obs/trace.hpp).
+
+Checks, in order:
+  1. the file is valid JSON with a non-empty "traceEvents" list;
+  2. every event carries the required fields with the right types
+     (name/cat strings, ph one of B/E/i, numeric non-negative ts,
+     integer pid/tid);
+  3. per tid, B/E events are stack-balanced with matching names and the
+     stack ends empty (spans nest and every span closes);
+  4. per tid, timestamps are monotone non-decreasing in file order (the
+     per-thread buffers are append-only, so any regression is a bug);
+  5. any span names demanded via --require-span are present.
+
+Exit 0 when all checks pass (prints a one-line summary), 1 with a
+diagnostic otherwise.  Stdlib only — CI runs it straight after the
+campaign smoke run.
+
+usage: check_trace.py TRACE.json [--require-span NAME]...
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1].startswith("-"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = argv[1]
+    required_spans = []
+    args = argv[2:]
+    while args:
+        if args[0] == "--require-span" and len(args) >= 2:
+            required_spans.append(args[1])
+            args = args[2:]
+        else:
+            fail(f"unknown argument {args[0]!r}")
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"{path}: {error}")
+
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail(f"{path}: top level must be an object with a traceEvents list")
+    events = trace["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty list")
+
+    stacks = {}      # tid -> list of open span names
+    last_ts = {}     # tid -> last timestamp seen
+    names = set()
+    spans = 0
+    for position, event in enumerate(events):
+        where = f"{path}: traceEvents[{position}]"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        for field, kinds in (("name", str), ("cat", str), ("ph", str),
+                             ("ts", (int, float)), ("pid", int), ("tid", int)):
+            if field not in event:
+                fail(f"{where}: missing {field!r}")
+            if not isinstance(event[field], kinds) or isinstance(
+                    event[field], bool):
+                fail(f"{where}: {field!r} has wrong type "
+                     f"({type(event[field]).__name__})")
+        if event["ph"] not in ("B", "E", "i"):
+            fail(f"{where}: unexpected ph {event['ph']!r}")
+        if event["ts"] < 0:
+            fail(f"{where}: negative ts {event['ts']}")
+
+        tid = event["tid"]
+        if event["ts"] < last_ts.get(tid, 0.0):
+            fail(f"{where}: ts {event['ts']} goes backwards on tid {tid} "
+                 f"(previous {last_ts[tid]})")
+        last_ts[tid] = event["ts"]
+
+        names.add(event["name"])
+        stack = stacks.setdefault(tid, [])
+        if event["ph"] == "B":
+            stack.append(event["name"])
+            spans += 1
+        elif event["ph"] == "E":
+            if not stack:
+                fail(f"{where}: E {event['name']!r} with no open span "
+                     f"on tid {tid}")
+            opened = stack.pop()
+            if opened != event["name"]:
+                fail(f"{where}: E {event['name']!r} closes B {opened!r} "
+                     f"on tid {tid}")
+
+    for tid, stack in stacks.items():
+        if stack:
+            fail(f"{path}: tid {tid} ends with unclosed spans {stack}")
+    if spans == 0:
+        fail(f"{path}: no B/E span pairs at all")
+    missing = [name for name in required_spans if name not in names]
+    if missing:
+        fail(f"{path}: required span names absent: {missing} "
+             f"(present: {sorted(names)})")
+
+    print(f"check_trace: OK: {path}: {len(events)} events, {spans} spans, "
+          f"{len(stacks)} threads, names: {sorted(names)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

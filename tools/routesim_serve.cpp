@@ -20,6 +20,11 @@
 //   < {"op":"query","id":1,"ok":true,"source":"computed",...}
 //   > {"op":"stats"}
 //   < {"op":"stats","ok":true,"queries":1,"store_hits":0,...}
+//   > {"op":"metrics"}
+//   < {"op":"metrics","ok":true,"format":"prometheus","metrics":"..."}
+// The metrics op returns Prometheus text exposition — per-tier query
+// counters and latency histograms plus engine/store/kernel metrics
+// (docs/OBSERVABILITY.md catalogs the names).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -63,7 +68,7 @@ int usage(const char* argv0, int code) {
                "  --threads N     engine worker-pool width per computation\n"
                "  --compact       fold duplicate store records before serving\n"
                "\nprotocol: one JSON request per line (docs/SERVE.md);\n"
-               "ops: query, grid, stats, ping, shutdown\n";
+               "ops: query, grid, stats, metrics, ping, shutdown\n";
   return code;
 }
 
