@@ -4,6 +4,7 @@
 
 #include "core/registry.hpp"
 #include "core/scenario.hpp"
+#include "topology/topology.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
 #include "workload/permutation.hpp"
@@ -18,6 +19,15 @@ namespace {
 const std::vector<KeyEntry>& key_docs() {
   static const std::vector<KeyEntry> keys{
       {"d", "int", "cube / butterfly dimension (N = 2^d nodes per level)"},
+      {"topology", "string",
+       "network family: native (the scheme's own) | hypercube | butterfly "
+       "| ring | torus | mesh (see the topology table)"},
+      {"ring_chords", "string",
+       "topology=ring: '' (plain cycle), 'papillon' (doubling-ladder "
+       "strides) or a CSV of distinct chord strides in [2, n/2 - 1]"},
+      {"torus_dims", "string",
+       "topology=torus|mesh: per-dimension extents 'AxB' or 'AxBxC', each "
+       "in [2, 256] (d is ignored)"},
       {"lambda", "double", "per-node packet generation rate"},
       {"rho", "double",
        "target load factor; solves for the lambda giving that load under "
@@ -202,6 +212,9 @@ ScenarioCatalog scenario_catalog() {
                    "catalog key docs out of order with known_set_keys()");
   }
 
+  for (const auto& name : topology_names()) {
+    catalog.topologies.push_back({name, topology_summary(name)});
+  }
   catalog.workloads = workload_docs();
   for (const auto& name : Permutation::names()) {
     catalog.permutations.push_back({name, Permutation::summary(name)});
@@ -241,6 +254,8 @@ std::string catalog_json(const ScenarioCatalog& catalog) {
        << json_escape(key.doc) << "\"}";
   }
   os << "\n  ],\n";
+  json_entries(os, "topologies", catalog.topologies);
+  os << ",\n";
   json_entries(os, "workloads", catalog.workloads);
   os << ",\n";
   json_entries(os, "permutations", catalog.permutations);
@@ -309,6 +324,13 @@ std::string catalog_markdown(const ScenarioCatalog& catalog) {
   }
   os << '\n';
 
+  os << "## Topologies (`topology=`)\n\n"
+        "`hypercube_greedy`, `valiant_mixing` and `deflection` accept any\n"
+        "of these; the hypercube stays on the specialised bit-exact path.\n"
+        "`topology=native` (the default) means the scheme's own network.\n"
+        "See docs/TOPOLOGIES.md for the concept contract and closed forms.\n\n";
+  markdown_table(os, "topology", catalog.topologies);
+
   os << "## Workloads (`workload=`)\n\n";
   markdown_table(os, "workload", catalog.workloads);
 
@@ -352,6 +374,10 @@ std::string catalog_text(const ScenarioCatalog& catalog) {
   os << "\nrecognized --set keys:\n";
   for (const auto& key : catalog.set_keys) {
     os << "  " << key.name << " (" << key.type << "): " << key.doc << '\n';
+  }
+  os << "\ntopologies (topology=..., default native):\n";
+  for (const auto& topology : catalog.topologies) {
+    os << "  " << topology.name << ": " << topology.summary << '\n';
   }
   os << "\nworkloads:\n";
   for (const auto& workload : catalog.workloads) {

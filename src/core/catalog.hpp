@@ -39,6 +39,7 @@ struct KeyEntry {
 struct ScenarioCatalog {
   std::vector<CatalogEntry> schemes;         ///< from SchemeRegistry (live)
   std::vector<KeyEntry> set_keys;            ///< Scenario::known_set_keys() order
+  std::vector<CatalogEntry> topologies;      ///< topology= values (live)
   std::vector<CatalogEntry> workloads;       ///< workload= values
   std::vector<CatalogEntry> permutations;    ///< permutation= values (live)
   std::vector<CatalogEntry> fault_policies;  ///< fault_policy= values

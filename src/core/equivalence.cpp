@@ -133,6 +133,7 @@ CompiledScenario compile_network_q(const Scenario& s, Discipline discipline) {
   }
   const double p_eff = s.effective_p();
   CompiledScenario compiled;
+  (void)s.resolved_topology({"hypercube"});  // hypercube-native
   (void)s.resolved_fault_policy({});  // no fault support: reject knobs
   (void)s.resolved_backend({});       // scalar-only: reject soa_batch
   const Window window = s.resolved_window();

@@ -10,6 +10,8 @@
 #include "core/registry.hpp"
 #include "des/kernel_backend.hpp"
 #include "fault/fault_model.hpp"
+#include "topology/ring.hpp"
+#include "topology/topology.hpp"
 #include "util/assert.hpp"
 #include "workload/permutation.hpp"
 
@@ -67,6 +69,23 @@ Scenario Scenario::resolved() const {
 }
 
 double Scenario::default_rho() const {
+  if (uses_generic_topology()) {
+    const auto topo = compiled_topology();
+    if (workload == "permutation") {
+      const auto table = permutation_table();
+      if (table.size() != topo->num_nodes()) {
+        throw ScenarioError(
+            "workload=permutation needs a topology with 2^d nodes; topology=" +
+            topology + " has " + std::to_string(topo->num_nodes()) +
+            " (permutation families index 2^d sources)");
+      }
+      return lambda * static_cast<double>(
+                          topology_greedy_congestion(*topo, table).max_load);
+    }
+    // The stability condition of the uniform-destination experiment:
+    // lambda times the heaviest per-arc utilisation per unit rate.
+    return lambda * topo->uniform_load_per_lambda();
+  }
   if (workload == "permutation") {
     // Every packet of source x follows the fixed greedy path to pi(x), so
     // the heaviest arc carries lambda * max_load — the exact utilisation
@@ -196,7 +215,46 @@ Window Scenario::resolved_window() const {
         "the automatic window needs rho < 1 (got rho = " + std::to_string(load) +
         "); set warmup/horizon explicitly for unstable runs");
   }
-  return Window::for_load(d, load, measure);
+  // Warmup scales with the network diameter; for the generic topologies
+  // that can exceed d (a 2^d-node ring has diameter 2^(d-1)).
+  int effective_d = d;
+  if (uses_generic_topology()) {
+    effective_d = std::max(effective_d, compiled_topology()->diameter());
+  }
+  return Window::for_load(effective_d, load, measure);
+}
+
+std::string Scenario::resolved_topology(
+    std::initializer_list<const char*> supported) const {
+  RS_EXPECTS(supported.size() > 0);
+  if (topology == "native") return *supported.begin();
+  for (const char* candidate : supported) {
+    if (topology == candidate) return topology;
+  }
+  std::string names;
+  for (const char* candidate : supported) {
+    if (!names.empty()) names += ", ";
+    names += candidate;
+  }
+  throw ScenarioError("scheme '" + scheme + "' does not support topology '" +
+                      topology + "' (supported: native, " + names + ")");
+}
+
+TopologySpec Scenario::topology_spec() const {
+  TopologySpec spec;
+  spec.name = topology == "native" ? "hypercube" : topology;
+  spec.d = d;
+  spec.ring_chords = ring_chords;
+  spec.torus_dims = torus_dims;
+  return spec;
+}
+
+std::shared_ptr<const Topology> Scenario::compiled_topology() const {
+  try {
+    return make_topology(topology_spec());
+  } catch (const std::invalid_argument& error) {
+    throw ScenarioError(error.what());
+  }
 }
 
 namespace {
@@ -259,6 +317,52 @@ std::string fmt_shortest(double value) {
 void Scenario::set(const std::string& key, const std::string& value) {
   if (key == "d") {
     d = parse_int(key, value);
+  } else if (key == "topology") {
+    const auto& families = topology_names();
+    const bool known =
+        value == "native" ||
+        std::find(families.begin(), families.end(), value) != families.end();
+    if (!known) {
+      std::vector<std::string> candidates = families;
+      candidates.insert(candidates.begin(), "native");
+      std::string suggestions;
+      std::size_t best = 4;  // suggest only close matches
+      for (const auto& candidate : candidates) {
+        best = std::min(best, edit_distance(value, candidate));
+      }
+      for (const auto& candidate : candidates) {
+        if (edit_distance(value, candidate) == best) {
+          suggestions += suggestions.empty() ? candidate : ", " + candidate;
+        }
+      }
+      std::string message = "unknown topology '" + value + "'";
+      if (!suggestions.empty()) {
+        message += " — did you mean: " + suggestions + "?";
+      }
+      message += " (known:";
+      for (const auto& candidate : candidates) message += ' ' + candidate;
+      message += ')';
+      throw ScenarioError(message);
+    }
+    topology = value;
+  } else if (key == "ring_chords") {
+    // Format check now; the strides are re-validated against n = 2^d at
+    // scenario-compile time, when d is final.  Parsing against the widest
+    // supported ring keeps format errors (garbage, duplicates, stride < 2)
+    // immediate.
+    try {
+      (void)parse_ring_chords(value, /*d=*/14);
+    } catch (const std::invalid_argument& error) {
+      throw ScenarioError(error.what());
+    }
+    ring_chords = value;
+  } else if (key == "torus_dims") {
+    try {
+      (void)parse_torus_dims(value);
+    } catch (const std::invalid_argument& error) {
+      throw ScenarioError(error.what());
+    }
+    torus_dims = value;
   } else if (key == "lambda") {
     lambda = parse_double(key, value);
     rho_target.reset();  // an explicit lambda overrides any pending target
@@ -435,7 +539,8 @@ void Scenario::set(const std::string& key, const std::string& value) {
 
 const std::vector<std::string>& Scenario::known_set_keys() {
   static const std::vector<std::string> keys{
-      "d",          "lambda",         "rho",        "p",
+      "d",          "topology",       "ring_chords", "torus_dims",
+      "lambda",     "rho",            "p",
       "tau",        "discipline",     "workload",   "mask_pmf",
       "permutation", "hotspot_frac",
       "fanout",     "unicast_baseline", "buffers",
@@ -449,17 +554,27 @@ const std::vector<std::string>& Scenario::known_set_keys() {
 std::vector<std::pair<std::string, std::string>> Scenario::to_key_values() const {
   std::vector<std::pair<std::string, std::string>> pairs{
       {"d", std::to_string(d)},
+      {"topology", topology},
+      {"torus_dims", torus_dims},
       {"lambda", fmt_shortest(lambda)},
       {"p", fmt_shortest(p)},
       {"tau", fmt_shortest(tau)},
       {"discipline", discipline == Discipline::kPs ? "ps" : "fifo"},
       {"workload", workload},
   };
+  if (!ring_chords.empty()) {
+    // After topology, before the load keys; omitted when empty (like
+    // mask_pmf) so plain-ring and non-ring scenarios stay uncluttered.
+    pairs.insert(pairs.begin() + 2, {"ring_chords", ring_chords});
+  }
   if (rho_target.has_value()) {
     // After lambda, so parse() replays set("lambda") (clearing any stale
     // target) before set("rho") re-arms the deferred target — the pair
     // round-trips exactly.
-    pairs.insert(pairs.begin() + 2, {"rho", fmt_shortest(*rho_target)});
+    const auto lambda_at = std::find_if(
+        pairs.begin(), pairs.end(),
+        [](const auto& pair) { return pair.first == "lambda"; });
+    pairs.insert(lambda_at + 1, {"rho", fmt_shortest(*rho_target)});
   }
   if (!mask_pmf.empty()) {
     // Inline CSV form; the entries are already normalised, so the round

@@ -34,6 +34,8 @@ namespace routesim {
 
 enum class FaultPolicy : std::uint8_t;     // fault/fault_model.hpp
 enum class KernelBackend : std::uint8_t;   // des/kernel_backend.hpp
+class Topology;                            // topology/topology.hpp
+struct TopologySpec;
 
 /// Thrown on malformed scenario text or an unknown scheme/key/value.
 struct ScenarioError : std::runtime_error {
@@ -68,7 +70,18 @@ struct Scenario {
   std::string scheme = "hypercube_greedy";
 
   // --- model parameters -------------------------------------------------
-  int d = 4;            ///< cube / butterfly dimension
+  int d = 4;            ///< cube / butterfly dimension (ring: n = 2^d nodes)
+  /// Network family: "native" (the scheme's own topology — the hypercube
+  /// for the cube schemes, the butterfly for butterfly_greedy) or an
+  /// explicit family from topology_names(): hypercube, butterfly, ring,
+  /// torus, mesh.  The non-native families route through the
+  /// topology-parametric sims (routing/topology_greedy.hpp).
+  std::string topology = "native";
+  /// topology=ring chord structure: "" (plain ring), "papillon" (the
+  /// doubling-stride ladder) or a CSV of chord strides in [2, n/2 - 1].
+  std::string ring_chords;
+  /// topology=torus|mesh grid extents: "AxB" or "AxBxC", each in [2, 256].
+  std::string torus_dims = "4x4";
   double lambda = 0.1;  ///< per-node generation rate
   /// A pending `--set rho=` target: resolved() solves it for lambda when
   /// every other knob (p, workload, d, scheme) is final, so the setting
@@ -162,6 +175,30 @@ struct Scenario {
   [[nodiscard]] KernelBackend resolved_backend(
       std::initializer_list<KernelBackend> supported) const;
 
+  /// True when the scenario selects a topology the paper's specialised
+  /// simulators do not implement directly (ring / torus / mesh); such
+  /// scenarios route through the topology-parametric sims.
+  [[nodiscard]] bool uses_generic_topology() const noexcept {
+    return topology == "ring" || topology == "torus" || topology == "mesh";
+  }
+
+  /// Validates the topology knob against a scheme's supported families and
+  /// returns the concrete family name — "native" resolves to the first
+  /// entry, the scheme's own topology.  Registry compile hooks call this
+  /// before fanning replications out, so a topology/scheme mismatch
+  /// (butterfly_greedy on a torus) surfaces as a catchable ScenarioError
+  /// naming the families the scheme does support.
+  [[nodiscard]] std::string resolved_topology(
+      std::initializer_list<const char*> supported) const;
+
+  /// The TopologySpec these knobs describe ("native" maps to "hypercube",
+  /// the engine-wide default family).
+  [[nodiscard]] TopologySpec topology_spec() const;
+
+  /// make_topology(topology_spec()) with size/format errors rethrown as
+  /// catchable ScenarioError.
+  [[nodiscard]] std::shared_ptr<const Topology> compiled_topology() const;
+
   /// This scenario with any pending rho target solved: lambda is set so
   /// the load factor under the *final* scheme/workload/p equals the target
   /// (every load rule is linear in lambda), and rho_target is cleared.
@@ -224,6 +261,10 @@ struct Scenario {
   // --- textual form (CLI round trip) -----------------------------------
 
   /// Applies one `key=value` setting.  Keys (see known_set_keys()): d,
+  /// topology (native|hypercube|butterfly|ring|torus|mesh, validated
+  /// immediately with a did-you-mean suggestion), ring_chords (''
+  /// | papillon | CSV of chord strides, format-validated immediately),
+  /// torus_dims (AxB | AxBxC, validated immediately),
   /// lambda, rho (records a load-factor target; resolved() solves it for
   /// lambda once every other knob is final, so setting order is
   /// irrelevant), p, tau, discipline (fifo|ps),

@@ -75,6 +75,7 @@ void register_batch_greedy_scheme(SchemeRegistry& registry) {
        "at t = 0 (the §2.3 round primitive)",
        [](const Scenario& s) {
          CompiledScenario compiled;
+         (void)s.resolved_topology({"hypercube"});  // hypercube-native
          (void)s.resolved_fault_policy({});  // no fault support: reject knobs
          (void)s.resolved_backend({});       // scalar-only: reject soa_batch
          // Permutation workload: all fanout packets of source x target

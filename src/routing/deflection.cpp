@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "routing/topology_greedy.hpp"
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
 
@@ -375,6 +376,12 @@ void register_deflection_scheme(SchemeRegistry& registry) {
        "bufferless hot-potato routing on the d-cube ([GrH89]; window in "
        "slots, lambda in packets per node per slot)",
        [](const Scenario& s) {
+         // Non-native topologies route through the topology-parametric
+         // hot-potato loop (ports = out-arcs, same oldest-first rule).
+         if (s.resolved_topology({"hypercube", "ring", "torus", "mesh"}) !=
+             "hypercube") {
+           return compile_topology_deflection(s);
+         }
          CompiledScenario compiled;
          // Validated before the worker fan-out (see below for faults).
          const auto perm = s.shared_permutation_table();

@@ -340,6 +340,7 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
          // Validated here so a bad workload, permutation or fault
          // combination fails at compile time, not inside a replication
          // worker thread.
+         (void)s.resolved_topology({"butterfly"});  // butterfly-native
          const auto perm = s.shared_permutation_table();
          const Window window = s.resolved_window();
          const FaultPolicy fault_policy = s.resolved_fault_policy(

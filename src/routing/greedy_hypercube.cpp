@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "fault/fault_routing.hpp"
+#include "routing/topology_greedy.hpp"
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
 
@@ -370,6 +371,13 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
        "greedy dimension-order routing on the d-cube (§3; Props. 12/13, "
        "slotted §3.4 when tau > 0)",
        [](const Scenario& s) {
+         // Non-native topologies (ring / torus / mesh) route through the
+         // topology-parametric simulator; the hypercube keeps its
+         // bit-exact specialised path.
+         if (s.resolved_topology({"hypercube", "ring", "torus", "mesh"}) !=
+             "hypercube") {
+           return compile_topology_greedy(s);
+         }
          CompiledScenario compiled;
          // Validated here so a bad workload, permutation or fault
          // combination fails at compile time, not inside a replication

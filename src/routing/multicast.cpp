@@ -171,6 +171,7 @@ void register_multicast_scheme(SchemeRegistry& registry) {
        "packet (§5; unicast_baseline=1 sends fanout independent unicasts)",
        [](const Scenario& s) {
          CompiledScenario compiled;
+         (void)s.resolved_topology({"hypercube"});  // hypercube-native
          (void)s.resolved_fault_policy({});  // no fault support: reject knobs
          (void)s.resolved_backend({});       // scalar-only: reject soa_batch
          const auto perm = s.shared_permutation_table();

@@ -95,6 +95,7 @@ void register_pipelined_baseline_scheme(SchemeRegistry& registry) {
        "(§2.3; stable only for lambda*R*d < 1)",
        [](const Scenario& s) {
          CompiledScenario compiled;
+         (void)s.resolved_topology({"hypercube"});  // hypercube-native
          (void)s.resolved_fault_policy({});  // no fault support: reject knobs
          (void)s.resolved_backend({});       // scalar-only: reject soa_batch
          const auto perm = s.shared_permutation_table();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "fault/fault_routing.hpp"
+#include "routing/topology_greedy.hpp"
 #include "util/assert.hpp"
 #include "util/distributions.hpp"
 #include "workload/permutation.hpp"
@@ -183,6 +184,12 @@ void register_valiant_mixing_scheme(SchemeRegistry& registry) {
        "two-phase Valiant mixing: greedy to a random intermediate, then "
        "greedy to the destination (§5)",
        [](const Scenario& s) {
+         // Non-native topologies route through the topology-parametric
+         // simulator (same two-phase mixing over greedy_next_arc).
+         if (s.resolved_topology({"hypercube", "ring", "torus", "mesh"}) !=
+             "hypercube") {
+           return compile_topology_valiant(s);
+         }
          CompiledScenario compiled;
          // Validated here so a bad permutation or fault combination fails
          // at compile time, not inside a replication worker thread.
@@ -239,6 +246,12 @@ void register_valiant_mixing_scheme(SchemeRegistry& registry) {
          return compiled;
        },
        [](const Scenario& s) {
+         if (s.uses_generic_topology()) {
+           // Mixing doubles the traffic over greedy arcs: each phase loads
+           // the heaviest arc at ~lambda * uniform_load_per_lambda.
+           return 2.0 * s.lambda *
+                  s.compiled_topology()->uniform_load_per_lambda();
+         }
          if (s.workload == "permutation") {
            // Mixing spreads any bijection uniformly: both phases load
            // every arc at ~lambda/2, so rho ~ lambda.  A non-bijective

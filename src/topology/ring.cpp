@@ -1,0 +1,178 @@
+#include "topology/ring.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace routesim {
+
+namespace {
+
+constexpr int kMinRingD = 2;
+constexpr int kMaxRingD = 14;
+
+[[noreturn]] void bad_chords(const std::string& text, const std::string& why) {
+  throw std::invalid_argument("bad ring_chords '" + text + "': " + why +
+                              " (expected '', 'papillon', or a CSV of "
+                              "distinct strides in [2, n/2 - 1])");
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> papillon_strides(int d) {
+  RS_EXPECTS_MSG(d >= kMinRingD && d <= kMaxRingD,
+             "papillon_strides: d out of range");
+  std::vector<std::uint32_t> strides;
+  for (int j = 0; j <= d - 2; ++j) {
+    strides.push_back(std::uint32_t{1} << j);
+  }
+  return strides;
+}
+
+std::vector<std::uint32_t> parse_ring_chords(const std::string& text, int d) {
+  if (d < kMinRingD || d > kMaxRingD) {
+    throw std::invalid_argument(
+        "topology=ring needs d in [" + std::to_string(kMinRingD) + ", " +
+        std::to_string(kMaxRingD) + "] (n = 2^d nodes), got d=" +
+        std::to_string(d));
+  }
+  if (text.empty()) {
+    return {1};
+  }
+  if (text == "papillon") {
+    return papillon_strides(d);
+  }
+  const std::uint32_t n = std::uint32_t{1} << d;
+  std::vector<std::uint32_t> strides = {1};
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string item = text.substr(pos, comma - pos);
+    std::size_t used = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(item, &used);
+    } catch (const std::exception&) {
+      bad_chords(text, "'" + item + "' is not a stride");
+    }
+    if (used != item.size() || item.empty()) {
+      bad_chords(text, "'" + item + "' is not a stride");
+    }
+    if (value < 2 || value > n / 2 - 1) {
+      bad_chords(text, "stride " + item + " outside [2, " +
+                           std::to_string(n / 2 - 1) + "] for n=" +
+                           std::to_string(n));
+    }
+    strides.push_back(static_cast<std::uint32_t>(value));
+    pos = comma + 1;
+  }
+  std::sort(strides.begin(), strides.end());
+  if (std::adjacent_find(strides.begin(), strides.end()) != strides.end()) {
+    bad_chords(text, "duplicate stride");
+  }
+  return strides;
+}
+
+RingTopology::RingTopology(int d, std::vector<std::uint32_t> strides)
+    : d_(d), n_(std::uint32_t{1} << d), strides_(std::move(strides)) {
+  RS_EXPECTS_MSG(d_ >= kMinRingD && d_ <= kMaxRingD, "RingTopology: d out of range");
+  RS_EXPECTS_MSG(!strides_.empty() && strides_[0] == 1,
+             "RingTopology: stride set must start with 1");
+  RS_EXPECTS_MSG(std::is_sorted(strides_.begin(), strides_.end()),
+             "RingTopology: strides must be ascending");
+  for (std::size_t j = 1; j < strides_.size(); ++j) {
+    RS_EXPECTS_MSG(strides_[j] >= 2 && strides_[j] <= n_ / 2 - 1,
+               "RingTopology: chord stride out of [2, n/2 - 1]");
+    RS_EXPECTS_MSG(strides_[j] != strides_[j - 1], "RingTopology: duplicate stride");
+  }
+
+  // Graph distance from node 0 to every offset, by BFS; rotation symmetry
+  // makes this one table serve metric() for every source.
+  dist0_.assign(n_, -1);
+  dist0_[0] = 0;
+  std::deque<std::uint32_t> frontier = {0};
+  while (!frontier.empty()) {
+    const std::uint32_t at = frontier.front();
+    frontier.pop_front();
+    for (const std::uint32_t s : strides_) {
+      for (const std::uint32_t next : {(at + s) & (n_ - 1), (at - s) & (n_ - 1)}) {
+        if (dist0_[next] < 0) {
+          dist0_[next] = dist0_[at] + 1;
+          frontier.push_back(next);
+        }
+      }
+    }
+  }
+  diameter_ = *std::max_element(dist0_.begin(), dist0_.end());
+  RS_EXPECTS_MSG(diameter_ > 0, "RingTopology: disconnected stride set");
+
+  if (is_plain()) {
+    // Clockwise arcs carry offsets 1..n/2 (cw tie-break at the antipodal
+    // offset), so the heaviest uniform load per unit rate is
+    // (1 + 2 + ... + n/2) / n = (n + 2) / 8.
+    uniform_load_ = (static_cast<double>(n_) + 2.0) / 8.0;
+  } else {
+    // Rotation equivariance: per-class arc loads under uniform traffic
+    // equal (usages of that class over greedy paths from node 0) / n.
+    std::vector<double> usage(2 * strides_.size(), 0.0);
+    for (std::uint32_t dest = 1; dest < n_; ++dest) {
+      NodeId at = 0;
+      while (at != dest) {
+        const ArcId arc = greedy_next_arc(at, dest);
+        usage[arc >> d_] += 1.0;
+        at = arc_target(arc);
+      }
+    }
+    uniform_load_ =
+        *std::max_element(usage.begin(), usage.end()) / static_cast<double>(n_);
+  }
+}
+
+const std::string& RingTopology::name() const noexcept {
+  static const std::string kName = "ring";
+  return kName;
+}
+
+NodeId RingTopology::arc_target(ArcId a) const {
+  RS_DASSERT(a < num_arcs());
+  const std::uint32_t cls = a >> d_;
+  const std::uint32_t s = strides_[cls >> 1];
+  const NodeId src = a & (n_ - 1);
+  return ((cls & 1) == 0 ? src + s : src - s) & (n_ - 1);
+}
+
+void RingTopology::append_incident_arcs(NodeId x, std::vector<ArcId>& out) const {
+  const int degree = out_degree(x);
+  for (int k = 0; k < degree; ++k) {
+    out.push_back(out_arc(x, k));
+  }
+  // The in-arc of class c at x leaves the node whose class-c arc lands on
+  // x: +s arcs arrive from x - s, -s arcs from x + s.
+  for (std::uint32_t cls = 0; cls < static_cast<std::uint32_t>(degree); ++cls) {
+    const std::uint32_t s = strides_[cls >> 1];
+    const NodeId src = ((cls & 1) == 0 ? x - s : x + s) & (n_ - 1);
+    out.push_back(cls * n_ + src);
+  }
+}
+
+ArcId RingTopology::greedy_next_arc(NodeId cur, NodeId dest) const {
+  RS_DASSERT(metric(cur, dest) > 0);
+  ArcId best = 0;
+  int best_dist = -1;
+  const int degree = out_degree(cur);
+  for (int k = 0; k < degree; ++k) {
+    const ArcId arc = out_arc(cur, k);
+    const int dist = metric(arc_target(arc), dest);
+    if (best_dist < 0 || dist < best_dist) {
+      best = arc;
+      best_dist = dist;
+    }
+  }
+  RS_DASSERT(best_dist < metric(cur, dest));
+  return best;
+}
+
+}  // namespace routesim

@@ -1,0 +1,99 @@
+#pragma once
+/// \file ring.hpp
+/// \brief Ring topologies with optional symmetric chord strides.
+///
+/// `RingTopology` puts n = 2^d nodes on a bidirectional cycle and
+/// optionally adds symmetric chords: for each stride s in the stride set,
+/// every node x gains arcs x -> x+s and x -> x-s (mod n).  Three flavours
+/// ride on the one class, selected by the `ring_chords=` scenario key:
+///
+///   - ""          plain ring, strides {1};
+///   - "a,b,..."   degree-k chord ring, strides {1, a, b, ...} with each
+///                 chord stride in [2, n/2 - 1];
+///   - "papillon"  the doubling ladder {1, 2, 4, ..., 2^(d-2)}, a
+///                 chordal-ring rendering of the butterfly-emulating
+///                 Papillon construction (PAPERS.md): greedy ring-distance
+///                 descent reaches any destination in O(d) hops.
+///
+/// Arcs are indexed class-major: class 2j is +strides[j] (clockwise),
+/// class 2j+1 is -strides[j], and arc (class c, source x) has index
+/// c * n + x.  Greedy descends the exact graph distance (a BFS table of
+/// distances-from-node-0, valid for every node by rotation symmetry),
+/// breaking ties toward the lowest arc class, i.e. clockwise-first and
+/// short-stride-first.
+///
+/// Closed forms pinned by tests/test_topology_conformance.cpp:
+///   - plain ring, uniform destinations: heaviest per-arc load per unit
+///     rate is (n + 2) / 8 on clockwise arcs (cw tie-break at distance
+///     n/2 makes cw strictly heavier than ccw's (n - 2) / 8);
+///   - plain ring, tornado permutation x -> x + n/2 - 1: greedy sends all
+///     traffic clockwise and max per-arc load is n/2 - 1 = Theta(n);
+///   - chord rings: the constructor computes the uniform load by a
+///     single-source sweep (rotation equivariance), and the conformance
+///     tests cross-check it against an all-pairs brute force.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/assert.hpp"
+
+namespace routesim {
+
+/// Parses a `ring_chords=` value into the full ascending stride set
+/// (always including stride 1).  `text` is "", "papillon", or a CSV of
+/// distinct chord strides; each chord stride must lie in [2, n/2 - 1]
+/// for n = 2^d.  Throws std::invalid_argument with a precise message.
+[[nodiscard]] std::vector<std::uint32_t> parse_ring_chords(
+    const std::string& text, int d);
+
+/// The Papillon doubling ladder for n = 2^d nodes: {1, 2, 4, ..., 2^(d-2)}.
+[[nodiscard]] std::vector<std::uint32_t> papillon_strides(int d);
+
+class RingTopology final : public Topology {
+ public:
+  /// n = 2^d nodes, d in [2, 14]; `strides` ascending, strides[0] == 1,
+  /// chord strides in [2, n/2 - 1] (as produced by parse_ring_chords).
+  RingTopology(int d, std::vector<std::uint32_t> strides);
+
+  [[nodiscard]] const std::string& name() const noexcept override;
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept override { return n_; }
+  [[nodiscard]] std::uint32_t num_arcs() const noexcept override {
+    return static_cast<std::uint32_t>(2 * strides_.size()) * n_;
+  }
+  [[nodiscard]] NodeId arc_source(ArcId a) const override { return a & (n_ - 1); }
+  [[nodiscard]] NodeId arc_target(ArcId a) const override;
+  [[nodiscard]] int out_degree(NodeId) const override {
+    return static_cast<int>(2 * strides_.size());
+  }
+  [[nodiscard]] ArcId out_arc(NodeId x, int k) const override {
+    RS_DASSERT(k >= 0 && k < out_degree(x));
+    return static_cast<ArcId>(k) * n_ + x;
+  }
+  void append_incident_arcs(NodeId x, std::vector<ArcId>& out) const override;
+  [[nodiscard]] int metric(NodeId from, NodeId to) const override {
+    return dist0_[(to - from) & (n_ - 1)];
+  }
+  [[nodiscard]] int diameter() const override { return diameter_; }
+  [[nodiscard]] ArcId greedy_next_arc(NodeId cur, NodeId dest) const override;
+  [[nodiscard]] double uniform_load_per_lambda() const override {
+    return uniform_load_;
+  }
+
+  [[nodiscard]] int d() const noexcept { return d_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& strides() const noexcept {
+    return strides_;
+  }
+  [[nodiscard]] bool is_plain() const noexcept { return strides_.size() == 1; }
+
+ private:
+  int d_;
+  std::uint32_t n_;
+  std::vector<std::uint32_t> strides_;
+  std::vector<int> dist0_;  ///< graph distance from node 0 to each offset
+  int diameter_ = 0;
+  double uniform_load_ = 0.0;
+};
+
+}  // namespace routesim

@@ -1,0 +1,196 @@
+#include "topology/torus.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace routesim {
+
+namespace {
+
+constexpr std::uint32_t kMinExtent = 2;
+constexpr std::uint32_t kMaxExtent = 256;
+constexpr std::uint32_t kMaxNodes = std::uint32_t{1} << 20;
+
+/// Distance along one dimension's ring (wrap) or line (no wrap).
+int dim_distance(std::uint32_t from, std::uint32_t to, std::uint32_t extent,
+                 bool wrap) {
+  const std::uint32_t forward = (to + extent - from) % extent;
+  if (!wrap) {
+    return static_cast<int>(from <= to ? to - from : from - to);
+  }
+  return static_cast<int>(std::min(forward, extent - forward));
+}
+
+/// Heaviest per-arc load per unit rate contributed by one dimension under
+/// uniform traffic (see the closed forms in torus.hpp).
+double dim_uniform_load(std::uint32_t extent, bool wrap) {
+  const double n = static_cast<double>(extent);
+  if (!wrap) {
+    return static_cast<double>(extent / 2) *
+           static_cast<double>((extent + 1) / 2) / n;
+  }
+  if (extent % 2 == 0) {
+    return (n + 2.0) / 8.0;
+  }
+  return (n * n - 1.0) / (8.0 * n);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> parse_torus_dims(const std::string& text) {
+  std::vector<std::uint32_t> dims;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t sep = std::min(text.find('x', pos), text.size());
+    const std::string item = text.substr(pos, sep - pos);
+    std::size_t used = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(item, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != item.size() || item.empty() || value < kMinExtent ||
+        value > kMaxExtent) {
+      throw std::invalid_argument(
+          "bad torus_dims '" + text + "': expected 'AxB' or 'AxBxC' with "
+          "each extent in [" + std::to_string(kMinExtent) + ", " +
+          std::to_string(kMaxExtent) + "]");
+    }
+    dims.push_back(static_cast<std::uint32_t>(value));
+    pos = sep + 1;
+  }
+  if (dims.size() < 2 || dims.size() > 3) {
+    throw std::invalid_argument("bad torus_dims '" + text +
+                                "': expected 2 or 3 'x'-separated extents");
+  }
+  std::uint64_t nodes = 1;
+  for (const std::uint32_t extent : dims) {
+    nodes *= extent;
+  }
+  if (nodes > kMaxNodes) {
+    throw std::invalid_argument("bad torus_dims '" + text + "': " +
+                                std::to_string(nodes) + " nodes exceeds the " +
+                                std::to_string(kMaxNodes) + "-node cap");
+  }
+  return dims;
+}
+
+TorusTopology::TorusTopology(std::vector<std::uint32_t> dims, bool wrap)
+    : dims_(std::move(dims)), wrap_(wrap) {
+  RS_EXPECTS_MSG(dims_.size() >= 2 && dims_.size() <= 3,
+             "TorusTopology: need 2 or 3 dimensions");
+  radix_.resize(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    RS_EXPECTS_MSG(dims_[i] >= kMinExtent && dims_[i] <= kMaxExtent,
+               "TorusTopology: extent out of range");
+    radix_[i] = n_;
+    n_ *= dims_[i];
+  }
+  RS_EXPECTS_MSG(n_ <= kMaxNodes, "TorusTopology: too many nodes");
+
+  const std::size_t slots = 2 * dims_.size();
+  arc_at_.assign(static_cast<std::size_t>(n_) * slots, kNoArc);
+  out_begin_.resize(n_);
+  out_end_.resize(n_);
+  for (NodeId x = 0; x < n_; ++x) {
+    out_begin_[x] = static_cast<std::uint32_t>(out_arcs_.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      const std::uint32_t c = coordinate(x, static_cast<int>(i));
+      for (const int dir : {+1, -1}) {
+        if (!wrap_ && ((dir > 0 && c + 1 == dims_[i]) || (dir < 0 && c == 0))) {
+          continue;  // mesh boundary: no wrap arc
+        }
+        const std::uint32_t next_c =
+            (c + dims_[i] + static_cast<std::uint32_t>(dir)) % dims_[i];
+        const NodeId dst = x + (next_c - c) * radix_[i];
+        const ArcId arc = static_cast<ArcId>(arcs_.size());
+        arcs_.push_back({x, dst});
+        out_arcs_.push_back(arc);
+        arc_at_[static_cast<std::size_t>(x) * slots + 2 * i +
+                (dir < 0 ? 1u : 0u)] = arc;
+      }
+    }
+    out_end_[x] = static_cast<std::uint32_t>(out_arcs_.size());
+  }
+
+  // In-arc slices, grouped per target node in arc-id order.
+  in_begin_.assign(n_, 0);
+  in_end_.assign(n_, 0);
+  std::vector<std::uint32_t> in_count(n_, 0);
+  for (const Arc& arc : arcs_) {
+    ++in_count[arc.dst];
+  }
+  std::uint32_t offset = 0;
+  for (NodeId x = 0; x < n_; ++x) {
+    in_begin_[x] = offset;
+    in_end_[x] = offset;
+    offset += in_count[x];
+  }
+  in_arcs_.resize(arcs_.size());
+  for (ArcId a = 0; a < num_arcs(); ++a) {
+    in_arcs_[in_end_[arcs_[a].dst]++] = a;
+  }
+
+  diameter_ = 0;
+  uniform_load_ = 0.0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    diameter_ += wrap_ ? static_cast<int>(dims_[i] / 2)
+                       : static_cast<int>(dims_[i] - 1);
+    uniform_load_ = std::max(uniform_load_, dim_uniform_load(dims_[i], wrap_));
+  }
+}
+
+const std::string& TorusTopology::name() const noexcept {
+  static const std::string kTorus = "torus";
+  static const std::string kMesh = "mesh";
+  return wrap_ ? kTorus : kMesh;
+}
+
+void TorusTopology::append_incident_arcs(NodeId x, std::vector<ArcId>& out) const {
+  RS_DASSERT(x < n_);
+  for (std::uint32_t k = out_begin_[x]; k < out_end_[x]; ++k) {
+    out.push_back(out_arcs_[k]);
+  }
+  for (std::uint32_t k = in_begin_[x]; k < in_end_[x]; ++k) {
+    out.push_back(in_arcs_[k]);
+  }
+}
+
+int TorusTopology::metric(NodeId from, NodeId to) const {
+  RS_DASSERT(from < n_ && to < n_);
+  int total = 0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    total += dim_distance(coordinate(from, static_cast<int>(i)),
+                          coordinate(to, static_cast<int>(i)), dims_[i], wrap_);
+  }
+  return total;
+}
+
+ArcId TorusTopology::greedy_next_arc(NodeId cur, NodeId dest) const {
+  RS_DASSERT(metric(cur, dest) > 0);
+  const std::size_t slots = 2 * dims_.size();
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const std::uint32_t c = coordinate(cur, static_cast<int>(i));
+    const std::uint32_t t = coordinate(dest, static_cast<int>(i));
+    if (c == t) {
+      continue;
+    }
+    bool clockwise;
+    if (wrap_) {
+      // Shorter way around dimension i's ring; the antipodal tie breaks +.
+      const std::uint32_t forward = (t + dims_[i] - c) % dims_[i];
+      clockwise = forward <= dims_[i] - forward;
+    } else {
+      clockwise = t > c;
+    }
+    const ArcId arc = arc_at_[static_cast<std::size_t>(cur) * slots + 2 * i +
+                              (clockwise ? 0u : 1u)];
+    RS_DASSERT(arc != kNoArc);
+    return arc;
+  }
+  RS_EXPECTS_MSG(false, "greedy_next_arc called with cur == dest");
+}
+
+}  // namespace routesim

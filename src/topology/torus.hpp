@@ -1,0 +1,105 @@
+#pragma once
+/// \file torus.hpp
+/// \brief 2D/3D torus and mesh topologies with dimension-ordered greedy.
+///
+/// `TorusTopology` lays nodes on a 2- or 3-dimensional grid described by
+/// the `torus_dims=` scenario key ("AxB" or "AxBxC"); with wraparound the
+/// family is a k-ary torus, without it a mesh.  Node ids are mixed-radix
+/// with dimension 0 least significant; arcs are materialised explicitly
+/// (the mesh boundary punches holes in any formulaic indexing) and each
+/// node's out-arcs are ordered dim0+, dim0-, dim1+, dim1-, ...
+///
+/// Greedy is dimension-ordered: correct the lowest unresolved dimension
+/// first, moving the shorter way around that dimension's ring (ties at the
+/// antipodal offset break clockwise, i.e. toward +), or straight toward
+/// the target on a mesh line.  The metric is the sum of per-dimension
+/// ring/line distances, so every hop strictly decreases it.
+///
+/// Closed forms pinned by tests/test_topology_conformance.cpp
+/// (per-dimension loads are independent under uniform traffic, so the
+/// heaviest arc sits on the heaviest dimension):
+///   - torus, extent n even: (n + 2) / 8 per unit rate (cw tie-break, as
+///     on the plain ring); n odd: (n^2 - 1) / (8n);
+///   - mesh, extent n: the central line arc carries
+///     floor(n/2) * ceil(n/2) / n.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/assert.hpp"
+
+namespace routesim {
+
+class TorusTopology final : public Topology {
+ public:
+  /// `dims` as produced by parse_torus_dims (2 or 3 extents, each >= 2);
+  /// `wrap` selects torus (true) vs mesh (false).
+  TorusTopology(std::vector<std::uint32_t> dims, bool wrap);
+
+  [[nodiscard]] const std::string& name() const noexcept override;
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept override { return n_; }
+  [[nodiscard]] std::uint32_t num_arcs() const noexcept override {
+    return static_cast<std::uint32_t>(arcs_.size());
+  }
+  [[nodiscard]] NodeId arc_source(ArcId a) const override {
+    RS_DASSERT(a < num_arcs());
+    return arcs_[a].src;
+  }
+  [[nodiscard]] NodeId arc_target(ArcId a) const override {
+    RS_DASSERT(a < num_arcs());
+    return arcs_[a].dst;
+  }
+  [[nodiscard]] int out_degree(NodeId x) const override {
+    RS_DASSERT(x < n_);
+    return static_cast<int>(out_end_[x] - out_begin_[x]);
+  }
+  [[nodiscard]] ArcId out_arc(NodeId x, int k) const override {
+    RS_DASSERT(k >= 0 && k < out_degree(x));
+    return out_arcs_[out_begin_[x] + static_cast<std::uint32_t>(k)];
+  }
+  void append_incident_arcs(NodeId x, std::vector<ArcId>& out) const override;
+  [[nodiscard]] int metric(NodeId from, NodeId to) const override;
+  [[nodiscard]] int diameter() const override { return diameter_; }
+  [[nodiscard]] ArcId greedy_next_arc(NodeId cur, NodeId dest) const override;
+  [[nodiscard]] double uniform_load_per_lambda() const override {
+    return uniform_load_;
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& dims() const noexcept {
+    return dims_;
+  }
+  [[nodiscard]] bool wraps() const noexcept { return wrap_; }
+  [[nodiscard]] std::uint32_t coordinate(NodeId x, int dim) const {
+    return (x / radix_[static_cast<std::size_t>(dim)]) %
+           dims_[static_cast<std::size_t>(dim)];
+  }
+
+ private:
+  struct Arc {
+    NodeId src;
+    NodeId dst;
+  };
+
+  std::vector<std::uint32_t> dims_;
+  bool wrap_;
+  std::uint32_t n_ = 1;
+  std::vector<std::uint32_t> radix_;  ///< stride of each dimension in the id
+  std::vector<Arc> arcs_;
+  std::vector<std::uint32_t> out_begin_;  ///< per-node slice of out_arcs_
+  std::vector<std::uint32_t> out_end_;
+  std::vector<ArcId> out_arcs_;
+  std::vector<std::uint32_t> in_begin_;  ///< per-node slice of in_arcs_
+  std::vector<std::uint32_t> in_end_;
+  std::vector<ArcId> in_arcs_;
+  /// Direct (dim, direction) -> out-arc lookup for greedy; kNoArc where the
+  /// mesh boundary removes the arc.  Slot = x * 2 * dims + 2 * dim + (dir<0).
+  std::vector<ArcId> arc_at_;
+  int diameter_ = 0;
+  double uniform_load_ = 0.0;
+
+  static constexpr ArcId kNoArc = ~ArcId{0};
+};
+
+}  // namespace routesim

@@ -7,6 +7,7 @@
 
 #include "topology/butterfly.hpp"
 #include "topology/hypercube.hpp"
+#include "topology/topology.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -255,6 +256,25 @@ CongestionReport butterfly_greedy_congestion(int d,
                             vertical ? Butterfly::ArcKind::kVertical
                                      : Butterfly::ArcKind::kStraight)];
       if (vertical) row = flip_dimension(row, level);
+    }
+  }
+  return summarize_loads(load);
+}
+
+CongestionReport topology_greedy_congestion(const Topology& topo,
+                                            std::span<const NodeId> destination) {
+  RS_EXPECTS_MSG(destination.size() == topo.num_nodes(),
+                 "destination table must have num_nodes entries");
+  std::vector<std::uint64_t> load(topo.num_arcs(), 0);
+  for (NodeId x = 0; x < topo.num_nodes(); ++x) {
+    NodeId cur = x;
+    const NodeId dest = destination[x];
+    RS_EXPECTS_MSG(topo.metric(cur, dest) >= 0,
+                   "destination unreachable from its source");
+    while (cur != dest) {
+      const ArcId arc = topo.greedy_next_arc(cur, dest);
+      ++load[arc];
+      cur = topo.arc_target(arc);
     }
   }
   return summarize_loads(load);

@@ -133,6 +133,17 @@ struct CongestionReport {
 [[nodiscard]] CongestionReport butterfly_greedy_congestion(
     int d, std::span<const NodeId> destination);
 
+class Topology;
+
+/// The greedy path system of an arbitrary Topology (topology/topology.hpp):
+/// walk greedy_next_arc from every source to `destination[source]` and
+/// count per-arc path loads.  `destination` must have num_nodes() entries,
+/// each reachable from its source.  The ring's tornado permutation makes
+/// this Theta(n) while uniform traffic stays Theta(1) per unit rate — the
+/// generic-topology analogue of the hypercube's transpose collapse.
+[[nodiscard]] CongestionReport topology_greedy_congestion(
+    const Topology& topo, std::span<const NodeId> destination);
+
 /// Closed form for the butterfly + bit reversal: the greedy path system has
 /// max arc congestion exactly 2^(ceil(d/2) - 1) = Theta(sqrt(N)).  At
 /// level j <= (d+1)/2, the arc crossed by source row r is determined by

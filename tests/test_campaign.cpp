@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -157,6 +158,35 @@ TEST(Engine, CacheHitReturnsIdenticalResultWithoutRecompute) {
   Scenario reseeded = campaign.cells()[0].scenario;
   reseeded.plan.base_seed += 1;
   EXPECT_FALSE(cache.lookup(ResultCache::key(reseeded), &from_cache));
+}
+
+TEST(Engine, CacheKeyDistinguishesTopologyKnobs) {
+  // ring_chords is omitted from the textual form when empty, so the key
+  // must still separate a plain ring from a chorded one — and distinct
+  // chord sets / torus extents from each other.
+  Scenario plain = tiny("hypercube_greedy", 6, 0.5, 77);
+  plain.set("topology", "ring");
+  plain.set("workload", "uniform");
+
+  Scenario chorded = plain;
+  chorded.set("ring_chords", "4,16");
+  Scenario papillon = plain;
+  papillon.set("ring_chords", "papillon");
+
+  Scenario torus = tiny("hypercube_greedy", 6, 0.5, 77);
+  torus.set("topology", "torus");
+  torus.set("workload", "uniform");
+  Scenario torus3d = torus;
+  torus3d.set("torus_dims", "4x4x4");
+
+  const std::set<std::string> keys{
+      ResultCache::key(plain),  ResultCache::key(chorded),
+      ResultCache::key(papillon), ResultCache::key(torus),
+      ResultCache::key(torus3d)};
+  EXPECT_EQ(keys.size(), 5u);
+  for (const auto& key : keys) {
+    EXPECT_NE(key.find("topology="), std::string::npos) << key;
+  }
 }
 
 TEST(Engine, DuplicateCellsInOneCampaignComputeOnce) {

@@ -13,6 +13,7 @@
 
 #include "core/registry.hpp"
 #include "core/scenario.hpp"
+#include "topology/topology.hpp"
 #include "workload/permutation.hpp"
 
 namespace routesim {
@@ -41,6 +42,12 @@ TEST(Catalog, CoversRegistryAndKeysExactly) {
     EXPECT_EQ(catalog.permutations[i].name, Permutation::names()[i]);
   }
 
+  ASSERT_EQ(catalog.topologies.size(), topology_names().size());
+  for (std::size_t i = 0; i < catalog.topologies.size(); ++i) {
+    EXPECT_EQ(catalog.topologies[i].name, topology_names()[i]);
+    EXPECT_FALSE(catalog.topologies[i].summary.empty());
+  }
+
   // Every documented workload parses: set(workload, ...) accepts anything,
   // so the real check is that make_destinations()/permutation_table() knows
   // each name (trace and permutation excepted from the law check).
@@ -55,9 +62,11 @@ TEST(Catalog, RenderersEmitAllSections) {
 
   const std::string json = catalog_json(catalog);
   for (const auto* needle :
-       {"\"schemes\"", "\"set_keys\"", "\"workloads\"", "\"permutations\"",
+       {"\"schemes\"", "\"set_keys\"", "\"topologies\"", "\"workloads\"",
+        "\"permutations\"",
         "\"fault_policies\"", "\"backends\"", "\"sweep_keys\"", "\"cli_flags\"",
         "\"hypercube_greedy\"", "\"bit_reversal\"", "\"hotspot_frac\"",
+        "\"ring_chords\"", "\"torus_dims\"",
         "\"--grid key=a:b[:s]\"", "\"--jsonl PATH\""}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
@@ -65,7 +74,8 @@ TEST(Catalog, RenderersEmitAllSections) {
   const std::string markdown = catalog_markdown(catalog);
   for (const auto* needle :
        {"# Scenario reference", "## Schemes", "## `--set` keys",
-        "## Workloads", "## Permutation families", "## Fault policies",
+        "## Topologies", "## Workloads", "## Permutation families",
+        "## Fault policies",
         "## Kernel backends", "`soa_batch`",
         "## Sweep keys", "## Campaign CLI", "`valiant_mixing`",
         "`random_permutation`", "`--grid key=a:b[:s]`", "`--cells`"}) {

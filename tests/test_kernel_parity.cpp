@@ -19,6 +19,7 @@
 #include "routing/greedy_hypercube.hpp"
 #include "routing/multicast.hpp"
 #include "routing/pipelined_baseline.hpp"
+#include "routing/topology_greedy.hpp"
 #include "routing/valiant_mixing.hpp"
 #include "obs/trace.hpp"
 #include "workload/permutation.hpp"
@@ -501,6 +502,50 @@ TEST(KernelParity, ValiantFixedDestinationsTranspose) {
        static_cast<double>(sim.kernel_stats().deliveries_in_window())},
       {0x1.a1f9d7e969129p+2, 0x1.7f610817b7919p+2, 0x1.523db35e03eecp+6,
        0x1.98f5c28f5c28fp+3, 0x1.8f6p+12});
+}
+
+// --- topology-parametric pins ---------------------------------------------
+//
+// Captured from tools/capture_parity.cpp when the generic topology
+// simulator was introduced: any change to the ring's / torus's arc
+// indexing, metric tables or greedy tie-break order shifts these values.
+// The hypercube and butterfly pins above double as the refactor guard —
+// dispatching through Scenario::resolved_topology must leave the native
+// paths bit-identical.
+
+TEST(KernelParity, TopologyRingWithChords) {
+  TopologyRoutingConfig config;
+  config.spec = {"ring", 6, "4,16", "4x4"};
+  config.lambda = 0.2;
+  config.seed = 23;
+  config.track_delay_histogram = true;
+  TopologyGreedySim sim(config);
+  sim.run(50.0, 550.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), sim.final_population(),
+       sim.little_check().relative_error(),
+       static_cast<double>(sim.kernel_stats().deliveries_in_window())},
+      {0x1.75d8e229078e9p+1, 0x1.65f602e66246fp+1, 0x1.2b5a745701c5fp+5,
+       0x1.96c8b43958106p+3, 0x1.88p+5, 0x1.25b13a7387d2p-13, 0x1.8d4p+12});
+}
+
+TEST(KernelParity, TopologyTorus3D) {
+  TopologyRoutingConfig config;
+  config.spec = {"torus", 4, "", "4x4x4"};
+  config.lambda = 0.5;
+  config.seed = 29;
+  config.track_delay_histogram = true;
+  TopologyGreedySim sim(config);
+  sim.run(50.0, 550.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), sim.final_population(),
+       sim.little_check().relative_error(),
+       static_cast<double>(sim.kernel_stats().deliveries_in_window())},
+      {0x1.cf42e01878443p+1, 0x1.7ffdf4b175928p+1, 0x1.d382a70f2aa82p+6,
+       0x1.007ae147ae148p+5, 0x1.84p+6, 0x1.40baf09ac7f97p-10,
+       0x1.f4fp+13});
 }
 
 // --- soa_batch backend pins ----------------------------------------------

@@ -162,6 +162,121 @@ TEST(Scenario, ParseRejectsMalformedInput) {
                ScenarioError);
 }
 
+TEST(Scenario, UnknownTopologySuggestsNearestFamily) {
+  Scenario scenario;
+  try {
+    scenario.set("topology", "trous");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("unknown topology"), std::string::npos) << message;
+    EXPECT_NE(message.find("torus"), std::string::npos) << message;
+  }
+  EXPECT_THROW(scenario.set("topology", ""), ScenarioError);
+}
+
+TEST(Scenario, TopologyKeysValidateAtSetTime) {
+  Scenario scenario;
+  // ring_chords: strides must be distinct integers in [2, n/2 - 1], or the
+  // 'papillon' keyword; torus_dims: 'AxB' / 'AxBxC' with extents in [2, 256].
+  EXPECT_NO_THROW(scenario.set("ring_chords", "4,16"));
+  EXPECT_NO_THROW(scenario.set("ring_chords", "papillon"));
+  EXPECT_NO_THROW(scenario.set("ring_chords", ""));
+  EXPECT_THROW(scenario.set("ring_chords", "1"), ScenarioError);
+  EXPECT_THROW(scenario.set("ring_chords", "4,4"), ScenarioError);
+  EXPECT_THROW(scenario.set("ring_chords", "4,abc"), ScenarioError);
+
+  EXPECT_NO_THROW(scenario.set("torus_dims", "4x4x4"));
+  EXPECT_NO_THROW(scenario.set("torus_dims", "3x5"));
+  EXPECT_THROW(scenario.set("torus_dims", "4"), ScenarioError);
+  EXPECT_THROW(scenario.set("torus_dims", "4x1"), ScenarioError);
+  EXPECT_THROW(scenario.set("torus_dims", "4x300"), ScenarioError);
+  EXPECT_THROW(scenario.set("torus_dims", "4xx4"), ScenarioError);
+}
+
+TEST(Scenario, TopologyKeysRoundTripThroughTextualForm) {
+  Scenario original;
+  original.scheme = "hypercube_greedy";
+  original.set("topology", "ring");
+  original.set("ring_chords", "4,16");
+  original.set("workload", "uniform");
+  original.d = 6;
+  std::vector<std::string> args{original.scheme};
+  for (const auto& [key, value] : original.to_key_values()) {
+    args.push_back(key + "=" + value);
+  }
+  const Scenario parsed = Scenario::parse(args);
+  EXPECT_EQ(parsed, original);
+  EXPECT_EQ(parsed.topology, "ring");
+  EXPECT_EQ(parsed.ring_chords, "4,16");
+
+  Scenario torus;
+  torus.set("topology", "torus");
+  torus.set("torus_dims", "4x4x4");
+  torus.set("workload", "uniform");
+  args = {torus.scheme};
+  for (const auto& [key, value] : torus.to_key_values()) {
+    args.push_back(key + "=" + value);
+  }
+  EXPECT_EQ(Scenario::parse(args), torus);
+}
+
+TEST(Scenario, ResolvedTopologyRejectsUnsupportedFamilies) {
+  Scenario scenario;
+  scenario.set("topology", "torus");
+  // butterfly_greedy is butterfly-native: a torus scenario must fail loudly.
+  try {
+    (void)scenario.resolved_topology({"butterfly"});
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("does not support topology"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("butterfly"), std::string::npos) << message;
+  }
+  // 'native' resolves to the scheme's first supported family.
+  Scenario native;
+  EXPECT_EQ(native.resolved_topology({"hypercube", "ring"}), "hypercube");
+  EXPECT_EQ(native.resolved_topology({"butterfly"}), "butterfly");
+}
+
+TEST(Scenario, GenericTopologyRunsRejectUnsupportedFeatures) {
+  const auto compile = [](const Scenario& scenario) { return run(scenario); };
+
+  Scenario soa;
+  soa.scheme = "hypercube_greedy";
+  soa.set("topology", "ring");
+  soa.set("workload", "uniform");
+  soa.set("backend", "soa_batch");
+  soa.set("tau", "1");
+  soa.measure = 50.0;
+  EXPECT_THROW((void)compile(soa), ScenarioError);
+
+  Scenario faulty;
+  faulty.scheme = "hypercube_greedy";
+  faulty.set("topology", "ring");
+  faulty.set("workload", "uniform");
+  faulty.set("fault_rate", "0.01");
+  faulty.measure = 50.0;
+  EXPECT_THROW((void)compile(faulty), ScenarioError);
+
+  // The default bit_flip workload has no meaning off the hypercube.
+  Scenario bitflip;
+  bitflip.scheme = "hypercube_greedy";
+  bitflip.set("topology", "torus");
+  bitflip.measure = 50.0;
+  EXPECT_THROW((void)compile(bitflip), ScenarioError);
+
+  // workload=permutation needs 2^d nodes: fine on a ring, not on a 3x5 mesh.
+  Scenario meshperm;
+  meshperm.scheme = "hypercube_greedy";
+  meshperm.set("topology", "mesh");
+  meshperm.set("torus_dims", "3x5");
+  meshperm.set("workload", "permutation");
+  meshperm.measure = 50.0;
+  EXPECT_THROW((void)compile(meshperm), ScenarioError);
+}
+
 TEST(Scenario, UniformWorkloadOverridesPEverywhere) {
   Scenario scenario;
   scenario.workload = "uniform";

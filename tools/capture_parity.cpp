@@ -14,6 +14,7 @@
 #include "routing/greedy_hypercube.hpp"
 #include "routing/multicast.hpp"
 #include "routing/pipelined_baseline.hpp"
+#include "routing/topology_greedy.hpp"
 #include "routing/valiant_mixing.hpp"
 #include "workload/permutation.hpp"
 #include "workload/trace.hpp"
@@ -248,6 +249,37 @@ int main() {
     emit("valiant_transpose",
          {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
           sim.throughput(),
+          static_cast<double>(sim.kernel_stats().deliveries_in_window())});
+  }
+  {
+    // Topology-parametric pins, captured when the generic simulator was
+    // introduced: any change to the ring's arc indexing, BFS metric or
+    // greedy tie-break shifts these values.
+    TopologyRoutingConfig c;
+    c.spec = {"ring", 6, "4,16", "4x4"};
+    c.lambda = 0.2;
+    c.seed = 23;
+    c.track_delay_histogram = true;
+    TopologyGreedySim sim(c);
+    sim.run(50.0, 550.0);
+    emit("topology_ring_chords",
+         {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+          sim.throughput(), sim.final_population(),
+          sim.little_check().relative_error(),
+          static_cast<double>(sim.kernel_stats().deliveries_in_window())});
+  }
+  {
+    TopologyRoutingConfig c;
+    c.spec = {"torus", 4, "", "4x4x4"};
+    c.lambda = 0.5;
+    c.seed = 29;
+    c.track_delay_histogram = true;
+    TopologyGreedySim sim(c);
+    sim.run(50.0, 550.0);
+    emit("topology_torus",
+         {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+          sim.throughput(), sim.final_population(),
+          sim.little_check().relative_error(),
           static_cast<double>(sim.kernel_stats().deliveries_in_window())});
   }
   for (const auto discipline : {Discipline::kFifo, Discipline::kPs}) {
