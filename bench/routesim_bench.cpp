@@ -55,6 +55,8 @@
 #include "obs/trace.hpp"
 #include "store/result_store.hpp"
 #include "util/atomic_file.hpp"
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
 
 namespace {
 
@@ -92,7 +94,7 @@ int usage(const char* argv0) {
          "       [--grid key=a:b[:step] ...] [--sweep key=a:b[:step] ...]\n"
          "       [--cells] [--jsonl PATH [--append]] [--json PATH]\n"
          "       [--store PATH] [--resume PATH] [--trace PATH]\n"
-         "       [--progress[=force]] [--list]\n\n"
+         "       [--record-trace PATH] [--progress[=force]] [--list]\n\n"
          // Key names come straight from the lists --list documents, so
          // --help cannot drift from the registry.
          "keys:";
@@ -112,6 +114,9 @@ int usage(const char* argv0) {
                "--trace PATH records Chrome trace-event JSON (Perfetto);\n"
                "--progress prints a stderr heartbeat (TTY only; =force\n"
                "always).  Neither changes results.\n"
+               "--record-trace PATH writes the base scenario's\n"
+               "replication-0 packet trace as JSONL (the trace_file=\n"
+               "format) and exits without simulating.\n"
                "(per-key docs, workloads, permutation families and fault\n"
                "policies: --list)\n";
   return 2;
@@ -127,6 +132,7 @@ int main(int argc, char** argv) {
   std::string store_path;
   std::string resume_path;
   std::string trace_path;
+  std::string record_trace_path;
   bool append_jsonl = false;
   bool preview_cells = false;
   bool progress_requested = false;
@@ -150,6 +156,8 @@ int main(int argc, char** argv) {
       resume_path = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--record-trace" && i + 1 < argc) {
+      record_trace_path = argv[++i];
     } else if (arg == "--progress") {
       progress_requested = true;
     } else if (arg == "--progress=force") {
@@ -177,6 +185,32 @@ int main(int argc, char** argv) {
     std::vector<std::string> scenario_args{scheme};
     scenario_args.insert(scenario_args.end(), settings.begin(), settings.end());
     const routesim::Scenario base = routesim::Scenario::parse(scenario_args);
+
+    if (!record_trace_path.empty()) {
+      // Record, don't simulate: write the packet stream replication 0 of
+      // this scenario would consume, in the trace_file= JSONL format.  A
+      // trace recorded from workload=trace replays bit-identically under
+      // workload=trace trace_file=PATH (pinned by test_kernel_parity).
+      const routesim::Scenario rec = base.resolved();
+      const routesim::Window window = rec.resolved_window();
+      const std::uint64_t seed0 = routesim::derive_stream(rec.plan.base_seed, 0);
+      routesim::PacketTrace trace;
+      if (rec.workload == "permutation") {
+        trace = routesim::generate_fixed_destination_trace(
+            rec.d, rec.lambda, rec.permutation_table(), window.horizon, seed0);
+      } else if (rec.scheme == "butterfly_greedy") {
+        trace = routesim::generate_butterfly_trace(
+            rec.d, rec.lambda, rec.make_destinations(), window.horizon, seed0);
+      } else {
+        trace = routesim::generate_hypercube_trace(
+            rec.d, rec.lambda, rec.make_destinations(), window.horizon, seed0);
+      }
+      routesim::save_trace_jsonl(trace, record_trace_path);
+      std::cout << "recorded " << trace.size() << " packets (d=" << rec.d
+                << ", horizon=" << window.horizon << ") to "
+                << record_trace_path << '\n';
+      return 0;
+    }
 
     std::vector<routesim::SweepSpec> axes;
     axes.reserve(axis_texts.size());

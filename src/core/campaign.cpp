@@ -19,6 +19,7 @@
 #include "util/assert.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "workload/trace.hpp"
 
 namespace routesim {
 
@@ -104,7 +105,19 @@ std::string ResultCache::key(const Scenario& scenario) {
   // tests/test_kernel_backend.cpp), so equal-scenario runs on different
   // backends share one cache entry.
   canonical.backend = "scalar";
-  return canonical.to_string();
+  std::string key = canonical.to_string();
+  if (!canonical.trace_file.empty()) {
+    // A trace path names mutable content: hash the bytes into the key so
+    // a rewritten file misses the cache instead of returning stale rows
+    // (fingerprint 0 — unreadable — still keys consistently; the load
+    // itself reports the real error at compile time).
+    char fingerprint[32];
+    std::snprintf(fingerprint, sizeof fingerprint, " trace_hash=%016llx",
+                  static_cast<unsigned long long>(
+                      trace_file_fingerprint(canonical.trace_file)));
+    key += fingerprint;
+  }
+  return key;
 }
 
 bool ResultCache::lookup(const std::string& key, RunResult* out) const {

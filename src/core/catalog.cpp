@@ -39,6 +39,11 @@ const std::vector<KeyEntry>& key_docs() {
       {"workload", "string",
        "destination workload: bit_flip | uniform | general | trace | "
        "permutation"},
+      {"trace_file", "string",
+       "workload=trace: JSONL trace to replay (one "
+       "{\"t\":...,\"src\":...,\"dst\":...} record per packet, time-sorted; "
+       "record one with --record-trace); every replication replays the "
+       "same stream"},
       {"mask_pmf", "list",
        "workload=general: inline CSV or @path of 2^d probabilities "
        "P[dest = origin XOR y], validated and normalised (set d first)"},
@@ -61,9 +66,19 @@ const std::vector<KeyEntry>& key_docs() {
       {"fault_mtbf", "double",
        "mean link up-time; > 0 with fault_mttr => dynamic up/down process"},
       {"fault_mttr", "double", "mean link repair time"},
+      {"storm_rate", "double",
+       "correlated fault storms: Poisson storm arrivals per unit time "
+       "(each downs the incidence ball around a random seed node); needs "
+       "storm_duration"},
+      {"storm_radius", "int",
+       "hop radius of a storm's incidence ball around its seed node "
+       "(0 = the seed's own arcs)"},
+      {"storm_duration", "double",
+       "storm lifetime; covered arcs are restored when the storm passes "
+       "(overlapping storms stack)"},
       {"fault_policy", "string",
        "reroute policy at a dead arc: drop | skip_dim | deflect | "
-       "twin_detour (see the fault-policy table)"},
+       "twin_detour | adaptive (see the fault-policy table)"},
       {"ttl", "int",
        "max hops for detouring packets; 0 = scheme default (64*d)"},
       {"warmup", "double", "measurement-window start (with horizon)"},
@@ -92,7 +107,8 @@ const std::vector<CatalogEntry>& workload_docs() {
        "mask_pmf[y]"},
       {"trace",
        "equal-seed scenarios regenerate the identical packet trace — the "
-       "coupled scheme-comparison workload"},
+       "coupled scheme-comparison workload; with trace_file= an external "
+       "recorded JSONL trace is replayed verbatim instead"},
       {"permutation",
        "adversarial deterministic per-source destinations pi(x) (see the "
        "permutation table); greedy has no averaging to hide behind"},
@@ -135,6 +151,10 @@ const std::vector<CatalogEntry>& cli_flag_docs() {
        "and kernel spans; load in Perfetto) — written on normal exit and "
        "after a SIGINT checkpoint; never changes results "
        "(docs/OBSERVABILITY.md)"},
+      {"--record-trace PATH",
+       "write the base scenario's replication-0 packet trace as JSONL "
+       "(the trace_file= format) and exit without simulating; captures "
+       "any sampled workload for later workload=trace replay"},
       {"--progress",
        "rate-limited stderr heartbeat for long campaigns: cells "
        "done/total, worker utilization, ETA from completed-cell wall "
@@ -189,6 +209,10 @@ const std::vector<CatalogEntry>& fault_policy_docs() {
       {"twin_detour",
        "butterfly: cross the level on its other arc; the packet exits "
        "misrouted (counted as a fault drop)"},
+      {"adaptive",
+       "hypercube family: probe live unresolved out-arcs with one-hop "
+       "lookahead, prefer metric-descending survivors with a live "
+       "continuation, fall back to deflection; TTL-bounded"},
   };
   return policies;
 }
@@ -388,7 +412,7 @@ std::string catalog_text(const ScenarioCatalog& catalog) {
     os << "  " << perm.name << ": " << perm.summary << '\n';
   }
   os << "\nfault policies (fault_policy=..., active when fault_rate,\n"
-        "node_fault_rate or fault_mtbf/fault_mttr is set):\n";
+        "node_fault_rate, fault_mtbf/fault_mttr or storm_rate is set):\n";
   for (const auto& policy : catalog.fault_policies) {
     os << "  " << policy.name << ": " << policy.summary << '\n';
   }

@@ -14,6 +14,7 @@
 #include "topology/topology.hpp"
 #include "util/assert.hpp"
 #include "workload/permutation.hpp"
+#include "workload/trace.hpp"
 
 namespace routesim {
 
@@ -143,19 +144,42 @@ std::shared_ptr<const std::vector<NodeId>> Scenario::shared_permutation_table()
   return std::make_shared<const std::vector<NodeId>>(permutation_table());
 }
 
+std::shared_ptr<const PacketTrace> Scenario::shared_trace() const {
+  if (trace_file.empty()) return nullptr;
+  if (workload != "trace") {
+    throw ScenarioError("trace_file requires workload=trace (current "
+                        "workload: '" + workload + "')");
+  }
+  try {
+    return std::make_shared<const PacketTrace>(load_trace_jsonl(trace_file, d));
+  } catch (const std::invalid_argument& error) {
+    throw ScenarioError(error.what());
+  } catch (const std::runtime_error& error) {
+    throw ScenarioError(error.what());
+  }
+}
+
 FaultPolicy Scenario::resolved_fault_policy(
     std::initializer_list<FaultPolicy> supported) const {
   if (!faults_active()) return FaultPolicy::kNone;
   if (supported.size() == 0) {
     throw ScenarioError("scheme '" + scheme +
                         "' does not support fault injection (clear fault_rate,"
-                        " node_fault_rate, fault_mtbf and fault_mttr)");
+                        " node_fault_rate, fault_mtbf, fault_mttr, storm_rate"
+                        " and storm_duration)");
   }
   if ((fault_mtbf > 0.0) != (fault_mttr > 0.0)) {
     throw ScenarioError(
         "dynamic faults need both fault_mtbf and fault_mttr > 0 (got mtbf=" +
         std::to_string(fault_mtbf) + ", mttr=" + std::to_string(fault_mttr) +
         ")");
+  }
+  if ((storm_rate > 0.0) != (storm_duration > 0.0)) {
+    throw ScenarioError(
+        "fault storms need both storm_rate and storm_duration > 0 (got "
+        "storm_rate=" + fmt_shortest(storm_rate) + ", storm_duration=" +
+        fmt_shortest(storm_duration) + ") — did you mean to also set " +
+        (storm_rate > 0.0 ? "storm_duration" : "storm_rate") + "?");
   }
   FaultPolicy policy = FaultPolicy::kNone;
   try {
@@ -457,6 +481,31 @@ void Scenario::set(const std::string& key, const std::string& value) {
   } else if (key == "fault_mttr") {
     fault_mttr = parse_double(key, value);
     if (fault_mttr < 0.0) throw ScenarioError("fault_mttr must be >= 0");
+  } else if (key == "storm_rate") {
+    storm_rate = parse_double(key, value);
+    if (!(storm_rate >= 0.0) || !std::isfinite(storm_rate)) {
+      throw ScenarioError("storm_rate must be finite and >= 0, got '" + value +
+                          "'");
+    }
+  } else if (key == "storm_radius") {
+    storm_radius = parse_int(key, value);
+    if (storm_radius < 0) throw ScenarioError("storm_radius must be >= 0");
+  } else if (key == "storm_duration") {
+    storm_duration = parse_double(key, value);
+    if (!(storm_duration >= 0.0) || !std::isfinite(storm_duration)) {
+      throw ScenarioError("storm_duration must be finite and >= 0, got '" +
+                          value + "'");
+    }
+  } else if (key == "trace_file") {
+    // The textual scenario form is space-delimited, so a path with
+    // whitespace could never round-trip; reject it up front.
+    for (const char c : value) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        throw ScenarioError("trace_file path cannot contain whitespace, got '" +
+                            value + "'");
+      }
+    }
+    trace_file = value;
   } else if (key == "fault_policy") {
     try {
       (void)parse_fault_policy(value);
@@ -541,10 +590,12 @@ const std::vector<std::string>& Scenario::known_set_keys() {
   static const std::vector<std::string> keys{
       "d",          "topology",       "ring_chords", "torus_dims",
       "lambda",     "rho",            "p",
-      "tau",        "discipline",     "workload",   "mask_pmf",
+      "tau",        "discipline",     "workload",   "trace_file",
+      "mask_pmf",
       "permutation", "hotspot_frac",
       "fanout",     "unicast_baseline", "buffers",
       "fault_rate", "node_fault_rate", "fault_mtbf", "fault_mttr",
+      "storm_rate", "storm_radius",   "storm_duration",
       "fault_policy", "ttl",
       "warmup",     "horizon",        "measure",    "reps",
       "seed",       "threads",        "backend"};
@@ -562,6 +613,11 @@ std::vector<std::pair<std::string, std::string>> Scenario::to_key_values() const
       {"discipline", discipline == Discipline::kPs ? "ps" : "fifo"},
       {"workload", workload},
   };
+  if (!trace_file.empty()) {
+    // Right after workload (the key it refines); omitted when empty so
+    // generated-trace and non-trace scenarios stay uncluttered.
+    pairs.emplace_back("trace_file", trace_file);
+  }
   if (!ring_chords.empty()) {
     // After topology, before the load keys; omitted when empty (like
     // mask_pmf) so plain-ring and non-ring scenarios stay uncluttered.
@@ -596,6 +652,9 @@ std::vector<std::pair<std::string, std::string>> Scenario::to_key_values() const
       {"node_fault_rate", fmt_shortest(node_fault_rate)},
       {"fault_mtbf", fmt_shortest(fault_mtbf)},
       {"fault_mttr", fmt_shortest(fault_mttr)},
+      {"storm_rate", fmt_shortest(storm_rate)},
+      {"storm_radius", std::to_string(storm_radius)},
+      {"storm_duration", fmt_shortest(storm_duration)},
       {"fault_policy", fault_policy},
       {"ttl", std::to_string(ttl)},
       {"warmup", fmt_shortest(window.warmup)},
@@ -715,7 +774,7 @@ const std::vector<std::string>& SweepSpec::known_keys() {
   static const std::vector<std::string> keys{
       "rho",  "lambda",  "p",    "tau",        "d",
       "fanout", "measure", "reps", "seed",
-      "fault_rate", "node_fault_rate"};
+      "fault_rate", "node_fault_rate", "storm_rate"};
   return keys;
 }
 

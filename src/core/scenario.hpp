@@ -36,6 +36,7 @@ enum class FaultPolicy : std::uint8_t;     // fault/fault_model.hpp
 enum class KernelBackend : std::uint8_t;   // des/kernel_backend.hpp
 class Topology;                            // topology/topology.hpp
 struct TopologySpec;
+struct PacketTrace;                        // workload/trace.hpp
 
 /// Thrown on malformed scenario text or an unknown scheme/key/value.
 struct ScenarioError : std::runtime_error {
@@ -98,10 +99,17 @@ struct Scenario {
   /// "bit_flip" (law (1) with parameter p), "uniform" (p = 1/2),
   /// "general" (translation-invariant law mask_pmf), "trace"
   /// (pre-generated packet trace shared by equal-seed scenarios, the
-  /// coupled-comparison workload), or "permutation" (adversarial
+  /// coupled-comparison workload; with `trace_file` set, an external
+  /// recorded trace replayed verbatim), or "permutation" (adversarial
   /// deterministic per-source destinations — see the `permutation` key and
   /// workload/permutation.hpp).
   std::string workload = "bit_flip";
+  /// For workload == "trace": path of a JSONL trace file (one
+  /// {"t":...,"src":...,"dst":...} record per packet) to replay instead of
+  /// regenerating a trace per replication seed.  Loaded and validated at
+  /// compile time (shared_trace()); every replication replays the same
+  /// recorded stream.  Record one with `routesim_bench --record-trace`.
+  std::string trace_file;
   /// For workload == "general": P[dest = origin XOR y] for each mask y
   /// (2^d entries).  Not representable on the CLI.
   std::vector<double> mask_pmf;
@@ -123,9 +131,16 @@ struct Scenario {
   double node_fault_rate = 0.0;  ///< P[node down]; kills its incident arcs
   double fault_mtbf = 0.0;       ///< mean link up-time (> 0 with mttr => dynamic)
   double fault_mttr = 0.0;       ///< mean link repair time
+  /// Correlated fault storms (src/fault/storm.hpp): Poisson storm arrivals
+  /// of rate storm_rate, each taking down every arc incident to the
+  /// radius-storm_radius ball around a random seed node for storm_duration
+  /// time units.  storm_rate and storm_duration must be set together.
+  double storm_rate = 0.0;
+  int storm_radius = 1;
+  double storm_duration = 0.0;
   /// Reroute policy when the desired arc is dead: "drop", "skip_dim",
-  /// "deflect" (hypercube family) or "twin_detour" (butterfly).  Consulted
-  /// only when faults_active().
+  /// "deflect", "adaptive" (hypercube family) or "twin_detour"
+  /// (butterfly).  Consulted only when faults_active().
   std::string fault_policy = "drop";
   int ttl = 0;  ///< max hops for detouring packets; 0 = scheme default (64*d)
 
@@ -152,7 +167,7 @@ struct Scenario {
   /// reject it instead of silently simulating a pristine network.
   [[nodiscard]] bool faults_active() const noexcept {
     return fault_rate > 0.0 || node_fault_rate > 0.0 || fault_mtbf > 0.0 ||
-           fault_mttr > 0.0;
+           fault_mttr > 0.0 || storm_rate > 0.0 || storm_duration > 0.0;
   }
 
   /// Validates the fault knobs against a scheme's supported policies and
@@ -252,6 +267,17 @@ struct Scenario {
   [[nodiscard]] std::shared_ptr<const std::vector<NodeId>>
   shared_permutation_table() const;
 
+  /// The compile-hook form of the external trace: when `trace_file` is
+  /// set (workload must be "trace"), loads and validates the JSONL trace
+  /// for this scenario's dimension, wrapped for capture by the
+  /// replication lambdas — every replication replays the same stream.
+  /// Null when trace_file is empty (schemes fall back to regenerating a
+  /// trace per replication seed).  Loader failures (missing file,
+  /// malformed or unsorted records) are rethrown as catchable
+  /// ScenarioError naming the offending line, and trace_file with a
+  /// non-"trace" workload is rejected the same way.
+  [[nodiscard]] std::shared_ptr<const PacketTrace> shared_trace() const;
+
   /// The window actually simulated: `window` if set (horizon must exceed
   /// warmup), otherwise Window::for_load(d, rho(), measure) — which needs
   /// rho < 1; unstable runs must set the window explicitly.  Throws
@@ -268,11 +294,14 @@ struct Scenario {
   /// lambda, rho (records a load-factor target; resolved() solves it for
   /// lambda once every other knob is final, so setting order is
   /// irrelevant), p, tau, discipline (fifo|ps),
-  /// workload, mask_pmf (inline comma/whitespace list of 2^d probabilities
+  /// workload, trace_file (JSONL trace to replay; workload=trace only,
+  /// whitespace-free path, validated at compile time),
+  /// mask_pmf (inline comma/whitespace list of 2^d probabilities
   /// or `@path` to load them from a file — set d and workload=general
   /// first), permutation (a Permutation::names() family, validated
   /// immediately), hotspot_frac (in [0, 1]), fanout, unicast_baseline,
   /// buffers, fault_rate, node_fault_rate, fault_mtbf, fault_mttr,
+  /// storm_rate, storm_radius, storm_duration,
   /// fault_policy, ttl, warmup, horizon, measure, reps, seed, threads,
   /// backend (scalar|soa_batch, validated immediately).  Throws
   /// ScenarioError on an unknown key (suggesting the nearest valid ones) or

@@ -15,8 +15,10 @@ FaultPolicy parse_fault_policy(const std::string& name) {
   if (name == "skip_dim") return FaultPolicy::kSkipDim;
   if (name == "deflect") return FaultPolicy::kDeflect;
   if (name == "twin_detour") return FaultPolicy::kTwinDetour;
-  throw std::invalid_argument("unknown fault policy '" + name +
-                              "' (known: drop, skip_dim, deflect, twin_detour)");
+  if (name == "adaptive") return FaultPolicy::kAdaptive;
+  throw std::invalid_argument(
+      "unknown fault policy '" + name +
+      "' (known: drop, skip_dim, deflect, twin_detour, adaptive)");
 }
 
 const char* fault_policy_name(FaultPolicy policy) noexcept {
@@ -31,11 +33,13 @@ const char* fault_policy_name(FaultPolicy policy) noexcept {
       return "deflect";
     case FaultPolicy::kTwinDetour:
       return "twin_detour";
+    case FaultPolicy::kAdaptive:
+      return "adaptive";
   }
   return "none";  // unreachable
 }
 
-void FaultModel::set_arc(std::uint32_t arc, bool down) noexcept {
+void FaultModel::set_composite(std::uint32_t arc, bool down) noexcept {
   auto& word = arc_down_[arc >> 6];
   const std::uint64_t bit = std::uint64_t{1} << (arc & 63u);
   if (down && (word & bit) == 0) {
@@ -47,13 +51,45 @@ void FaultModel::set_arc(std::uint32_t arc, bool down) noexcept {
   }
 }
 
+void FaultModel::set_arc(std::uint32_t arc, bool down) noexcept {
+  if (!storms_on_) {
+    // Storm-free replications keep the single-bitset fast path: the base
+    // state *is* the composite state.
+    set_composite(arc, down);
+    return;
+  }
+  auto& word = base_down_[arc >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (arc & 63u);
+  if (down) {
+    word |= bit;
+  } else {
+    word &= ~bit;
+  }
+  set_composite(arc, down || storm_count_[arc] > 0);
+}
+
+void FaultModel::storm_delta(std::uint32_t arc, int delta) noexcept {
+  auto& count = storm_count_[arc];
+  count = static_cast<std::uint16_t>(static_cast<int>(count) + delta);
+  const bool base = (base_down_[arc >> 6] >> (arc & 63u)) & 1u;
+  set_composite(arc, base || count > 0);
+}
+
 void FaultModel::configure(const FaultModelConfig& config,
-                           const IncidentArcs& incident_arcs) {
+                           const IncidentArcs& incident_arcs,
+                           const Neighbours& neighbours) {
   RS_EXPECTS(config.arc_fault_rate >= 0.0 && config.arc_fault_rate <= 1.0);
   RS_EXPECTS(config.node_fault_rate >= 0.0 && config.node_fault_rate <= 1.0);
   RS_EXPECTS((config.mtbf > 0.0) == (config.mttr > 0.0));
+  RS_EXPECTS(config.storm_rate >= 0.0);
+  RS_EXPECTS((config.storm_rate > 0.0) == (config.storm_duration > 0.0));
+  RS_EXPECTS(config.storm_radius >= 0);
   RS_EXPECTS_MSG(config.node_fault_rate == 0.0 || incident_arcs != nullptr,
                  "node faults need the topology's incident-arc enumeration");
+  RS_EXPECTS_MSG(config.storm_rate == 0.0 ||
+                     (incident_arcs != nullptr && neighbours != nullptr),
+                 "storms need the topology's incident-arc and neighbour "
+                 "enumerations");
   config_ = config;
   num_arcs_ = config.num_arcs;
   rng_.reseed(derive_stream(config.seed, config.stream_salt));
@@ -64,8 +100,22 @@ void FaultModel::configure(const FaultModelConfig& config,
   faulty_nodes_ = 0;
   heap_.clear();
   dynamic_ = config.mtbf > 0.0;
+  storms_on_ = config.storm_rate > 0.0;
+  if (storms_on_) {
+    // Storm composition state: the base (static + dynamic) bitset plus
+    // per-arc coverage counts; the queried arc_down_ is their OR.
+    base_down_.assign(arc_down_.size(), 0);
+    storm_count_.assign(config.num_arcs, 0);
+    StormConfig storm_config;
+    storm_config.num_nodes = config.num_nodes;
+    storm_config.rate = config.storm_rate;
+    storm_config.radius = config.storm_radius;
+    storm_config.duration = config.storm_duration;
+    storm_config.seed = config.seed;
+    storms_.configure(storm_config, incident_arcs, neighbours);
+  }
   active_ = config.arc_fault_rate > 0.0 || config.node_fault_rate > 0.0 ||
-            dynamic_;
+            dynamic_ || storms_on_;
   next_transition_ = std::numeric_limits<double>::infinity();
   if (!active_) return;
 
@@ -104,23 +154,36 @@ void FaultModel::configure(const FaultModelConfig& config,
       const double rate = is_faulty(arc) ? 1.0 / config.mttr : 1.0 / config.mtbf;
       heap_push({sample_exponential(rng_, rate), arc});
     }
-    next_transition_ = heap_.empty()
-                           ? std::numeric_limits<double>::infinity()
-                           : heap_.front().time;
   }
+  refresh_next_transition();
 }
 
 void FaultModel::advance_to(double now) {
-  RS_DASSERT(dynamic_);
+  RS_DASSERT(dynamic_ || storms_on_);
   while (!heap_.empty() && heap_.front().time <= now) {
     Transition t = heap_pop();
-    const bool was_down = is_faulty(t.arc);
+    // Under storms the up/down process flips the *base* state; a storm
+    // covering the arc keeps the composite bit down regardless.
+    const bool was_down =
+        storms_on_ ? ((base_down_[t.arc >> 6] >> (t.arc & 63u)) & 1u) != 0
+                   : is_faulty(t.arc);
     set_arc(t.arc, !was_down);
     const double rate = was_down ? 1.0 / config_.mtbf : 1.0 / config_.mttr;
     heap_push({t.time + sample_exponential(rng_, rate), t.arc});
   }
+  if (storms_on_) {
+    storms_.advance_to(
+        now, [this](std::uint32_t arc, int delta) { storm_delta(arc, delta); });
+  }
+  refresh_next_transition();
+}
+
+void FaultModel::refresh_next_transition() noexcept {
   next_transition_ = heap_.empty() ? std::numeric_limits<double>::infinity()
                                    : heap_.front().time;
+  if (storms_on_ && storms_.next_event_time() < next_transition_) {
+    next_transition_ = storms_.next_event_time();
+  }
 }
 
 void FaultModel::heap_push(Transition t) {

@@ -27,6 +27,13 @@
 ///     next_transition_time() and calling advance_to(t) when that event
 ///     fires, so fault flips interleave with traffic in global time order.
 ///
+///   - **Storms.**  When `storm_rate > 0`, a `StormProcess` (storm.hpp)
+///     layers spatially correlated, temporally bursty outages on top of
+///     the base state: the queried bitset becomes base OR storm-covered,
+///     driven through the same control-event slot.  Storm-free
+///     replications never touch the composition state and stay
+///     bit-identical.
+///
 /// Semantics at the queues: faults gate *admission* — a packet is never
 /// routed onto an arc that is down at enqueue time, but a transmission in
 /// progress completes even if the arc fails under it (the packet is
@@ -38,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/storm.hpp"
 #include "util/rng.hpp"
 
 namespace routesim {
@@ -58,15 +66,25 @@ namespace routesim {
 ///                  exits at the wrong row and is counted as misrouted —
 ///                  the policy measures the capacity cost of deflection in
 ///                  a network with no path diversity.
+///   - kAdaptive:   hypercube family — bounded local exploration: probe the
+///                  live unresolved out-arcs in increasing dimension order
+///                  and take the first metric-descending survivor whose
+///                  head node has a live continuation (one-hop lookahead);
+///                  a survivor with only dead continuations is kept as a
+///                  fallback, and when every unresolved arc is dead the
+///                  policy degrades to deflection over the resolved
+///                  dimensions.  TTL-bounded like skip_dim/deflect.
 enum class FaultPolicy : std::uint8_t {
   kNone,
   kDrop,
   kSkipDim,
   kDeflect,
   kTwinDetour,
+  kAdaptive,
 };
 
-/// Parses "drop" | "skip_dim" | "deflect" | "twin_detour" (the CLI names).
+/// Parses "drop" | "skip_dim" | "deflect" | "twin_detour" | "adaptive"
+/// (the CLI names).
 /// Throws std::invalid_argument listing the valid names otherwise.
 [[nodiscard]] FaultPolicy parse_fault_policy(const std::string& name);
 
@@ -80,13 +98,17 @@ struct FaultModelConfig {
   double node_fault_rate = 0.0;  ///< P[node down]; kills its incident arcs
   double mtbf = 0.0;             ///< mean up-time; > 0 with mttr => dynamic
   double mttr = 0.0;             ///< mean down-time (repair)
+  double storm_rate = 0.0;       ///< correlated storm arrivals (storm.hpp)
+  int storm_radius = 1;          ///< incidence-ball radius of a storm
+  double storm_duration = 0.0;   ///< storm lifetime; > 0 with storm_rate
   std::uint64_t seed = 1;        ///< replication seed (stream is derived)
   std::uint64_t stream_salt = 0xFA17;  ///< keeps fault draws off traffic streams
 };
 
 /// Maps the fault fields every fault-aware scheme config shares
-/// (arc_fault_rate, node_fault_rate, fault_mtbf, fault_mttr, seed) onto a
-/// FaultModelConfig, so the wiring lives in one place.
+/// (arc_fault_rate, node_fault_rate, fault_mtbf, fault_mttr, seed — plus
+/// the storm knobs where the scheme has them) onto a FaultModelConfig, so
+/// the wiring lives in one place.
 template <typename SchemeConfig>
 [[nodiscard]] FaultModelConfig make_fault_model_config(
     const SchemeConfig& config, std::uint32_t num_arcs,
@@ -98,6 +120,11 @@ template <typename SchemeConfig>
   faults.node_fault_rate = config.node_fault_rate;
   faults.mtbf = config.fault_mtbf;
   faults.mttr = config.fault_mttr;
+  if constexpr (requires { config.storm_rate; }) {
+    faults.storm_rate = config.storm_rate;
+    faults.storm_radius = config.storm_radius;
+    faults.storm_duration = config.storm_duration;
+  }
   faults.seed = config.seed;
   return faults;
 }
@@ -108,14 +135,19 @@ class FaultModel {
   /// faulty node with the node index and an output vector to append to.
   using IncidentArcs =
       std::function<void(std::uint32_t node, std::vector<std::uint32_t>&)>;
+  /// Enumerates a node's neighbours; required only when storms are
+  /// configured (the storm process grows its incidence ball with it).
+  using Neighbours = StormProcess::Neighbours;
 
   FaultModel() = default;
 
   /// (Re)samples the fault set.  Storage is reused across replications;
   /// with all rates zero no RNG is consumed and every query returns false.
-  /// `incident_arcs` is required when node_fault_rate > 0.
+  /// `incident_arcs` is required when node_fault_rate > 0 or
+  /// storm_rate > 0; `neighbours` when storm_rate > 0.
   void configure(const FaultModelConfig& config,
-                 const IncidentArcs& incident_arcs = {});
+                 const IncidentArcs& incident_arcs = {},
+                 const Neighbours& neighbours = {});
 
   /// O(1): is the arc down right now?  With a dynamic process the caller
   /// (the kernel's fault control event) is responsible for having advanced
@@ -128,7 +160,7 @@ class FaultModel {
   /// process to `now` (O(1) amortised; identical to is_faulty(arc) when
   /// the process is static or already advanced).
   [[nodiscard]] bool is_faulty(std::uint32_t arc, double now) {
-    if (dynamic_ && now >= next_transition_) advance_to(now);
+    if ((dynamic_ || storms_on_) && now >= next_transition_) advance_to(now);
     return is_faulty(arc);
   }
 
@@ -140,10 +172,12 @@ class FaultModel {
   /// process); false means every query is trivially "up".
   [[nodiscard]] bool active() const noexcept { return active_; }
 
-  /// True when the exponential up/down process is running.
-  [[nodiscard]] bool dynamic() const noexcept { return dynamic_; }
+  /// True when any time-driven process is running (the exponential
+  /// up/down process, a storm process, or both): the kernel schedules a
+  /// fault control event exactly when this holds.
+  [[nodiscard]] bool dynamic() const noexcept { return dynamic_ || storms_on_; }
 
-  /// Time of the next up/down transition (+infinity when static).
+  /// Time of the next up/down or storm transition (+infinity when static).
   [[nodiscard]] double next_transition_time() const noexcept {
     return next_transition_;
   }
@@ -160,6 +194,10 @@ class FaultModel {
   }
   [[nodiscard]] std::uint32_t num_arcs() const noexcept { return num_arcs_; }
 
+  /// The storm process (inert unless storm_rate > 0); exposed for tests
+  /// and the percolation bench.
+  [[nodiscard]] const StormProcess& storms() const noexcept { return storms_; }
+
  private:
   struct Transition {
     double time = 0.0;
@@ -167,6 +205,9 @@ class FaultModel {
   };
 
   void set_arc(std::uint32_t arc, bool down) noexcept;
+  void set_composite(std::uint32_t arc, bool down) noexcept;
+  void storm_delta(std::uint32_t arc, int delta) noexcept;
+  void refresh_next_transition() noexcept;
   void heap_push(Transition t);
   Transition heap_pop();
 
@@ -174,14 +215,21 @@ class FaultModel {
   Rng rng_;
   bool active_ = false;
   bool dynamic_ = false;
+  bool storms_on_ = false;
   std::uint32_t num_arcs_ = 0;
   std::uint32_t faulty_arcs_ = 0;
   std::uint32_t faulty_nodes_ = 0;
-  std::vector<std::uint64_t> arc_down_;   ///< one bit per arc
+  std::vector<std::uint64_t> arc_down_;   ///< one bit per arc (composite)
   std::vector<std::uint64_t> node_down_;  ///< one bit per node
   /// Arcs downed by a node fault: excluded from the dynamic process so a
   /// dead node never resumes forwarding.
   std::vector<std::uint64_t> node_killed_;
+  /// Storm composition (allocated only when storms_on_): the base
+  /// static/dynamic state, and per-arc active-storm coverage counts.
+  /// The queried bitset is arc_down_ = base OR (coverage > 0).
+  std::vector<std::uint64_t> base_down_;
+  std::vector<std::uint16_t> storm_count_;
+  StormProcess storms_;
   std::vector<Transition> heap_;          ///< min-heap on time (dynamic mode)
   double next_transition_ = 0.0;          ///< heap top (+inf when static)
   std::vector<std::uint32_t> scratch_;    ///< incident-arc buffer

@@ -58,9 +58,49 @@ template <typename ArcFaultyByDim>
       return random_alive_dimension(all_dims, arc_faulty, rng);
     case FaultPolicy::kNone:
     case FaultPolicy::kTwinDetour:
+    case FaultPolicy::kAdaptive:  // handled by adaptive_reroute_dimension
       break;  // callers exclude these at configure time
   }
   return 0;  // unreachable
+}
+
+/// The kAdaptive reroute: bounded local exploration with one-hop
+/// lookahead.  Probes the live unresolved out-arcs of `cur` in increasing
+/// dimension order and takes the first metric-descending survivor whose
+/// head node has a live out-arc toward one of the *remaining* unresolved
+/// dimensions; the final hop (nothing left to continue to) is always
+/// taken when alive.  A survivor with only dead probed continuations is
+/// remembered as a fallback, and when every unresolved arc is dead the
+/// policy degrades to deflection over the resolved dimensions (a detour,
+/// TTL-bounded by the caller).  Returns the dimension to take, or 0 to
+/// drop.  `arc_faulty_at(node, dim)` answers whether *node*'s out-arc in
+/// `dim` is down — unlike the oblivious policies, adaptive inspects its
+/// neighbours' arcs, which is exactly the locally-bounded probing budget.
+/// RNG is consumed only on the deflection fallback, so pristine runs stay
+/// bit-identical to skip_dim (neither invokes a reroute at all).
+template <typename ArcFaultyAt>
+[[nodiscard]] int adaptive_reroute_dimension(int d, NodeId cur,
+                                             NodeId unresolved,
+                                             ArcFaultyAt&& arc_faulty_at,
+                                             Rng& rng) {
+  const NodeId all_dims = static_cast<NodeId>((std::uint64_t{1} << d) - 1);
+  int fallback = 0;
+  for (int dim = lowest_dimension(unresolved); dim != 0;
+       dim = next_dimension_after(unresolved, dim)) {
+    if (arc_faulty_at(cur, dim)) continue;
+    const NodeId remaining = flip_dimension(unresolved, dim);
+    if (remaining == 0) return dim;  // final hop: nothing to look ahead to
+    const NodeId next_node = flip_dimension(cur, dim);
+    for (int probe = lowest_dimension(remaining); probe != 0;
+         probe = next_dimension_after(remaining, probe)) {
+      if (!arc_faulty_at(next_node, probe)) return dim;
+    }
+    if (fallback == 0) fallback = dim;
+  }
+  if (fallback != 0) return fallback;
+  return random_alive_dimension(
+      all_dims & ~unresolved, [&](int dim) { return arc_faulty_at(cur, dim); },
+      rng);
 }
 
 }  // namespace routesim

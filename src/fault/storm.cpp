@@ -1,0 +1,115 @@
+#include "fault/storm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/distributions.hpp"
+
+namespace routesim {
+
+void StormProcess::configure(const StormConfig& config,
+                             IncidentArcs incident_arcs,
+                             Neighbours neighbours) {
+  RS_EXPECTS(config.rate >= 0.0);
+  RS_EXPECTS(config.radius >= 0);
+  RS_EXPECTS((config.rate > 0.0) == (config.duration > 0.0));
+  RS_EXPECTS_MSG(config.rate == 0.0 ||
+                     (incident_arcs != nullptr && neighbours != nullptr),
+                 "storms need the topology's incidence and neighbour "
+                 "enumerations");
+  config_ = config;
+  incident_arcs_ = std::move(incident_arcs);
+  neighbours_ = std::move(neighbours);
+  active_.clear();
+  storms_started_ = 0;
+  if (!active()) {
+    next_arrival_ = std::numeric_limits<double>::infinity();
+    next_event_ = next_arrival_;
+    return;
+  }
+  RS_EXPECTS(config.num_nodes > 0);
+  rng_.reseed(derive_stream(config.seed, config.stream_salt));
+  visited_.assign((config.num_nodes + 63) / 64, 0);
+  next_arrival_ = sample_exponential(rng_, config.rate);
+  next_event_ = next_arrival_;
+}
+
+void StormProcess::compute_ball(std::uint32_t seed_node,
+                                std::vector<std::uint32_t>& out) {
+  // BFS to depth `radius` over the neighbour relation; the visited bitset
+  // is cleared lazily (only the bits we set) so repeated storms stay
+  // O(ball size), not O(network size).
+  ball_nodes_.clear();
+  ball_nodes_.push_back(seed_node);
+  visited_[seed_node >> 6] |= std::uint64_t{1} << (seed_node & 63u);
+  std::size_t level_begin = 0;
+  for (int depth = 0; depth < config_.radius; ++depth) {
+    const std::size_t level_end = ball_nodes_.size();
+    for (std::size_t i = level_begin; i < level_end; ++i) {
+      neighbour_scratch_.clear();
+      neighbours_(ball_nodes_[i], neighbour_scratch_);
+      for (const std::uint32_t next : neighbour_scratch_) {
+        auto& word = visited_[next >> 6];
+        const std::uint64_t bit = std::uint64_t{1} << (next & 63u);
+        if ((word & bit) != 0) continue;
+        word |= bit;
+        ball_nodes_.push_back(next);
+      }
+    }
+    level_begin = level_end;
+  }
+  out.clear();
+  for (const std::uint32_t node : ball_nodes_) {
+    visited_[node >> 6] &= ~(std::uint64_t{1} << (node & 63u));
+    incident_arcs_(node, out);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::vector<std::uint32_t> StormProcess::ball_arcs(std::uint32_t seed_node) {
+  std::vector<std::uint32_t> arcs;
+  compute_ball(seed_node, arcs);
+  return arcs;
+}
+
+void StormProcess::advance_to(double now, const ArcDelta& delta) {
+  if (!active()) return;
+  for (;;) {
+    const double expiry = active_.empty()
+                              ? std::numeric_limits<double>::infinity()
+                              : active_.front().expiry;
+    // Expiries and arrivals are interleaved in time order; on a tie the
+    // expiry goes first so a zero-measure overlap does not double-count.
+    if (expiry <= now && expiry <= next_arrival_) {
+      for (const std::uint32_t arc : active_.front().arcs) delta(arc, -1);
+      active_.pop_front();
+      continue;
+    }
+    if (next_arrival_ <= now) {
+      const auto seed_node = static_cast<std::uint32_t>(
+          rng_.uniform_below(config_.num_nodes));
+      ActiveStorm storm;
+      storm.expiry = next_arrival_ + config_.duration;
+      compute_ball(seed_node, storm.arcs);
+      for (const std::uint32_t arc : storm.arcs) delta(arc, +1);
+      active_.push_back(std::move(storm));
+      ++storms_started_;
+      next_arrival_ += sample_exponential(rng_, config_.rate);
+      continue;
+    }
+    break;
+  }
+  refresh_next_event();
+}
+
+void StormProcess::refresh_next_event() noexcept {
+  next_event_ = next_arrival_;
+  if (!active_.empty() && active_.front().expiry < next_event_) {
+    next_event_ = active_.front().expiry;
+  }
+}
+
+}  // namespace routesim

@@ -392,6 +392,12 @@ void register_deflection_scheme(SchemeRegistry& registry) {
          const FaultPolicy fault_policy = s.resolved_fault_policy(
              {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect,
               FaultPolicy::kTwinDetour});
+         if (s.storm_rate > 0.0 || s.storm_duration > 0.0) {
+           throw ScenarioError(
+               "scheme 'deflection' does not support fault storms "
+               "(clear storm_rate/storm_duration; storms are available on "
+               "hypercube_greedy and valiant_mixing)");
+         }
          // Natively slotted, so soa_batch has no extra restrictions here.
          const KernelBackend backend = s.resolved_backend(
              {KernelBackend::kScalar, KernelBackend::kSoaBatch});

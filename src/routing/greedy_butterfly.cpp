@@ -342,9 +342,16 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
          // worker thread.
          (void)s.resolved_topology({"butterfly"});  // butterfly-native
          const auto perm = s.shared_permutation_table();
+         const auto replay = s.shared_trace();
          const Window window = s.resolved_window();
          const FaultPolicy fault_policy = s.resolved_fault_policy(
              {FaultPolicy::kDrop, FaultPolicy::kTwinDetour});
+         if (s.storm_rate > 0.0 || s.storm_duration > 0.0) {
+           throw ScenarioError(
+               "scheme 'butterfly_greedy' does not support fault storms "
+               "(clear storm_rate/storm_duration; storms are available on "
+               "hypercube_greedy and valiant_mixing)");
+         }
          const KernelBackend backend = s.resolved_backend(
              {KernelBackend::kScalar, KernelBackend::kSoaBatch});
          if (backend == KernelBackend::kSoaBatch) {
@@ -362,7 +369,7 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
                  "fault_mtbf/fault_mttr or use backend=scalar)");
            }
          }
-         compiled.replicate = [s, window, fault_policy, perm, backend,
+         compiled.replicate = [s, window, fault_policy, perm, replay, backend,
                                dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            GreedyButterflyConfig config;
@@ -388,7 +395,11 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
            // Thread-local so the cached sim's trace pointer stays valid for
            // the sim's whole lifetime (and the buffers are reused per rep).
            thread_local PacketTrace trace;
-           if (s.workload == "trace") {
+           if (replay != nullptr) {
+             // External trace file: every replication replays the same
+             // recorded row stream (the shared_ptr outlives the sims).
+             config.trace = replay.get();
+           } else if (s.workload == "trace") {
              trace = generate_butterfly_trace(s.d, s.lambda, config.destinations,
                                               window.horizon, seed);
              config.trace = &trace;
@@ -414,9 +425,10 @@ void register_butterfly_greedy_scheme(SchemeRegistry& registry) {
          if (perm) compiled.extra_metrics.emplace_back("max_queue");
          // Unstable points (rho >= 1) run fine — only the bracket is gone.
          // Faulty, general-law and permutation scenarios have no
-         // closed-form bracket.
+         // closed-form bracket; neither does an external trace_file, whose
+         // load the scenario's lambda/p do not describe.
          if (s.workload != "general" && s.workload != "permutation" &&
-             !s.faults_active()) {
+             !s.faults_active() && replay == nullptr) {
            const bounds::ButterflyParams params{s.d, s.lambda, s.effective_p()};
            if (bounds::bfly_load_factor(params) < 1.0) {
              compiled.has_bounds = true;

@@ -43,11 +43,13 @@ void GreedyHypercubeSim::configure_kernel() {
   RS_EXPECTS_MSG(fault_active_ || (config_.arc_fault_rate == 0.0 &&
                                    config_.node_fault_rate == 0.0 &&
                                    config_.fault_mtbf == 0.0 &&
-                                   config_.fault_mttr == 0.0),
+                                   config_.fault_mttr == 0.0 &&
+                                   config_.storm_rate == 0.0 &&
+                                   config_.storm_duration == 0.0),
                  "fault rates need a fault_policy");
   RS_EXPECTS_MSG(config_.fault_policy != FaultPolicy::kTwinDetour,
                  "twin_detour is a butterfly policy; the hypercube supports "
-                 "drop, skip_dim and deflect");
+                 "drop, skip_dim, deflect and adaptive");
   ttl_ = config_.ttl > 0 ? config_.ttl : 64 * config_.d;
   // Hop counters are 16-bit; a larger TTL could never fire (wraparound).
   ttl_ = std::min(ttl_, 65535);
@@ -61,6 +63,11 @@ void GreedyHypercubeSim::configure_kernel() {
         make_fault_model_config(config_, cube_.num_arcs(), cube_.num_nodes()),
         [this](std::uint32_t node, std::vector<ArcId>& out) {
           cube_.append_incident_arcs(node, out);
+        },
+        [this](std::uint32_t node, std::vector<std::uint32_t>& out) {
+          for (int dim = 1; dim <= config_.d; ++dim) {
+            out.push_back(flip_dimension(node, dim));
+          }
         });
     kernel.fault_model = &fault_model_;
   }
@@ -101,7 +108,8 @@ void GreedyHypercubeSim::configure_kernel() {
                    "the soa_batch backend needs FIFO arc service");
     RS_EXPECTS_MSG(config_.dimension_order == DimensionOrder::kIncreasing,
                    "the soa_batch backend needs increasing dimension order");
-    RS_EXPECTS_MSG(config_.fault_mtbf == 0.0 && config_.fault_mttr == 0.0,
+    RS_EXPECTS_MSG(config_.fault_mtbf == 0.0 && config_.fault_mttr == 0.0 &&
+                       config_.storm_rate == 0.0,
                    "the soa_batch backend needs a static fault set");
     SlottedBatchContext ctx;
     ctx.num_arcs = cube_.num_arcs();
@@ -184,6 +192,14 @@ int GreedyHypercubeSim::next_dimension_faulty(const Pkt& packet) {
   const int preferred = next_dimension(packet);
   if (!kernel_.arc_faulty(cube_.arc_index(packet.cur, preferred))) {
     return preferred;
+  }
+  if (config_.fault_policy == FaultPolicy::kAdaptive) {
+    return adaptive_reroute_dimension(
+        config_.d, packet.cur, packet.cur ^ packet.dest,
+        [&](NodeId node, int dim) {
+          return kernel_.arc_faulty(cube_.arc_index(node, dim));
+        },
+        kernel_.rng());
   }
   return fault_reroute_dimension(
       config_.fault_policy, config_.d, packet.cur ^ packet.dest,
@@ -321,6 +337,14 @@ struct GreedyHypercubeSim::BatchPolicy {
     if (!sim.fault_model_.is_faulty(sim.cube_.arc_index(cur, preferred))) {
       return preferred;
     }
+    if (sim.config_.fault_policy == FaultPolicy::kAdaptive) {
+      return adaptive_reroute_dimension(
+          sim.config_.d, cur, rem,
+          [&](NodeId node, int dim) {
+            return sim.fault_model_.is_faulty(sim.cube_.arc_index(node, dim));
+          },
+          sim.batch_.rng());
+    }
     return fault_reroute_dimension(
         sim.config_.fault_policy, sim.config_.d, rem,
         [&](int dim) {
@@ -383,9 +407,11 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
          // combination fails at compile time, not inside a replication
          // worker thread.
          const auto perm = s.shared_permutation_table();
+         const auto replay = s.shared_trace();
          const Window window = s.resolved_window();
          const FaultPolicy fault_policy = s.resolved_fault_policy(
-             {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect});
+             {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect,
+              FaultPolicy::kAdaptive});
          const KernelBackend backend = s.resolved_backend(
              {KernelBackend::kScalar, KernelBackend::kSoaBatch});
          if (backend == KernelBackend::kSoaBatch) {
@@ -397,13 +423,13 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
              throw ScenarioError(
                  "backend=soa_batch cannot replay traces (use backend=scalar)");
            }
-           if (s.fault_mtbf > 0.0 || s.fault_mttr > 0.0) {
+           if (s.fault_mtbf > 0.0 || s.fault_mttr > 0.0 || s.storm_rate > 0.0) {
              throw ScenarioError(
                  "backend=soa_batch needs a static fault set (clear "
-                 "fault_mtbf/fault_mttr or use backend=scalar)");
+                 "fault_mtbf/fault_mttr/storm_rate or use backend=scalar)");
            }
          }
-         compiled.replicate = [s, window, fault_policy, perm, backend,
+         compiled.replicate = [s, window, fault_policy, perm, replay, backend,
                                dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            GreedyHypercubeConfig config;
@@ -426,12 +452,19 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
              config.node_fault_rate = s.node_fault_rate;
              config.fault_mtbf = s.fault_mtbf;
              config.fault_mttr = s.fault_mttr;
+             config.storm_rate = s.storm_rate;
+             config.storm_radius = s.storm_radius;
+             config.storm_duration = s.storm_duration;
              config.ttl = s.ttl;
            }
            // Thread-local so the cached sim's trace pointer stays valid for
            // the sim's whole lifetime (and the buffers are reused per rep).
            thread_local PacketTrace trace;
-           if (s.workload == "trace") {
+           if (replay != nullptr) {
+             // External recorded trace: every replication replays the same
+             // stream (the shared_ptr keeps it alive past this lambda).
+             config.trace = replay.get();
+           } else if (s.workload == "trace") {
              trace = generate_hypercube_trace(s.d, s.lambda, config.destinations,
                                               window.horizon, seed);
              config.trace = &trace;
@@ -457,9 +490,10 @@ void register_hypercube_greedy_scheme(SchemeRegistry& registry) {
          if (perm) compiled.extra_metrics.emplace_back("max_queue");
          // Unstable points (rho >= 1) run fine — only the bracket is gone.
          // Faulty, general-law and permutation scenarios have no
-         // closed-form bracket.
+         // closed-form bracket; neither does an external trace_file, whose
+         // load the scenario's lambda/p do not describe.
          if (s.workload != "general" && s.workload != "permutation" &&
-             !s.faults_active()) {
+             !s.faults_active() && replay == nullptr) {
            const bounds::HypercubeParams params{s.d, s.lambda, s.effective_p()};
            if (bounds::load_factor(params) < 1.0) {
              compiled.has_bounds = true;

@@ -76,14 +76,20 @@ struct GreedyHypercubeConfig {
 
   // --- fault injection (src/fault/fault_model.hpp) ----------------------
   /// kNone = the pristine code path (bit-identical to the paper's model).
-  /// kDrop / kSkipDim / kDeflect attach a FaultModel and route around (or
-  /// drop at) dead arcs; with all fault rates zero the routing decisions
-  /// and RNG consumption are identical to kNone.
+  /// kDrop / kSkipDim / kDeflect / kAdaptive attach a FaultModel and route
+  /// around (or drop at) dead arcs; with all fault rates zero the routing
+  /// decisions and RNG consumption are identical to kNone.
   FaultPolicy fault_policy = FaultPolicy::kNone;
   double arc_fault_rate = 0.0;   ///< P[arc statically down]
   double node_fault_rate = 0.0;  ///< P[node down] (kills incident arcs)
   double fault_mtbf = 0.0;       ///< mean link up-time (> 0 with mttr => dynamic)
   double fault_mttr = 0.0;       ///< mean link repair time
+  /// Correlated fault storms (src/fault/storm.hpp): Poisson arrivals of
+  /// rate storm_rate, each downing the radius-storm_radius incidence ball
+  /// around a random seed node for storm_duration time units.
+  double storm_rate = 0.0;
+  int storm_radius = 1;
+  double storm_duration = 0.0;
   /// Max hops before a detouring packet is dropped; 0 = 64 * d.
   int ttl = 0;
 
@@ -235,11 +241,12 @@ class SchemeRegistry;
 /// core/registry.hpp hookup: registers "hypercube_greedy" (continuous or,
 /// with tau > 0, the slotted variant of §3.4; workloads bit_flip, uniform,
 /// general, trace and permutation — the latter adds a max_queue extra;
-/// finite buffers via buffer_capacity; fault injection
-/// via fault_rate / node_fault_rate / fault_mtbf / fault_mttr with
-/// fault_policy drop | skip_dim | deflect, reported through the
-/// delivery_ratio / mean_stretch / delay_p50 / delay_p99 / fault_drops /
-/// buffer_drops extras).
+/// trace replay of an external file via trace_file; finite buffers via
+/// buffer_capacity; fault injection via fault_rate / node_fault_rate /
+/// fault_mtbf / fault_mttr / storm_rate / storm_radius / storm_duration
+/// with fault_policy drop | skip_dim | deflect | adaptive, reported
+/// through the delivery_ratio / mean_stretch / delay_p50 / delay_p99 /
+/// fault_drops / buffer_drops extras).
 void register_hypercube_greedy_scheme(SchemeRegistry& registry);
 
 }  // namespace routesim

@@ -31,11 +31,13 @@ void ValiantMixingSim::configure_kernel() {
   RS_EXPECTS_MSG(fault_active_ || (config_.arc_fault_rate == 0.0 &&
                                    config_.node_fault_rate == 0.0 &&
                                    config_.fault_mtbf == 0.0 &&
-                                   config_.fault_mttr == 0.0),
+                                   config_.fault_mttr == 0.0 &&
+                                   config_.storm_rate == 0.0 &&
+                                   config_.storm_duration == 0.0),
                  "fault rates need a fault_policy");
   RS_EXPECTS_MSG(config_.fault_policy != FaultPolicy::kTwinDetour,
                  "twin_detour is a butterfly policy; valiant_mixing supports "
-                 "drop, skip_dim and deflect");
+                 "drop, skip_dim, deflect and adaptive");
   ttl_ = config_.ttl > 0 ? config_.ttl : 64 * config_.d;
   // Hop counters are 16-bit; a larger TTL could never fire (wraparound).
   ttl_ = std::min(ttl_, 65535);
@@ -64,6 +66,11 @@ void ValiantMixingSim::configure_kernel() {
         make_fault_model_config(config_, cube_.num_arcs(), cube_.num_nodes()),
         [this](std::uint32_t node, std::vector<ArcId>& out) {
           cube_.append_incident_arcs(node, out);
+        },
+        [this](std::uint32_t node, std::vector<std::uint32_t>& out) {
+          for (int dim = 1; dim <= config_.d; ++dim) {
+            out.push_back(flip_dimension(node, dim));
+          }
         });
     kernel.fault_model = &fault_model_;
   }
@@ -114,6 +121,14 @@ int ValiantMixingSim::next_dimension_faulty(const Pkt& packet) {
   const int preferred = lowest_dimension(unresolved);
   if (!kernel_.arc_faulty(cube_.arc_index(packet.cur, preferred))) {
     return preferred;
+  }
+  if (config_.fault_policy == FaultPolicy::kAdaptive) {
+    return adaptive_reroute_dimension(
+        config_.d, packet.cur, unresolved,
+        [&](NodeId node, int dim) {
+          return kernel_.arc_faulty(cube_.arc_index(node, dim));
+        },
+        kernel_.rng());
   }
   return fault_reroute_dimension(
       config_.fault_policy, config_.d, unresolved,
@@ -194,11 +209,13 @@ void register_valiant_mixing_scheme(SchemeRegistry& registry) {
          // Validated here so a bad permutation or fault combination fails
          // at compile time, not inside a replication worker thread.
          const auto perm = s.shared_permutation_table();
+         const auto replay = s.shared_trace();
          const Window window = s.resolved_window();
          const FaultPolicy fault_policy = s.resolved_fault_policy(
-             {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect});
+             {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect,
+              FaultPolicy::kAdaptive});
          (void)s.resolved_backend({});  // scalar-only: reject soa_batch
-         compiled.replicate = [s, window, fault_policy, perm,
+         compiled.replicate = [s, window, fault_policy, perm, replay,
                                dist = s.make_destinations()](
                                   std::uint64_t seed, int) {
            ValiantMixingConfig config;
@@ -215,12 +232,19 @@ void register_valiant_mixing_scheme(SchemeRegistry& registry) {
              config.node_fault_rate = s.node_fault_rate;
              config.fault_mtbf = s.fault_mtbf;
              config.fault_mttr = s.fault_mttr;
+             config.storm_rate = s.storm_rate;
+             config.storm_radius = s.storm_radius;
+             config.storm_duration = s.storm_duration;
              config.ttl = s.ttl;
            }
            // Thread-local so the cached sim's trace pointer stays valid for
            // the sim's whole lifetime (and the buffers are reused per rep).
            thread_local PacketTrace trace;
-           if (s.workload == "trace") {
+           if (replay != nullptr) {
+             // External trace file: every replication replays the same
+             // recorded packet stream (the shared_ptr outlives the sims).
+             config.trace = replay.get();
+           } else if (s.workload == "trace") {
              trace = generate_hypercube_trace(s.d, s.lambda, config.destinations,
                                               window.horizon, seed);
              config.trace = &trace;

@@ -41,14 +41,20 @@ struct ValiantMixingConfig {
   bool track_delay_histogram = false;
 
   // --- fault injection (src/fault/fault_model.hpp) ----------------------
-  /// kNone = pristine path; kDrop / kSkipDim / kDeflect reuse the greedy
-  /// hypercube's skip-dimension machinery within the current phase (the
-  /// unresolved set is taken against the phase target).
+  /// kNone = pristine path; kDrop / kSkipDim / kDeflect / kAdaptive reuse
+  /// the greedy hypercube's rerouting machinery within the current phase
+  /// (the unresolved set is taken against the phase target).
   FaultPolicy fault_policy = FaultPolicy::kNone;
   double arc_fault_rate = 0.0;
   double node_fault_rate = 0.0;
   double fault_mtbf = 0.0;
   double fault_mttr = 0.0;
+  /// Correlated fault storms (src/fault/storm.hpp): Poisson arrivals of
+  /// rate storm_rate, each downing the radius-storm_radius incidence ball
+  /// around a random seed node for storm_duration time units.
+  double storm_rate = 0.0;
+  int storm_radius = 1;
+  double storm_duration = 0.0;
   int ttl = 0;  ///< max hops for detouring packets; 0 = 64 * d
 };
 
@@ -128,9 +134,11 @@ class SchemeRegistry;
 /// mixing; workload "trace" couples it to an equal-seed greedy scenario;
 /// workload "permutation" is the scheme's raison d'etre — mixing keeps
 /// rho ~ lambda where greedy collapses to lambda * Theta(sqrt(N)), and the
-/// scheme installs a matching load-factor rule; fault injection with
-/// fault_policy drop | skip_dim | deflect, reported through the resilience
-/// extras).
+/// scheme installs a matching load-factor rule; trace replay of an
+/// external file via trace_file; fault injection with fault_policy
+/// drop | skip_dim | deflect | adaptive plus correlated storms via
+/// storm_rate / storm_radius / storm_duration, reported through the
+/// resilience extras).
 void register_valiant_mixing_scheme(SchemeRegistry& registry);
 
 }  // namespace routesim

@@ -8,6 +8,7 @@
 /// mirroring the sample-path arguments of §3.3.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/bits.hpp"
@@ -47,5 +48,34 @@ struct PacketTrace {
 [[nodiscard]] PacketTrace generate_butterfly_trace(int d, double lambda,
                                                    const DestinationDistribution& dist,
                                                    double horizon, std::uint64_t seed);
+
+/// Generates a Poisson trace with per-origin fixed destinations (the
+/// permutation workload): origins arrive as in generate_hypercube_trace
+/// and the destination is table[origin].  No destination randomness is
+/// consumed, matching the kernel's fixed-destination mode.
+[[nodiscard]] PacketTrace generate_fixed_destination_trace(
+    int d, double lambda, const std::vector<NodeId>& table, double horizon,
+    std::uint64_t seed);
+
+/// Writes the trace as JSONL — one {"t":...,"src":...,"dst":...} object
+/// per packet, times in shortest exact-round-trip decimal form, so a
+/// saved trace loads back bit-identically.  Throws std::runtime_error
+/// when the file cannot be written.
+void save_trace_jsonl(const PacketTrace& trace, const std::string& path);
+
+/// Loads a JSONL trace recorded by save_trace_jsonl (or produced by any
+/// tool emitting the same records) and validates it for a d-dimensional
+/// network: every line must be a JSON object with finite numeric "t"
+/// (non-negative, non-decreasing across lines) and integer "src"/"dst"
+/// in [0, 2^d).  Throws std::runtime_error when the file cannot be read
+/// and std::invalid_argument naming the offending line otherwise.
+[[nodiscard]] PacketTrace load_trace_jsonl(const std::string& path, int d);
+
+/// FNV-1a 64-bit hash of the file's raw bytes; 0 when the file cannot be
+/// read.  Never throws — used to salt result-store keys so a changed
+/// trace file can never hit a stale record (the load path reports the
+/// real error).
+[[nodiscard]] std::uint64_t trace_file_fingerprint(
+    const std::string& path) noexcept;
 
 }  // namespace routesim

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/equivalence.hpp"
@@ -283,7 +285,8 @@ TEST(KernelParity, HypercubeFaultPathAtZeroRateIsBitIdentical) {
   config.track_node_occupancy = true;
   config.track_delay_histogram = true;
   for (const FaultPolicy policy :
-       {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect}) {
+       {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect,
+        FaultPolicy::kAdaptive}) {
     config.fault_policy = policy;  // all rates zero: nothing is ever down
     GreedyHypercubeSim sim(config);
     sim.run(50.0, 550.0);
@@ -362,7 +365,8 @@ TEST(KernelParity, ValiantMixingFaultPathAtZeroRateIsBitIdentical) {
   config.destinations = DestinationDistribution::uniform(6);
   config.seed = 9;
   for (const FaultPolicy policy :
-       {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect}) {
+       {FaultPolicy::kDrop, FaultPolicy::kSkipDim, FaultPolicy::kDeflect,
+        FaultPolicy::kAdaptive}) {
     config.fault_policy = policy;
     ValiantMixingSim sim(config);
     sim.run(50.0, 550.0);
@@ -611,6 +615,147 @@ TEST(KernelParity, HypercubeSlottedSoaBatchFaultPathAtZeroRateIsBitIdentical) {
       {0x1.3c437449e7e1ep+1, 0x1.fdebd231b667p+0, 0x1.1bbe76c8b4396p+6,
        0x1.c91eb851eb852p+4, 0x1.0cp+6, 0x1.be68p+13});
   EXPECT_EQ(sim.fault_drops_in_window(), 0u);
+}
+
+// --- fault-storm and adaptive-policy pins --------------------------------
+//
+// Captured from tools/capture_parity.cpp when the storm process and the
+// adaptive policy were introduced.  The storm pins freeze the storm RNG
+// stream (salt 0x5709), the incidence-ball growth, the expiry-before-
+// arrival tie order and the base/composite state split; the adaptive pins
+// freeze the one-hop-lookahead probe order and deflection fallback.
+
+TEST(KernelParity, HypercubeStormPinned) {
+  GreedyHypercubeConfig config;
+  config.d = 6;
+  config.lambda = 0.5;
+  config.destinations = DestinationDistribution::uniform(6);
+  config.seed = 31;
+  config.fault_policy = FaultPolicy::kSkipDim;
+  config.storm_rate = 0.05;
+  config.storm_radius = 1;
+  config.storm_duration = 20.0;
+  GreedyHypercubeSim sim(config);
+  sim.run(50.0, 550.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), sim.delivery_ratio(), sim.mean_stretch(),
+       static_cast<double>(sim.fault_drops_in_window()),
+       static_cast<double>(sim.deliveries_in_window()),
+       static_cast<double>(sim.fault_model().storms().storms_started())},
+      {0x1.50859e61fccd4p+2, 0x1.c621e98ae3be7p+1, 0x1.2ae4d220d1543p+7,
+       0x1.b2d0e56041893p+4, 0x1.bc830cf02ed88p-1, 0x1.375cf017020e4p+0,
+       0x1.01ep+11, 0x1.a8ap+13, 0x1p+5});
+}
+
+TEST(KernelParity, HypercubeAdaptivePinned) {
+  GreedyHypercubeConfig config;
+  config.d = 6;
+  config.lambda = 0.5;
+  config.destinations = DestinationDistribution::uniform(6);
+  config.seed = 37;
+  config.fault_policy = FaultPolicy::kAdaptive;
+  config.arc_fault_rate = 0.15;
+  GreedyHypercubeSim sim(config);
+  sim.run(50.0, 550.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), sim.delivery_ratio(), sim.mean_stretch(),
+       static_cast<double>(sim.fault_drops_in_window()),
+       static_cast<double>(sim.deliveries_in_window())},
+      {0x1.af0669b4a8c5ep+3, 0x1.d6397ba7c52f4p+1, 0x1.fb835c8feaa48p+9,
+       0x1.c578d4fdf3b64p+4, 0x1p+0, 0x1.4a14165bbbcffp+0, 0x0p+0,
+       0x1.bad8p+13});
+}
+
+TEST(KernelParity, ValiantStormAdaptivePinned) {
+  ValiantMixingConfig config;
+  config.d = 6;
+  config.lambda = 0.3;
+  config.destinations = DestinationDistribution::uniform(6);
+  config.seed = 41;
+  config.fault_policy = FaultPolicy::kAdaptive;
+  config.storm_rate = 0.04;
+  config.storm_radius = 1;
+  config.storm_duration = 15.0;
+  ValiantMixingSim sim(config);
+  sim.run(50.0, 550.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), sim.kernel_stats().delivery_ratio(),
+       sim.kernel_stats().mean_stretch(),
+       static_cast<double>(sim.kernel_stats().fault_drops_in_window()),
+       static_cast<double>(sim.kernel_stats().deliveries_in_window())},
+      {0x1.14a54f963b133p+3, 0x1.a1574f212232ep+2, 0x1.3b1ae2555d27p+7,
+       0x1.146a7ef9db22dp+4, 0x1.cc1e41695c93ep-1, 0x1.189216ef22c5ep+0,
+       0x1.e7p+9, 0x1.0dfp+13});
+}
+
+// The adaptive policy is the one reroute policy the soa_batch backend also
+// supports under a *static* fault set; it must agree with scalar bit for
+// bit (the cross-backend contract of tests/test_kernel_backend.cpp, pinned
+// here at a live fault rate).
+TEST(KernelParity, HypercubeSlottedAdaptiveSoaBatchMatchesScalar) {
+  GreedyHypercubeConfig config;
+  config.d = 5;
+  config.lambda = 0.9;
+  config.destinations = DestinationDistribution::bit_flip(5, 0.4);
+  config.seed = 3;
+  config.slot = 0.5;
+  config.fault_policy = FaultPolicy::kAdaptive;
+  config.arc_fault_rate = 0.1;
+  GreedyHypercubeSim scalar(config);
+  scalar.run(40.0, 540.0);
+  config.backend = KernelBackend::kSoaBatch;
+  GreedyHypercubeSim batch(config);
+  batch.run(40.0, 540.0);
+  expect_exact(
+      {batch.delay().mean(), batch.hops().mean(), batch.time_avg_population(),
+       batch.throughput(), batch.delivery_ratio(), batch.mean_stretch(),
+       static_cast<double>(batch.fault_drops_in_window())},
+      {scalar.delay().mean(), scalar.hops().mean(),
+       scalar.time_avg_population(), scalar.throughput(),
+       scalar.delivery_ratio(), scalar.mean_stretch(),
+       static_cast<double>(scalar.fault_drops_in_window())});
+}
+
+// --- external trace-file replay pins -------------------------------------
+//
+// save_trace_jsonl emits times in shortest exact-round-trip decimal form,
+// so a recorded trace must load back bit-identically and replay to the
+// *same* hexfloat pins as the in-memory trace above — the recorded-trace
+// round-trip contract behind `routesim_bench --record-trace` +
+// `workload=trace trace_file=`.
+TEST(KernelParity, TraceFileRoundTripReplaysToSamePins) {
+  const auto dist = DestinationDistribution::uniform(5);
+  const PacketTrace trace = generate_hypercube_trace(5, 0.8, dist, 400.0, 21);
+
+  const std::string path = ::testing::TempDir() + "parity_trace.jsonl";
+  save_trace_jsonl(trace, path);
+  const PacketTrace loaded = load_trace_jsonl(path, 5);
+
+  // The per-packet (time, origin, destination) stream survives exactly.
+  ASSERT_EQ(loaded.packets.size(), trace.packets.size());
+  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+    EXPECT_EQ(loaded.packets[i].time, trace.packets[i].time) << "packet " << i;
+    EXPECT_EQ(loaded.packets[i].origin, trace.packets[i].origin);
+    EXPECT_EQ(loaded.packets[i].destination, trace.packets[i].destination);
+  }
+
+  GreedyHypercubeConfig config;
+  config.d = 5;
+  config.lambda = 0.8;
+  config.destinations = dist;
+  config.seed = 21;
+  config.trace = &loaded;
+  GreedyHypercubeSim sim(config);
+  sim.run(30.0, 400.0);
+  expect_exact(
+      {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+       sim.throughput(), static_cast<double>(sim.deliveries_in_window())},
+      {0x1.929c3188bd2c9p+1, 0x1.3ea22856622e5p+1, 0x1.46ee3527959f8p+6,
+       0x1.9b1d0f38bc31dp+4, 0x1.2918p+13});
+  std::remove(path.c_str());
 }
 
 // Deflection is slotted by construction (unit-time hops on an integer

@@ -524,6 +524,125 @@ TEST(Scenario, RunRejectsUnknownScheme) {
   EXPECT_THROW((void)run(scenario), ScenarioError);
 }
 
+TEST(Scenario, StormAndTraceKeysRoundTripThroughTextualForm) {
+  Scenario original;
+  original.scheme = "hypercube_greedy";
+  original.d = 6;
+  original.set("fault_policy", "adaptive");
+  original.set("fault_rate", "0.05");
+  original.set("storm_rate", "0.04");
+  original.set("storm_radius", "2");
+  original.set("storm_duration", "17.5");
+  original.set("workload", "trace");
+  original.set("trace_file", "/tmp/replay.jsonl");
+
+  std::vector<std::string> args{original.scheme};
+  for (const auto& [key, value] : original.to_key_values()) {
+    args.push_back(key + "=" + value);
+  }
+  const Scenario parsed = Scenario::parse(args);
+  EXPECT_EQ(parsed, original);
+  EXPECT_DOUBLE_EQ(parsed.storm_rate, 0.04);
+  EXPECT_EQ(parsed.storm_radius, 2);
+  EXPECT_DOUBLE_EQ(parsed.storm_duration, 17.5);
+  EXPECT_EQ(parsed.trace_file, "/tmp/replay.jsonl");
+  EXPECT_EQ(parsed.to_string(), original.to_string());
+  EXPECT_TRUE(parsed.faults_active());
+}
+
+TEST(Scenario, StormKeysValidateAtSetTime) {
+  Scenario scenario;
+  EXPECT_THROW(scenario.set("storm_rate", "-0.1"), ScenarioError);
+  EXPECT_THROW(scenario.set("storm_rate", "nan"), ScenarioError);
+  EXPECT_THROW(scenario.set("storm_radius", "-1"), ScenarioError);
+  EXPECT_THROW(scenario.set("storm_duration", "-5"), ScenarioError);
+  EXPECT_THROW(scenario.set("storm_duration", "inf"), ScenarioError);
+  EXPECT_NO_THROW(scenario.set("storm_rate", "0.1"));
+  EXPECT_NO_THROW(scenario.set("storm_duration", "10"));
+}
+
+TEST(Scenario, HalfConfiguredStormIsRejectedWithDidYouMean) {
+  Scenario scenario;
+  scenario.scheme = "hypercube_greedy";
+  scenario.d = 5;
+  scenario.set("fault_policy", "skip_dim");
+  scenario.set("storm_rate", "0.1");  // no storm_duration
+  scenario.measure = 50.0;
+  try {
+    (void)run(scenario);
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("did you mean"), std::string::npos) << message;
+    EXPECT_NE(message.find("storm_duration"), std::string::npos) << message;
+  }
+}
+
+TEST(Scenario, TraceFileRequiresTraceWorkload) {
+  Scenario scenario;
+  scenario.set("trace_file", "/tmp/replay.jsonl");  // workload still bit_flip
+  try {
+    (void)scenario.shared_trace();
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& error) {
+    EXPECT_NE(std::string(error.what()).find("requires workload=trace"),
+              std::string::npos)
+        << error.what();
+  }
+  // No trace file => no replay, whatever the workload.
+  Scenario plain;
+  EXPECT_EQ(plain.shared_trace(), nullptr);
+}
+
+TEST(Scenario, TraceFilePathRejectsWhitespace) {
+  Scenario scenario;
+  EXPECT_THROW(scenario.set("trace_file", "has space.jsonl"), ScenarioError);
+  EXPECT_THROW(scenario.set("trace_file", "tab\there.jsonl"), ScenarioError);
+  EXPECT_TRUE(scenario.trace_file.empty());
+}
+
+TEST(Scenario, TraceLoaderErrorsSurfaceAsScenarioError) {
+  // A missing file is a catchable ScenarioError, not a crash.
+  Scenario missing;
+  missing.set("workload", "trace");
+  missing.set("trace_file", "/nonexistent/replay.jsonl");
+  try {
+    (void)missing.shared_trace();
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& error) {
+    EXPECT_NE(std::string(error.what()).find("cannot open"), std::string::npos)
+        << error.what();
+  }
+
+  // Validation failures carry the offending line number through.
+  const std::string path = ::testing::TempDir() + "scenario_bad_trace.jsonl";
+  {
+    std::ofstream out(path);
+    out << "{\"t\":2.0,\"src\":0,\"dst\":1}\n"
+        << "{\"t\":1.0,\"src\":2,\"dst\":3}\n";
+  }
+  Scenario unsorted;
+  unsorted.set("workload", "trace");
+  unsorted.set("trace_file", path);
+  try {
+    (void)unsorted.shared_trace();
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SweepSpec, StormRateIsSweepable) {
+  const auto sweep = SweepSpec::parse("storm_rate=0:0.1:0.05");
+  EXPECT_EQ(sweep.key, "storm_rate");
+  EXPECT_EQ(sweep.values().size(), 3u);
+  Scenario scenario;
+  apply_sweep_value(scenario, "storm_rate", 0.05);
+  EXPECT_DOUBLE_EQ(scenario.storm_rate, 0.05);
+}
+
 // --- parity with the legacy façade (bit-identical, same seeds/plan) ------
 
 TEST(FacadeParity, HypercubeEstimateMatchesScenarioRun) {

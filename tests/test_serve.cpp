@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -94,6 +95,73 @@ TEST(QueryService, StoreAnswersAcrossRestart) {
   EXPECT_EQ(stats.store_hits, 1u);
   EXPECT_EQ(stats.cache_hits, 1u);
   EXPECT_EQ(stats.computed, 0u);
+}
+
+TEST(ResultCacheKey, TraceFileContentIsHashedIntoTheKey) {
+  const std::string path = temp_store("trace_key.jsonl");
+  {
+    std::ofstream out(path);
+    out << "{\"t\":0.5,\"src\":0,\"dst\":1}\n";
+  }
+  Scenario scenario;
+  scenario.scheme = "hypercube_greedy";
+  scenario.d = 4;
+  scenario.set("workload", "trace");
+  scenario.set("trace_file", path);
+
+  const std::string first = ResultCache::key(scenario);
+  EXPECT_NE(first.find("trace_hash="), std::string::npos) << first;
+
+  // Same scenario text, different file bytes: the key must change, so a
+  // rewritten trace can never hit a stale stored result.
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"t\":0.5,\"src\":0,\"dst\":2}\n";
+  }
+  const std::string second = ResultCache::key(scenario);
+  EXPECT_NE(second, first);
+  EXPECT_NE(second.find("trace_hash="), std::string::npos) << second;
+
+  // Scenarios without a trace file keep their plain canonical-text keys.
+  Scenario plain;
+  EXPECT_EQ(ResultCache::key(plain).find("trace_hash="), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCacheKey, StormKnobsArePartOfTheKey) {
+  Scenario base;
+  base.scheme = "hypercube_greedy";
+  base.d = 5;
+  base.set("fault_policy", "adaptive");
+
+  Scenario stormy = base;
+  stormy.set("storm_rate", "0.05");
+  stormy.set("storm_duration", "20");
+  EXPECT_NE(ResultCache::key(stormy), ResultCache::key(base));
+
+  Scenario wider = stormy;
+  wider.set("storm_radius", "2");
+  EXPECT_NE(ResultCache::key(wider), ResultCache::key(stormy));
+
+  // The key is the canonical textual form: it parses back to the same
+  // scenario, storms and all.
+  const std::string key = ResultCache::key(wider);
+  const std::string text_key = key.substr(0, key.find(" trace_hash="));
+  std::vector<std::string> args;
+  std::string token;
+  for (const char c : text_key) {
+    if (c == ' ') {
+      if (!token.empty()) args.push_back(token);
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (!token.empty()) args.push_back(token);
+  Scenario canonical = wider.resolved();
+  canonical.plan.threads = 0;  // the key normalizes these out
+  canonical.backend = "scalar";
+  EXPECT_EQ(Scenario::parse(args), canonical);
 }
 
 TEST(QueryService, ConcurrentIdenticalQueriesFundOneComputation) {

@@ -252,6 +252,67 @@ int main() {
           static_cast<double>(sim.kernel_stats().deliveries_in_window())});
   }
   {
+    // Fault-storm pins, captured when the storm process was introduced:
+    // any change to the storm RNG stream (salt 0x5709), ball growth,
+    // expiry ordering or base/composite state split shifts these values.
+    GreedyHypercubeConfig c;
+    c.d = 6;
+    c.lambda = 0.5;
+    c.destinations = DestinationDistribution::uniform(6);
+    c.seed = 31;
+    c.fault_policy = FaultPolicy::kSkipDim;
+    c.storm_rate = 0.05;
+    c.storm_radius = 1;
+    c.storm_duration = 20.0;
+    GreedyHypercubeSim sim(c);
+    sim.run(50.0, 550.0);
+    emit("hypercube_storm",
+         {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+          sim.throughput(), sim.delivery_ratio(), sim.mean_stretch(),
+          static_cast<double>(sim.fault_drops_in_window()),
+          static_cast<double>(sim.deliveries_in_window()),
+          static_cast<double>(sim.fault_model().storms().storms_started())});
+  }
+  {
+    // Adaptive-policy pins under a static fault set: regress the one-hop
+    // lookahead's probe order and deflection fallback.
+    GreedyHypercubeConfig c;
+    c.d = 6;
+    c.lambda = 0.5;
+    c.destinations = DestinationDistribution::uniform(6);
+    c.seed = 37;
+    c.fault_policy = FaultPolicy::kAdaptive;
+    c.arc_fault_rate = 0.15;
+    GreedyHypercubeSim sim(c);
+    sim.run(50.0, 550.0);
+    emit("hypercube_adaptive",
+         {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+          sim.throughput(), sim.delivery_ratio(), sim.mean_stretch(),
+          static_cast<double>(sim.fault_drops_in_window()),
+          static_cast<double>(sim.deliveries_in_window())});
+  }
+  {
+    // Valiant under a storm with the adaptive policy: pins the phase-target
+    // reroute and the storm wiring on the second scheme that has it.
+    ValiantMixingConfig c;
+    c.d = 6;
+    c.lambda = 0.3;
+    c.destinations = DestinationDistribution::uniform(6);
+    c.seed = 41;
+    c.fault_policy = FaultPolicy::kAdaptive;
+    c.storm_rate = 0.04;
+    c.storm_radius = 1;
+    c.storm_duration = 15.0;
+    ValiantMixingSim sim(c);
+    sim.run(50.0, 550.0);
+    emit("valiant_storm_adaptive",
+         {sim.delay().mean(), sim.hops().mean(), sim.time_avg_population(),
+          sim.throughput(), sim.kernel_stats().delivery_ratio(),
+          sim.kernel_stats().mean_stretch(),
+          static_cast<double>(sim.kernel_stats().fault_drops_in_window()),
+          static_cast<double>(sim.kernel_stats().deliveries_in_window())});
+  }
+  {
     // Topology-parametric pins, captured when the generic simulator was
     // introduced: any change to the ring's arc indexing, BFS metric or
     // greedy tie-break shifts these values.
